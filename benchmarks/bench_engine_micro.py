@@ -1,0 +1,54 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+These give the harness real wall-clock numbers (events/second, cost of
+one simulated connection-second per scheme) so performance regressions
+in the simulator are visible alongside the paper experiments.
+"""
+
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import wired_path
+from repro.core.flavors import make_connection
+
+
+def _spin_events(n: int) -> int:
+    sim = Simulator(seed=1)
+    count = [0]
+
+    def tick():
+        count[0] += 1
+        if count[0] < n:
+            sim.call_in(1e-6, tick)
+
+    tick()
+    sim.run()
+    return count[0]
+
+
+def test_engine_event_throughput(benchmark):
+    result = benchmark.pedantic(_spin_events, args=(200_000,), rounds=1,
+                                iterations=1)
+    assert result == 200_000
+
+
+def _one_connection_second(scheme: str) -> float:
+    sim = Simulator(seed=2)
+    path = wired_path(sim, 50e6, 0.04)
+    conn = make_connection(sim, scheme, initial_rtt=0.04)
+    conn.wire(path.forward, path.reverse)
+    conn.start_bulk()
+    sim.run(until=1.0)
+    return conn.receiver.stats.bytes_delivered
+
+
+def test_tack_connection_second(benchmark):
+    delivered = benchmark.pedantic(
+        _one_connection_second, args=("tcp-tack",), rounds=1, iterations=1
+    )
+    assert delivered > 2e6  # the flow actually ran
+
+
+def test_bbr_connection_second(benchmark):
+    delivered = benchmark.pedantic(
+        _one_connection_second, args=("tcp-bbr",), rounds=1, iterations=1
+    )
+    assert delivered > 2e6

@@ -1,0 +1,29 @@
+"""Bench E18 — Eq. (6) / Appendix A: rich-information threshold."""
+
+from conftest import record_table
+from repro.experiments import eq06_threshold
+
+
+def test_eq06_analytic(benchmark):
+    table = benchmark.pedantic(
+        eq06_threshold.run_analytic, rounds=1, iterations=1
+    )
+    record_table(table, "eq06_analytic")
+    # Higher data loss or larger bdp -> lower ACK-loss threshold.
+    thresholds = table.column("threshold_%")
+    assert thresholds[1] > thresholds[3]
+
+
+def test_eq06_simulated(benchmark):
+    table = benchmark.pedantic(
+        eq06_threshold.run_simulated, rounds=1, iterations=1,
+        kwargs={"duration_s": 12.0, "warmup_s": 4.0},
+    )
+    record_table(table, "eq06_simulated")
+    rows = {row["relation"]: row for row in table.rows}
+    below = rows["below threshold"]
+    above = rows["above threshold"]
+    # Below the threshold Q=1 suffices (poor ~= rich); above it the
+    # rich blocks earn their keep.
+    assert below["poor_util_%"] > below["rich_util_%"] - 10
+    assert above["rich_util_%"] > above["poor_util_%"]

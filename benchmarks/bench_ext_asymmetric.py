@@ -1,0 +1,23 @@
+"""Bench (extension) — asymmetric paths with a congested ACK channel."""
+
+from conftest import record_table
+from repro.experiments import ext_asymmetric
+
+
+def test_ext_asymmetric(benchmark):
+    table = benchmark.pedantic(
+        ext_asymmetric.run, rounds=1, iterations=1,
+        kwargs={"duration_s": 8.0, "warmup_s": 2.0},
+    )
+    record_table(table, "ext_asymmetric")
+    bbr = table.column("bbr_mbps")
+    tack = table.column("tack_mbps")
+    # Legacy TCP degrades monotonically as the uplink thins...
+    assert bbr == sorted(bbr, reverse=True)
+    assert bbr[-1] < 0.25 * bbr[0]
+    # ...while TACK barely notices down to a 250 kbps uplink and still
+    # keeps most of its goodput at 100 kbps (a 1000:1 asymmetry).
+    assert tack[-2] > 0.9 * tack[0]
+    assert tack[-1] > 0.6 * tack[0]
+    # And TACK's ACK load fits even the thinnest uplink.
+    assert all(k < 100 for k in table.column("tack_ack_kbps"))

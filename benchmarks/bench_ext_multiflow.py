@@ -1,0 +1,22 @@
+"""Bench (extension) — crowded AP: N clients, one collision domain."""
+
+from conftest import record_table
+from repro.experiments import ext_multiflow
+
+
+def test_ext_multiflow(benchmark):
+    table = benchmark.pedantic(
+        ext_multiflow.run, rounds=1, iterations=1,
+        kwargs={"client_counts": (1, 3, 6), "duration_s": 5.0,
+                "warmup_s": 1.5},
+    )
+    record_table(table, "ext_multiflow")
+    for row in table.rows:
+        # TACK wins at every client count...
+        assert row["tack_mbps"] > row["bbr_mbps"]
+        # ...and both schemes share the AP fairly (per-RA queues).
+        assert row["tack_fairness"] > 0.9
+        assert row["bbr_fairness"] > 0.9
+    # Aggregate capacity holds up as clients multiply (no collapse).
+    tack = table.column("tack_mbps")
+    assert tack[-1] > 0.75 * tack[0]

@@ -1,0 +1,22 @@
+"""Bench (extension) — paper S7: TCP splitting at the access point."""
+
+from conftest import record_table
+from repro.experiments import ext_tcp_splitting
+
+
+def test_ext_tcp_splitting(benchmark):
+    table = benchmark.pedantic(
+        ext_tcp_splitting.run, rounds=1, iterations=1,
+        kwargs={"duration_s": 8.0, "warmup_s": 2.0},
+    )
+    record_table(table, "ext_tcp_splitting")
+    rows = {row["deployment"]: row for row in table.rows}
+    e2e_tack = rows["end-to-end TCP-TACK"]
+    split = rows["split: BBR (WAN) + TACK (WLAN)"]
+    # On a lossy WAN, splitting inherits the legacy segment's weakness:
+    # end-to-end TACK keeps its advantage...
+    assert e2e_tack["goodput_mbps"] > split["goodput_mbps"]
+    # ...and splitting gives up end-to-end reliability: the proxy holds
+    # bytes the server already believes delivered.
+    assert split["proxy_held_kb"] > 0
+    assert e2e_tack["proxy_held_kb"] == 0

@@ -1,0 +1,24 @@
+"""Bench E1 — Fig. 1 / Fig. 10(a): WLAN goodput, TACK vs BBR."""
+
+from conftest import record_table
+from repro.experiments import fig01_goodput_wlan
+
+
+def test_fig01_goodput_wlan(benchmark):
+    table = benchmark.pedantic(
+        fig01_goodput_wlan.run, rounds=1, iterations=1,
+        kwargs={"duration_s": 5.0, "warmup_s": 1.5},
+    )
+    record_table(table, "fig01_goodput_wlan")
+    tack = table.column("tack_mbps")
+    bbr = table.column("bbr_mbps")
+    improv = table.column("improve_%")
+    reduction = table.column("ack_reduction_%")
+    # Paper shape: TACK wins on every standard ...
+    assert all(t > b for t, b in zip(tack, bbr))
+    # ... the absolute gain grows with PHY rate ...
+    gains = [t - b for t, b in zip(tack, bbr)]
+    assert gains == sorted(gains)
+    # ... and the n/ac standards shed >90% of ACKs.
+    assert all(r > 90.0 for r in reduction[2:])
+    assert all(i > 5.0 for i in improv)

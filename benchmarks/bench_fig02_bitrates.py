@@ -1,0 +1,11 @@
+"""Bench E2 — Fig. 2: application bit-rate table."""
+
+from conftest import record_table
+from repro.experiments import fig02_bitrates
+
+
+def test_fig02_bitrates(benchmark):
+    table = benchmark.pedantic(fig02_bitrates.run, rounds=1, iterations=1)
+    record_table(table, "fig02_bitrates")
+    for row in table.rows:
+        assert abs(row["source_model_mbps"] - row["paper_mbps"]) / row["paper_mbps"] < 0.02

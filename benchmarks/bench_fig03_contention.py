@@ -1,0 +1,33 @@
+"""Bench E3 — Fig. 3: UDP data-vs-ACK contention over 802.11n."""
+
+from conftest import record_table
+from repro.experiments import fig03_contention
+
+
+def test_fig03_contention(benchmark):
+    table = benchmark.pedantic(fig03_contention.run, rounds=1, iterations=1)
+    record_table(table, "fig03_contention")
+    data = table.column("data_mbps")
+    acks = table.column("ack_mbps")
+    coll = table.column("collision_rate_%")
+    # Paper shape: data throughput declines as ACK frequency rises ...
+    assert data[0] > data[-1]
+    # ... the ACK path saturates below 1.5 Mbps and fails to double
+    # between 4:1 and 2:1 ...
+    assert all(a < 1.5 for a in acks)
+    assert acks[-1] < 1.8 * acks[-3]
+    # ... and collisions grow severalfold from 16:1 to 1:1.
+    assert coll[-1] > 2 * coll[0]
+
+
+def test_fig03_contention_with_rate_adaptation(benchmark):
+    """Extension: Minstrel-lite rate adaptation amplifies the decline
+    to the paper's magnitude (~100 -> ~75 Mbps at 1:1)."""
+    table = benchmark.pedantic(
+        fig03_contention.run, rounds=1, iterations=1,
+        kwargs={"rate_adaptation": True, "per_mpdu_error_rate": 0.01},
+    )
+    record_table(table, "fig03_contention_rate_adaptation")
+    data = table.column("data_mbps")
+    assert data[0] > 95.0
+    assert data[-1] < 82.0  # paper: ~75 at 1:1

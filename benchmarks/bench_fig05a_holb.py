@@ -1,0 +1,17 @@
+"""Bench E4 — Fig. 5(a): IACK cuts HoLB blockage at the receiver."""
+
+from conftest import record_table
+from repro.experiments import fig05a_holb
+
+
+def test_fig05a_holb(benchmark):
+    table = benchmark.pedantic(
+        fig05a_holb.run, rounds=1, iterations=1,
+        kwargs={"trials": 6, "duration_s": 6.0},
+    )
+    record_table(table, "fig05a_holb")
+    # Paper shape: the with-IACK CDF sits far left of the without-IACK
+    # CDF at the tail percentiles.
+    by_pct = {row["percentile"]: row for row in table.rows}
+    assert by_pct["p90"]["without_iack"] > 2 * max(by_pct["p90"]["with_iack"], 1)
+    assert by_pct["p99"]["without_iack"] > 2 * max(by_pct["p99"]["with_iack"], 1)

@@ -1,0 +1,22 @@
+"""Bench E5 — Fig. 5(b): rich TACKs survive ACK-path loss."""
+
+from conftest import record_table
+from repro.experiments import fig05b_rich_info
+
+
+def test_fig05b_rich_info(benchmark):
+    table = benchmark.pedantic(
+        fig05b_rich_info.run, rounds=1, iterations=1,
+        kwargs={"duration_s": 15.0, "warmup_s": 5.0},
+    )
+    record_table(table, "fig05b_rich_info")
+    rich = table.column("tack_rich")
+    poor = table.column("tack_poor")
+    # Paper shape: TACK-rich stays within a few points of its
+    # low-ack-loss utilization even at 10% ...
+    assert rich[-1] > rich[0] - 10
+    assert all(r > 85 for r in rich)
+    # ... while TACK-poor collapses at heavy ACK loss (paper: 60.6%).
+    assert poor[-1] < rich[-1] - 15
+    # At low ACK loss poor and rich are equivalent (Q=1 suffices).
+    assert poor[0] > rich[0] - 10

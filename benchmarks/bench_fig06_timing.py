@@ -1,0 +1,41 @@
+"""Bench E6/E7 — Fig. 6: advanced round-trip timing."""
+
+from conftest import record_table
+from repro.experiments import fig06a_rttmin, fig06b_owd_loss
+
+
+def test_fig06a_rttmin(benchmark):
+    table = benchmark.pedantic(
+        fig06a_rttmin.run, rounds=1, iterations=1,
+        kwargs={"duration_s": 25.0},
+    )
+    record_table(table, "fig06a_rttmin")
+    by_method = {row["method"]: row for row in table.rows}
+    advanced = by_method["advanced (TACK)"]["bias_%"]
+    naive = by_method["naive sampling"]["bias_%"]
+    # Paper shape: naive sampling overestimates RTT_min by 8-18%; the
+    # advanced timing lands within a couple of percent.
+    assert naive > advanced
+    assert naive > 4.0
+    assert -1.0 < advanced < 6.0
+
+
+def test_fig06b_owd_loss(benchmark):
+    table = benchmark.pedantic(
+        fig06b_owd_loss.run, rounds=1, iterations=1,
+        kwargs={"duration_s": 15.0},
+    )
+    record_table(table, "fig06b_owd_loss")
+    by_timing = {row["timing"]: row for row in table.rows}
+    adv, naive = by_timing["advanced"], by_timing["naive"]
+    # The correction is free: goodput parity and no tail-delay cost
+    # beyond noise (the paper's deployment saw gains; see the
+    # documented deviation in EXPERIMENTS.md).
+    assert adv["goodput_mbps"] > 0.95 * naive["goodput_mbps"]
+    assert adv["owd95_ms"] < 1.1 * naive["owd95_ms"]
+    # The reproducible mechanism: the advanced estimate sits clearly
+    # below the naive one and nearer the true 100 ms minimum (exact
+    # tracking is verified on the WLAN microbenchmark in fig06a; a
+    # wired BBR standing queue keeps both above the floor here).
+    assert adv["rtt_min_ms"] < naive["rtt_min_ms"] - 10.0
+    assert adv["rtt_min_ms"] >= 100.0

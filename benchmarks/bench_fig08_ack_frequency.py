@@ -1,0 +1,32 @@
+"""Bench E8 — Fig. 8: ACK frequency reduction (analytic + measured)."""
+
+import pytest
+
+from conftest import record_table
+from repro.experiments import fig08_ack_frequency
+
+
+def test_fig08a_analytic(benchmark):
+    table = benchmark.pedantic(
+        fig08_ack_frequency.run_analytic, rounds=1, iterations=1
+    )
+    record_table(table, "fig08a_ack_reduction")
+    # Paper shape: faster PHY -> larger reduction; larger RTT -> larger
+    # reduction.
+    for col in ("delta_f@10ms", "delta_f@80ms", "delta_f@200ms"):
+        vals = table.column(col)
+        assert vals == sorted(vals)
+    for row in table.rows:
+        assert row["delta_f@10ms"] <= row["delta_f@80ms"] <= row["delta_f@200ms"]
+
+
+def test_fig08b_measured(benchmark):
+    table = benchmark.pedantic(
+        fig08_ack_frequency.run_measured, rounds=1, iterations=1,
+        kwargs={"duration_s": 4.0},
+    )
+    record_table(table, "fig08b_measured_frequency")
+    for row in table.rows:
+        # Measured TACK frequency within 40% of Eq. (3) (startup and
+        # IACK noise included).
+        assert row["measured_hz"] == pytest.approx(row["analytic_hz"], rel=0.4)

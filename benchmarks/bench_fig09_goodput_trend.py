@@ -1,0 +1,32 @@
+"""Bench E9/E10 — Fig. 9: improvement per RTT and the ideal trend."""
+
+from conftest import record_table
+from repro.experiments import fig09_goodput_trend
+
+
+def test_fig09a_improvement(benchmark):
+    table = benchmark.pedantic(
+        fig09_goodput_trend.run_improvement, rounds=1, iterations=1,
+        kwargs={"duration_s": 4.0, "warmup_s": 1.5, "rtts": (0.08, 0.2)},
+    )
+    record_table(table, "fig09a_improvement")
+    # Paper shape: the improvement grows with the PHY rate.
+    for col in ("improve@80ms", "improve@200ms"):
+        vals = table.column(col)
+        assert vals[-1] > vals[0]
+        assert all(v > -0.5 for v in vals)
+
+
+def test_fig09b_ideal_goodput(benchmark):
+    table = benchmark.pedantic(
+        fig09_goodput_trend.run_ideal, rounds=1, iterations=1
+    )
+    record_table(table, "fig09b_ideal_goodput")
+    rows = {row["policy"]: row["ideal_goodput_mbps"] for row in table.rows}
+    tack = next(v for k, v in rows.items() if k.startswith("TACK"))
+    # Paper shape: ideal goodput rises monotonically with L, and TACK
+    # approaches the UDP upper bound.
+    l_series = [rows[f"TCP (L={L})"] for L in (1, 2, 4, 8, 16)]
+    assert all(b >= a - 0.5 for a, b in zip(l_series, l_series[1:]))
+    assert tack >= l_series[-1] - 0.5
+    assert tack > 0.97 * rows["UDP baseline"]

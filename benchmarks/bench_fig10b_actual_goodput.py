@@ -1,0 +1,21 @@
+"""Bench E11 — Fig. 10(b): thinning disturbs legacy TCP, not TACK."""
+
+from conftest import record_table
+from repro.experiments import fig10b_actual_goodput
+
+
+def test_fig10b_actual_goodput(benchmark):
+    table = benchmark.pedantic(
+        fig10b_actual_goodput.run, rounds=1, iterations=1,
+        kwargs={"duration_s": 5.0, "warmup_s": 2.0},
+    )
+    record_table(table, "fig10b_actual_goodput")
+    rows = {row["policy"]: row["goodput_mbps"] for row in table.rows}
+    # Paper shape: TACK beats every legacy variant, including the
+    # aggressively thinned ones (whose control loops are disturbed).
+    legacy_best = max(v for k, v in rows.items() if k.startswith("TCP"))
+    assert rows["TACK (L=2)"] > legacy_best
+    # Thinning to L=16 must NOT give legacy TCP the ideal-trend boost
+    # over L=2 (Fig. 9(b) would predict ~+25 Mbps; the actual gain is
+    # small or negative).
+    assert rows["TCP (L=16)"] < rows["TCP (L=2)"] + 20.0

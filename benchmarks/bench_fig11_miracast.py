@@ -1,0 +1,25 @@
+"""Bench E12 — Fig. 11: Miracast projection quality."""
+
+from conftest import record_table
+from repro.experiments import fig11_miracast
+
+
+def test_fig11_miracast(benchmark):
+    table = benchmark.pedantic(
+        fig11_miracast.run, rounds=1, iterations=1,
+        kwargs={"duration_s": 15.0},
+    )
+    record_table(table, "fig11_miracast")
+    rows = {row["transport"]: row for row in table.rows}
+    # Paper shape: RTP never rebuffers but macroblocks; reliable TCP
+    # never macroblocks; TACK's rebuffering is the lowest among the
+    # reliable transports.
+    assert rows["RTP+UDP"]["rebuffering_%"] == 0.0
+    assert rows["RTP+UDP"]["macroblock_per_30min"] > 0
+    for transport in ("TCP CUBIC", "TCP BBR", "TCP-TACK"):
+        assert rows[transport]["macroblock_per_30min"] == 0.0
+    assert (
+        rows["TCP-TACK"]["rebuffering_%"]
+        <= min(rows["TCP CUBIC"]["rebuffering_%"], rows["TCP BBR"]["rebuffering_%"])
+    )
+    assert rows["TCP CUBIC"]["rebuffering_%"] > rows["TCP-TACK"]["rebuffering_%"]

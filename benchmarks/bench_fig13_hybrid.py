@@ -1,0 +1,25 @@
+"""Bench E13 — Fig. 13: combined WLAN + WAN performance."""
+
+from conftest import record_table
+from repro.experiments import fig13_hybrid
+
+
+def test_fig13_hybrid(benchmark):
+    table = benchmark.pedantic(
+        fig13_hybrid.run, rounds=1, iterations=1,
+        kwargs={"duration_s": 8.0, "warmup_s": 2.0},
+    )
+    record_table(table, "fig13_hybrid")
+    by_case: dict = {}
+    for row in table.rows:
+        by_case.setdefault(row["case"], {})[row["scheme"]] = row
+    for case, entry in by_case.items():
+        tack, bbr = entry["tcp-tack"], entry["tcp-bbr"]
+        # Paper shape: TACK wins every case and sends far fewer ACKs.
+        assert tack["goodput_mbps"] > bbr["goodput_mbps"], f"case {case}"
+        assert tack["acks"] < 0.35 * bbr["acks"], f"case {case}"
+    # The long-RTT cases shrink TACK's ACK count dramatically
+    # (Eq. (3): higher RTT -> lower frequency).
+    assert by_case[3]["tcp-tack"]["acks"] < by_case[1]["tcp-tack"]["acks"]
+    # Loss adds IACKs on the return path (paper: case 4 >> case 3).
+    assert by_case[4]["tcp-tack"]["acks"] > by_case[3]["tcp-tack"]["acks"]

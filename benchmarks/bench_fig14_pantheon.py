@@ -1,0 +1,23 @@
+"""Bench E14 — Fig. 14: WAN ranking by Kleinrock power."""
+
+from conftest import record_table
+from repro.experiments import fig14_pantheon
+
+
+def test_fig14_pantheon(benchmark):
+    table = benchmark.pedantic(
+        fig14_pantheon.run, rounds=1, iterations=1,
+        kwargs={"trials": 8, "duration_s": 10.0, "warmup_s": 3.0},
+    )
+    record_table(table, "fig14_pantheon")
+    ranks = {row["scheme"]: row["mean_rank"] for row in table.rows}
+    # Paper claim (S6.6): TACK "achieves acceptable performance in the
+    # WAN scenarios" — it ranks near the top of the field on the power
+    # metric, ahead of the loss-based schemes.
+    assert ranks["tcp-tack"] < ranks["tcp-cubic"]
+    assert ranks["tcp-tack"] < ranks["tcp-reno"]
+    ordered = sorted(ranks.values())
+    assert ranks["tcp-tack"] <= ordered[2]  # top-3 mean rank
+    # And reducing ACK frequency did not cost WAN performance: TACK is
+    # within one rank of the best scheme on average.
+    assert ranks["tcp-tack"] - ordered[0] <= 1.0

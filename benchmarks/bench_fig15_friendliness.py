@@ -1,0 +1,23 @@
+"""Bench E15 — Fig. 15: TCP friendliness of TACK."""
+
+from conftest import record_table
+from repro.experiments import fig15_friendliness
+
+
+def test_fig15_friendliness(benchmark):
+    table = benchmark.pedantic(
+        fig15_friendliness.run, rounds=1, iterations=1,
+        kwargs={"trials": 4, "duration_s": 40.0},
+    )
+    record_table(table, "fig15_friendliness")
+    rows = {row["pairing"]: row for row in table.rows}
+    # Paper shape: TACK-BBR shares with CUBIC about as (un)fairly as
+    # standard BBR does — TACK is an ACK mechanism, not a new
+    # controller; and both flows always get a usable share.
+    bbr_cubic = rows["BBR vs CUBIC"]
+    tack_cubic = rows["TACK vs CUBIC"]
+    assert abs(tack_cubic["ratio_a"] - bbr_cubic["ratio_a"]) < 0.8
+    for row in table.rows:
+        assert row["ratio_a"] > 0.2
+        assert row["ratio_b"] > 0.2
+        assert row["ratio_a"] + row["ratio_b"] < 2.3

@@ -1,0 +1,31 @@
+"""Bench E16 — Appendix B.1: beta bound and buffer requirement."""
+
+import pytest
+
+from conftest import record_table
+from repro.experiments import fig16_beta_bound
+
+
+def test_fig16_analytic(benchmark):
+    table = benchmark.pedantic(
+        fig16_beta_bound.run_analytic, rounds=1, iterations=1
+    )
+    record_table(table, "fig16_beta_analytic")
+    rows = {row["beta"]: row for row in table.rows}
+    # Paper S7: beta=2 needs one bdp of buffer; beta=4 needs 0.33 bdp.
+    assert rows[2]["buffer_bdp"] == pytest.approx(1.0)
+    assert rows[4]["buffer_bdp"] == pytest.approx(1 / 3, abs=0.01)
+
+
+def test_fig16_simulated(benchmark):
+    table = benchmark.pedantic(
+        fig16_beta_bound.run_simulated, rounds=1, iterations=1,
+        kwargs={"duration_s": 12.0, "warmup_s": 4.0},
+    )
+    record_table(table, "fig16_beta_simulated")
+    rows = {row["beta"]: row for row in table.rows}
+    # beta=1 degenerates toward stop-and-wait; beta>=2 utilizes well,
+    # and the ACK rate grows with beta.
+    assert rows[1]["utilization_%"] < rows[4]["utilization_%"]
+    assert rows[4]["utilization_%"] > 85.0
+    assert rows[8]["acks_per_s"] > rows[2]["acks_per_s"]

@@ -1,0 +1,29 @@
+"""Bench E17 — Fig. 17: analytic ACK-frequency dynamics."""
+
+from conftest import record_table
+from repro.experiments import fig17_freq_model
+
+
+def test_fig17a_vs_bandwidth(benchmark):
+    table = benchmark.pedantic(
+        fig17_freq_model.run_vs_bandwidth, rounds=1, iterations=1
+    )
+    record_table(table, "fig17a_vs_bandwidth")
+    # Paper shape: TACK plateaus at beta/RTT_min past the pivot.
+    col = table.column("tack@80ms")
+    assert col[-1] == col[-2] == 50.0
+    # Before the pivot TACK scales with bandwidth like byte counting.
+    assert col[0] < col[1] < 50.0 or col[1] == 50.0
+
+
+def test_fig17b_vs_rtt(benchmark):
+    table = benchmark.pedantic(
+        fig17_freq_model.run_vs_rtt, rounds=1, iterations=1
+    )
+    record_table(table, "fig17b_vs_rtt")
+    # TCP's frequency is RTT-independent; TACK's falls as 1/RTT after
+    # the pivot.
+    tcp = table.column("tcp@100M")
+    assert len(set(tcp)) == 1
+    tack = table.column("tack@100M")
+    assert tack[-1] < tack[0]

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""ACK-frequency explorer: the closed-form models of paper S4 / App. B.
+
+Prints the ACK frequency of every acknowledgment flavor across
+bandwidth and RTT sweeps — a textual rendering of Figures 8 and 17 —
+and the pivot points where TACK switches between its byte-counting and
+periodic regimes.
+
+Run:  python examples/ack_frequency_explorer.py
+"""
+
+from repro.analysis.ack_frequency import (
+    byte_counting_frequency,
+    delayed_ack_frequency,
+    per_packet_frequency,
+    pivot_bandwidth_bps,
+    pivot_rtt_s,
+    tack_frequency,
+)
+
+PHY_BASELINES = {
+    "802.11b": 7e6,
+    "802.11g": 26e6,
+    "802.11n": 210e6,
+    "802.11ac": 590e6,
+}
+
+
+def fig8_table() -> None:
+    print("Fig. 8(b): ACK frequency (Hz) by standard and RTT_min")
+    print(f"{'link':<10} {'TCP(L=2)':>10}" +
+          "".join(f"{f'TACK@{int(r*1e3)}ms':>12}" for r in (0.01, 0.08, 0.2)))
+    for name, bw in PHY_BASELINES.items():
+        tcp = byte_counting_frequency(bw, 2)
+        cells = "".join(
+            f"{tack_frequency(bw, rtt):>12.0f}" for rtt in (0.01, 0.08, 0.2)
+        )
+        print(f"{name:<10} {tcp:>10.0f}{cells}")
+
+
+def fig17_sweep() -> None:
+    print("\nFig. 17(a): frequency vs bandwidth (RTT_min = 80 ms)")
+    print(f"{'bw (Mbps)':>10} {'per-pkt':>10} {'delayed':>10} {'TACK':>10}")
+    for bw_mbps in (1, 5, 10, 50, 100, 500, 1000):
+        bw = bw_mbps * 1e6
+        print(f"{bw_mbps:>10} {per_packet_frequency(bw):>10.0f} "
+              f"{delayed_ack_frequency(bw):>10.0f} "
+              f"{tack_frequency(bw, 0.08):>10.1f}")
+    pivot = pivot_bandwidth_bps(0.08) / 1e6
+    print(f"pivot point: TACK turns periodic above {pivot:.1f} Mbps")
+
+    print("\nFig. 17(b): frequency vs RTT_min (bw = 100 Mbps)")
+    print(f"{'RTT (ms)':>10} {'per-pkt':>10} {'delayed':>10} {'TACK':>10}")
+    for rtt_ms in (0.1, 1, 5, 10, 20, 50, 100):
+        rtt = rtt_ms / 1e3
+        bw = 100e6
+        print(f"{rtt_ms:>10} {per_packet_frequency(bw):>10.0f} "
+              f"{delayed_ack_frequency(bw):>10.0f} "
+              f"{tack_frequency(bw, rtt):>10.0f}")
+    print(f"pivot point: TACK turns periodic above "
+          f"{pivot_rtt_s(100e6) * 1e3:.2f} ms RTT")
+
+
+if __name__ == "__main__":
+    fig8_table()
+    fig17_sweep()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Hybrid WLAN + WAN path (paper S6.5, Fig. 12/13).
+
+A wireless client talks to a remote server: WLAN last hop behind an
+access point, then a wired WAN with configurable rate, RTT, and
+bidirectional loss.  Reproduces one row of Fig. 13 interactively.
+
+Run:  python examples/hybrid_wlan_wan.py
+"""
+
+from repro.app.bulk import BulkFlow
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import hybrid_path
+
+CASES = [
+    # (phy, wan_rate, wan_rtt, data_loss, ack_loss)   -- paper Fig. 13
+    ("802.11g", 100e6, 0.02, 0.0, 0.0),
+    ("802.11g", 100e6, 0.02, 0.01, 0.01),
+    ("802.11n", 500e6, 0.20, 0.0, 0.0),
+    ("802.11n", 500e6, 0.20, 0.01, 0.01),
+]
+DURATION_S = 10.0
+WARMUP_S = 3.0
+
+
+def run(scheme: str, case) -> dict:
+    phy, rate, rtt, dl, al = case
+    sim = Simulator(seed=11)
+    path = hybrid_path(sim, phy, wan_rate_bps=rate, wan_rtt_s=rtt,
+                       data_loss=dl, ack_loss=al)
+    flow = BulkFlow(sim, path, scheme, initial_rtt=rtt + 0.005)
+    flow.start()
+    sim.run(until=DURATION_S)
+    return {
+        "goodput_mbps": flow.goodput_bps(start=WARMUP_S) / 1e6,
+        "data_pkts": flow.data_packet_count(),
+        "acks": flow.ack_count(),
+    }
+
+
+def main() -> None:
+    print("Hybrid WLAN+WAN bulk transfer (paper Fig. 13 topology)\n")
+    print(f"{'case':<40} {'scheme':<10} {'goodput':>10} {'data pkts':>10} {'ACKs':>8}")
+    for i, case in enumerate(CASES, start=1):
+        phy, rate, rtt, dl, al = case
+        label = (f"{i}: {phy}, WAN {rate/1e6:.0f}Mbps/{rtt*1e3:.0f}ms, "
+                 f"loss ({dl:.0%},{al:.0%})")
+        for scheme in ("tcp-bbr", "tcp-tack"):
+            r = run(scheme, case)
+            print(f"{label:<40} {scheme:<10} {r['goodput_mbps']:>7.1f} Mbps "
+                  f"{r['data_pkts']:>10d} {r['acks']:>8d}")
+            label = ""
+    print("\nPaper Fig. 13: TCP-TACK beats TCP BBR in all four cases while"
+          "\nsending 1-2 orders of magnitude fewer ACKs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: TCP-TACK vs TCP-BBR over one 802.11n WLAN hop.
+
+Builds the paper's basic experiment in ~20 lines: a bulk flow from a
+wired sender through an access point to a Wi-Fi client, once with
+legacy delayed ACKs + BBR and once with TACK.  Prints goodput and the
+number of acknowledgments each scheme needed.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.app.bulk import BulkFlow
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import wlan_path
+
+DURATION_S = 6.0
+WARMUP_S = 2.0
+RTT_S = 0.08  # end-to-end latency between the endpoints
+
+
+def run_scheme(scheme: str) -> dict:
+    sim = Simulator(seed=1)
+    path = wlan_path(sim, "802.11n", extra_rtt_s=RTT_S)
+    flow = BulkFlow(sim, path, scheme, initial_rtt=RTT_S)
+    flow.start()
+    sim.run(until=DURATION_S)
+    return {
+        "goodput_mbps": flow.goodput_bps(start=WARMUP_S) / 1e6,
+        "acks": flow.ack_count(),
+        "data_packets": flow.data_packet_count(),
+        "collision_rate": path.medium.collision_rate(),
+    }
+
+
+def main() -> None:
+    print(f"Bulk flow over 802.11n, RTT {RTT_S * 1e3:.0f} ms, "
+          f"{DURATION_S - WARMUP_S:.0f} s steady state\n")
+    results = {scheme: run_scheme(scheme) for scheme in ("tcp-bbr", "tcp-tack")}
+    print(f"{'scheme':<10} {'goodput':>12} {'ACKs':>8} {'ACKs/data':>10} {'collisions':>11}")
+    for scheme, r in results.items():
+        print(
+            f"{scheme:<10} {r['goodput_mbps']:>9.1f} Mbps {r['acks']:>8d} "
+            f"{r['acks'] / r['data_packets']:>9.1%} {r['collision_rate']:>10.1%}"
+        )
+    bbr, tack = results["tcp-bbr"], results["tcp-tack"]
+    print(
+        f"\nTACK reduced ACKs by "
+        f"{1 - tack['acks'] / bbr['acks']:.1%} and improved goodput by "
+        f"{tack['goodput_mbps'] / bbr['goodput_mbps'] - 1:.1%} "
+        f"(paper: >90% fewer ACKs, ~28% more goodput)."
+    )
+
+
+if __name__ == "__main__":
+    main()

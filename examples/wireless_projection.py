@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Wireless projection (Miracast) demo — the paper's S6.4 deployment.
+
+A smartphone streams UHD video to a TV over Wi-Fi Direct.  Compares
+four transports the way Huawei's A/B test did (Fig. 11):
+
+* RTP over UDP (the Android 8 predecessor) — never rebuffers but
+  macroblocks when frames lose packets;
+* TCP CUBIC and TCP BBR — never macroblock but rebuffer when the
+  ACK-laden channel cannot sustain the bitrate;
+* TCP-TACK — reliable, and the freed airtime keeps rebuffering low.
+
+Run:  python examples/wireless_projection.py
+"""
+
+from repro.app.video import RtpUdpVideoSession, VideoSession
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import wlan_path
+
+BITRATE_BPS = 120e6   # high-bitrate UHD projection over 802.11n
+DURATION_S = 20.0
+MPDU_ERROR = 0.005    # residual channel noise after MAC retries
+
+
+def run(scheme: str) -> dict:
+    sim = Simulator(seed=3)
+    path = wlan_path(
+        sim, "802.11n", extra_rtt_s=0.004, per_mpdu_error_rate=MPDU_ERROR
+    )
+    if scheme == "rtp+udp":
+        session = RtpUdpVideoSession(sim, path, bitrate_bps=BITRATE_BPS)
+    else:
+        session = VideoSession(sim, path, scheme, bitrate_bps=BITRATE_BPS,
+                               initial_rtt=0.004)
+    session.start()
+    sim.run(until=DURATION_S)
+    stats = session.finish()
+    return {
+        "rebuffering": stats.rebuffering_ratio(),
+        "macroblocking": stats.macroblocking_per_30min(),
+        "frames": stats.frames_played,
+    }
+
+
+def main() -> None:
+    print(f"Miracast projection at {BITRATE_BPS / 1e6:.0f} Mbps over 802.11n\n")
+    print(f"{'transport':<12} {'rebuffering':>12} {'macroblock/30min':>18} {'frames':>8}")
+    for scheme in ("rtp+udp", "tcp-cubic", "tcp-bbr", "tcp-tack"):
+        r = run(scheme)
+        print(f"{scheme:<12} {r['rebuffering']:>11.1%} "
+              f"{r['macroblocking']:>18.1f} {r['frames']:>8d}")
+    print("\nPaper Fig. 11: RTP+UDP rebuffers 0% but macroblocks 5-6x/30min;"
+          "\nlegacy TCP rebuffers 30-90%; TCP-TACK rebuffers 3-10% with zero"
+          "\nmacroblocking.")
+
+
+if __name__ == "__main__":
+    main()

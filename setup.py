@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The sandboxed environment has no ``wheel`` package, so PEP 660 editable
+installs fail; ``python setup.py develop`` (or ``pip install -e .`` with
+old-style metadata) works against this file.  Canonical metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

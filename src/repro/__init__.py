@@ -1,0 +1,29 @@
+"""Reproduction of TACK (SIGCOMM 2020): taming acknowledgments for
+wireless transport.
+
+The package is organized bottom-up:
+
+* :mod:`repro.netsim` -- deterministic discrete-event network simulator
+  (virtual clock, wired links, loss models, WAN emulator).
+* :mod:`repro.wlan` -- IEEE 802.11 DCF medium model with PHY profiles
+  for 802.11b/g/n/ac and A-MPDU aggregation.
+* :mod:`repro.transport` -- reliable byte-stream transport engine with
+  pluggable ACK policies and congestion controllers.
+* :mod:`repro.ack` -- acknowledgment policies: per-packet, delayed,
+  byte-counting, periodic, and TACK (the paper's contribution).
+* :mod:`repro.cc` -- congestion controllers: NewReno, CUBIC, Vegas, BBR,
+  and the TACK co-designed receiver-based BBR.
+* :mod:`repro.core` -- the TACK protocol proper (TCP-TACK): IACK,
+  receiver-based loss detection, OWD round-trip timing, rate sync.
+* :mod:`repro.app` -- workloads: bulk flows, the UDP contention tool,
+  Miracast-like video, RPC, cross traffic.
+* :mod:`repro.stats` -- measurement: time series, percentiles,
+  Kleinrock power metric, scheme ranking.
+* :mod:`repro.analysis` -- closed-form models of ACK frequency
+  (paper Eqs. 1-11) and buffer requirements.
+"""
+
+from repro.netsim.engine import Simulator
+from repro.version import __version__
+
+__all__ = ["Simulator", "__version__"]

@@ -1,0 +1,33 @@
+"""Acknowledgment policies.
+
+A policy lives inside the transport receiver and decides *when* to
+emit feedback and *what* it carries:
+
+* :class:`~repro.ack.perpacket.PerPacketAck` -- legacy L=1
+  (``TCP_QUICKACK``), Eq. (4).
+* :class:`~repro.ack.delayed.DelayedAck` -- RFC 1122/5681 delayed ACK
+  (L=2 plus a timer), Eq. (5).
+* :class:`~repro.ack.bytecount.ByteCountingAck` -- ACK every L
+  full-sized packets (the paper's Linux thinning patch, L=4/8/16).
+* :class:`~repro.ack.periodic.PeriodicAck` -- ACK every alpha seconds,
+  Eq. (2).
+* :class:`~repro.ack.tack.TackPolicy` -- the paper's contribution:
+  balances byte-counting and periodic ACKs per Eq. (3) and adds
+  event-driven IACKs.
+"""
+
+from repro.ack.base import AckPolicy
+from repro.ack.perpacket import PerPacketAck
+from repro.ack.delayed import DelayedAck
+from repro.ack.bytecount import ByteCountingAck
+from repro.ack.periodic import PeriodicAck
+from repro.ack.tack import TackPolicy
+
+__all__ = [
+    "AckPolicy",
+    "ByteCountingAck",
+    "DelayedAck",
+    "PerPacketAck",
+    "PeriodicAck",
+    "TackPolicy",
+]

@@ -1,0 +1,21 @@
+"""Byte-counting acknowledgment with arbitrary L (paper Eq. 1).
+
+This is the paper's Linux thinning patch
+(``BPF_SOCK_OPS_ACK_THRESH_INIT``): acknowledge every L full-sized
+segments.  Linux's immediate-ACK-on-disorder behavior is preserved, and
+the delayed-ACK timer still bounds the worst-case ACK delay.
+"""
+
+from __future__ import annotations
+
+from repro.ack.delayed import DelayedAck
+
+
+class ByteCountingAck(DelayedAck):
+    """Delayed ACK generalized to L >= 2 (L = 4, 8, 16 in Fig. 10)."""
+
+    name = "byte-counting"
+
+    def __init__(self, count_l: int = 4, gamma: float = 0.2, max_sack_blocks: int = 3):
+        super().__init__(count_l=count_l, gamma=gamma, max_sack_blocks=max_sack_blocks)
+        self.name = f"byte-counting-L{count_l}"

@@ -1,0 +1,53 @@
+"""Purely periodic acknowledgment (paper Eq. 2).
+
+One ACK every ``alpha`` seconds while data is flowing.  Bounded
+frequency under high throughput, but unadaptable: the same frequency
+is paid at trickle rates (the shortcoming TACK fixes by taking the
+minimum of the two clocks).
+"""
+
+from __future__ import annotations
+
+from repro.ack.base import AckPolicy
+from repro.netsim.packet import Packet, PacketType
+
+
+class PeriodicAck(AckPolicy):
+    """Timer-driven ACKs at fixed interval ``alpha``."""
+
+    name = "periodic"
+
+    def __init__(self, alpha: float = 0.025, max_sack_blocks: int = 3):
+        super().__init__()
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+        self.max_sack_blocks = max_sack_blocks
+        self._timer = None
+        self._pending = False
+
+    def on_data(self, packet: Packet, in_order: bool) -> None:
+        self._pending = True
+        if self._timer is None:
+            self._timer = self.receiver.sim.call_in(self.alpha, self._on_timer)
+
+    def _on_timer(self) -> None:
+        self._timer = None
+        if not self._pending:
+            return
+        self._pending = False
+        fb = self.receiver.build_feedback(max_sack_blocks=self.max_sack_blocks)
+        self.receiver.emit_feedback(PacketType.ACK, fb)
+        self._timer = self.receiver.sim.call_in(self.alpha, self._on_timer)
+
+    def on_close(self) -> None:
+        if self.receiver is not None and self._pending:
+            self._pending = False
+            fb = self.receiver.build_feedback(max_sack_blocks=self.max_sack_blocks)
+            self.receiver.emit_feedback(PacketType.ACK, fb)
+
+    def detach(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        super().detach()

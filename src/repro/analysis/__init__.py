@@ -1,0 +1,36 @@
+"""Closed-form models from the paper.
+
+* :mod:`repro.analysis.ack_frequency` -- Eqs. (1)-(5): ACK frequency
+  of per-packet, delayed, byte-counting, periodic, and Tame ACK.
+* :mod:`repro.analysis.thresholds` -- Eq. (6) / Appendix A: when a
+  TACK should carry more blocks, and how many more.
+* :mod:`repro.analysis.buffer_req` -- Appendix B: beta lower bound,
+  L upper bound, and the minimum-send-window / buffer requirement.
+"""
+
+from repro.analysis.ack_frequency import (
+    byte_counting_frequency,
+    delayed_ack_frequency,
+    per_packet_frequency,
+    periodic_frequency,
+    tack_frequency,
+)
+from repro.analysis.thresholds import additional_blocks, rich_info_threshold
+from repro.analysis.buffer_req import (
+    buffer_requirement_bytes,
+    l_upper_bound,
+    min_send_window_bytes,
+)
+
+__all__ = [
+    "additional_blocks",
+    "buffer_requirement_bytes",
+    "byte_counting_frequency",
+    "delayed_ack_frequency",
+    "l_upper_bound",
+    "min_send_window_bytes",
+    "per_packet_frequency",
+    "periodic_frequency",
+    "rich_info_threshold",
+    "tack_frequency",
+]

@@ -1,0 +1,90 @@
+"""ACK-frequency models, paper Eqs. (1)-(5) and Appendix B.4.
+
+All frequencies in Hz, bandwidth ``bw`` in bits/s, ``mss`` in bytes.
+The paper assumes full-sized data packets throughout; these formulas
+do the same.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet import MSS
+
+
+def _packets_per_second(bw_bps: float, mss: int) -> float:
+    return bw_bps / (8.0 * mss)
+
+
+def per_packet_frequency(bw_bps: float, mss: int = MSS) -> float:
+    """Eq. (4): legacy per-packet ACK, f = bw / MSS."""
+    if bw_bps < 0:
+        raise ValueError(f"negative bandwidth: {bw_bps}")
+    return _packets_per_second(bw_bps, mss)
+
+
+def byte_counting_frequency(bw_bps: float, count_l: int, mss: int = MSS) -> float:
+    """Eq. (1): one ACK per L full-sized packets, f = bw / (L*MSS)."""
+    if count_l < 1:
+        raise ValueError(f"L must be >= 1, got {count_l}")
+    return _packets_per_second(bw_bps, mss) / count_l
+
+
+def periodic_frequency(alpha_s: float) -> float:
+    """Eq. (2): one ACK per alpha seconds."""
+    if alpha_s <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha_s}")
+    return 1.0 / alpha_s
+
+
+def delayed_ack_frequency(
+    bw_bps: float,
+    gamma_s: float = 0.2,
+    mss: int = MSS,
+) -> float:
+    """Eq. (5): RFC delayed ACK (L = 2 with timer gamma).
+
+    Below two packets per gamma the timer dominates (per-packet-ish
+    behavior); above, it is byte-counting with L = 2.
+    """
+    pps = _packets_per_second(bw_bps, mss)
+    if pps < 2.0 / gamma_s:
+        return pps
+    return pps / 2.0
+
+
+def tack_frequency(
+    bw_bps: float,
+    rtt_min_s: float,
+    beta: float = 4.0,
+    count_l: int = 2,
+    mss: int = MSS,
+) -> float:
+    """Eq. (3): f_tack = min(bw / (L*MSS), beta / RTT_min)."""
+    if rtt_min_s <= 0:
+        raise ValueError(f"RTT_min must be positive, got {rtt_min_s}")
+    if beta < 1:
+        raise ValueError(f"beta must be >= 1, got {beta}")
+    return min(byte_counting_frequency(bw_bps, count_l, mss), beta / rtt_min_s)
+
+
+def pivot_bandwidth_bps(rtt_min_s: float, beta: float = 4.0,
+                        count_l: int = 2, mss: int = MSS) -> float:
+    """Bandwidth where TACK switches from byte-counting to periodic:
+    bw* such that bw*/(L*MSS) = beta/RTT_min, i.e. the Fig. 17(a)
+    pivot point; equivalently bdp* = beta * L * MSS."""
+    return beta * count_l * mss * 8.0 / rtt_min_s
+
+
+def pivot_rtt_s(bw_bps: float, beta: float = 4.0,
+                count_l: int = 2, mss: int = MSS) -> float:
+    """RTT_min where TACK switches regimes (Fig. 17(b) pivot)."""
+    if bw_bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bw_bps}")
+    return beta * count_l * mss * 8.0 / bw_bps
+
+
+def reduction_vs_tcp(bw_bps: float, rtt_min_s: float, beta: float = 4.0,
+                     count_l: int = 2, mss: int = MSS,
+                     tcp_l: int = 2) -> float:
+    """Delta f = f_tcp(L=tcp_l) - f_tack (Fig. 8(a))."""
+    f_tcp = byte_counting_frequency(bw_bps, tcp_l, mss)
+    return f_tcp - tack_frequency(bw_bps, rtt_min_s, beta, count_l, mss)

@@ -1,0 +1,53 @@
+"""Send-window and buffer analysis, paper S7 and Appendix B.
+
+With beta ACKs per RTT, full utilization needs a minimum send window
+``W_min = beta / (beta - 1) * bdp`` (Landstrom [50], Eq. 11) and the
+bottleneck buffer must absorb ``W_min - bdp``.  beta = 2 is the lower
+bound (one ACK per RTT degenerates to stop-and-wait, Appendix B.1);
+the byte-counting parameter is bounded above by ``L <= Q / (rho *
+rho')`` (Appendix B.2, Eq. 10).
+"""
+
+from __future__ import annotations
+
+
+def min_send_window_bytes(bdp_bytes: float, beta: float = 4.0) -> float:
+    """Eq. (11): W_min = beta / (beta - 1) * bdp, beta >= 2."""
+    if beta < 2:
+        raise ValueError(
+            f"beta must be >= 2 (beta=1 is stop-and-wait), got {beta}"
+        )
+    if bdp_bytes < 0:
+        raise ValueError(f"negative bdp: {bdp_bytes}")
+    return beta / (beta - 1.0) * bdp_bytes
+
+
+def buffer_requirement_bytes(bdp_bytes: float, beta: float = 4.0) -> float:
+    """Ideal bottleneck buffer: W_min - bdp (= bdp/(beta-1)).
+
+    beta = 2 needs a full bdp of buffer; the paper's default beta = 4
+    needs 0.33 bdp (S7).
+    """
+    return min_send_window_bytes(bdp_bytes, beta) - bdp_bytes
+
+
+def l_upper_bound(q_blocks: int, rho: float, rho_prime: float) -> float:
+    """Eq. (10): L <= Q / (rho * rho').
+
+    Returns ``inf`` when either path is lossless (no feedback-loss
+    pressure bounds L).
+    """
+    if q_blocks < 0:
+        raise ValueError(f"Q must be >= 0, got {q_blocks}")
+    for name, val in (("rho", rho), ("rho'", rho_prime)):
+        if not 0.0 <= val <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {val}")
+    if rho == 0.0 or rho_prime == 0.0:
+        return float("inf")
+    return q_blocks / (rho * rho_prime)
+
+
+def beta_lower_bound() -> int:
+    """Appendix B.1: two ACKs per RTT is the floor for full
+    utilization of a sliding-window protocol."""
+    return 2

@@ -1,0 +1,67 @@
+"""Rich-information thresholds, paper Eq. (6) and Appendix A.
+
+During one TACK interval, IACKs report fresh losses; if IACKs
+themselves are lost (rate ``rho'`` on the ACK path), TACKs must repeat
+enough "unacked list" blocks (Q primary blocks) to cover them.  The
+derivation bounds the expected number of lost IACKs per interval by Q
+and solves for rho' (Eq. 7/8) and for the block deficit delta-Q.
+"""
+
+from __future__ import annotations
+
+from repro.netsim.packet import MSS
+
+
+def _validate(rho: float, rho_prime: float) -> None:
+    for name, val in (("rho", rho), ("rho'", rho_prime)):
+        if not 0.0 <= val <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {val}")
+
+
+def is_large_bdp(bdp_bytes: float, beta: float = 4.0, count_l: int = 2,
+                 mss: int = MSS) -> bool:
+    """Regime test: bdp >= beta * L * MSS selects the periodic branch."""
+    return bdp_bytes >= beta * count_l * mss
+
+
+def rich_info_threshold(
+    rho: float,
+    bdp_bytes: float,
+    q_blocks: int = 1,
+    beta: float = 4.0,
+    count_l: int = 2,
+    mss: int = MSS,
+) -> float:
+    """Eq. (6): the ACK-path loss rate above which a TACK should carry
+    more than its Q primary blocks.
+
+    Returns ``inf`` when the data path is lossless (rho = 0): with no
+    losses to report, no amount of ACK loss makes rich blocks useful.
+    """
+    _validate(rho, 0.0)
+    if q_blocks < 0:
+        raise ValueError(f"Q must be >= 0, got {q_blocks}")
+    if rho == 0.0:
+        return float("inf")
+    if is_large_bdp(bdp_bytes, beta, count_l, mss):
+        return q_blocks * mss / (rho * bdp_bytes)
+    return q_blocks / (rho * count_l)
+
+
+def additional_blocks(
+    rho: float,
+    rho_prime: float,
+    bdp_bytes: float,
+    q_blocks: int = 1,
+    beta: float = 4.0,
+    count_l: int = 2,
+    mss: int = MSS,
+) -> int:
+    """Appendix A delta-Q: extra "unacked list" blocks a TACK should
+    report, zero when the primary Q already suffices."""
+    _validate(rho, rho_prime)
+    if is_large_bdp(bdp_bytes, beta, count_l, mss):
+        needed = rho * rho_prime * bdp_bytes / mss
+    else:
+        needed = rho * rho_prime * count_l
+    return max(0, int(round(needed - q_blocks + 0.5)))

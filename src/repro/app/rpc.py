@@ -1,0 +1,85 @@
+"""Request/response (RPC) workload.
+
+Latency-sensitive, application-limited flows (Appendix B.3): the
+client issues fixed-size requests over a reliable connection and
+measures completion latency of each response.  Used by the ablation
+benches to show why L is kept small (ACK reduction is not the
+bottleneck for thin flows, but large L hurts their latency).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.flavors import make_connection
+from repro.core.params import TackParams
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import PathHandle
+
+
+class RpcStats:
+    """Completion latencies of finished RPCs."""
+
+    def __init__(self):
+        self.latencies_s: list[float] = []
+        self.issued = 0
+        self.completed = 0
+
+    def mean_latency_s(self) -> float:
+        if not self.latencies_s:
+            raise ValueError("no completed RPCs")
+        return sum(self.latencies_s) / len(self.latencies_s)
+
+
+class RpcClient:
+    """Issues ``response_bytes``-sized transfers every ``interval_s``.
+
+    Each RPC is modeled as the *response* flowing over the shared
+    connection; latency is measured from issue to in-order delivery
+    of the response's last byte.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: PathHandle,
+        scheme: str = "tcp-tack",
+        response_bytes: int = 20_000,
+        interval_s: float = 0.1,
+        params: Optional[TackParams] = None,
+        initial_rtt: float = 0.02,
+    ):
+        self.sim = sim
+        self.response_bytes = response_bytes
+        self.interval_s = interval_s
+        self.stats = RpcStats()
+        self.conn = make_connection(sim, scheme, params=params, initial_rtt=initial_rtt)
+        self.conn.wire(path.forward, path.reverse)
+        self.conn.receiver.on_deliver(self._on_deliver)
+        self._delivered = 0
+        self._pending: list[tuple[int, float]] = []  # (end byte, issue time)
+        self._issued_bytes = 0
+        self._timer = None
+
+    def start(self) -> None:
+        self.conn.sender.start()
+        self._issue()
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _issue(self) -> None:
+        self._issued_bytes += self.response_bytes
+        self._pending.append((self._issued_bytes, self.sim.now()))
+        self.stats.issued += 1
+        self.conn.sender.write(self.response_bytes)
+        self._timer = self.sim.call_in(self.interval_s, self._issue)
+
+    def _on_deliver(self, nbytes: int, now: float) -> None:
+        self._delivered += nbytes
+        while self._pending and self._pending[0][0] <= self._delivered:
+            end, issued_at = self._pending.pop(0)
+            self.stats.completed += 1
+            self.stats.latencies_s.append(now - issued_at)

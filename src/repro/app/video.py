@@ -1,0 +1,192 @@
+"""Miracast-like wireless projection workload (paper S6.4, Fig. 11).
+
+A CBR video source produces frames at ``fps``; each frame is a burst
+of bytes written into a transport (reliable schemes) or blasted as UDP
+datagrams (the RTP+UDP predecessor).  The playback model consumes one
+frame per tick from a jitter buffer and records:
+
+* **rebuffering ratio** -- stalled time / wall time, the metric the
+  paper reports at 30-58% for legacy TCP and 3-10% for TCP-TACK;
+* **macroblocking** -- frames played with missing bytes, only possible
+  on unreliable transport (5-6 per 30 min for RTP+UDP, 0 for TCP).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.flavors import make_connection
+from repro.core.params import TackParams
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import DATA_PACKET_SIZE, Packet, PacketType
+from repro.netsim.paths import PathHandle
+
+
+class VideoStats:
+    """Playback-side quality counters."""
+
+    def __init__(self):
+        self.frames_generated = 0
+        self.frames_played = 0
+        self.frames_macroblocked = 0
+        self.stall_time_s = 0.0
+        self.wall_time_s = 0.0
+        self.startup_delay_s: Optional[float] = None
+
+    def rebuffering_ratio(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.stall_time_s / self.wall_time_s
+
+    def macroblocking_per_30min(self) -> float:
+        if self.wall_time_s <= 0:
+            return 0.0
+        return self.frames_macroblocked * (30 * 60.0) / self.wall_time_s
+
+
+class VideoSession:
+    """One projection session over a reliable transport scheme.
+
+    The source writes ``frame_bytes`` into the connection at ``fps``;
+    the player starts after ``prebuffer_frames`` arrive and then
+    consumes one frame per tick, stalling (rebuffering) whenever the
+    next full frame has not been delivered.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: PathHandle,
+        scheme: str = "tcp-tack",
+        bitrate_bps: float = 16e6,
+        fps: float = 30.0,
+        prebuffer_frames: int = 8,
+        params: Optional[TackParams] = None,
+        initial_rtt: float = 0.02,
+    ):
+        self.sim = sim
+        self.scheme = scheme
+        self.fps = fps
+        self.frame_bytes = int(bitrate_bps / fps / 8.0)
+        self.prebuffer_frames = prebuffer_frames
+        self.stats = VideoStats()
+        self.conn = make_connection(
+            sim, scheme, params=params, initial_rtt=initial_rtt
+        )
+        self.conn.wire(path.forward, path.reverse)
+        self._delivered_bytes = 0
+        self._played_frames = 0
+        self._playing = False
+        self._stall_started: Optional[float] = None
+        self._start_time = 0.0
+        self.conn.receiver.on_deliver(self._on_deliver)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._start_time = self.sim.now()
+        self.conn.sender.start()
+        self._produce()
+
+    def _produce(self) -> None:
+        self.conn.sender.write(self.frame_bytes)
+        self.stats.frames_generated += 1
+        self.sim.call_in(1.0 / self.fps, self._produce)
+
+    def _on_deliver(self, nbytes: int, now: float) -> None:
+        self._delivered_bytes += nbytes
+        if not self._playing:
+            if self._frames_available() >= self.prebuffer_frames:
+                self._playing = True
+                self.stats.startup_delay_s = now - self._start_time
+                self._play_tick()
+        elif self._stall_started is not None:
+            if self._frames_available() >= 1:
+                self.stats.stall_time_s += now - self._stall_started
+                self._stall_started = None
+                self._play_tick()
+
+    def _frames_available(self) -> int:
+        return self._delivered_bytes // self.frame_bytes - self._played_frames
+
+    def _play_tick(self) -> None:
+        now = self.sim.now()
+        if self._frames_available() >= 1:
+            self._played_frames += 1
+            self.stats.frames_played += 1
+            self.sim.call_in(1.0 / self.fps, self._play_tick)
+        else:
+            self._stall_started = now
+
+    def finish(self) -> VideoStats:
+        now = self.sim.now()
+        if self._stall_started is not None:
+            self.stats.stall_time_s += now - self._stall_started
+            self._stall_started = None
+        self.stats.wall_time_s = now - self._start_time
+        return self.stats
+
+
+class RtpUdpVideoSession:
+    """The RTP-over-UDP predecessor (unreliable).
+
+    Frames are split into datagrams and blasted; a frame missing any
+    datagram at its play deadline renders with macroblocking.  No
+    rebuffering model — RTP pushes on regardless (matching the paper:
+    zero rebuffering, 5-6 macroblocking artifacts per 30 min).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        path: PathHandle,
+        bitrate_bps: float = 16e6,
+        fps: float = 30.0,
+        deadline_s: float = 0.2,
+    ):
+        self.sim = sim
+        self.fps = fps
+        self.frame_bytes = int(bitrate_bps / fps / 8.0)
+        self.deadline_s = deadline_s
+        self.stats = VideoStats()
+        self._path = path
+        self._received: dict[int, int] = {}
+        path.forward.connect(self._on_packet)
+        self._frame_id = 0
+
+    def start(self) -> None:
+        self._produce()
+
+    def _produce(self) -> None:
+        frame_id = self._frame_id
+        self._frame_id += 1
+        self.stats.frames_generated += 1
+        payload = DATA_PACKET_SIZE - 18
+        npackets = max(1, (self.frame_bytes + payload - 1) // payload)
+        for i in range(npackets):
+            pkt = Packet(
+                PacketType.UDP,
+                size=DATA_PACKET_SIZE,
+                payload_len=payload,
+                flow_id=frame_id,
+            )
+            pkt.sent_at = self.sim.now()
+            pkt.meta["frame"] = frame_id
+            pkt.meta["count"] = npackets
+            self._path.forward.send(pkt)
+        self.sim.call_in(self.deadline_s, lambda: self._deadline(frame_id, npackets))
+        self.sim.call_in(1.0 / self.fps, self._produce)
+
+    def _on_packet(self, packet: Packet) -> None:
+        frame = packet.meta.get("frame")
+        if frame is not None:
+            self._received[frame] = self._received.get(frame, 0) + 1
+
+    def _deadline(self, frame_id: int, npackets: int) -> None:
+        got = self._received.pop(frame_id, 0)
+        self.stats.frames_played += 1
+        if got < npackets:
+            self.stats.frames_macroblocked += 1
+
+    def finish(self) -> VideoStats:
+        self.stats.wall_time_s = self.sim.now()
+        return self.stats

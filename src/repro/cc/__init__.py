@@ -1,0 +1,29 @@
+"""Congestion controllers and rate machinery.
+
+Controllers implement :class:`repro.cc.base.CongestionController` and
+are interchangeable inside the transport sender.  BBR is the paper's
+evaluation controller; CUBIC, NewReno, and Vegas serve the baselines
+and the friendliness experiment (Fig. 15).  The TACK co-design
+(receiver-based BBR, paper S5.3) consumes receiver-reported delivery
+rates instead of sender-side samples.
+"""
+
+from repro.cc.base import CongestionController, RateSample
+from repro.cc.bbr import BBR
+from repro.cc.compound import CompoundTcp
+from repro.cc.cubic import Cubic
+from repro.cc.reno import NewReno
+from repro.cc.vegas import Vegas
+from repro.cc.windowed_filter import WindowedMaxFilter, WindowedMinFilter
+
+__all__ = [
+    "BBR",
+    "CompoundTcp",
+    "CongestionController",
+    "Cubic",
+    "NewReno",
+    "RateSample",
+    "Vegas",
+    "WindowedMaxFilter",
+    "WindowedMinFilter",
+]

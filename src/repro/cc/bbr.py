@@ -1,0 +1,222 @@
+"""BBR congestion control (v1, simplified).
+
+The state machine follows Cardwell et al. [17]: STARTUP discovers the
+bottleneck bandwidth with gain 2.885, DRAIN removes the queue it
+built, PROBE_BW cycles pacing gains ``[1.25, 0.75, 1 x6]`` around the
+estimate, and PROBE_RTT periodically shrinks the window to refresh
+RTT_min.  The bottleneck-bandwidth estimate is a windowed max of
+delivery-rate samples (theta_filter ~= 10 RTTs, paper S5.3/S5.4).
+
+The same class serves both paradigms from the paper:
+
+* legacy TCP BBR -- the *sender* computes delivery-rate samples from
+  ACK arrivals and feeds them in;
+* TACK co-designed BBR -- the *receiver* computes delivery rate per
+  TACK interval and syncs it in the TACK; the sender passes the
+  reported value straight through.
+
+Either way the controller only sees ``RateSample.delivery_rate_bps``.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import CongestionController, RateSample
+from repro.cc.windowed_filter import WindowedMaxFilter, WindowedMinFilter
+from repro.netsim.packet import MSS
+
+STARTUP = "startup"
+DRAIN = "drain"
+PROBE_BW = "probe_bw"
+PROBE_RTT = "probe_rtt"
+
+_STARTUP_GAIN = 2.885
+_DRAIN_GAIN = 1.0 / _STARTUP_GAIN
+_CWND_GAIN = 2.0
+_PROBE_BW_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+_PROBE_RTT_DURATION = 0.2
+_MIN_RTT_WINDOW = 10.0
+
+
+class BBR(CongestionController):
+    """Rate-based controller driven by bandwidth and RTT_min estimates."""
+
+    name = "bbr"
+
+    def __init__(
+        self,
+        mss: int = MSS,
+        initial_rtt: float = 0.1,
+        bw_window_rtts: float = 10.0,
+        min_rtt_window: float = _MIN_RTT_WINDOW,
+        initial_cwnd_mss: int = 10,
+        aggregation_compensation: bool = True,
+    ):
+        super().__init__(mss)
+        self.aggregation_compensation = aggregation_compensation
+        self.state = STARTUP
+        self._min_rtt = WindowedMinFilter(window=min_rtt_window)
+        self._initial_rtt = initial_rtt
+        self.bw_window_rtts = bw_window_rtts
+        self._btl_bw = WindowedMaxFilter(window=bw_window_rtts * initial_rtt)
+        self._pacing_gain = _STARTUP_GAIN
+        self._cwnd_gain = _STARTUP_GAIN
+        self._cwnd = initial_cwnd_mss * mss
+        # STARTUP full-pipe detection
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self.filled_pipe = False
+        # round/cycle bookkeeping (time-approximated rounds)
+        self._round_start = 0.0
+        self._cycle_index = 0
+        self._cycle_start = 0.0
+        # PROBE_RTT bookkeeping
+        self._min_rtt_stamp = 0.0
+        self._probe_rtt_done_at: float = -1.0
+        self._in_flight = 0
+        # Aggregation compensation (BBR IETF-101 update, paper ref
+        # [18]): wireless links deliver ACK credit in A-MPDU bursts, so
+        # cwnd gets a bonus equal to the windowed-max "extra acked"
+        # (bytes acked beyond bw * elapsed) or utilization collapses.
+        self._extra_acked = WindowedMaxFilter(window=bw_window_rtts * initial_rtt)
+        self._ack_epoch_start: float = -1.0
+        self._ack_epoch_acked = 0
+
+    # ------------------------------------------------------------------
+    # estimates
+    # ------------------------------------------------------------------
+    def bw_estimate(self) -> float:
+        """Bottleneck bandwidth estimate in bits/s."""
+        bw = self._btl_bw.get()
+        if bw is None or bw <= 0:
+            # Nothing measured yet: derive from initial cwnd / rtt.
+            return self._cwnd * 8.0 / self.min_rtt()
+        return bw
+
+    def min_rtt(self) -> float:
+        value = self._min_rtt.get()
+        return value if value is not None else self._initial_rtt
+
+    def bdp_bytes(self, gain: float = 1.0) -> int:
+        return max(int(gain * self.bw_estimate() * self.min_rtt() / 8.0), 4 * self.mss)
+
+    # ------------------------------------------------------------------
+    # feedback
+    # ------------------------------------------------------------------
+    def on_feedback(self, sample: RateSample) -> None:
+        now = sample.now
+        self._in_flight = sample.in_flight
+        if sample.rtt is not None and sample.rtt > 0:
+            prior = self._min_rtt.get()
+            self._min_rtt.update(sample.rtt, now)
+            if prior is None or sample.rtt <= prior:
+                self._min_rtt_stamp = now
+        if sample.min_rtt is not None and sample.min_rtt > 0:
+            # Externally supplied RTT_min (TACK advanced timing).
+            prior = self._min_rtt.get()
+            self._min_rtt.update(sample.min_rtt, now)
+            if prior is None or sample.min_rtt <= prior:
+                self._min_rtt_stamp = now
+        if sample.delivery_rate_bps is not None and sample.delivery_rate_bps > 0:
+            if not sample.is_app_limited or sample.delivery_rate_bps > (self._btl_bw.get() or 0.0):
+                self._btl_bw.window = self.bw_window_rtts * self.min_rtt()
+                self._btl_bw.update(sample.delivery_rate_bps, now)
+        if self.aggregation_compensation and sample.newly_acked > 0:
+            self._update_extra_acked(sample.newly_acked, now)
+        self._update_rounds(now)
+        self._update_state(now)
+        self._update_cwnd()
+
+    def _update_extra_acked(self, newly_acked: int, now: float) -> None:
+        bw_bytes_per_s = self.bw_estimate() / 8.0
+        if self._ack_epoch_start < 0:
+            self._ack_epoch_start = now
+            self._ack_epoch_acked = 0
+        expected = bw_bytes_per_s * (now - self._ack_epoch_start)
+        self._ack_epoch_acked += newly_acked
+        if self._ack_epoch_acked <= expected:
+            # Credit stream fell behind the estimate: restart the epoch.
+            self._ack_epoch_start = now
+            self._ack_epoch_acked = 0
+            return
+        extra = self._ack_epoch_acked - expected
+        extra = min(extra, self._cwnd)  # cap per the reference impl
+        self._extra_acked.window = self.bw_window_rtts * self.min_rtt()
+        self._extra_acked.update(extra, now)
+
+    def extra_acked_bytes(self) -> int:
+        value = self._extra_acked.get()
+        return int(value) if value is not None else 0
+
+    def _update_rounds(self, now: float) -> None:
+        if now - self._round_start >= self.min_rtt():
+            self._round_start = now
+            if self.state == STARTUP:
+                self._check_full_pipe()
+
+    def _check_full_pipe(self) -> None:
+        bw = self._btl_bw.get() or 0.0
+        if bw > self._full_bw * 1.25:
+            self._full_bw = bw
+            self._full_bw_rounds = 0
+        else:
+            self._full_bw_rounds += 1
+            if self._full_bw_rounds >= 3:
+                self.filled_pipe = True
+
+    def _update_state(self, now: float) -> None:
+        if self.state == STARTUP and self.filled_pipe:
+            self.state = DRAIN
+            self._pacing_gain = _DRAIN_GAIN
+            self._cwnd_gain = _CWND_GAIN
+        if self.state == DRAIN and self._in_flight <= self.bdp_bytes():
+            self._enter_probe_bw(now)
+        if self.state == PROBE_BW:
+            self._advance_cycle(now)
+            self._maybe_enter_probe_rtt(now)
+        if self.state == PROBE_RTT and now >= self._probe_rtt_done_at:
+            self._min_rtt_stamp = now
+            if self.filled_pipe:
+                self._enter_probe_bw(now)
+            else:
+                self.state = STARTUP
+                self._pacing_gain = _STARTUP_GAIN
+                self._cwnd_gain = _STARTUP_GAIN
+
+    def _enter_probe_bw(self, now: float) -> None:
+        self.state = PROBE_BW
+        self._cwnd_gain = _CWND_GAIN
+        self._cycle_index = 2  # start in a neutral phase
+        self._cycle_start = now
+        self._pacing_gain = _PROBE_BW_GAINS[self._cycle_index]
+
+    def _advance_cycle(self, now: float) -> None:
+        if now - self._cycle_start >= self.min_rtt():
+            self._cycle_index = (self._cycle_index + 1) % len(_PROBE_BW_GAINS)
+            self._cycle_start = now
+            self._pacing_gain = _PROBE_BW_GAINS[self._cycle_index]
+
+    def _maybe_enter_probe_rtt(self, now: float) -> None:
+        if now - self._min_rtt_stamp > self._min_rtt.window:
+            self.state = PROBE_RTT
+            self._pacing_gain = 1.0
+            self._probe_rtt_done_at = now + max(_PROBE_RTT_DURATION, self.min_rtt())
+
+    def _update_cwnd(self) -> None:
+        if self.state == PROBE_RTT:
+            self._cwnd = 4 * self.mss
+        else:
+            self._cwnd = self.bdp_bytes(self._cwnd_gain)
+            if self.aggregation_compensation:
+                self._cwnd += self.extra_acked_bytes()
+
+    # ------------------------------------------------------------------
+    def on_rto(self, now: float) -> None:
+        # BBR reacts to timeouts conservatively: restart from a small
+        # window but keep the bandwidth estimate.
+        self._cwnd = 4 * self.mss
+
+    def cwnd_bytes(self) -> int:
+        return int(self._cwnd)
+
+    def pacing_rate_bps(self) -> float:
+        return self._pacing_gain * self.bw_estimate()

@@ -1,0 +1,101 @@
+"""Compound TCP (Tan et al., INFOCOM 2006) — simplified.
+
+The paper's S7 lists Compound among the controllers TACK should be
+exercised with.  Compound maintains two windows: a loss-based AIMD
+window (``cwnd``, NewReno-like) plus a delay-based window (``dwnd``,
+scalable-increase while the path shows no queueing, shrinking as the
+queue builds).  The send window is their sum, so Compound fills
+high-bdp pipes quickly yet yields like Reno when queueing appears.
+"""
+
+from __future__ import annotations
+
+from repro.cc.base import CongestionController, RateSample
+from repro.cc.windowed_filter import WindowedMinFilter
+from repro.netsim.packet import MSS
+
+
+class CompoundTcp(CongestionController):
+    """Loss window + delay window (CTCP's binomial increase).
+
+    Parameters follow the paper's recommendations: ``alpha = 0.125``,
+    ``k = 0.75`` for the binomial increase, ``zeta = 30`` packets of
+    backlog as the congestion threshold (gamma), ``beta = 0.5`` AIMD
+    decrease.
+    """
+
+    name = "compound"
+
+    ALPHA = 0.125
+    K = 0.75
+    GAMMA_PACKETS = 30.0
+    BETA = 0.5
+
+    def __init__(self, mss: int = MSS, initial_cwnd_mss: int = 10):
+        super().__init__(mss)
+        self._cwnd = float(initial_cwnd_mss * mss)  # loss-based window
+        self._dwnd = 0.0                            # delay-based window
+        self._ssthresh = float("inf")
+        self._srtt = 0.1
+        self._base_rtt = WindowedMinFilter(window=30.0)
+        self._last_loss_time = -1.0
+        self._loss_guard = 0.0
+        self._next_adjust = 0.0
+
+    # ------------------------------------------------------------------
+    def window(self) -> float:
+        return self._cwnd + self._dwnd
+
+    def on_feedback(self, sample: RateSample) -> None:
+        if sample.rtt is not None:
+            self._srtt = 0.875 * self._srtt + 0.125 * sample.rtt
+            self._base_rtt.update(sample.rtt, sample.now)
+        if sample.newly_lost > 0 and sample.now - self._last_loss_time > self._loss_guard:
+            self._on_loss(sample.now)
+            return
+        if sample.newly_acked <= 0:
+            return
+        if self.window() < self._ssthresh:
+            self._cwnd += sample.newly_acked  # slow start on the sum
+            return
+        # Reno component: +1 MSS per window of acks.
+        self._cwnd += self.mss * sample.newly_acked / max(self.window(), self.mss)
+        if sample.now < self._next_adjust:
+            return
+        self._next_adjust = sample.now + self._srtt
+        self._adjust_dwnd()
+
+    def _adjust_dwnd(self) -> None:
+        base = self._base_rtt.get() or self._srtt
+        win_packets = self.window() / self.mss
+        expected = win_packets / base
+        actual = win_packets / max(self._srtt, 1e-6)
+        diff = (expected - actual) * base  # backlog estimate in packets
+        if diff < self.GAMMA_PACKETS:
+            # Binomial increase: alpha * win^k (in packets).
+            gain = self.ALPHA * (win_packets ** self.K)
+            self._dwnd += gain * self.mss
+        else:
+            # Queue built up: retreat the delay window.
+            self._dwnd = max(self._dwnd - (diff - self.GAMMA_PACKETS) * self.mss, 0.0)
+
+    def _on_loss(self, now: float) -> None:
+        self._last_loss_time = now
+        self._loss_guard = self._srtt
+        total = self.window()
+        self._cwnd = max(self._cwnd * self.BETA, 2 * self.mss)
+        self._dwnd = max(total * (1 - self.BETA) - self._cwnd, 0.0) * 0.5
+        self._ssthresh = max(self.window(), 2 * self.mss)
+
+    def on_rto(self, now: float) -> None:
+        self._ssthresh = max(self.window() * self.BETA, 2 * self.mss)
+        self._cwnd = float(self.mss)
+        self._dwnd = 0.0
+        self._last_loss_time = now
+
+    # ------------------------------------------------------------------
+    def cwnd_bytes(self) -> int:
+        return int(self.window())
+
+    def pacing_rate_bps(self) -> float:
+        return 1.2 * self.window() * 8.0 / max(self._srtt, 1e-4)

@@ -1,0 +1,106 @@
+"""TCP CUBIC (RFC 8312): cubic window growth with fast convergence."""
+
+from __future__ import annotations
+
+from repro.cc.base import CongestionController, RateSample
+from repro.netsim.packet import MSS
+
+
+class Cubic(CongestionController):
+    """CUBIC congestion avoidance.
+
+    The window follows ``W(t) = C*(t - K)^3 + W_max`` after a loss,
+    with multiplicative decrease ``beta = 0.7`` and fast convergence.
+    The TCP-friendly (Reno-tracking) region is included.  Slow start is
+    standard.  Pacing rate is cwnd over srtt (paper S5.3: window-based
+    controllers convert CWND to a pacing rate).
+    """
+
+    name = "cubic"
+
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(self, mss: int = MSS, initial_cwnd_mss: int = 10):
+        super().__init__(mss)
+        self._cwnd = float(initial_cwnd_mss * mss)
+        self._ssthresh = float("inf")
+        self._w_max = 0.0
+        self._epoch_start: float = -1.0
+        self._k = 0.0
+        self._srtt = 0.1
+        self._last_loss_time = -1.0
+        self._loss_guard = 0.0
+        # TCP-friendly region estimate
+        self._w_est = 0.0
+        self._acked_in_epoch = 0.0
+
+    # ------------------------------------------------------------------
+    def on_feedback(self, sample: RateSample) -> None:
+        if sample.rtt is not None:
+            self._srtt = 0.875 * self._srtt + 0.125 * sample.rtt
+        if sample.newly_lost > 0 and sample.now - self._last_loss_time > self._loss_guard:
+            self._on_loss(sample.now)
+            return
+        if sample.newly_acked <= 0:
+            return
+        if self._cwnd < self._ssthresh:
+            self._cwnd += sample.newly_acked
+            return
+        self._congestion_avoidance(sample)
+
+    def _on_loss(self, now: float) -> None:
+        self._last_loss_time = now
+        self._loss_guard = self._srtt
+        # Fast convergence: release bandwidth faster when w_max shrinks.
+        if self._cwnd < self._w_max:
+            self._w_max = self._cwnd * (1.0 + self.BETA) / 2.0
+        else:
+            self._w_max = self._cwnd
+        self._cwnd = max(self._cwnd * self.BETA, 2 * self.mss)
+        self._ssthresh = self._cwnd
+        self._epoch_start = -1.0
+
+    def _congestion_avoidance(self, sample: RateSample) -> None:
+        now = sample.now
+        if self._epoch_start < 0:
+            self._epoch_start = now
+            if self._cwnd < self._w_max:
+                # K in seconds, windows in MSS units per RFC 8312.
+                self._k = ((self._w_max - self._cwnd) / self.mss / self.C) ** (1.0 / 3.0)
+            else:
+                self._k = 0.0
+            self._w_est = self._cwnd
+            self._acked_in_epoch = 0.0
+        self._acked_in_epoch += sample.newly_acked
+        t = now - self._epoch_start + self._srtt
+        target = (
+            self.C * (t - self._k) ** 3 * self.mss + self._w_max
+        )
+        # TCP-friendly region (RFC 8312 Eq. 4, simplified).
+        self._w_est += (
+            3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
+            * self.mss * sample.newly_acked / max(self._cwnd, self.mss)
+        )
+        target = max(target, self._w_est)
+        if target > self._cwnd:
+            # Approach the cubic target over one RTT.
+            self._cwnd += (target - self._cwnd) * min(
+                1.0, sample.newly_acked / max(self._cwnd, self.mss)
+            )
+        else:
+            self._cwnd += self.mss * 0.01 * sample.newly_acked / max(self._cwnd, self.mss)
+
+    def on_rto(self, now: float) -> None:
+        self._w_max = self._cwnd
+        self._ssthresh = max(self._cwnd * self.BETA, 2 * self.mss)
+        self._cwnd = float(self.mss)
+        self._epoch_start = -1.0
+        self._last_loss_time = now
+
+    # ------------------------------------------------------------------
+    def cwnd_bytes(self) -> int:
+        return int(self._cwnd)
+
+    def pacing_rate_bps(self) -> float:
+        return 1.2 * self._cwnd * 8.0 / max(self._srtt, 1e-4)

@@ -1,0 +1,44 @@
+"""Packet pacing.
+
+Paper S5.3: lowering ACK frequency makes ack-clocked senders bursty,
+so a TACK-based sender must pace.  The pacer is a simple virtual-time
+regulator: each transmission advances the earliest next-send time by
+``size * 8 / rate``; short idle periods reset the debt so a flow never
+bursts after silence.
+"""
+
+from __future__ import annotations
+
+
+class Pacer:
+    """Spaces transmissions at a target bit rate."""
+
+    def __init__(self, rate_bps: float = 1e6, burst_bytes: int = 0):
+        if rate_bps <= 0:
+            raise ValueError(f"pacing rate must be positive, got {rate_bps}")
+        self._rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self._next_send = 0.0
+
+    @property
+    def rate_bps(self) -> float:
+        return self._rate_bps
+
+    def set_rate(self, rate_bps: float) -> None:
+        if rate_bps > 0:
+            self._rate_bps = rate_bps
+
+    def next_send_time(self, now: float) -> float:
+        """Earliest time the next packet may leave."""
+        return max(self._next_send, now)
+
+    def can_send(self, now: float) -> bool:
+        return now >= self._next_send
+
+    def on_sent(self, size_bytes: int, now: float) -> None:
+        """Charge one transmission against the budget."""
+        base = max(self._next_send, now)
+        self._next_send = base + size_bytes * 8.0 / self._rate_bps
+
+    def reset(self, now: float) -> None:
+        self._next_send = now

@@ -1,0 +1,42 @@
+"""RACK-style time-based loss detection (sender side, legacy TCP).
+
+RACK [21] declares a packet lost when another packet *sent later* has
+been (s)acked and more than ``rtt + reordering window`` has elapsed
+since the packet's transmission.  The paper's TCP BBR baseline uses
+RACK; TCP-TACK replaces this with receiver-based detection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RackState:
+    """Tracks the most recently delivered packet's send time."""
+
+    def __init__(self, reo_wnd_fraction: float = 0.25):
+        self.reo_wnd_fraction = reo_wnd_fraction
+        self.latest_delivered_send_time: Optional[float] = None
+
+    def on_delivered(self, send_time: float) -> None:
+        """Record that a packet sent at ``send_time`` was (s)acked."""
+        if (
+            self.latest_delivered_send_time is None
+            or send_time > self.latest_delivered_send_time
+        ):
+            self.latest_delivered_send_time = send_time
+
+    def reo_wnd(self, srtt: float) -> float:
+        return self.reo_wnd_fraction * srtt
+
+    def is_lost(self, send_time: float, srtt: float, now: float) -> bool:
+        """Is an outstanding packet sent at ``send_time`` lost?"""
+        if self.latest_delivered_send_time is None:
+            return False
+        if send_time >= self.latest_delivered_send_time:
+            return False
+        return now >= send_time + srtt + self.reo_wnd(srtt)
+
+    def deadline(self, send_time: float, srtt: float) -> float:
+        """Time at which the packet would be declared lost."""
+        return send_time + srtt + self.reo_wnd(srtt)

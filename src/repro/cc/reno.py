@@ -1,0 +1,55 @@
+"""TCP NewReno: AIMD with slow start and fast recovery."""
+
+from __future__ import annotations
+
+from repro.cc.base import CongestionController, RateSample
+from repro.netsim.packet import MSS
+
+
+class NewReno(CongestionController):
+    """Classic AIMD.
+
+    Slow start doubles cwnd per RTT; congestion avoidance adds one MSS
+    per RTT; a loss event halves cwnd (the sender's loss detector
+    signals at most one "event" per round trip through
+    ``newly_lost``).  Pacing rate is cwnd over srtt with a small
+    headroom factor so pacing does not itself throttle the window.
+    """
+
+    name = "newreno"
+
+    def __init__(self, mss: int = MSS, initial_cwnd_mss: int = 10):
+        super().__init__(mss)
+        self._cwnd = initial_cwnd_mss * mss
+        self._ssthresh = float("inf")
+        self._srtt = 0.1
+        self._last_loss_time = -1.0
+        self._loss_guard = 0.0  # ignore losses within one RTT of a cut
+
+    def on_feedback(self, sample: RateSample) -> None:
+        if sample.rtt is not None:
+            self._srtt = 0.875 * self._srtt + 0.125 * sample.rtt
+        if sample.newly_lost > 0 and sample.now - self._last_loss_time > self._loss_guard:
+            self._last_loss_time = sample.now
+            self._loss_guard = self._srtt
+            self._ssthresh = max(self._cwnd / 2.0, 2 * self.mss)
+            self._cwnd = int(self._ssthresh)
+            return
+        if sample.newly_acked > 0:
+            if self._cwnd < self._ssthresh:
+                self._cwnd += sample.newly_acked  # slow start
+            else:
+                self._cwnd += max(
+                    1, int(self.mss * sample.newly_acked / self._cwnd)
+                )
+
+    def on_rto(self, now: float) -> None:
+        self._ssthresh = max(self._cwnd / 2.0, 2 * self.mss)
+        self._cwnd = self.mss
+        self._last_loss_time = now
+
+    def cwnd_bytes(self) -> int:
+        return int(self._cwnd)
+
+    def pacing_rate_bps(self) -> float:
+        return 1.2 * self._cwnd * 8.0 / max(self._srtt, 1e-4)

@@ -1,0 +1,70 @@
+"""TCP Vegas: delay-based congestion avoidance."""
+
+from __future__ import annotations
+
+from repro.cc.base import CongestionController, RateSample
+from repro.cc.windowed_filter import WindowedMinFilter
+from repro.netsim.packet import MSS
+
+
+class Vegas(CongestionController):
+    """Vegas keeps ``diff = cwnd/base_rtt - cwnd/rtt`` between alpha
+    and beta packets by additive adjustment once per RTT."""
+
+    name = "vegas"
+
+    def __init__(
+        self,
+        mss: int = MSS,
+        alpha: float = 2.0,
+        beta: float = 4.0,
+        initial_cwnd_mss: int = 10,
+    ):
+        super().__init__(mss)
+        if beta < alpha:
+            raise ValueError("beta must be >= alpha")
+        self.alpha = alpha
+        self.beta = beta
+        self._cwnd = float(initial_cwnd_mss * mss)
+        self._ssthresh = float("inf")
+        self._base_rtt = WindowedMinFilter(window=30.0)
+        self._srtt = 0.1
+        self._next_adjust = 0.0
+        self._last_loss_time = -1.0
+
+    def on_feedback(self, sample: RateSample) -> None:
+        if sample.rtt is not None:
+            self._srtt = 0.875 * self._srtt + 0.125 * sample.rtt
+            self._base_rtt.update(sample.rtt, sample.now)
+        if sample.newly_lost > 0 and sample.now - self._last_loss_time > self._srtt:
+            self._last_loss_time = sample.now
+            self._cwnd = max(self._cwnd * 0.75, 2 * self.mss)
+            return
+        if sample.newly_acked <= 0:
+            return
+        base = self._base_rtt.get() or self._srtt
+        if self._cwnd < self._ssthresh:
+            self._cwnd += sample.newly_acked / 2.0  # slower slow start
+        if sample.now < self._next_adjust:
+            return
+        self._next_adjust = sample.now + self._srtt
+        expected = self._cwnd / base
+        actual = self._cwnd / max(self._srtt, 1e-6)
+        diff_packets = (expected - actual) * base / self.mss
+        if diff_packets < self.alpha:
+            self._cwnd += self.mss
+        elif diff_packets > self.beta:
+            self._cwnd = max(self._cwnd - self.mss, 2 * self.mss)
+        if diff_packets > self.alpha:
+            self._ssthresh = min(self._ssthresh, self._cwnd)
+
+    def on_rto(self, now: float) -> None:
+        self._ssthresh = max(self._cwnd / 2.0, 2 * self.mss)
+        self._cwnd = float(2 * self.mss)
+        self._last_loss_time = now
+
+    def cwnd_bytes(self) -> int:
+        return int(self._cwnd)
+
+    def pacing_rate_bps(self) -> float:
+        return 1.2 * self._cwnd * 8.0 / max(self._srtt, 1e-4)

@@ -1,0 +1,66 @@
+"""Time-windowed running extrema.
+
+BBR's bandwidth filter, TACK's ``bw`` estimate (paper S5.4:
+"windowed max-filtered value of the delivery rates"), and both RTT_min
+filters (S5.2) are windowed extrema.  The implementation keeps a
+monotonic deque of (time, value) candidates — O(1) amortized updates.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Optional
+
+
+class _WindowedExtremum:
+    """Shared monotonic-deque machinery; subclasses fix the ordering."""
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._samples: collections.deque[tuple[float, float]] = collections.deque()
+
+    def _better(self, a: float, b: float) -> bool:
+        raise NotImplementedError
+
+    def update(self, value: float, now: float) -> None:
+        """Insert a sample taken at time ``now``."""
+        # Evict candidates dominated by the new value.
+        while self._samples and not self._better(self._samples[-1][1], value):
+            self._samples.pop()
+        self._samples.append((now, value))
+        self._expire(now)
+
+    def _expire(self, now: float) -> None:
+        horizon = now - self.window
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    def get(self, now: Optional[float] = None) -> Optional[float]:
+        """Current extremum, or ``None`` when no sample is in window.
+
+        Passing ``now`` expires stale candidates first.
+        """
+        if now is not None:
+            self._expire(now)
+        if not self._samples:
+            return None
+        return self._samples[0][1]
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+class WindowedMaxFilter(_WindowedExtremum):
+    """Maximum over the trailing ``window`` seconds."""
+
+    def _better(self, a: float, b: float) -> bool:
+        return a > b
+
+
+class WindowedMinFilter(_WindowedExtremum):
+    """Minimum over the trailing ``window`` seconds."""
+
+    def _better(self, a: float, b: float) -> bool:
+        return a < b

@@ -1,0 +1,30 @@
+"""TACK protocol core (the paper's primary contribution).
+
+Modules:
+
+* :mod:`repro.core.params` -- protocol constants (beta, L, Q, filters).
+* :mod:`repro.core.owd_timing` -- advanced round-trip timing via
+  relative one-way delay (paper S5.2).
+* :mod:`repro.core.loss_detect` -- receiver-based loss detection over
+  packet numbers (paper S5.1).
+* :mod:`repro.core.rate_sync` -- receiver-side delivery-rate and
+  loss-rate measurement synced to the sender via TACK (paper S5.3/5.4).
+* :mod:`repro.core.flavors` -- assembled protocol flavors: TCP-TACK
+  and the legacy baselines used throughout the evaluation.
+"""
+
+from repro.core.params import TackParams
+
+__all__ = ["SCHEMES", "TackParams", "make_connection"]
+
+
+def __getattr__(name):
+    # Lazy: flavors imports the ack policies, which import
+    # repro.core.params — an eager import here would be circular when
+    # repro.ack is imported first.
+    if name in ("SCHEMES", "make_connection"):
+        from repro.core import flavors
+
+        return getattr(flavors, {"SCHEMES": "SCHEMES",
+                                 "make_connection": "make_connection"}[name])
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

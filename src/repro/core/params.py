@@ -1,0 +1,125 @@
+"""TACK protocol parameters (paper S4.1, Appendix B)."""
+
+from __future__ import annotations
+
+from repro.netsim.packet import MSS
+
+
+class TackParams:
+    """Tunable constants of the TACK acknowledgment mechanism.
+
+    Attributes
+    ----------
+    beta:
+        ACKs per RTT_min in the periodic regime.  The paper derives a
+        lower bound of 2 (Appendix B.1) and defaults to 4 for
+        robustness (B.3).
+    ack_count_l:
+        Byte-counting parameter ``L``: full-sized packets counted
+        before an ACK when the bdp is small.  Upper bound is
+        ``Q / (rho * rho')`` (B.2); default 2 mirrors delayed ACK.
+    primary_blocks_q:
+        Primary number of "unacked list" blocks a TACK reports
+        (paper's Q).  ``rich=True`` lets TACK exceed it on demand per
+        Eq. 6.
+    rich:
+        ``True`` — TACKs repeat as many acked/unacked blocks as fit
+        one MTU ("TACK-rich"); ``False`` — only the Q smallest-numbered
+        missing blocks are reported ("TACK-poor"); ``"adaptive"`` —
+        the Eq. (6) on-demand mode: Q blocks while the synced ACK-path
+        loss rate is below the threshold, Q + delta-Q above it.
+    bw_filter_rtts:
+        theta_filter for the windowed-max delivery-rate filter,
+        "recommended as 5~10 RTTs" (S5.4).
+    min_rtt_window_s:
+        tau for both RTT_min minimum filters, <= 10 s (S5.2).
+    owd_ewma_gain:
+        Gain of the receiver's smoothed-OWD EWMA (S5.2).
+    iack_reorder_delay_s:
+        Settling-time allowance before a PKT.SEQ gap triggers a
+        loss-event IACK (S7 "Handling reordering": RTT_min/4 is the
+        recommended allowance; 0 disables the delay).
+    timing_mode:
+        "advanced" = per-interval min-OWD reference (S5.2);
+        "naive" = one sample per TACK from the latest packet (the
+        biased legacy scheme of Fig. 6(a)).
+    """
+
+    def __init__(
+        self,
+        beta: float = 4.0,
+        ack_count_l: int = 2,
+        primary_blocks_q: int = 1,
+        rich: "bool | str" = True,
+        bw_filter_rtts: float = 8.0,
+        min_rtt_window_s: float = 10.0,
+        owd_ewma_gain: float = 0.25,
+        iack_reorder_delay_factor: float = 0.0,
+        loss_event_iack: bool = True,
+        holb_keepalive: bool = True,
+        timing_mode: str = "advanced",
+        mss: int = MSS,
+    ):
+        if beta < 1:
+            raise ValueError(f"beta must be >= 1, got {beta}")
+        if ack_count_l < 1:
+            raise ValueError(f"L must be >= 1, got {ack_count_l}")
+        if primary_blocks_q < 0:
+            raise ValueError(f"Q must be >= 0, got {primary_blocks_q}")
+        if timing_mode not in ("advanced", "naive", "per-packet"):
+            raise ValueError(f"unknown timing mode: {timing_mode!r}")
+        if not isinstance(rich, bool) and rich != "adaptive":
+            raise ValueError(f"rich must be True, False, or 'adaptive', got {rich!r}")
+        self.beta = beta
+        self.ack_count_l = ack_count_l
+        self.primary_blocks_q = primary_blocks_q
+        self.rich = rich
+        self.bw_filter_rtts = bw_filter_rtts
+        self.min_rtt_window_s = min_rtt_window_s
+        self.owd_ewma_gain = owd_ewma_gain
+        self.iack_reorder_delay_factor = iack_reorder_delay_factor
+        self.loss_event_iack = loss_event_iack
+        # Robustness extension beyond the paper: keep the TACK clock
+        # running while holes are outstanding even if no new data
+        # arrives (the literal Eq. (3) clock goes silent when receiving
+        # stalls, leaving recovery to the sender's RTO).
+        self.holb_keepalive = holb_keepalive
+        self.timing_mode = timing_mode
+        self.mss = mss
+
+    def tack_interval(self, bw_bps: float, rtt_min: float) -> float:
+        """Interval between TACKs per Eq. (3): the *slower* of the
+        byte-counting and periodic clocks wins (min frequency)."""
+        periodic = rtt_min / self.beta
+        if bw_bps <= 0:
+            return periodic if periodic > 0 else 0.01
+        byte_counting = self.ack_count_l * self.mss * 8.0 / bw_bps
+        return max(byte_counting, periodic)
+
+    def tack_frequency(self, bw_bps: float, rtt_min: float) -> float:
+        """f_tack per Eq. (3) in Hz."""
+        interval = self.tack_interval(bw_bps, rtt_min)
+        return 1.0 / interval if interval > 0 else float("inf")
+
+    def is_periodic_regime(self, bdp_bytes: float) -> bool:
+        """True when bdp >= beta * L * MSS (paper S4.1)."""
+        return bdp_bytes >= self.beta * self.ack_count_l * self.mss
+
+    def copy(self, **overrides) -> "TackParams":
+        """Clone with selected fields replaced."""
+        kwargs = dict(
+            beta=self.beta,
+            ack_count_l=self.ack_count_l,
+            primary_blocks_q=self.primary_blocks_q,
+            rich=self.rich,
+            bw_filter_rtts=self.bw_filter_rtts,
+            min_rtt_window_s=self.min_rtt_window_s,
+            owd_ewma_gain=self.owd_ewma_gain,
+            iack_reorder_delay_factor=self.iack_reorder_delay_factor,
+            loss_event_iack=self.loss_event_iack,
+            holb_keepalive=self.holb_keepalive,
+            timing_mode=self.timing_mode,
+            mss=self.mss,
+        )
+        kwargs.update(overrides)
+        return TackParams(**kwargs)

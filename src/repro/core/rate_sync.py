@@ -1,0 +1,105 @@
+"""Receiver-based rate measurement synced via TACK (paper S5.3/S5.4).
+
+The receiver computes the average delivery rate over each TACK
+interval (data delivered / time elapsed) and the data-path loss rate;
+``bw`` — the input to the TACK frequency Eq. (3) and to the co-designed
+BBR — is the windowed max of those per-interval rates
+(theta_filter = 5~10 RTTs).  The sender mirrors the loss-rate
+calculation for the ACK path: expected TACKs (from the synced
+frequency) vs received TACKs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cc.windowed_filter import WindowedMaxFilter
+
+
+class ReceiverRateEstimator:
+    """Delivery-rate measurement at the receiver."""
+
+    def __init__(self, bw_filter_window_s: float = 1.0,
+                 min_interval_s: float = 2e-3):
+        self._bytes_in_interval = 0
+        self._interval_start: Optional[float] = None
+        self._last_arrival: Optional[float] = None
+        self._max_filter = WindowedMaxFilter(window=bw_filter_window_s)
+        self.min_interval_s = min_interval_s
+        self.last_interval_rate_bps: Optional[float] = None
+
+    def on_data(self, nbytes: int, now: float) -> None:
+        if self._interval_start is None:
+            self._interval_start = now
+        self._last_arrival = now
+        self._bytes_in_interval += nbytes
+
+    def close_interval(self, now: float) -> Optional[float]:
+        """Finish the current TACK interval; returns its average
+        delivery rate (bits/s) or ``None`` for an empty interval.
+
+        The rate is measured over the *arrival span* (first to last
+        packet of the interval), not wall-clock: idle gaps of an
+        app-limited flow must not dilute the estimate (BBR's rate
+        samples have the same property).  Spans shorter than
+        ``min_interval_s`` keep accumulating — A-MPDU delivery is
+        bursty, and rating a burst over its own microsecond span would
+        feed the max filter PHY-rate outliers.
+        """
+        if self._interval_start is None or self._last_arrival is None:
+            return None
+        if now - self._interval_start < self.min_interval_s:
+            return None
+        span = max(self._last_arrival - self._interval_start, self.min_interval_s)
+        rate: Optional[float] = None
+        if self._bytes_in_interval > 0:
+            rate = self._bytes_in_interval * 8.0 / span
+            self._max_filter.update(rate, now)
+            self.last_interval_rate_bps = rate
+        self._interval_start = None
+        self._last_arrival = None
+        self._bytes_in_interval = 0
+        return rate
+
+    def set_filter_window(self, window_s: float) -> None:
+        """Retarget theta_filter as RTT_min estimates evolve."""
+        if window_s > 0:
+            self._max_filter.window = window_s
+
+    def bw_bps(self, now: Optional[float] = None, default: float = 0.0) -> float:
+        """Windowed-max delivery rate — the paper's ``bw``."""
+        value = self._max_filter.get(now)
+        return value if value is not None else default
+
+
+class AckPathLossEstimator:
+    """Sender-side rho' (ACK-path loss) estimate.
+
+    The sender knows the negotiated TACK frequency, so over any
+    period it can compare the TACKs that *should* have arrived with
+    those that did (paper S5.4).
+    """
+
+    def __init__(self, min_expected: int = 8):
+        self.min_expected = min_expected
+        self._window_start: Optional[float] = None
+        self._received_in_window = 0
+        self.loss_rate = 0.0
+
+    def on_tack(self, now: float) -> None:
+        if self._window_start is None:
+            self._window_start = now
+        self._received_in_window += 1
+
+    def on_rtt_min_update(self, now: float, tack_interval_s: float) -> None:
+        """Re-estimate rho' (the paper refreshes it on RTT_min
+        updates); resets the measurement window."""
+        if self._window_start is None or tack_interval_s <= 0:
+            return
+        elapsed = now - self._window_start
+        expected = elapsed / tack_interval_s
+        if expected >= self.min_expected:
+            missed = max(0.0, expected - self._received_in_window)
+            self.loss_rate = min(1.0, missed / expected)
+            self._window_start = now
+            self._received_in_window = 0

@@ -1,0 +1,13 @@
+"""Reproduction experiments: one module per paper table/figure.
+
+Each module exposes ``run(...) -> repro.experiments.table.Table`` so
+the same logic drives the ``benchmarks/`` harness, the examples, and
+ad-hoc exploration.  Durations are parameterized: the defaults are
+chosen so the full harness completes in minutes on a laptop while
+preserving the paper's qualitative shapes (documented per experiment
+in ``EXPERIMENTS.md``).
+"""
+
+from repro.experiments.table import Table
+
+__all__ = ["Table"]

@@ -1,0 +1,77 @@
+"""Fig. 1 / Fig. 10(a): TCP-TACK vs TCP BBR over 802.11b/g/n/ac.
+
+Single bulk flow across one WLAN hop with the paper's testbed-typical
+end-to-end latency; reports steady-state goodput, the goodput
+improvement, and the fraction of ACKs removed.
+"""
+
+from __future__ import annotations
+
+from repro.app.bulk import BulkFlow
+from repro.experiments.table import Table
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import wlan_path
+
+PAPER_GOODPUT = {
+    # Fig. 10(a): (TCP-TACK, TCP BBR) in Mbps
+    "802.11b": (6.0, 5.0),
+    "802.11g": (24.0, 19.0),
+    "802.11n": (198.0, 155.0),
+    "802.11ac": (556.0, 434.0),
+}
+
+PAPER_ACK_REDUCTION = {
+    # Fig. 1: percentage of ACKs removed
+    "802.11b": 90.5,
+    "802.11g": 95.4,
+    "802.11n": 99.4,
+    "802.11ac": 99.8,
+}
+
+
+def _run_flow(scheme: str, phy: str, rtt_s: float, duration_s: float,
+              warmup_s: float, seed: int):
+    sim = Simulator(seed=seed)
+    path = wlan_path(sim, phy, extra_rtt_s=rtt_s)
+    flow = BulkFlow(sim, path, scheme, initial_rtt=rtt_s)
+    flow.start()
+    sim.run(until=duration_s)
+    return {
+        "goodput_mbps": flow.goodput_bps(start=warmup_s) / 1e6,
+        "acks": flow.ack_count(),
+        "data": flow.data_packet_count(),
+    }
+
+
+def run(rtt_s: float = 0.08, duration_s: float = 6.0, warmup_s: float = 2.0,
+        seed: int = 5, phys=("802.11b", "802.11g", "802.11n", "802.11ac")) -> Table:
+    table = Table(
+        "Fig. 1 / Fig. 10(a): goodput and ACK reduction, TCP-TACK vs TCP BBR",
+        [
+            "link", "tack_mbps", "bbr_mbps", "improve_%", "paper_improve_%",
+            "ack_reduction_%", "paper_reduction_%",
+        ],
+        note=(f"Bulk flow, RTT {rtt_s * 1e3:.0f} ms, "
+              f"{duration_s - warmup_s:.0f} s steady state."),
+    )
+    for phy in phys:
+        tack = _run_flow("tcp-tack", phy, rtt_s, duration_s, warmup_s, seed)
+        bbr = _run_flow("tcp-bbr", phy, rtt_s, duration_s, warmup_s, seed)
+        paper_t, paper_b = PAPER_GOODPUT[phy]
+        table.add_row(
+            link=phy,
+            tack_mbps=tack["goodput_mbps"],
+            bbr_mbps=bbr["goodput_mbps"],
+            **{
+                "improve_%": 100 * (tack["goodput_mbps"] / bbr["goodput_mbps"] - 1)
+                if bbr["goodput_mbps"] else 0.0,
+                "paper_improve_%": 100 * (paper_t / paper_b - 1),
+                "ack_reduction_%": 100 * (1 - tack["acks"] / max(bbr["acks"], 1)),
+                "paper_reduction_%": PAPER_ACK_REDUCTION[phy],
+            },
+        )
+    return table
+
+
+if __name__ == "__main__":
+    run().show()

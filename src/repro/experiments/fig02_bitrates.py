@@ -1,0 +1,50 @@
+"""Fig. 2: average bit rates of the video application classes.
+
+A context table in the paper; here each class additionally drives the
+video source model for one second over an ideal path to verify the
+source produces the nominal rate.
+"""
+
+from __future__ import annotations
+
+from repro.app.video import VideoSession
+from repro.experiments.table import Table
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import wired_path
+
+APPLICATION_BITRATES_MBPS = {
+    "SD video": 2,
+    "HD video": 8,
+    "UHD streaming": 16,
+    "VR": 17,
+    "UHD IP video": 51,
+    "8K wall TV": 100,
+    "HD VR": 167,
+    "UHD VR": 500,
+}
+
+
+def run(duration_s: float = 2.0) -> Table:
+    table = Table(
+        "Fig. 2: average bit rate per application class",
+        ["application", "paper_mbps", "source_model_mbps"],
+        note="source_model is the CBR video source measured over an ideal link.",
+    )
+    for app, mbps in APPLICATION_BITRATES_MBPS.items():
+        sim = Simulator(seed=1)
+        path = wired_path(sim, rate_bps=2e9, rtt_s=0.001)
+        session = VideoSession(sim, path, "tcp-tack", bitrate_bps=mbps * 1e6,
+                               initial_rtt=0.001)
+        session.start()
+        sim.run(until=duration_s)
+        produced = session.stats.frames_generated * session.frame_bytes
+        table.add_row(
+            application=app,
+            paper_mbps=mbps,
+            source_model_mbps=produced * 8 / duration_s / 1e6,
+        )
+    return table
+
+
+if __name__ == "__main__":
+    run().show()

@@ -1,0 +1,83 @@
+"""Fig. 5(a): IACK reduces HoLB blockage in the receive buffer.
+
+Randomized trials (loss 0-3%, RTT 1-200 ms, paper S5.1) of TCP-TACK
+with and without loss-event IACKs; at every TACK emission the amount
+of data blocked behind holes is sampled, and the distribution is
+summarized as a CDF table.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.app.bulk import BulkFlow
+from repro.core.params import TackParams
+from repro.experiments.table import Table
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import wired_path
+from repro.stats.percentile import percentile
+
+
+def _trial_samples(enable_iack: bool, seed: int, duration_s: float) -> list[int]:
+    """One randomized trial at a FIXED application rate.
+
+    A fixed-rate source (not a greedy bulk flow) keeps the offered
+    traffic identical with and without IACK, so the blockage CDF
+    isolates repair latency rather than achieved throughput.
+    """
+    rng = random.Random(seed)
+    loss = rng.uniform(0.001, 0.03)
+    rtt = rng.uniform(0.005, 0.2)
+    app_rate = 10e6
+    sim = Simulator(seed=seed)
+    path = wired_path(sim, 20e6, rtt, data_loss=loss,
+                      queue_bytes=max(int(20e6 * rtt / 8), 30_000))
+    params = TackParams(loss_event_iack=enable_iack)
+    flow = BulkFlow(sim, path, "tcp-tack", params=params, initial_rtt=rtt)
+    samples: list[int] = []
+    receiver = flow.conn.receiver
+    emit = receiver.emit_feedback
+
+    def sampling_emit(kind, fb):
+        samples.append(receiver.holb_blocked_bytes())
+        emit(kind, fb)
+
+    receiver.emit_feedback = sampling_emit  # type: ignore[method-assign]
+    flow.conn.sender.start()
+    chunk = 12_500  # bytes per 10 ms tick = 10 Mbps
+
+    def produce():
+        flow.conn.sender.write(chunk)
+        sim.call_in(chunk * 8 / app_rate, produce)
+
+    produce()
+    sim.run(until=duration_s)
+    return samples
+
+
+def run(trials: int = 10, duration_s: float = 8.0, seed: int = 100) -> Table:
+    table = Table(
+        "Fig. 5(a): data blocked in receive buffer at TACK send times (bytes)",
+        ["percentile", "with_iack", "without_iack", "ratio"],
+        note=("CDF of HoLB blockage over randomized (loss, RTT) trials; "
+              "paper shows IACK shifting the CDF left by orders of magnitude."),
+    )
+    with_iack: list[int] = []
+    without_iack: list[int] = []
+    for i in range(trials):
+        with_iack.extend(_trial_samples(True, seed + i, duration_s))
+        without_iack.extend(_trial_samples(False, seed + i, duration_s))
+    for pct in (50, 75, 90, 99):
+        w = percentile(with_iack, pct)
+        wo = percentile(without_iack, pct)
+        table.add_row(
+            percentile=f"p{pct}",
+            with_iack=w,
+            without_iack=wo,
+            ratio=(wo / w) if w > 0 else float("inf"),
+        )
+    return table
+
+
+if __name__ == "__main__":
+    run().show()

@@ -1,0 +1,50 @@
+"""Fig. 6(a): RTT_min accuracy — advanced vs naive round-trip timing.
+
+Two Wi-Fi endpoints with a fixed 100 ms bidirectional latency (paper
+S5.2 microbenchmark).  The true minimum RTT is the configured latency
+plus the unloaded medium service time; legacy one-sample-per-TACK
+timing lands 8-18% above it because the sampled packet usually sat in
+the bottleneck queue, while the advanced min-OWD reference tracks it.
+"""
+
+from __future__ import annotations
+
+from repro.app.bulk import BulkFlow
+from repro.experiments.table import Table
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import wlan_path
+
+
+def _estimate(scheme: str, rtt_s: float, duration_s: float, seed: int):
+    sim = Simulator(seed=seed)
+    path = wlan_path(sim, "802.11n", extra_rtt_s=rtt_s)
+    flow = BulkFlow(sim, path, scheme, initial_rtt=rtt_s)
+    flow.start()
+    sim.run(until=duration_s)
+    sender = flow.conn.sender
+    return sender.rtt_min_est.rtt_min() * 1e3
+
+
+def run(rtt_s: float = 0.1, duration_s: float = 25.0, seed: int = 5) -> Table:
+    # The run must exceed the 10 s minimum-filter window so the
+    # (unbiased) handshake RTT sample ages out and the estimate
+    # reflects steady-state sampling, as in the paper's 25 s trace.
+    advanced = _estimate("tcp-tack", rtt_s, duration_s, seed)
+    naive = _estimate("tcp-tack-naive-timing", rtt_s, duration_s, seed)
+    true_ms = rtt_s * 1e3  # plus ~sub-ms unloaded medium time
+    table = Table(
+        "Fig. 6(a): minimum RTT estimate (ms), fixed 100 ms latency",
+        ["method", "rtt_min_ms", "bias_%"],
+        note=("Paper: sampled (naive) estimates run 8-18% above the true "
+              "minimum; the advanced OWD-referenced timing tracks it."),
+    )
+    table.add_row(method="true minimum", rtt_min_ms=true_ms, **{"bias_%": 0.0})
+    table.add_row(method="advanced (TACK)", rtt_min_ms=advanced,
+                  **{"bias_%": 100 * (advanced / true_ms - 1)})
+    table.add_row(method="naive sampling", rtt_min_ms=naive,
+                  **{"bias_%": 100 * (naive / true_ms - 1)})
+    return table
+
+
+if __name__ == "__main__":
+    run().show()

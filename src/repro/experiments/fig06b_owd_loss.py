@@ -1,0 +1,68 @@
+"""Fig. 6(b): deployment effect of the advanced round-trip timing.
+
+The paper compares Pantheon runs before and after deploying the
+advanced timing: 95th-percentile one-way delay dropped ~20% and packet
+loss ~54%, attributed to an accurate RTT_min no longer overfilling the
+pipe.
+
+On our substrate the naive and advanced variants run the same paced
+BBR, and pacing — not the cwnd cap — governs queue occupancy, so the
+tail-delay gap is within noise (documented deviation, EXPERIMENTS.md).
+What *is* reproducible end to end: the naive variant operates on an
+RTT_min biased high by up to a TACK interval while the advanced
+variant tracks the true minimum, at identical goodput — i.e. the
+correction is free.  The table reports both the delay/loss metrics and
+the per-variant RTT_min estimate from the same runs.
+"""
+
+from __future__ import annotations
+
+from repro.app.bulk import BulkFlow
+from repro.experiments.table import Table
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import wired_path
+from repro.stats.percentile import percentile
+
+
+def _measure(scheme: str, rate_bps: float, rtt_s: float, duration_s: float,
+             warmup_s: float, seed: int):
+    sim = Simulator(seed=seed)
+    path = wired_path(sim, rate_bps, rtt_s,
+                      queue_bytes=int(2 * rate_bps * rtt_s / 8))
+    flow = BulkFlow(sim, path, scheme, initial_rtt=rtt_s)
+    flow.start()
+    sim.run(until=duration_s)
+    owds = [o for o in flow.collector.owd_samples]
+    tail = owds[len(owds) // 4:]  # drop startup transient
+    sender = flow.conn.sender
+    sent = max(sender.stats.data_packets_sent, 1)
+    return {
+        "owd95_ms": percentile(tail, 95) * 1e3,
+        "loss_%": 100.0 * path.forward.packets_lost / max(path.forward.packets_sent, 1),
+        "retx_%": 100.0 * sender.stats.retransmissions / sent,
+        "goodput_mbps": flow.goodput_bps(start=warmup_s) / 1e6,
+        "rtt_min_ms": sender.rtt_min_est.rtt_min() * 1e3,
+    }
+
+
+def run(rate_bps: float = 30e6, rtt_s: float = 0.1, duration_s: float = 20.0,
+        warmup_s: float = 5.0, seed: int = 9) -> Table:
+    table = Table(
+        "Fig. 6(b): naive vs advanced timing — delay, loss, and RTT_min",
+        ["timing", "owd95_ms", "loss_%", "retx_%", "goodput_mbps",
+         "rtt_min_ms"],
+        note=("Paper (Pantheon deployment): advanced timing cut 95th-pct "
+              "OWD ~20% and loss ~54%.  Here both variants pace, so tail "
+              "delay is at parity; the reproducible effect is the "
+              "unbiased RTT_min at zero goodput cost "
+              f"(true minimum = {rtt_s * 1e3:.0f} ms)."),
+    )
+    for label, scheme in (("naive", "tcp-tack-naive-timing"),
+                          ("advanced", "tcp-tack")):
+        m = _measure(scheme, rate_bps, rtt_s, duration_s, warmup_s, seed)
+        table.add_row(timing=label, **m)
+    return table
+
+
+if __name__ == "__main__":
+    run().show()

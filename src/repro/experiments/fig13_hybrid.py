@@ -1,0 +1,64 @@
+"""Fig. 13: performance over combined WLAN + WAN links.
+
+Four cases (paper Fig. 12/13): WLAN bandwidth is the bottleneck, the
+WAN adds latency and optional symmetric 1% loss.  Reports goodput,
+data-packet count, and ACK count for TCP BBR and TCP-TACK.
+"""
+
+from __future__ import annotations
+
+from repro.app.bulk import BulkFlow
+from repro.experiments.table import Table
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import hybrid_path
+
+CASES = [
+    # (case, phy, wan_rate, wan_rtt_s, loss)
+    (1, "802.11g", 100e6, 0.02, 0.0),
+    (2, "802.11g", 100e6, 0.02, 0.01),
+    (3, "802.11n", 500e6, 0.20, 0.0),
+    (4, "802.11n", 500e6, 0.20, 0.01),
+]
+
+PAPER = {
+    # case -> (bbr_goodput, bbr_acks, tack_goodput, tack_acks)
+    1: (17.16, 104_298, 20.21, 24_356),
+    2: (16.90, 84_523, 18.44, 26_068),
+    3: (159.50, 882_545, 190.22, 2_474),
+    4: (156.39, 897_361, 185.73, 22_407),
+}
+
+
+def run(duration_s: float = 10.0, warmup_s: float = 2.0, seed: int = 11) -> Table:
+    table = Table(
+        "Fig. 13: combined WLAN + WAN performance",
+        ["case", "scheme", "goodput_mbps", "paper_mbps", "data_pkts",
+         "acks", "paper_acks"],
+        note="Cases 1-2: 802.11g + 100Mbps/20ms WAN; 3-4: 802.11n + "
+             "500Mbps/200ms WAN; even cases add 1% bidirectional loss.",
+    )
+    for case, phy, rate, rtt, loss in CASES:
+        for scheme, p_good, p_acks in (
+            ("tcp-bbr", PAPER[case][0], PAPER[case][1]),
+            ("tcp-tack", PAPER[case][2], PAPER[case][3]),
+        ):
+            sim = Simulator(seed=seed)
+            path = hybrid_path(sim, phy, wan_rate_bps=rate, wan_rtt_s=rtt,
+                               data_loss=loss, ack_loss=loss)
+            flow = BulkFlow(sim, path, scheme, initial_rtt=rtt + 0.005)
+            flow.start()
+            sim.run(until=duration_s)
+            table.add_row(
+                case=case,
+                scheme=scheme,
+                goodput_mbps=flow.goodput_bps(start=warmup_s) / 1e6,
+                paper_mbps=p_good,
+                data_pkts=flow.data_packet_count(),
+                acks=flow.ack_count(),
+                paper_acks=p_acks,
+            )
+    return table
+
+
+if __name__ == "__main__":
+    run().show()

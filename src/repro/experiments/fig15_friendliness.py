@@ -1,0 +1,76 @@
+"""Fig. 15: TCP friendliness of the TACK co-designed controllers.
+
+Two flows share one randomized bottleneck (bandwidth 1-100 Mbps, RTT
+1-200 ms, buffer 0.5-5 bdp) for 60 seconds; each flow's throughput is
+reported as a ratio of its fair share.  The claim: TACK-BBR shares
+like standard BBR (TACK is an ACK mechanism, not a new controller).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.flavors import make_connection
+from repro.experiments.table import Table
+from repro.netsim.demux import share_path
+from repro.netsim.emulator import EmulatedPath, PathConfig
+from repro.netsim.engine import Simulator
+
+PAIRS = [
+    ("BBR vs CUBIC", ("tcp-bbr", "tcp-cubic")),
+    ("TACK vs CUBIC", ("tcp-tack", "tcp-cubic")),
+    ("TACK vs BBR", ("tcp-tack", "tcp-bbr")),
+]
+
+
+def _one_trial(schemes, seed: int, duration_s: float):
+    rng = random.Random(seed)
+    rate = rng.uniform(1e6, 100e6)
+    rtt = rng.uniform(0.005, 0.2)
+    buf = rng.uniform(0.5, 5.0)
+    sim = Simulator(seed=seed)
+    wan = EmulatedPath(
+        sim,
+        PathConfig(rate, rtt, max(int(buf * rate * rtt / 8), 20_000)),
+    )
+    ports = share_path(wan, len(schemes))
+    flows = []
+    for flow_id, (scheme, (fwd, rev)) in enumerate(zip(schemes, ports)):
+        conn = make_connection(sim, scheme, flow_id=flow_id, initial_rtt=rtt)
+        conn.wire(fwd, rev)
+        flows.append(conn)
+    for conn in flows:
+        conn.start_bulk()
+    sim.run(until=duration_s)
+    fair = rate / len(schemes)
+    ratios = []
+    for conn in flows:
+        delivered = conn.receiver.stats.bytes_delivered
+        ratios.append(delivered * 8 / duration_s / fair)
+    return ratios
+
+
+def run(trials: int = 6, duration_s: float = 60.0, seed: int = 77) -> Table:
+    table = Table(
+        "Fig. 15: throughput / ideal fair share when sharing a bottleneck",
+        ["pairing", "flow_a", "ratio_a", "flow_b", "ratio_b"],
+        note=(f"{trials} randomized trials per pairing, {duration_s:.0f} s "
+              "each; 1.0 = perfectly fair.  Paper: TACK flows share like "
+              "their standard counterparts."),
+    )
+    for label, schemes in PAIRS:
+        sums = [0.0, 0.0]
+        for i in range(trials):
+            ratios = _one_trial(schemes, seed + i, duration_s)
+            sums[0] += ratios[0]
+            sums[1] += ratios[1]
+        table.add_row(
+            pairing=label,
+            flow_a=schemes[0], ratio_a=sums[0] / trials,
+            flow_b=schemes[1], ratio_b=sums[1] / trials,
+        )
+    return table
+
+
+if __name__ == "__main__":
+    run().show()

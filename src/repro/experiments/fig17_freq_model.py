@@ -1,0 +1,61 @@
+"""Fig. 17: analytic ACK-frequency dynamics and pivot points.
+
+(a) frequency vs bandwidth at several RTT_min values — TACK follows
+    per-packet/byte-counting at low bw and plateaus at beta/RTT_min
+    past the pivot bdp = beta * L * MSS;
+(b) frequency vs RTT_min at several bandwidths.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.ack_frequency import (
+    per_packet_frequency,
+    pivot_bandwidth_bps,
+    pivot_rtt_s,
+    tack_frequency,
+)
+from repro.experiments.table import Table
+
+
+def run_vs_bandwidth(rtts=(0.001, 0.01, 0.08, 0.2, 0.4)) -> Table:
+    table = Table(
+        "Fig. 17(a): ACK frequency (Hz) vs bandwidth",
+        ["bw_mbps", "f_tcp_L1"] + [f"tack@{int(r*1e3)}ms" for r in rtts],
+        note="Pivot bandwidths (Mbps): " + ", ".join(
+            f"{int(r*1e3)}ms->{pivot_bandwidth_bps(r)/1e6:.2f}" for r in rtts
+        ),
+    )
+    for bw_mbps in (0.1, 1, 2, 5, 10, 50, 100, 500, 1000, 2000, 3000):
+        bw = bw_mbps * 1e6
+        row = {"bw_mbps": bw_mbps, "f_tcp_L1": per_packet_frequency(bw)}
+        for rtt in rtts:
+            row[f"tack@{int(rtt*1e3)}ms"] = tack_frequency(bw, rtt)
+        table.add_row(**row)
+    return table
+
+
+def run_vs_rtt(bws=(0.1e6, 100e6, 1000e6)) -> Table:
+    table = Table(
+        "Fig. 17(b): ACK frequency (Hz) vs RTT_min",
+        ["rtt_ms"] + [f"tcp@{int(b/1e6)}M" for b in bws]
+        + [f"tack@{int(b/1e6)}M" for b in bws],
+        note="Pivot RTTs (ms): " + ", ".join(
+            f"{int(b/1e6)}M->{pivot_rtt_s(b)*1e3:.3f}" for b in bws
+        ),
+    )
+    for rtt_ms in (0.001, 0.01, 0.1, 1, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100):
+        row = {"rtt_ms": rtt_ms}
+        for b in bws:
+            row[f"tcp@{int(b/1e6)}M"] = per_packet_frequency(b)
+            row[f"tack@{int(b/1e6)}M"] = tack_frequency(b, rtt_ms / 1e3)
+        table.add_row(**row)
+    return table
+
+
+def run(**kwargs) -> Table:
+    return run_vs_bandwidth()
+
+
+if __name__ == "__main__":
+    run_vs_bandwidth().show()
+    run_vs_rtt().show()

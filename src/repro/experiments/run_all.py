@@ -1,0 +1,121 @@
+"""Regenerate every paper table/figure in one command.
+
+Usage::
+
+    python -m repro.experiments.run_all [--fast] [--out DIR]
+
+``--fast`` shrinks durations ~3x for a quick smoke regeneration;
+without it the defaults match the benchmark harness.  Tables are
+printed and written to ``DIR`` (default ``benchmarks/results``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.experiments import (
+    ablations,
+    eq06_threshold,
+    ext_asymmetric,
+    ext_multiflow,
+    ext_tcp_splitting,
+    fig01_goodput_wlan,
+    fig02_bitrates,
+    fig03_contention,
+    fig05a_holb,
+    fig05b_rich_info,
+    fig06a_rttmin,
+    fig06b_owd_loss,
+    fig08_ack_frequency,
+    fig09_goodput_trend,
+    fig10b_actual_goodput,
+    fig11_miracast,
+    fig13_hybrid,
+    fig14_pantheon,
+    fig15_friendliness,
+    fig16_beta_bound,
+    fig17_freq_model,
+)
+
+
+def experiment_plan(fast: bool):
+    """(name, callable) for every experiment, durations scaled."""
+    s = (1.0 / 3.0) if fast else 1.0
+
+    def d(x):  # scaled duration with a floor
+        return max(x * s, 2.0)
+
+    return [
+        ("fig01_goodput_wlan", lambda: fig01_goodput_wlan.run(duration_s=d(5), warmup_s=d(5) * 0.3)),
+        ("fig02_bitrates", fig02_bitrates.run),
+        ("fig03_contention", lambda: fig03_contention.run(duration_s=d(2))),
+        ("fig03_contention_rate_adaptation",
+         lambda: fig03_contention.run(duration_s=d(2), rate_adaptation=True,
+                                      per_mpdu_error_rate=0.01)),
+        ("fig05a_holb", lambda: fig05a_holb.run(trials=4 if fast else 8,
+                                                duration_s=d(6))),
+        ("fig05b_rich_info", lambda: fig05b_rich_info.run(duration_s=d(15), warmup_s=d(15) / 3)),
+        ("fig06a_rttmin", lambda: fig06a_rttmin.run(duration_s=max(d(25), 12.0))),
+        ("fig06b_owd_loss", lambda: fig06b_owd_loss.run(duration_s=d(15))),
+        ("fig08a_ack_reduction", fig08_ack_frequency.run_analytic),
+        ("fig08b_measured_frequency",
+         lambda: fig08_ack_frequency.run_measured(duration_s=d(4))),
+        ("fig09a_improvement",
+         lambda: fig09_goodput_trend.run_improvement(duration_s=d(4), warmup_s=d(4) * 0.35,
+                                                     rtts=(0.08, 0.2))),
+        ("fig09b_ideal_goodput", lambda: fig09_goodput_trend.run_ideal(duration_s=d(2))),
+        ("fig10b_actual_goodput",
+         lambda: fig10b_actual_goodput.run(duration_s=d(5), warmup_s=d(5) * 0.4)),
+        ("fig11_miracast", lambda: fig11_miracast.run(duration_s=d(15))),
+        ("fig13_hybrid", lambda: fig13_hybrid.run(duration_s=d(8), warmup_s=d(8) / 4)),
+        ("fig14_pantheon", lambda: fig14_pantheon.run(trials=4 if fast else 8,
+                                                      duration_s=d(10), warmup_s=d(10) * 0.3)),
+        ("fig15_friendliness",
+         lambda: fig15_friendliness.run(trials=2 if fast else 4, duration_s=d(40))),
+        ("fig16_beta_analytic", fig16_beta_bound.run_analytic),
+        ("fig16_beta_simulated",
+         lambda: fig16_beta_bound.run_simulated(duration_s=d(12), warmup_s=d(12) / 3)),
+        ("fig17a_vs_bandwidth", fig17_freq_model.run_vs_bandwidth),
+        ("fig17b_vs_rtt", fig17_freq_model.run_vs_rtt),
+        ("eq06_analytic", eq06_threshold.run_analytic),
+        ("eq06_simulated", lambda: eq06_threshold.run_simulated(duration_s=d(12), warmup_s=d(12) / 3)),
+        ("ablation_beta_l", lambda: ablations.run_beta_l_sweep(duration_s=d(4), warmup_s=d(4) * 0.35)),
+        ("ablation_pacing", lambda: ablations.run_pacing_ablation(duration_s=d(12), warmup_s=d(12) / 3)),
+        ("ablation_governor", lambda: ablations.run_governor_ablation(duration_s=d(12))),
+        ("ablation_rpc_latency", lambda: ablations.run_rpc_latency_ablation(duration_s=d(8))),
+        ("ext_tcp_splitting", lambda: ext_tcp_splitting.run(duration_s=d(8), warmup_s=d(8) / 4)),
+        ("ext_multiflow", lambda: ext_multiflow.run(duration_s=d(5), warmup_s=d(5) * 0.3)),
+        ("ext_asymmetric", lambda: ext_asymmetric.run(duration_s=d(8), warmup_s=d(8) / 4)),
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="shrink durations ~3x for a smoke run")
+    parser.add_argument("--out", default=os.path.join("benchmarks", "results"),
+                        help="output directory for the tables")
+    parser.add_argument("--only", default=None,
+                        help="substring filter on experiment names")
+    args = parser.parse_args(argv)
+    plan = experiment_plan(args.fast)
+    if args.only:
+        plan = [(name, fn) for name, fn in plan if args.only in name]
+        if not plan:
+            parser.error(f"no experiment matches {args.only!r}")
+    total_start = time.time()
+    for name, fn in plan:
+        start = time.time()
+        table = fn()
+        table.show()
+        table.save(os.path.join(args.out, f"{name}.txt"))
+        print(f"[{name}: {time.time() - start:.1f}s]\n")
+    print(f"Regenerated {len(plan)} experiments in "
+          f"{time.time() - total_start:.0f}s -> {args.out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,130 @@
+"""Point-to-point wired link: serialization + propagation + queue + loss.
+
+This is the building block of the WAN emulator.  A link is
+unidirectional; bidirectional paths are a pair of links (possibly with
+different loss models, matching the paper's data-path vs ACK-path
+impairments).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.loss import LossModel, NoLoss
+from repro.netsim.packet import Packet
+from repro.netsim.queue import DropTailQueue
+
+
+class LinkConfig:
+    """Static parameters of a wired link."""
+
+    def __init__(
+        self,
+        rate_bps: float,
+        delay_s: float = 0.0,
+        queue_bytes: Optional[int] = None,
+        loss: Optional[LossModel] = None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if delay_s < 0:
+            raise ValueError(f"negative propagation delay: {delay_s}")
+        self.rate_bps = float(rate_bps)
+        self.delay_s = float(delay_s)
+        self.queue_bytes = queue_bytes
+        self.loss = loss or NoLoss()
+
+    def serialization_delay(self, size_bytes: int) -> float:
+        """Time to clock ``size_bytes`` onto the wire."""
+        return size_bytes * 8.0 / self.rate_bps
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkConfig(rate={self.rate_bps / 1e6:.3f}Mbps, "
+            f"delay={self.delay_s * 1e3:.3f}ms, queue={self.queue_bytes})"
+        )
+
+
+class Link:
+    """Unidirectional link delivering packets to a sink callback.
+
+    Packets are dropped either by the loss model (applied on ingress,
+    like a hardware impairment port) or by queue overflow at the
+    bottleneck.  Serialization is modeled exactly: the transmitter is
+    busy for ``size * 8 / rate`` per packet, then the packet propagates
+    for ``delay_s`` and is handed to ``sink``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: LinkConfig,
+        sink: Optional[Callable[[Packet], None]] = None,
+        name: str = "link",
+    ):
+        self.sim = sim
+        self.config = config
+        self.sink = sink
+        self.name = name
+        self.queue = DropTailQueue(config.queue_bytes)
+        self._busy = False
+        # counters
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        self.packets_lost = 0
+        self.bytes_delivered = 0
+
+    # ------------------------------------------------------------------
+    def connect(self, sink: Callable[[Packet], None]) -> None:
+        """Attach the receive-side callback."""
+        self.sink = sink
+
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link.
+
+        Returns ``False`` if it was dropped at ingress (loss model or
+        full queue); the caller must not assume delivery either way.
+        """
+        self.packets_sent += 1
+        if self.config.loss.should_drop(packet, self.sim.now()):
+            self.packets_lost += 1
+            return False
+        if not self.queue.try_enqueue(packet):
+            self.packets_lost += 1
+            return False
+        if not self._busy:
+            self._start_transmission()
+        return True
+
+    # ------------------------------------------------------------------
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = self.config.serialization_delay(packet.size)
+        self.sim.call_in(tx_time, lambda p=packet: self._finish_transmission(p))
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.sim.call_in(self.config.delay_s, lambda p=packet: self._deliver(p))
+        self._start_transmission()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.packets_delivered += 1
+        self.bytes_delivered += packet.size
+        packet.hops += 1
+        if self.sink is not None:
+            self.sink(packet)
+
+    # ------------------------------------------------------------------
+    @property
+    def loss_rate_observed(self) -> float:
+        """Fraction of offered packets dropped so far."""
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_lost / self.packets_sent
+
+    def __repr__(self) -> str:
+        return f"Link({self.name}, {self.config!r})"

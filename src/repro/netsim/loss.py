@@ -1,0 +1,144 @@
+"""Packet loss models for links and emulated paths.
+
+Each model answers one question per packet: drop it or not.  Models are
+seeded independently per link direction so the data path and ACK path
+of an experiment can be impaired separately (as the paper's Spirent
+Attero setup does in Figures 5(b) and 13).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from repro.netsim.packet import Packet
+
+
+class LossModel:
+    """Interface: return ``True`` to drop ``packet`` at time ``now``."""
+
+    def should_drop(self, packet: Packet, now: float) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Restore initial state (models with memory override this)."""
+
+
+class NoLoss(LossModel):
+    """Lossless link."""
+
+    def should_drop(self, packet: Packet, now: float) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Independent drops with fixed probability ``rate``."""
+
+    def __init__(self, rate: float, rng: Optional[random.Random] = None):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.rate = rate
+        self.rng = rng or random.Random(0)
+
+    def should_drop(self, packet: Packet, now: float) -> bool:
+        if self.rate == 0.0:
+            return False
+        return self.rng.random() < self.rate
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state bursty loss (good/bad Markov chain).
+
+    ``p_gb`` is the per-packet probability of moving good->bad and
+    ``p_bg`` of bad->good; in the bad state packets drop with
+    probability ``bad_loss`` (1.0 by default: a blackout burst).
+    """
+
+    def __init__(
+        self,
+        p_gb: float,
+        p_bg: float,
+        bad_loss: float = 1.0,
+        good_loss: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        for name, val in (("p_gb", p_gb), ("p_bg", p_bg),
+                          ("bad_loss", bad_loss), ("good_loss", good_loss)):
+            if not 0.0 <= val <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {val}")
+        self.p_gb = p_gb
+        self.p_bg = p_bg
+        self.bad_loss = bad_loss
+        self.good_loss = good_loss
+        self.rng = rng or random.Random(0)
+        self._bad = False
+
+    def should_drop(self, packet: Packet, now: float) -> bool:
+        if self._bad:
+            if self.rng.random() < self.p_bg:
+                self._bad = False
+        else:
+            if self.rng.random() < self.p_gb:
+                self._bad = True
+        loss = self.bad_loss if self._bad else self.good_loss
+        if loss == 0.0:
+            return False
+        return self.rng.random() < loss
+
+    @property
+    def in_bad_state(self) -> bool:
+        return self._bad
+
+    def reset(self) -> None:
+        self._bad = False
+
+    def steady_state_loss(self) -> float:
+        """Long-run average drop probability of the chain."""
+        denom = self.p_gb + self.p_bg
+        if denom == 0.0:
+            return self.good_loss
+        pi_bad = self.p_gb / denom
+        return pi_bad * self.bad_loss + (1.0 - pi_bad) * self.good_loss
+
+
+class BurstLoss(LossModel):
+    """Deterministic blackout windows: drop everything inside
+    ``[start, start + duration)`` for each window."""
+
+    def __init__(self, windows: Iterable[tuple[float, float]]):
+        self.windows = sorted((float(s), float(s) + float(d)) for s, d in windows)
+        for start, end in self.windows:
+            if end <= start:
+                raise ValueError(f"empty blackout window [{start}, {end})")
+
+    def should_drop(self, packet: Packet, now: float) -> bool:
+        for start, end in self.windows:
+            if start <= now < end:
+                return True
+            if now < start:
+                break
+        return False
+
+
+class PatternLoss(LossModel):
+    """Drop the packets whose arrival index is in ``indices`` (0-based).
+
+    Handy for tests that need an exact loss pattern ("drop the third
+    packet, then the retransmission of it").
+    """
+
+    def __init__(self, indices: Iterable[int]):
+        self.indices = set(int(i) for i in indices)
+        self._count = 0
+
+    def should_drop(self, packet: Packet, now: float) -> bool:
+        drop = self._count in self.indices
+        self._count += 1
+        return drop
+
+    @property
+    def seen(self) -> int:
+        return self._count
+
+    def reset(self) -> None:
+        self._count = 0

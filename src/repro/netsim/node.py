@@ -1,0 +1,77 @@
+"""Simple forwarding node (access point / router glue).
+
+A :class:`Forwarder` bridges two "ports".  A port is anything with a
+``send(packet) -> bool`` method — a :class:`~repro.netsim.link.Link`,
+an :class:`~repro.netsim.emulator.EmulatedPath` direction, a WLAN
+station, or a test stub.  The forwarder is store-and-forward with no
+extra delay of its own; queueing happens inside the egress port.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim.packet import Packet
+
+
+class Port:
+    """Minimal duck-typed port contract (documentation aid).
+
+    Concrete ports implement ``send(packet) -> bool`` and accept a
+    receive callback via ``connect(sink)``.
+    """
+
+    def send(self, packet: Packet) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def connect(self, sink: Callable[[Packet], None]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class Forwarder:
+    """Bridges packets between two ports in both directions.
+
+    Typical use: an access point joining a wired WAN path and a WLAN
+    station::
+
+        ap = Forwarder(name="ap")
+        ap.attach_a(path.reverse_sender)   # WAN side
+        ap.attach_b(ap_station)            # WLAN side
+
+    Call :meth:`from_a` / :meth:`from_b` (or wire them as sinks) to
+    inject traffic arriving on either side.
+    """
+
+    def __init__(self, name: str = "fwd"):
+        self.name = name
+        self._a: Optional[Port] = None
+        self._b: Optional[Port] = None
+        self.forwarded_a_to_b = 0
+        self.forwarded_b_to_a = 0
+        self.dropped = 0
+
+    def attach_a(self, port: Port) -> None:
+        self._a = port
+
+    def attach_b(self, port: Port) -> None:
+        self._b = port
+
+    def from_a(self, packet: Packet) -> None:
+        """Packet arrived on side A; forward out side B."""
+        if self._b is None:
+            self.dropped += 1
+            return
+        if self._b.send(packet):
+            self.forwarded_a_to_b += 1
+        else:
+            self.dropped += 1
+
+    def from_b(self, packet: Packet) -> None:
+        """Packet arrived on side B; forward out side A."""
+        if self._a is None:
+            self.dropped += 1
+            return
+        if self._a.send(packet):
+            self.forwarded_b_to_a += 1
+        else:
+            self.dropped += 1

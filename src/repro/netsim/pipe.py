@@ -1,0 +1,55 @@
+"""Ideal pipe: fixed-delay, infinite-rate delivery.
+
+Used to unit-test protocol logic in isolation from link dynamics and
+to model intra-host handoff between layers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.loss import LossModel, NoLoss
+from repro.netsim.packet import Packet
+
+
+class Pipe:
+    """Delivers every packet to ``sink`` after exactly ``delay_s``.
+
+    Optionally applies a loss model, so protocol tests can inject exact
+    drop patterns without configuring a full link.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay_s: float = 0.0,
+        sink: Optional[Callable[[Packet], None]] = None,
+        loss: Optional[LossModel] = None,
+    ):
+        if delay_s < 0:
+            raise ValueError(f"negative delay: {delay_s}")
+        self.sim = sim
+        self.delay_s = delay_s
+        self.sink = sink
+        self.loss = loss or NoLoss()
+        self.packets_sent = 0
+        self.packets_lost = 0
+        self.packets_delivered = 0
+
+    def connect(self, sink: Callable[[Packet], None]) -> None:
+        self.sink = sink
+
+    def send(self, packet: Packet) -> bool:
+        self.packets_sent += 1
+        if self.loss.should_drop(packet, self.sim.now()):
+            self.packets_lost += 1
+            return False
+        self.sim.call_in(self.delay_s, lambda p=packet: self._deliver(p))
+        return True
+
+    def _deliver(self, packet: Packet) -> None:
+        self.packets_delivered += 1
+        packet.hops += 1
+        if self.sink is not None:
+            self.sink(packet)

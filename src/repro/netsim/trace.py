@@ -1,0 +1,118 @@
+"""Packet-level tracing helpers.
+
+Traces are ordinary lists of records so tests and benchmarks can make
+assertions about what crossed a link without adding probes inside
+protocol code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet, PacketType
+
+
+class TraceRecord:
+    """One observed packet."""
+
+    __slots__ = ("time", "kind", "size", "seq", "pkt_seq", "flow_id")
+
+    def __init__(self, time: float, packet: Packet):
+        self.time = time
+        self.kind = packet.kind
+        self.size = packet.size
+        self.seq = packet.seq
+        self.pkt_seq = packet.pkt_seq
+        self.flow_id = packet.flow_id
+
+    def __repr__(self) -> str:
+        return f"TraceRecord(t={self.time:.6f}, {self.kind.value}, size={self.size})"
+
+
+class PacketTap:
+    """Wraps a sink callback and records every packet flowing through.
+
+    Use ``tap = PacketTap(sim, real_sink); link.connect(tap)``.
+    """
+
+    def __init__(self, sim: Simulator, sink: Optional[Callable[[Packet], None]] = None):
+        self.sim = sim
+        self.sink = sink
+        self.records: list[TraceRecord] = []
+
+    def __call__(self, packet: Packet) -> None:
+        self.records.append(TraceRecord(self.sim.now(), packet))
+        if self.sink is not None:
+            self.sink(packet)
+
+    # ------------------------------------------------------------------
+    def count(self, kind: Optional[PacketType] = None) -> int:
+        """Number of packets seen, optionally filtered by kind."""
+        if kind is None:
+            return len(self.records)
+        return sum(1 for r in self.records if r.kind is kind)
+
+    def count_acks(self) -> int:
+        """All acknowledgment flavors combined."""
+        return sum(
+            1
+            for r in self.records
+            if r.kind in (PacketType.ACK, PacketType.TACK, PacketType.IACK)
+        )
+
+    def bytes_seen(self, kind: Optional[PacketType] = None) -> int:
+        if kind is None:
+            return sum(r.size for r in self.records)
+        return sum(r.size for r in self.records if r.kind is kind)
+
+    def rate_bps(self, kind: Optional[PacketType] = None,
+                 start: float = 0.0, end: Optional[float] = None) -> float:
+        """Average bit rate of matching packets over ``[start, end]``."""
+        if end is None:
+            end = self.sim.now()
+        duration = end - start
+        if duration <= 0:
+            return 0.0
+        total = sum(
+            r.size
+            for r in self.records
+            if start <= r.time <= end and (kind is None or r.kind is kind)
+        )
+        return total * 8.0 / duration
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str) -> int:
+        """Write the trace as CSV (time, kind, size, seq, pkt_seq,
+        flow_id); returns the number of rows written."""
+        import csv
+        import os
+
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["time", "kind", "size", "seq", "pkt_seq", "flow_id"])
+            for r in self.records:
+                writer.writerow([
+                    f"{r.time:.9f}", r.kind.value, r.size,
+                    "" if r.seq is None else r.seq,
+                    "" if r.pkt_seq is None else r.pkt_seq,
+                    r.flow_id,
+                ])
+        return len(self.records)
+
+    def summary(self) -> dict:
+        """Aggregate counts and byte totals by packet kind."""
+        out: dict = {}
+        for r in self.records:
+            entry = out.setdefault(r.kind.value, {"packets": 0, "bytes": 0})
+            entry["packets"] += 1
+            entry["bytes"] += r.size
+        return out

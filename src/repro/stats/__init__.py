@@ -1,0 +1,22 @@
+"""Measurement utilities: time series, percentiles, power metric,
+scheme ranking.
+
+These implement the paper's evaluation metrics: goodput, 95th
+percentile one-way delay, Kleinrock's power (Fig. 14 utility), and
+rank aggregation across randomized trials.
+"""
+
+from repro.stats.series import TimeSeries
+from repro.stats.percentile import percentile
+from repro.stats.power import kleinrock_power
+from repro.stats.collector import FlowCollector
+from repro.stats.ranking import rank_schemes, RankSummary
+
+__all__ = [
+    "FlowCollector",
+    "RankSummary",
+    "TimeSeries",
+    "kleinrock_power",
+    "percentile",
+    "rank_schemes",
+]

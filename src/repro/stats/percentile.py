@@ -1,0 +1,35 @@
+"""Percentile with linear interpolation (no numpy dependency in the
+core library; benchmarks may use numpy freely)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """The ``pct``-th percentile (0..100) with linear interpolation.
+
+    Raises :class:`ValueError` on an empty input — a silent 0 would
+    corrupt delay statistics.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * pct / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    if ordered[lo] == ordered[hi]:
+        # Exact, avoiding one-ULP drift from the interpolation below
+        # (keeps percentile monotone in pct).
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def median(values: Sequence[float]) -> float:
+    """Convenience 50th percentile."""
+    return percentile(values, 50.0)

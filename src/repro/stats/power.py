@@ -1,0 +1,25 @@
+"""Kleinrock power metric (paper S6.6, Fig. 14).
+
+The paper summarizes each scheme with ``log(throughput_avg /
+OWD_95th)`` — higher is better.  We expose the ratio and its log, and
+guard the degenerate cases (zero throughput ranks worst).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def kleinrock_power(throughput_bps: float, owd_95th_s: float) -> float:
+    """``log(throughput / 95th-percentile OWD)``.
+
+    Returns ``-inf`` for zero throughput so dead schemes rank last;
+    raises on non-positive delay (a measurement bug, not a result).
+    """
+    if owd_95th_s <= 0:
+        raise ValueError(f"non-positive 95th percentile OWD: {owd_95th_s}")
+    if throughput_bps < 0:
+        raise ValueError(f"negative throughput: {throughput_bps}")
+    if throughput_bps == 0:
+        return float("-inf")
+    return math.log(throughput_bps / owd_95th_s)

@@ -1,0 +1,64 @@
+"""Rank aggregation across randomized trials (paper Fig. 14).
+
+Each trial scores every scheme (higher is better); schemes are ranked
+1..N per trial (1 = best) and the distribution of ranks is summarized
+with quartiles — a textual stand-in for the paper's violin plots.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.stats.percentile import percentile
+
+
+class RankSummary:
+    """Distribution of a scheme's per-trial ranks."""
+
+    def __init__(self, scheme: str, ranks: Sequence[int]):
+        if not ranks:
+            raise ValueError(f"no ranks for scheme {scheme!r}")
+        self.scheme = scheme
+        self.ranks = list(ranks)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.ranks) / len(self.ranks)
+
+    @property
+    def median(self) -> float:
+        return percentile([float(r) for r in self.ranks], 50.0)
+
+    def quartiles(self) -> tuple[float, float, float]:
+        vals = [float(r) for r in self.ranks]
+        return (
+            percentile(vals, 25.0),
+            percentile(vals, 50.0),
+            percentile(vals, 75.0),
+        )
+
+    def __repr__(self) -> str:
+        q1, q2, q3 = self.quartiles()
+        return f"RankSummary({self.scheme}: median={q2}, IQR=[{q1}, {q3}])"
+
+
+def rank_schemes(trials: Sequence[Mapping[str, float]]) -> list[RankSummary]:
+    """Aggregate per-trial scores into rank summaries.
+
+    ``trials`` is a list of {scheme: score} mappings (higher score is
+    better).  Every trial must score the same scheme set.  Returns
+    summaries sorted by mean rank (best first).
+    """
+    if not trials:
+        raise ValueError("no trials to rank")
+    schemes = sorted(trials[0])
+    ranks: dict[str, list[int]] = {s: [] for s in schemes}
+    for trial in trials:
+        if sorted(trial) != schemes:
+            raise ValueError("trials scored different scheme sets")
+        ordered = sorted(schemes, key=lambda s: trial[s], reverse=True)
+        for position, scheme in enumerate(ordered, start=1):
+            ranks[scheme].append(position)
+    summaries = [RankSummary(s, ranks[s]) for s in schemes]
+    summaries.sort(key=lambda r: r.mean)
+    return summaries

@@ -1,0 +1,83 @@
+"""Time-binned rates and a terminal renderer for them.
+
+Benchmarks print end-of-run aggregates; debugging transport dynamics
+needs the *trajectory*.  ``binned_rate`` turns a cumulative delivery
+series into per-bin throughput, and ``ascii_chart`` renders one or
+more series as rows of block characters for quick terminal inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.stats.series import TimeSeries
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def binned_rate(series: TimeSeries, bin_s: float,
+                start: float = 0.0, end: float = None) -> list[float]:
+    """Per-bin rate (units/second) from a cumulative-value series.
+
+    The series must hold cumulative totals (e.g. delivered bytes); the
+    result has one entry per ``bin_s`` over ``[start, end)``.
+    """
+    if bin_s <= 0:
+        raise ValueError(f"bin width must be positive, got {bin_s}")
+    if not series.times:
+        return []
+    if end is None:
+        end = series.times[-1]
+    rates = []
+    t = start
+    while t < end:
+        window = series.window(float("-inf"), t)
+        at_start = window[-1] if window else 0.0
+        window_end = series.window(float("-inf"), t + bin_s)
+        at_end = window_end[-1] if window_end else 0.0
+        rates.append((at_end - at_start) / bin_s)
+        t += bin_s
+    return rates
+
+
+def ascii_chart(series_by_name: Mapping[str, Sequence[float]],
+                width: int = 60, unit: str = "") -> str:
+    """Render one row of block characters per named series.
+
+    All series share one vertical scale (their joint maximum), so rows
+    are directly comparable.  Values are resampled to ``width`` columns
+    by bucket-averaging.
+    """
+    if not series_by_name:
+        raise ValueError("nothing to chart")
+    peak = max((max(vals) for vals in series_by_name.values() if vals),
+               default=0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(name) for name in series_by_name)
+    lines = []
+    for name, vals in series_by_name.items():
+        cells = _resample(list(vals), width)
+        row = "".join(
+            _BLOCKS[min(int(v / peak * (len(_BLOCKS) - 1) + 0.5),
+                        len(_BLOCKS) - 1)]
+            for v in cells
+        )
+        suffix = f"  (peak {max(vals):,.1f}{unit})" if vals else ""
+        lines.append(f"{name.rjust(label_width)} |{row}|{suffix}")
+    return "\n".join(lines)
+
+
+def _resample(values: list[float], width: int) -> list[float]:
+    if not values:
+        return [0.0] * width
+    if len(values) <= width:
+        return values
+    out = []
+    per = len(values) / width
+    for i in range(width):
+        lo = int(i * per)
+        hi = max(int((i + 1) * per), lo + 1)
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out

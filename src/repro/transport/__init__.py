@@ -1,0 +1,30 @@
+"""Reliable byte-stream transport engine.
+
+The engine factors legacy TCP and TCP-TACK into shared machinery
+(sequencing, windows, retransmission, pacing) plus three pluggable
+strategies:
+
+* the receiver's **ACK policy** (:mod:`repro.ack`) decides *when* to
+  acknowledge and *what* feedback to carry;
+* the sender's **loss detector** decides *which* packets to
+  retransmit (dupACK+RACK for legacy, receiver pull for TACK);
+* the **congestion controller** (:mod:`repro.cc`) decides *how fast*
+  to send.
+
+``Connection`` wires a :class:`~repro.transport.sender.TransportSender`
+and a :class:`~repro.transport.receiver.TransportReceiver` across any
+pair of netsim ports.
+"""
+
+from repro.transport.connection import Connection, ConnectionConfig
+from repro.transport.feedback import AckFeedback
+from repro.transport.receiver import TransportReceiver
+from repro.transport.sender import TransportSender
+
+__all__ = [
+    "AckFeedback",
+    "Connection",
+    "ConnectionConfig",
+    "TransportReceiver",
+    "TransportSender",
+]

@@ -1,0 +1,164 @@
+"""Connection: a sender and a receiver wired across two ports.
+
+A "port" is anything with ``send(packet) -> bool`` and
+``connect(sink)`` — a wired :class:`~repro.netsim.link.Link`, a WLAN
+:class:`~repro.wlan.station.Station`, a :class:`~repro.netsim.pipe.Pipe`
+— so the same connection runs over every substrate in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ack.base import AckPolicy
+from repro.cc.base import CongestionController
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import MSS
+from repro.transport.receiver import TransportReceiver
+from repro.transport.sender import TransportSender
+
+
+class ConnectionConfig:
+    """Knobs shared by both endpoints of a connection."""
+
+    def __init__(
+        self,
+        mss: int = MSS,
+        rcv_buffer_bytes: int = 4 * 1024 * 1024,
+        receiver_driven: bool = False,
+        use_receiver_rate: bool = False,
+        timing_mode: str = "legacy",
+        auto_drain: bool = True,
+        flow_id: int = 0,
+        initial_rto: float = 1.0,
+    ):
+        self.mss = mss
+        self.rcv_buffer_bytes = rcv_buffer_bytes
+        self.receiver_driven = receiver_driven
+        self.use_receiver_rate = use_receiver_rate
+        self.timing_mode = timing_mode
+        self.auto_drain = auto_drain
+        self.flow_id = flow_id
+        self.initial_rto = initial_rto
+
+
+class Connection:
+    """One unidirectional data transfer (sender -> receiver).
+
+    Parameters
+    ----------
+    sim:
+        Simulation driver.
+    cc:
+        Congestion controller instance for the sender.
+    policy:
+        Acknowledgment policy instance for the receiver.
+    forward_port / reverse_port:
+        Data-direction and feedback-direction ports.  ``wire()`` may
+        be called later instead.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cc: CongestionController,
+        policy: AckPolicy,
+        config: Optional[ConnectionConfig] = None,
+        forward_port=None,
+        reverse_port=None,
+    ):
+        self.sim = sim
+        self.config = config or ConnectionConfig()
+        cfg = self.config
+        receiver_timing = (
+            cfg.timing_mode
+            if cfg.timing_mode in ("advanced", "naive", "per-packet")
+            else "advanced"
+        )
+        self.sender = TransportSender(
+            sim,
+            cc,
+            mss=cfg.mss,
+            receiver_driven=cfg.receiver_driven,
+            use_receiver_rate=cfg.use_receiver_rate,
+            flow_id=cfg.flow_id,
+            initial_rto=cfg.initial_rto,
+        )
+        self.receiver = TransportReceiver(
+            sim,
+            policy,
+            rcv_buffer_bytes=cfg.rcv_buffer_bytes,
+            auto_drain=cfg.auto_drain,
+            timing_mode=receiver_timing,
+            flow_id=cfg.flow_id,
+        )
+        if forward_port is not None and reverse_port is not None:
+            self.wire(forward_port, reverse_port)
+
+    def wire(self, forward_port, reverse_port) -> None:
+        """Attach the two directions of the network path."""
+        self.sender.connect(forward_port)
+        self.receiver.connect(reverse_port)
+        forward_port.connect(self.receiver.on_packet)
+        reverse_port.connect(self.sender.on_packet)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def start_bulk(self) -> None:
+        """Begin an unlimited bulk transfer."""
+        self.sender.set_unlimited()
+        self.sender.start()
+
+    def start_transfer(self, nbytes: int) -> None:
+        """Begin a fixed-size transfer of ``nbytes``."""
+        self.sender.set_total(nbytes)
+        self.sender.start()
+
+    @property
+    def completed(self) -> bool:
+        return self.sender.completed_at is not None
+
+    def goodput_bps(self, duration: Optional[float] = None) -> float:
+        """Application goodput: bytes delivered in order at the
+        receiver over ``duration`` (defaults to sim time)."""
+        if duration is None:
+            duration = self.sim.now()
+        if duration <= 0:
+            return 0.0
+        return self.receiver.stats.bytes_delivered * 8.0 / duration
+
+    def ack_count(self) -> int:
+        """All feedback packets the receiver has emitted."""
+        return self.receiver.stats.total_feedback()
+
+    def summary(self) -> dict:
+        """One-call snapshot of the connection's headline statistics —
+        what examples and notebooks print after a run."""
+        s, r = self.sender.stats, self.receiver.stats
+        duration = self.sim.now()
+        return {
+            "duration_s": duration,
+            "goodput_bps": self.goodput_bps(),
+            "bytes_delivered": r.bytes_delivered,
+            "data_packets_sent": s.data_packets_sent,
+            "retransmissions": s.retransmissions,
+            "rtos": s.rtos,
+            "acks_total": r.total_feedback(),
+            "acks_by_kind": {
+                "ack": r.acks_sent,
+                "tack": r.tacks_sent,
+                "iack": r.iacks_sent,
+            },
+            "ack_per_data": (r.total_feedback() / s.data_packets_sent
+                             if s.data_packets_sent else 0.0),
+            "rtt_min_s": self.sender.current_rtt_min(),
+            "completed": self.completed,
+        }
+
+    def close(self) -> None:
+        self.sender.close()
+        self.receiver.close()
+
+    def __repr__(self) -> str:
+        return f"Connection(sender={self.sender!r}, receiver={self.receiver!r})"

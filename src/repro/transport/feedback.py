@@ -1,0 +1,153 @@
+"""Feedback carried by acknowledgments.
+
+A single structure covers all five ACK flavors; unused fields stay
+``None``.  The structure rides in ``Packet.meta["fb"]`` and its wire
+cost is charged through :func:`feedback_wire_bytes` so that "rich" TACKs
+pay for the blocks they carry (paper S4.4: more information increases
+ACK *size*, never ACK *count*).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netsim.packet import (
+    ACK_PACKET_SIZE,
+    DATA_PACKET_SIZE,
+    Packet,
+    PacketType,
+    make_ack_packet,
+)
+
+BYTES_PER_BLOCK = 8
+"""Wire cost of one (start, end) block, matching TCP SACK encoding."""
+
+BYTES_PER_DELAY = 8
+"""Wire cost of one per-packet (timestamp, delay) entry (S4.3's
+rejected alternative)."""
+
+FREE_BLOCKS = 3
+"""Blocks that fit the base 64-byte ACK (TCP fits 3-4 SACK blocks)."""
+
+
+class AckFeedback:
+    """Transport feedback for the sender.
+
+    Attributes
+    ----------
+    cum_ack:
+        Next expected in-order byte (cumulative acknowledgment).
+    awnd:
+        Receiver's advertised window in bytes.
+    sack_blocks:
+        Received out-of-order byte ranges ``[(start, end), ...]``
+        (end exclusive).  Legacy ACKs cap this at 3; rich TACKs may
+        carry many (the paper's "acked list").
+    unacked_blocks:
+        Byte ranges the receiver is still missing below its highest
+        received byte (the paper's "unacked list"); rich TACKs repeat
+        these so loss notifications survive ACK-path loss.
+    pull_pkt_range:
+        ``(second_largest_pkt_seq, largest_pkt_seq)`` from a
+        loss-event IACK: everything strictly between them is missing
+        in PKT.SEQ space and should be retransmitted (paper S5.1).
+    tack_delay:
+        Delay between receipt of the timing reference packet and this
+        feedback's departure (paper Fig. 4(b)).
+    echo_departure_ts:
+        Departure timestamp of the timing reference packet, echoed
+        back so the sender can form one RTT sample.
+    delivery_rate_bps:
+        Receiver-measured delivery rate over the last TACK interval
+        (receiver-based rate control, paper S5.3).
+    rx_loss_rate:
+        Receiver-measured data-path loss rate over the last interval.
+    largest_pkt_seq:
+        Highest PKT.SEQ seen by the receiver (receipt horizon).
+    packet_delays:
+        Optional per-packet ``(departure_ts, delay)`` samples — the
+        high-overhead alternative the paper describes and rejects in
+        S4.3 ("the overhead is high...").  Each entry costs
+        :data:`BYTES_PER_DELAY` wire bytes; implemented for the
+        overhead-vs-accuracy ablation.
+    reason:
+        Trigger label for IACKs (``"loss"``, ``"window"``,
+        ``"rttmin"``); diagnostic only.
+    """
+
+    __slots__ = (
+        "cum_ack",
+        "awnd",
+        "sack_blocks",
+        "unacked_blocks",
+        "pull_pkt_range",
+        "tack_delay",
+        "echo_departure_ts",
+        "delivery_rate_bps",
+        "rx_loss_rate",
+        "largest_pkt_seq",
+        "packet_delays",
+        "reason",
+    )
+
+    def __init__(
+        self,
+        cum_ack: int,
+        awnd: int,
+        sack_blocks: Optional[list[tuple[int, int]]] = None,
+        unacked_blocks: Optional[list[tuple[int, int]]] = None,
+        pull_pkt_range: Optional[tuple[int, int]] = None,
+        tack_delay: Optional[float] = None,
+        echo_departure_ts: Optional[float] = None,
+        delivery_rate_bps: Optional[float] = None,
+        rx_loss_rate: Optional[float] = None,
+        largest_pkt_seq: Optional[int] = None,
+        packet_delays: Optional[list[tuple[float, float]]] = None,
+        reason: Optional[str] = None,
+    ):
+        self.cum_ack = cum_ack
+        self.awnd = awnd
+        self.sack_blocks = sack_blocks or []
+        self.unacked_blocks = unacked_blocks or []
+        self.pull_pkt_range = pull_pkt_range
+        self.tack_delay = tack_delay
+        self.echo_departure_ts = echo_departure_ts
+        self.delivery_rate_bps = delivery_rate_bps
+        self.rx_loss_rate = rx_loss_rate
+        self.largest_pkt_seq = largest_pkt_seq
+        self.packet_delays = packet_delays or []
+        self.reason = reason
+
+    def block_count(self) -> int:
+        return len(self.sack_blocks) + len(self.unacked_blocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"AckFeedback(cum_ack={self.cum_ack}, awnd={self.awnd}, "
+            f"sack={len(self.sack_blocks)}, unacked={len(self.unacked_blocks)}, "
+            f"reason={self.reason})"
+        )
+
+
+def feedback_wire_bytes(fb: AckFeedback) -> int:
+    """Wire size of an acknowledgment carrying ``fb``.
+
+    The first :data:`FREE_BLOCKS` blocks ride in the base 64-byte ACK;
+    each additional block costs :data:`BYTES_PER_BLOCK`, capped at one
+    MTU (a TACK cannot exceed a full-sized frame, paper S5.1).
+    """
+    extra_blocks = max(0, fb.block_count() - FREE_BLOCKS)
+    extra = (extra_blocks * BYTES_PER_BLOCK
+             + len(fb.packet_delays) * BYTES_PER_DELAY)
+    return min(ACK_PACKET_SIZE + extra, DATA_PACKET_SIZE)
+
+
+def make_feedback_packet(kind: PacketType, fb: AckFeedback, flow_id: int = 0) -> Packet:
+    """Wrap ``fb`` in a wire packet of the right size."""
+    pkt = make_ack_packet(
+        kind=kind,
+        extra_bytes=feedback_wire_bytes(fb) - ACK_PACKET_SIZE,
+        flow_id=flow_id,
+    )
+    pkt.meta["fb"] = fb
+    return pkt

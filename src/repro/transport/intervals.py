@@ -1,0 +1,111 @@
+"""Half-open integer interval set.
+
+The receiver's reassembly buffer, the SACK scoreboard, and the TACK
+"acked list"/"unacked list" all need the same algebra: insert byte
+ranges, coalesce, and enumerate present ranges or gaps.  Implemented as
+a sorted list of disjoint ``[start, end)`` pairs; n is tiny in practice
+(number of holes), so linear scans with :mod:`bisect` are fine.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator
+
+
+class IntervalSet:
+    """Set of non-negative integers stored as disjoint half-open ranges."""
+
+    def __init__(self, ranges: Iterable[tuple[int, int]] = ()):
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+        for start, end in ranges:
+            self.add(start, end)
+
+    # ------------------------------------------------------------------
+    def add(self, start: int, end: int) -> int:
+        """Insert ``[start, end)``; returns the number of *new* integers
+        added (0 when fully overlapping existing ranges)."""
+        if end <= start:
+            return 0
+        i = bisect.bisect_left(self._ends, start)
+        # Ranges [i, j) overlap or touch the new range.
+        j = i
+        new_start, new_end = start, end
+        overlap = 0
+        while j < len(self._starts) and self._starts[j] <= end:
+            overlap += min(self._ends[j], end) - max(self._starts[j], start)
+            new_start = min(new_start, self._starts[j])
+            new_end = max(new_end, self._ends[j])
+            j += 1
+        added = (end - start) - max(0, overlap)
+        self._starts[i:j] = [new_start]
+        self._ends[i:j] = [new_end]
+        return added
+
+    def remove_below(self, bound: int) -> None:
+        """Delete every integer < ``bound`` (used when the app consumes
+        in-order data)."""
+        while self._starts and self._ends[0] <= bound:
+            self._starts.pop(0)
+            self._ends.pop(0)
+        if self._starts and self._starts[0] < bound:
+            self._starts[0] = bound
+
+    # ------------------------------------------------------------------
+    def __contains__(self, value: int) -> bool:
+        i = bisect.bisect_right(self._starts, value) - 1
+        return i >= 0 and value < self._ends[i]
+
+    def contains_range(self, start: int, end: int) -> bool:
+        """True when every integer in ``[start, end)`` is present."""
+        if end <= start:
+            return True
+        i = bisect.bisect_right(self._starts, start) - 1
+        return i >= 0 and self._ends[i] >= end
+
+    def covered(self) -> int:
+        """Total number of integers present."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    def ranges(self) -> list[tuple[int, int]]:
+        """Disjoint present ranges, ascending."""
+        return list(zip(self._starts, self._ends))
+
+    def gaps(self, upto: int) -> list[tuple[int, int]]:
+        """Missing ranges below ``upto`` (and above the lowest present
+        value or zero)."""
+        result = []
+        prev = 0
+        for s, e in zip(self._starts, self._ends):
+            if s >= upto:
+                break
+            if s > prev:
+                result.append((prev, min(s, upto)))
+            prev = e
+        if prev < upto:
+            result.append((prev, upto))
+        return result
+
+    def first_missing(self, from_value: int = 0) -> int:
+        """Smallest integer >= ``from_value`` not in the set."""
+        i = bisect.bisect_right(self._starts, from_value) - 1
+        if i >= 0 and from_value < self._ends[i]:
+            return self._ends[i]
+        return from_value
+
+    def max_end(self) -> int:
+        """One past the largest present integer (0 when empty)."""
+        return self._ends[-1] if self._ends else 0
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self.ranges())
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __repr__(self) -> str:
+        return f"IntervalSet({self.ranges()!r})"

@@ -1,0 +1,351 @@
+"""Transport receiver: reassembly, windows, and feedback construction.
+
+The receiver is protocol-flavor-agnostic: all ACK-timing decisions live
+in the attached :class:`~repro.ack.base.AckPolicy`.  The receiver owns
+the state every policy snapshots into feedback:
+
+* byte-range reassembly (cumulative ack point, SACK/acked blocks,
+  gaps/unacked blocks);
+* PKT.SEQ tracking for receiver-based loss detection (paper S5.1);
+* relative-OWD tracking for advanced round-trip timing (S5.2);
+* per-interval delivery-rate and loss-rate measurement (S5.3/S5.4);
+* the advertised window derived from a finite receive buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.ack.base import AckPolicy
+from repro.core.loss_detect import PktSeqTracker
+from repro.core.owd_timing import ReceiverOwdTracker
+from repro.core.rate_sync import ReceiverRateEstimator
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet, PacketType
+from repro.transport.feedback import AckFeedback, make_feedback_packet
+from repro.transport.intervals import IntervalSet
+
+
+class ReceiverStats:
+    """Counters published by the receiver."""
+
+    def __init__(self):
+        self.data_packets = 0
+        self.duplicate_packets = 0
+        self.bytes_received = 0
+        self.bytes_delivered = 0
+        self.acks_sent = 0
+        self.tacks_sent = 0
+        self.iacks_sent = 0
+        self.gap_events = 0
+        self.peak_buffered_bytes = 0
+
+    def total_feedback(self) -> int:
+        return self.acks_sent + self.tacks_sent + self.iacks_sent
+
+
+class TransportReceiver:
+    """Receiving endpoint of a connection.
+
+    Parameters
+    ----------
+    sim:
+        Simulation driver (timers, clock).
+    policy:
+        The acknowledgment policy (decides when/what to feed back).
+    rcv_buffer_bytes:
+        Receive-buffer capacity backing the advertised window.
+    auto_drain:
+        When True (default) the application consumes in-order data
+        instantly; set False and call :meth:`read` to model a slow
+        reader (zero-window experiments, video playback).
+    timing_mode:
+        "advanced" or "naive" round-trip timing (paper Fig. 6(a)).
+    flow_id:
+        Stamped on every feedback packet.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        policy: AckPolicy,
+        rcv_buffer_bytes: int = 4 * 1024 * 1024,
+        auto_drain: bool = True,
+        timing_mode: str = "advanced",
+        owd_ewma_gain: float = 0.25,
+        flow_id: int = 0,
+    ):
+        self.sim = sim
+        self.policy = policy
+        self.rcv_buffer_bytes = rcv_buffer_bytes
+        self.auto_drain = auto_drain
+        self.flow_id = flow_id
+        self._port = None
+        # reassembly
+        self.intervals = IntervalSet()
+        self.delivered_ptr = 0  # next byte the app will read
+        # trackers
+        self.pkt_tracker = PktSeqTracker()
+        self.owd = ReceiverOwdTracker(ewma_gain=owd_ewma_gain, mode=timing_mode)
+        self.rate = ReceiverRateEstimator()
+        self.stats = ReceiverStats()
+        # sender-synced state
+        self.peer_rtt_min: Optional[float] = None
+        self.peer_ack_loss_rate: float = 0.0
+        # window-event hysteresis
+        self._window_was_low = False
+        # gap aging for the reorder settling allowance (paper S7)
+        self._gap_first_seen: dict[int, float] = {}
+        self._closed = False
+        self._on_deliver: Optional[Callable[[int, float], None]] = None
+        self._arrival_log: Optional[list] = None
+        policy.attach(self)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def connect(self, port) -> None:
+        """Attach the reverse-path port feedback is sent through."""
+        self._port = port
+
+    def on_deliver(self, callback: Callable[[int, float], None]) -> None:
+        """Register an app callback ``(nbytes, now)`` fired when
+        in-order data is handed up."""
+        self._on_deliver = callback
+
+    def enable_arrival_log(self) -> list:
+        """Record ``(time, seq, pkt_seq)`` for every data arrival."""
+        self._arrival_log = []
+        return self._arrival_log
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+    def on_packet(self, packet: Packet) -> None:
+        """Entry point for everything arriving on the forward path."""
+        if self._closed:
+            return
+        if packet.kind is PacketType.SYN:
+            self._handle_syn(packet)
+        elif packet.kind is PacketType.DATA:
+            self._handle_data(packet)
+        elif packet.kind is PacketType.FIN:
+            self.policy.on_close()
+        # Anything else (stray feedback) is ignored.
+
+    def _handle_syn(self, packet: Packet) -> None:
+        reply = Packet(PacketType.SYN_ACK, size=64, flow_id=self.flow_id)
+        reply.sent_at = self.sim.now()
+        reply.meta["syn_sent_at"] = packet.sent_at
+        if self._port is not None:
+            self._port.send(reply)
+
+    def _handle_data(self, packet: Packet) -> None:
+        now = self.sim.now()
+        assert packet.seq is not None and packet.pkt_seq is not None
+        if "rtt_min" in packet.meta:
+            self.peer_rtt_min = packet.meta["rtt_min"]
+        if "ack_loss_rate" in packet.meta:
+            self.peer_ack_loss_rate = packet.meta["ack_loss_rate"]
+        if self._arrival_log is not None:
+            self._arrival_log.append((now, packet.seq, packet.pkt_seq))
+        # Timing and rate trackers see every arrival, duplicates included.
+        if packet.sent_at is not None:
+            self.owd.on_packet(packet.sent_at, now)
+        gap = self.pkt_tracker.on_packet(packet.pkt_seq)
+        # Clip below the consumption point: bytes the app already read
+        # were removed from the interval set, so a stale retransmission
+        # must not re-enter it (it would corrupt buffer accounting).
+        clip_start = max(packet.seq, self.delivered_ptr)
+        if clip_start < packet.end_seq():
+            added = self.intervals.add(clip_start, packet.end_seq())
+        else:
+            added = 0
+        self.stats.data_packets += 1
+        if added == 0:
+            self.stats.duplicate_packets += 1
+        else:
+            self.stats.bytes_received += added
+            self.rate.on_data(added, now)
+        in_order = False
+        if self.intervals.first_missing(self.delivered_ptr) > self.delivered_ptr:
+            in_order = packet.seq <= self.delivered_ptr
+            if self.auto_drain:
+                self._drain()
+        self._track_buffer_peak()
+        if gap is not None:
+            self.stats.gap_events += 1
+            self.policy.on_gap(gap)
+        self.policy.on_data(packet, in_order)
+        self._check_window_events()
+
+    # ------------------------------------------------------------------
+    # application read side
+    # ------------------------------------------------------------------
+    def available_bytes(self) -> int:
+        """In-order bytes ready for the application."""
+        return self.intervals.first_missing(self.delivered_ptr) - self.delivered_ptr
+
+    def read(self, nbytes: int) -> int:
+        """Consume up to ``nbytes`` of in-order data; returns the
+        amount actually read (slow-reader mode)."""
+        take = min(nbytes, self.available_bytes())
+        if take > 0:
+            self._consume(take)
+            self._check_window_events()
+        return take
+
+    def _drain(self) -> None:
+        ready = self.available_bytes()
+        if ready > 0:
+            self._consume(ready)
+
+    def _consume(self, nbytes: int) -> None:
+        self.delivered_ptr += nbytes
+        self.intervals.remove_below(self.delivered_ptr)
+        self.stats.bytes_delivered += nbytes
+        if self._on_deliver is not None:
+            self._on_deliver(nbytes, self.sim.now())
+
+    # ------------------------------------------------------------------
+    # window state
+    # ------------------------------------------------------------------
+    def buffered_bytes(self) -> int:
+        """Bytes held in the receive buffer: in-order data the app has
+        not read yet plus out-of-order data waiting for holes."""
+        return self.intervals.covered()
+
+    def holb_blocked_bytes(self) -> int:
+        """Out-of-order bytes blocked behind the first hole."""
+        return self.intervals.covered() - self.available_bytes()
+
+    def awnd(self) -> int:
+        """Advertised window: free receive-buffer space."""
+        return max(0, self.rcv_buffer_bytes - self.intervals.covered())
+
+    def _track_buffer_peak(self) -> None:
+        buffered = self.intervals.covered()
+        if buffered > self.stats.peak_buffered_bytes:
+            self.stats.peak_buffered_bytes = buffered
+
+    def _check_window_events(self) -> None:
+        awnd = self.awnd()
+        low = awnd < 2 * 1500
+        if low and not self._window_was_low:
+            self._window_was_low = True
+            self.policy.on_window_event("zero_window")
+        elif self._window_was_low and awnd > self.rcv_buffer_bytes // 4:
+            self._window_was_low = False
+            self.policy.on_window_event("window_open")
+
+    # ------------------------------------------------------------------
+    # feedback construction
+    # ------------------------------------------------------------------
+    def build_feedback(
+        self,
+        max_sack_blocks: int = 3,
+        max_unacked_blocks: int = 0,
+        include_timing: bool = False,
+        include_rate: bool = False,
+        pull_pkt_range: Optional[tuple[int, int]] = None,
+        reason: Optional[str] = None,
+        min_gap_age: float = 0.0,
+    ) -> AckFeedback:
+        """Snapshot reassembly state into feedback fields.
+
+        ``max_sack_blocks`` caps the "acked list" (legacy SACK uses 3;
+        rich TACKs may use more).  ``max_unacked_blocks`` caps the
+        "unacked list" (the paper's Q).  Blocks are chosen per S5.1:
+        highest-numbered acked blocks, lowest-numbered unacked blocks.
+        """
+        now = self.sim.now()
+        cum_ack = self.intervals.first_missing(self.delivered_ptr)
+        sack: list[tuple[int, int]] = []
+        if max_sack_blocks > 0:
+            above = [r for r in self.intervals.ranges() if r[1] > cum_ack]
+            sack = above[-max_sack_blocks:]
+        unacked: list[tuple[int, int]] = []
+        if max_unacked_blocks > 0:
+            # Clip gaps to [cum_ack, ...): everything below cum_ack was
+            # consumed (removed from the interval set), not lost.  A
+            # settling allowance (paper S7) suppresses gaps younger
+            # than ``min_gap_age`` so mild reordering is not reported
+            # as loss.
+            current: set[int] = set()
+            for start, end in self.intervals.gaps(self.intervals.max_end()):
+                if end <= cum_ack:
+                    continue
+                gap = (max(start, cum_ack), end)
+                current.add(gap[0])
+                first_seen = self._gap_first_seen.setdefault(gap[0], now)
+                if now - first_seen < min_gap_age:
+                    continue
+                if len(unacked) < max_unacked_blocks:
+                    unacked.append(gap)
+            for key in [k for k in self._gap_first_seen if k not in current]:
+                del self._gap_first_seen[key]
+        tack_delay = None
+        echo_ts = None
+        packet_delays = None
+        if include_timing:
+            ref = self.owd.take_reference()
+            if ref is not None:
+                echo_ts = ref.departure_ts
+                if self.owd.mode != "naive":
+                    # Explicit delay correction (paper Fig. 4(b)); the
+                    # naive legacy sampling has no such field, so its
+                    # RTT absorbs the receiver hold time.
+                    tack_delay = now - ref.arrival_ts
+            if self.owd.mode == "per-packet":
+                # S4.3's high-overhead alternative: one (t0, delta-t)
+                # entry per packet of the interval.
+                packet_delays = self.owd.take_all_samples(now)
+        delivery_rate = None
+        loss_rate = None
+        if include_rate:
+            self.rate.close_interval(now)
+            bw = self.rate.bw_bps(now)
+            delivery_rate = bw if bw > 0 else None
+            loss_rate = self.pkt_tracker.loss_rate()
+        return AckFeedback(
+            cum_ack=cum_ack,
+            awnd=self.awnd(),
+            sack_blocks=sack,
+            unacked_blocks=unacked,
+            pull_pkt_range=pull_pkt_range,
+            tack_delay=tack_delay,
+            echo_departure_ts=echo_ts,
+            delivery_rate_bps=delivery_rate,
+            rx_loss_rate=loss_rate,
+            largest_pkt_seq=self.pkt_tracker.largest_seen,
+            packet_delays=packet_delays,
+            reason=reason,
+        )
+
+    def emit_feedback(self, kind: PacketType, fb: AckFeedback) -> None:
+        """Send ``fb`` as a ``kind`` packet through the reverse path."""
+        if self._port is None:
+            return
+        pkt = make_feedback_packet(kind, fb, flow_id=self.flow_id)
+        pkt.sent_at = self.sim.now()
+        if kind is PacketType.TACK:
+            self.stats.tacks_sent += 1
+        elif kind is PacketType.IACK:
+            self.stats.iacks_sent += 1
+        else:
+            self.stats.acks_sent += 1
+        self._port.send(pkt)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.policy.on_close()
+        self.policy.detach()
+
+    def __repr__(self) -> str:
+        return (
+            f"TransportReceiver(cum_ack={self.intervals.first_missing(self.delivered_ptr)}, "
+            f"delivered={self.stats.bytes_delivered})"
+        )

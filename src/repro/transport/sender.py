@@ -1,0 +1,703 @@
+"""Transport sender: windows, pacing, retransmission, rate control.
+
+One sender class covers both paradigms of the paper:
+
+* **legacy mode** (``receiver_driven=False``): loss detection by
+  duplicate ACKs plus RACK, RTT sampling from ACK arrival times
+  (delay-biased, as the paper points out), sender-side delivery-rate
+  estimation — the TCP BBR / CUBIC baselines.
+* **TACK mode** (``receiver_driven=True``): retransmissions are
+  *pulled* by IACKs and rich TACK block lists, RTT_min comes from the
+  advanced OWD timing, and the delivery rate arrives pre-computed in
+  each TACK (paper S5.1-S5.4).  The once-per-RTT retransmission
+  governor suppresses duplicate pulls.
+
+Both modes pace (paper S5.3); legacy TCP's micro-bursts are modeled by
+pacing at ``1.2 * cwnd / srtt`` inside the congestion controllers.
+"""
+
+from __future__ import annotations
+
+import bisect
+import collections
+from typing import Optional
+
+from repro.cc.base import CongestionController, RateSample
+from repro.cc.pacing import Pacer
+from repro.cc.rack import RackState
+from repro.core.loss_detect import RetransmitGovernor
+from repro.core.owd_timing import SenderRttMinEstimator
+from repro.core.rate_sync import AckPathLossEstimator
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import (
+    HEADER_SIZE,
+    MSS,
+    Packet,
+    PacketType,
+)
+from repro.transport.feedback import AckFeedback
+from repro.transport.rtt import MinRttTracker, RttEstimator
+
+
+class SendRecord:
+    """Bookkeeping for one outstanding segment."""
+
+    __slots__ = (
+        "seq",
+        "length",
+        "pkt_seq",
+        "first_sent",
+        "last_sent",
+        "retx_count",
+        "sacked",
+        "lost",
+        "acked",
+        "delivered_snapshot",
+        "delivered_time",
+        "app_limited",
+    )
+
+    def __init__(self, seq: int, length: int, pkt_seq: int, now: float,
+                 delivered_snapshot: int, app_limited: bool):
+        self.seq = seq
+        self.length = length
+        self.pkt_seq = pkt_seq
+        self.first_sent = now
+        self.last_sent = now
+        self.retx_count = 0
+        self.sacked = False
+        self.lost = False
+        self.acked = False
+        self.delivered_snapshot = delivered_snapshot
+        self.delivered_time = now
+        self.app_limited = app_limited
+
+    @property
+    def end(self) -> int:
+        return self.seq + self.length
+
+    def in_flight(self) -> bool:
+        return not (self.sacked or self.lost or self.acked)
+
+
+class SenderStats:
+    """Counters published by the sender."""
+
+    def __init__(self):
+        self.data_packets_sent = 0
+        self.retransmissions = 0
+        self.spurious_retransmissions = 0
+        self.bytes_sent = 0
+        self.feedback_received = 0
+        self.iacks_received = 0
+        self.tacks_received = 0
+        self.acks_received = 0
+        self.rtos = 0
+        self.fast_retransmits = 0
+        self.rtt_samples = 0
+
+
+class TransportSender:
+    """Sending endpoint of a connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cc: CongestionController,
+        mss: int = MSS,
+        receiver_driven: bool = False,
+        use_receiver_rate: bool = False,
+        sync_rtt_min: bool = False,
+        flow_id: int = 0,
+        initial_rto: float = 1.0,
+        min_rtt_window_s: float = 10.0,
+    ):
+        self.sim = sim
+        self.cc = cc
+        self.mss = mss
+        self.receiver_driven = receiver_driven
+        self.use_receiver_rate = use_receiver_rate
+        self.sync_rtt_min = sync_rtt_min or receiver_driven
+        self.flow_id = flow_id
+        self._port = None
+        # sequencing
+        self.next_seq = 0
+        self.next_pkt_seq = 1
+        self.records: dict[int, SendRecord] = {}
+        self._order: list[int] = []          # seq starts, ascending
+        self._head = 0                       # first un-cum-acked index
+        self.pkt_map: dict[int, int] = {}    # pkt_seq -> seq (latest)
+        self.retx_queue: collections.deque[int] = collections.deque()
+        self._retx_queued: set[int] = set()
+        # flow state
+        self.cum_acked = 0
+        self.in_flight = 0
+        self.delivered = 0
+        self.awnd = 1 << 30
+        self.established = False
+        self.closed = False
+        # app data
+        self.pending_bytes = 0
+        self.unlimited = False
+        self.total_bytes: Optional[int] = None
+        self.completed_at: Optional[float] = None
+        # estimators
+        self.rtt = RttEstimator(initial_rto=initial_rto)
+        self.min_rtt_legacy = MinRttTracker(tau=min_rtt_window_s)
+        self.rtt_min_est = SenderRttMinEstimator(window_s=min_rtt_window_s)
+        self.rack = RackState()
+        self.governor = RetransmitGovernor()
+        self.ack_loss = AckPathLossEstimator()
+        self.pacer = Pacer(rate_bps=cc.pacing_rate_bps() if self._safe_rate(cc) else 1e6)
+        # legacy dupACK state
+        self._last_cum = 0
+        self._dup_count = 0
+        self._recovery_point = -1
+        # timers
+        self._send_timer = None
+        self._rto_timer = None
+        self._persist_timer = None
+        self._syn_sent_at: Optional[float] = None
+        self.stats = SenderStats()
+
+    @staticmethod
+    def _safe_rate(cc: CongestionController) -> bool:
+        try:
+            return cc.pacing_rate_bps() > 0
+        except Exception:
+            return False
+
+    # ------------------------------------------------------------------
+    # wiring and app interface
+    # ------------------------------------------------------------------
+    def connect(self, port) -> None:
+        """Attach the forward-path port data is sent through."""
+        self._port = port
+
+    def start(self) -> None:
+        """Initiate the handshake."""
+        syn = Packet(PacketType.SYN, size=64, flow_id=self.flow_id)
+        syn.sent_at = self.sim.now()
+        self._syn_sent_at = self.sim.now()
+        if self._port is not None:
+            self._port.send(syn)
+        # Retry the handshake if the SYN or SYN-ACK is lost.
+        self._rto_timer = self.sim.call_in(self.rtt.rto(), self._handshake_timeout)
+
+    def _handshake_timeout(self) -> None:
+        if not self.established and not self.closed:
+            self.rtt.back_off()
+            self.start()
+
+    def write(self, nbytes: int) -> None:
+        """Queue application data for transmission."""
+        if nbytes < 0:
+            raise ValueError(f"negative write: {nbytes}")
+        self.pending_bytes += nbytes
+        if self.total_bytes is not None:
+            self.total_bytes += nbytes
+        self._try_send()
+
+    def set_unlimited(self) -> None:
+        """Model an infinite bulk source."""
+        self.unlimited = True
+        self._try_send()
+
+    def set_total(self, nbytes: int) -> None:
+        """Fixed-size transfer; completion is stamped when the last
+        byte is cumulatively acknowledged."""
+        self.total_bytes = nbytes
+        self.pending_bytes = nbytes
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    # ingress
+    # ------------------------------------------------------------------
+    def on_packet(self, packet: Packet) -> None:
+        if packet.kind is PacketType.SYN_ACK:
+            self._handle_syn_ack(packet)
+        elif packet.is_ack_like():
+            fb = packet.meta.get("fb")
+            if fb is not None:
+                self._on_feedback(fb, packet.kind)
+
+    def _handle_syn_ack(self, packet: Packet) -> None:
+        if self.established:
+            return
+        self.established = True
+        now = self.sim.now()
+        sent_at = packet.meta.get("syn_sent_at", self._syn_sent_at)
+        if sent_at is not None:
+            rtt0 = now - sent_at
+            self.rtt.on_sample(rtt0)
+            self.min_rtt_legacy.on_sample(rtt0, now)
+            self.rtt_min_est.on_handshake(rtt0, now)
+        if self._rto_timer is not None:
+            self._rto_timer.cancel()
+            self._rto_timer = None
+        self.pacer.reset(now)
+        self.pacer.set_rate(self.cc.pacing_rate_bps())
+        self._try_send()
+
+    # ------------------------------------------------------------------
+    # feedback processing
+    # ------------------------------------------------------------------
+    def _on_feedback(self, fb: AckFeedback, kind: PacketType) -> None:
+        now = self.sim.now()
+        self.stats.feedback_received += 1
+        if kind is PacketType.IACK:
+            self.stats.iacks_received += 1
+        elif kind is PacketType.TACK:
+            self.stats.tacks_received += 1
+            self.ack_loss.on_tack(now)
+        else:
+            self.stats.acks_received += 1
+        self.awnd = fb.awnd
+        newly_acked = 0
+        newly_lost = 0
+        rtt_sample: Optional[float] = None
+        rate_sample_bps: Optional[float] = None
+
+        # --- cumulative acknowledgment ------------------------------
+        # Ignore acknowledgment of data never sent (RFC 9293: an ACK
+        # above SND.NXT is discarded) — clamp rather than trust.
+        cum_ack = min(fb.cum_ack, self.next_seq)
+        if cum_ack > self.cum_acked:
+            self.cum_acked = cum_ack
+            self._dup_count = 0
+            while self._head < len(self._order):
+                seq = self._order[self._head]
+                rec = self.records.get(seq)
+                if rec is None or rec.end > cum_ack:
+                    break
+                self._head += 1
+                if not rec.acked and not rec.sacked:
+                    newly_acked += self._settle_record(rec, now, sacked=False)
+                    if rec.retx_count == 0 and not self.receiver_driven:
+                        # Legacy RTT sampling from ACK arrival times
+                        # (delay-biased, paper S4.3).  TACK mode times
+                        # exclusively through the corrected TACK
+                        # references instead.
+                        sample = now - rec.last_sent
+                        self._take_rtt_sample(sample, now)
+                        rtt_sample = sample
+                        rate_sample_bps = self._legacy_rate_sample(rec, now)
+                del self.records[seq]
+                self.pkt_map.pop(rec.pkt_seq, None)
+                self.governor.on_acked(seq)
+            if self._head > 8192:
+                # Compact the send-order index so memory tracks the
+                # window, not the lifetime of the connection.
+                self._order = self._order[self._head:]
+                self._head = 0
+        elif fb.cum_ack == self.cum_acked and not self.receiver_driven:
+            if self.in_flight > 0 and not fb.sack_blocks:
+                self._dup_count += 1
+            elif fb.sack_blocks:
+                self._dup_count += 1
+
+        # --- selective acknowledgment (acked list) ------------------
+        sack_progress = False
+        for start, end in fb.sack_blocks:
+            for rec in self._records_in_range(start, end):
+                if not rec.acked and not rec.sacked and rec.end <= end and rec.seq >= start:
+                    newly_acked += self._settle_record(rec, now, sacked=True)
+                    sack_progress = True
+                    if rec.retx_count == 0:
+                        rate = self._legacy_rate_sample(rec, now)
+                        if rate is not None:
+                            rate_sample_bps = max(rate_sample_bps or 0.0, rate)
+
+        # --- TACK timing --------------------------------------------
+        if self.receiver_driven:
+            sample = self.rtt_min_est.on_tack(now, fb.echo_departure_ts, fb.tack_delay)
+            if sample is not None:
+                self.rtt.on_sample(sample)
+                self.stats.rtt_samples += 1
+                rtt_sample = sample
+                self.ack_loss.on_rtt_min_update(now, self._tack_interval_hint())
+            for departure_ts, delay in fb.packet_delays:
+                # Per-packet delay entries (S4.3 alternative): one RTT
+                # sample each.
+                extra = self.rtt_min_est.on_tack(now, departure_ts, delay)
+                if extra is not None:
+                    self.stats.rtt_samples += 1
+
+        # --- loss notifications -------------------------------------
+        if fb.pull_pkt_range is not None:
+            newly_lost += self._handle_pull(fb.pull_pkt_range, now)
+        for start, end in fb.unacked_blocks:
+            newly_lost += self._mark_range_lost(start, end, now)
+        if not self.receiver_driven:
+            newly_lost += self._legacy_loss_detection(fb, now)
+
+        # --- rate sample to the controller --------------------------
+        if self.use_receiver_rate and fb.delivery_rate_bps is not None:
+            rate_sample_bps = fb.delivery_rate_bps
+        # A sample is "application limited" when something other than
+        # cwnd throttled the flow: the app ran dry, or the receiver's
+        # advertised window is the binding constraint.  Such samples
+        # must not lower the bandwidth estimate (BBR rule).
+        app_limited = (
+            (not self.unlimited and self.pending_bytes == 0)
+            or self.awnd < self.cc.cwnd_bytes()
+        )
+        sample = RateSample(
+            now=now,
+            newly_acked=newly_acked,
+            newly_lost=newly_lost,
+            rtt=rtt_sample,
+            delivery_rate_bps=rate_sample_bps,
+            in_flight=self.in_flight,
+            is_app_limited=app_limited,
+            min_rtt=self.current_rtt_min() if self.receiver_driven else None,
+        )
+        self.cc.on_feedback(sample)
+        self.pacer.set_rate(self.cc.pacing_rate_bps())
+
+        # --- completion / timers -------------------------------------
+        if (
+            self.total_bytes is not None
+            and self.completed_at is None
+            and self.cum_acked >= self.total_bytes
+        ):
+            self.completed_at = now
+        self._rearm_rto(progress=newly_acked > 0)
+        self._try_send()
+
+    def _settle_record(self, rec: SendRecord, now: float, sacked: bool) -> int:
+        """Mark a record delivered; returns newly-acked byte count."""
+        if rec.in_flight():
+            self.in_flight -= rec.length
+        if sacked:
+            rec.sacked = True
+        else:
+            rec.acked = True
+        self.delivered += rec.length
+        self.rack.on_delivered(rec.last_sent)
+        return rec.length
+
+    def _take_rtt_sample(self, sample: float, now: float) -> None:
+        self.rtt.on_sample(sample)
+        self.min_rtt_legacy.on_sample(sample, now)
+        self.stats.rtt_samples += 1
+
+    def _legacy_rate_sample(self, rec: SendRecord, now: float) -> Optional[float]:
+        """BBR-style delivery-rate sample from a newly acked record."""
+        if self.use_receiver_rate:
+            return None
+        elapsed = now - rec.delivered_time
+        if elapsed <= 0:
+            return None
+        return (self.delivered - rec.delivered_snapshot) * 8.0 / elapsed
+
+    def _tack_interval_hint(self) -> float:
+        # Mirror of the receiver's Eq. (3) interval for rho' estimation.
+        rtt_min = self.current_rtt_min()
+        bw = self.cc.pacing_rate_bps()
+        if bw <= 0:
+            return rtt_min / 4.0
+        return max(2 * self.mss * 8.0 / bw, rtt_min / 4.0)
+
+    # ------------------------------------------------------------------
+    # loss detection
+    # ------------------------------------------------------------------
+    def _records_in_range(self, start: int, end: int):
+        i = bisect.bisect_left(self._order, start, self._head)
+        if i > self._head and i <= len(self._order):
+            j = i - 1
+            seq = self._order[j]
+            rec = self.records.get(seq)
+            if rec is not None and rec.end > start:
+                yield rec
+        while i < len(self._order):
+            seq = self._order[i]
+            if seq >= end:
+                break
+            rec = self.records.get(seq)
+            if rec is not None:
+                yield rec
+            i += 1
+
+    def _handle_pull(self, pull_range: tuple[int, int], now: float) -> int:
+        """IACK pull: retransmit pkt_seqs strictly inside the range."""
+        lo, hi = pull_range
+        lost = 0
+        for pkt_seq in range(lo + 1, hi):
+            seq = self.pkt_map.get(pkt_seq)
+            if seq is None:
+                continue
+            rec = self.records.get(seq)
+            if rec is None or rec.acked or rec.sacked:
+                continue
+            if rec.pkt_seq != pkt_seq:
+                continue  # already retransmitted under a newer number
+            # The pulled number IS the latest transmission: certain
+            # loss evidence (PKT.SEQ removes retransmission ambiguity,
+            # paper S5.1), so the once-per-RTT governor must not block.
+            lost += self._mark_record_lost(rec, now, certain=True)
+        return lost
+
+    def _mark_range_lost(self, start: int, end: int, now: float) -> int:
+        """TACK unacked-list blocks: byte ranges missing at the receiver."""
+        lost = 0
+        for rec in self._records_in_range(start, end):
+            if rec.acked or rec.sacked:
+                continue
+            lost += self._mark_record_lost(rec, now)
+        return lost
+
+    def _mark_record_lost(self, rec: SendRecord, now: float,
+                          certain: bool = False) -> int:
+        """Queue a retransmission subject to the once-per-RTT rule.
+
+        ``certain`` bypasses the governor: the caller proved the latest
+        transmission itself was lost (a PKT.SEQ pull), so suppression
+        would only delay recovery.
+        """
+        # The suppression window is one RTT plus the feedback lag: a
+        # hole's repair is only visible in feedback after RTT + up to
+        # one TACK interval, so bare srtt would re-trigger spuriously.
+        guard = 1.5 * self.rtt.smoothed()
+        if not certain and not self.governor.may_retransmit(rec.seq, now, guard):
+            return 0
+        if rec.lost:
+            return 0
+        if rec.in_flight():
+            self.in_flight -= rec.length
+        rec.lost = True
+        if rec.seq not in self._retx_queued:
+            self.retx_queue.append(rec.seq)
+            self._retx_queued.add(rec.seq)
+        return rec.length
+
+    def _legacy_loss_detection(self, fb: AckFeedback, now: float) -> int:
+        """Fast retransmit on 3 dupACKs plus a RACK time sweep.
+
+        The sweep runs on every SACK-bearing feedback (not only on new
+        SACK progress): after a burst loss the receiver's repeated
+        SACKs are identical, yet older holes still cross the RACK
+        deadline as time passes and must be detected.
+        """
+        lost = 0
+        if self._dup_count >= 3 and self.cum_acked > self._recovery_point:
+            rec = self._first_unacked_record()
+            if rec is not None:
+                lost += self._mark_record_lost(rec, now)
+                self._recovery_point = self.next_seq
+                self.stats.fast_retransmits += 1
+                self._dup_count = 0
+        if fb.sack_blocks:
+            srtt = self.rtt.smoothed()
+            sack_top = max(end for _, end in fb.sack_blocks)
+            for i in range(self._head, len(self._order)):
+                seq = self._order[i]
+                if seq >= sack_top:
+                    break
+                rec = self.records.get(seq)
+                if rec is None or not rec.in_flight():
+                    continue
+                if self.rack.is_lost(rec.last_sent, srtt, now):
+                    lost += self._mark_record_lost(rec, now)
+        return lost
+
+    def _first_unacked_record(self) -> Optional[SendRecord]:
+        for i in range(self._head, len(self._order)):
+            rec = self.records.get(self._order[i])
+            if rec is not None and rec.in_flight():
+                return rec
+        return None
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def current_rtt_min(self) -> float:
+        if self.receiver_driven:
+            return self.rtt_min_est.rtt_min(default=self.rtt.smoothed())
+        return self.min_rtt_legacy.get(default=self.rtt.smoothed())
+
+    def effective_window(self) -> int:
+        return min(self.cc.cwnd_bytes(), self.awnd)
+
+    def _has_retx(self) -> bool:
+        while self.retx_queue:
+            rec = self.records.get(self.retx_queue[0])
+            if rec is None or rec.acked or rec.sacked or not rec.lost:
+                seq = self.retx_queue.popleft()
+                self._retx_queued.discard(seq)
+                continue
+            return True
+        return False
+
+    def _next_new_length(self) -> int:
+        if self.unlimited:
+            return self.mss
+        return min(self.mss, self.pending_bytes)
+
+    def _try_send(self) -> None:
+        if not self.established or self.closed or self._port is None:
+            return
+        now = self.sim.now()
+        while True:
+            has_retx = self._has_retx()
+            new_len = self._next_new_length()
+            if not has_retx and new_len <= 0:
+                break
+            size = (self.records[self.retx_queue[0]].length if has_retx else new_len)
+            if not has_retx and self.in_flight + size > self.effective_window():
+                self._maybe_arm_persist()
+                break
+            if not self.pacer.can_send(now):
+                self._arm_send_timer(self.pacer.next_send_time(now))
+                break
+            if has_retx:
+                self._transmit_retx(self.retx_queue.popleft(), now)
+            else:
+                self._transmit_new(new_len, now)
+        self._rearm_rto()
+
+    def _transmit_new(self, length: int, now: float) -> None:
+        seq = self.next_seq
+        pkt_seq = self.next_pkt_seq
+        self.next_seq += length
+        self.next_pkt_seq += 1
+        if not self.unlimited:
+            self.pending_bytes -= length
+        rec = SendRecord(
+            seq, length, pkt_seq, now, self.delivered,
+            app_limited=(not self.unlimited and self.pending_bytes <= 0),
+        )
+        self.records[seq] = rec
+        self._order.append(seq)
+        self.pkt_map[pkt_seq] = seq
+        self.in_flight += length
+        self._emit(rec, now)
+
+    def _transmit_retx(self, seq: int, now: float) -> None:
+        self._retx_queued.discard(seq)
+        rec = self.records.get(seq)
+        if rec is None or rec.acked or rec.sacked or not rec.lost:
+            return
+        old_pkt_seq = rec.pkt_seq
+        rec.pkt_seq = self.next_pkt_seq
+        self.next_pkt_seq += 1
+        # Replace, never accumulate: the tuple (SEQ, PKT.SEQ) always
+        # holds the latest transmission (paper S5.1).
+        self.pkt_map.pop(old_pkt_seq, None)
+        self.pkt_map[rec.pkt_seq] = seq
+        rec.lost = False
+        rec.last_sent = now
+        rec.retx_count += 1
+        rec.delivered_snapshot = self.delivered
+        rec.delivered_time = now
+        self.in_flight += rec.length
+        self.governor.on_retransmit(seq, now)
+        self.stats.retransmissions += 1
+        self._emit(rec, now)
+
+    def _emit(self, rec: SendRecord, now: float) -> None:
+        pkt = Packet(
+            PacketType.DATA,
+            size=rec.length + HEADER_SIZE,
+            seq=rec.seq,
+            pkt_seq=rec.pkt_seq,
+            payload_len=rec.length,
+            flow_id=self.flow_id,
+        )
+        pkt.sent_at = now
+        if self.sync_rtt_min:
+            pkt.meta["rtt_min"] = self.current_rtt_min()
+            # rho' sync for the Eq. (6) adaptive block budget: the
+            # sender measures ACK-path loss and tells the receiver.
+            pkt.meta["ack_loss_rate"] = self.ack_loss.loss_rate
+        self.stats.data_packets_sent += 1
+        self.stats.bytes_sent += rec.length
+        self.pacer.on_sent(pkt.size, now)
+        self._port.send(pkt)
+
+    # ------------------------------------------------------------------
+    # timers
+    # ------------------------------------------------------------------
+    def _arm_send_timer(self, at: float) -> None:
+        if self._send_timer is not None:
+            self._send_timer.cancel()
+        self._send_timer = self.sim.call_at(max(at, self.sim.now()), self._on_send_timer)
+
+    def _on_send_timer(self) -> None:
+        self._send_timer = None
+        self._try_send()
+
+    def _rearm_rto(self, progress: bool = False) -> None:
+        if self._rto_timer is not None:
+            if not progress and self.in_flight > 0:
+                return
+            self._rto_timer.cancel()
+            self._rto_timer = None
+        if self.in_flight > 0 or self._has_retx():
+            self._rto_timer = self.sim.call_in(self.rtt.rto(), self._on_rto)
+
+    def _on_rto(self) -> None:
+        self._rto_timer = None
+        if self.closed or (self.in_flight == 0 and not self._has_retx()):
+            return
+        self.stats.rtos += 1
+        self.rtt.back_off()
+        self.cc.on_rto(self.sim.now())
+        self.pacer.set_rate(self.cc.pacing_rate_bps())
+        rec = self._first_unacked_record()
+        if rec is not None:
+            # Timeout overrides the once-per-RTT governor.
+            self.governor.on_acked(rec.seq)
+            self._mark_record_lost(rec, self.sim.now())
+        self._try_send()
+        self._rearm_rto(progress=True)
+
+    def _maybe_arm_persist(self) -> None:
+        # Window-blocked with nothing in flight: without a probe the
+        # connection would deadlock if the opening ACK is lost.
+        if self.in_flight > 0 or self._persist_timer is not None:
+            return
+        self._persist_timer = self.sim.call_in(
+            max(2 * self.rtt.smoothed(), 0.2), self._on_persist
+        )
+
+    def _on_persist(self) -> None:
+        self._persist_timer = None
+        if self.closed or self.awnd > 0:
+            self._try_send()
+            return
+        # Window probe: retransmit the first unacked segment (or send
+        # one new segment) ignoring the zero window.
+        now = self.sim.now()
+        rec = self._first_unacked_record()
+        if rec is not None:
+            self.governor.on_acked(rec.seq)
+            self._mark_record_lost(rec, now)
+            if self._has_retx():
+                self._transmit_retx(self.retx_queue.popleft(), now)
+        elif self._next_new_length() > 0:
+            self._transmit_new(self._next_new_length(), now)
+        self._maybe_arm_persist()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.closed = True
+        for timer in (self._send_timer, self._rto_timer, self._persist_timer):
+            if timer is not None:
+                timer.cancel()
+        self._send_timer = self._rto_timer = self._persist_timer = None
+
+    def goodput_bps(self, duration: Optional[float] = None) -> float:
+        """Cumulatively acknowledged bytes over ``duration`` (defaults
+        to the current simulation time)."""
+        if duration is None:
+            duration = self.sim.now()
+        if duration <= 0:
+            return 0.0
+        return self.cum_acked * 8.0 / duration
+
+    def __repr__(self) -> str:
+        return (
+            f"TransportSender(cum_acked={self.cum_acked}, "
+            f"in_flight={self.in_flight}, cwnd={self.cc.cwnd_bytes()})"
+        )

@@ -1,0 +1,25 @@
+"""IEEE 802.11 WLAN medium model.
+
+This subpackage replaces the paper's commodity Wi-Fi hardware with a
+DCF (distributed coordination function) contention simulator.  The
+model keeps the economics that the paper exploits:
+
+* every medium acquisition pays a roughly frame-size-independent cost
+  (DIFS + backoff + PHY preamble + SIFS + link-layer ACK), so a 64-byte
+  TCP ACK occupies almost as much airtime as a 1518-byte data frame on
+  fast PHYs;
+* concurrent contenders collide, waste the whole slot, and back off
+  exponentially — frequent transport ACKs therefore collide with data;
+* A-MPDU aggregation amortizes the acquisition cost over many MPDUs,
+  which is how 802.11n/ac reach high goodput and why per-packet ACKs
+  hurt them proportionally more.
+
+Not modeled (not load-bearing for the paper's claims): rate adaptation,
+capture effect, hidden terminals, RTS/CTS.
+"""
+
+from repro.wlan.phy import PHY_PROFILES, PhyProfile
+from repro.wlan.medium import WirelessMedium
+from repro.wlan.station import Station
+
+__all__ = ["PHY_PROFILES", "PhyProfile", "Station", "WirelessMedium"]

@@ -1,0 +1,316 @@
+"""Wireless station: MAC queue, backoff state, and A-MPDU aggregation.
+
+A :class:`Station` is a netsim "port": upper layers call ``send`` and
+register a sink with ``connect``.  Frames destined to the station's
+peer wait in a FIFO; when the station wins a contention round it
+transmits an A-MPDU of up to the PHY's aggregation limit and the peer's
+sink receives every MPDU that survived (collision kills the whole PPDU,
+PHY noise kills individual MPDUs).
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+from typing import Callable, Optional
+
+from repro.netsim.packet import Packet
+from repro.wlan.medium import WirelessMedium
+
+
+class TxOp:
+    """One transmission opportunity: the MPDUs of a single PPDU."""
+
+    __slots__ = ("packets", "total_mpdu_bytes")
+
+    def __init__(self, packets: list[Packet], total_mpdu_bytes: int):
+        self.packets = packets
+        self.total_mpdu_bytes = total_mpdu_bytes
+
+
+class Station:
+    """A contender on a :class:`~repro.wlan.medium.WirelessMedium`.
+
+    Parameters
+    ----------
+    medium:
+        Collision domain to join.
+    name:
+        Diagnostic label.
+    queue_frames:
+        MAC queue depth in frames; arrivals beyond it are dropped
+        (models the NIC ring).  ``None`` means unbounded.
+    aggregate:
+        When ``False`` the station never aggregates even on n/ac PHYs
+        (used by the "no-aggregation" ablation).
+    """
+
+    SMALL_FRAME_BYTES = 200
+    """Frames below this size count as transport control (ACKs)."""
+
+    def __init__(
+        self,
+        medium: WirelessMedium,
+        name: str = "sta",
+        queue_frames: Optional[int] = 1024,
+        aggregate: bool = True,
+        control_aggregate_limit: Optional[int] = None,
+        rate_adaptation: bool = False,
+    ):
+        self.medium = medium
+        self.phy = medium.phy
+        self.name = name
+        self.queue_frames = queue_frames
+        self.aggregate = aggregate
+        # Minstrel-lite rate adaptation: step down the MCS ladder after
+        # consecutive failed TXOPs (collisions / PHY errors), probe
+        # back up after a run of successes.  Off by default — the
+        # headline experiments use a fixed MCS like the paper's Fig. 7.
+        self.rate_adaptation = rate_adaptation
+        self._rate_table = self.phy.rate_table()
+        self._rate_index = 0
+        self._consec_fail = 0
+        self._consec_ok = 0
+        # Optional cap on small control frames (transport ACKs) per
+        # TXOP, for ablating reverse-path aggregation depth; ``None``
+        # (default) lets ACKs aggregate like any other frame.
+        self.control_aggregate_limit = control_aggregate_limit
+        self.peer: Optional["Station"] = None
+        self._peer_map: Optional[dict[int, "Station"]] = None
+        self._sink: Optional[Callable[[Packet], None]] = None
+        self._queue: collections.deque[Packet] = collections.deque()
+        # DCF state
+        self.backoff_slots = -1  # -1 means "no backoff drawn"
+        self._cw = self.phy.cw_min
+        self._retries = 0
+        self._inflight: Optional[TxOp] = None
+        # statistics
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        self.frames_dropped_queue = 0
+        self.frames_dropped_retry = 0
+        self.bytes_delivered = 0
+        self.txops_won = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def set_peer(self, peer: "Station") -> None:
+        """Point this station's transmissions at ``peer``."""
+        self.peer = peer
+
+    def set_peer_map(self, peer_map: dict[int, "Station"]) -> None:
+        """Infrastructure mode: route frames to peers by ``flow_id``
+        (an AP serving several clients).  ``peer`` stays the fallback
+        for unmapped flows.  Enables per-receiver queueing so A-MPDUs
+        (single-RA by standard) aggregate fully even with interleaved
+        downlink traffic — real APs keep per-RA/TID queues."""
+        self._peer_map = peer_map
+        self._dest_queues: collections.OrderedDict[int, collections.deque] = (
+            collections.OrderedDict()
+        )
+
+    def peer_for(self, packet: Packet) -> Optional["Station"]:
+        if self._peer_map is not None:
+            mapped = self._peer_map.get(packet.flow_id)
+            if mapped is not None:
+                return mapped
+        return self.peer
+
+    def connect(self, sink: Callable[[Packet], None]) -> None:
+        """Register the upper-layer receive callback."""
+        self._sink = sink
+
+    # ------------------------------------------------------------------
+    # netsim port interface
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet`` for transmission to the peer."""
+        if self._peer_map is not None:
+            dest = self.peer_for(packet)
+            key = id(dest)
+            queue = self._dest_queues.setdefault(key, collections.deque())
+            if self.queue_frames is not None and len(queue) >= self.queue_frames:
+                self.frames_dropped_queue += 1
+                return False
+            queue.append(packet)
+            self.medium.notify_backlog()
+            return True
+        if self.queue_frames is not None and len(self._queue) >= self.queue_frames:
+            self.frames_dropped_queue += 1
+            return False
+        self._queue.append(packet)
+        self.medium.notify_backlog()
+        return True
+
+    def _select_queue(self) -> "collections.deque[Packet]":
+        """The queue the next TXOP draws from: round-robin over
+        per-destination queues in infrastructure mode."""
+        if self._peer_map is None:
+            return self._queue
+        for key in list(self._dest_queues):
+            queue = self._dest_queues[key]
+            self._dest_queues.move_to_end(key)
+            if queue:
+                return queue
+        return self._queue
+
+    def deliver(self, packet: Packet) -> None:
+        """Hand a received MPDU to the upper layer."""
+        self.frames_delivered += 1
+        self.bytes_delivered += packet.size
+        packet.hops += 1
+        if self._sink is not None:
+            self._sink(packet)
+
+    # ------------------------------------------------------------------
+    # DCF hooks called by the medium
+    # ------------------------------------------------------------------
+    def has_backlog(self) -> bool:
+        if self._inflight is not None:
+            return True
+        if self._peer_map is not None and any(self._dest_queues.values()):
+            return True
+        return bool(self._queue)
+
+    def ensure_backoff(self, rng: random.Random) -> None:
+        """Draw a fresh backoff counter if none is pending."""
+        if self.backoff_slots < 0:
+            self.backoff_slots = rng.randint(0, self._cw)
+
+    def begin_txop(self) -> TxOp:
+        """Called when this station won the round; builds the A-MPDU."""
+        self.txops_won += 1
+        if self._inflight is not None:
+            # Retransmission of the collided PPDU.
+            return self._inflight
+        limit = self.phy.max_ampdu_frames if self.aggregate else 1
+        byte_limit = self.phy.max_ampdu_bytes if self.aggregate else None
+        queue = self._select_queue()
+        packets: list[Packet] = []
+        total = 0
+        small = 0
+        dest: Optional["Station"] = None
+        while queue and len(packets) < limit:
+            nxt = queue[0]
+            if packets and self.peer_for(nxt) is not dest:
+                # An A-MPDU addresses a single receiver; frames for a
+                # different client wait for their own TXOP.
+                break
+            if (
+                packets
+                and self.control_aggregate_limit is not None
+                and nxt.size < self.SMALL_FRAME_BYTES
+                and small >= self.control_aggregate_limit
+            ):
+                break
+            mpdu = self.phy.mpdu_bytes(nxt.size)
+            if packets and byte_limit is not None and total + mpdu > byte_limit:
+                break
+            if nxt.size < self.SMALL_FRAME_BYTES:
+                small += 1
+            if not packets:
+                dest = self.peer_for(nxt)
+            packets.append(queue.popleft())
+            total += mpdu
+        txop = TxOp(packets, total)
+        self._inflight = txop
+        return txop
+
+    def txop_succeeded(self, txop: TxOp, errored: list[bool]) -> None:
+        """PPDU delivered; MPDUs flagged in ``errored`` were corrupted
+        by PHY noise and are retried via the MAC (simplified: requeued
+        at the head once, then dropped)."""
+        self._inflight = None
+        self._cw = self.phy.cw_min
+        self._retries = 0
+        self.backoff_slots = -1
+        retry: list[Packet] = []
+        for packet, bad in zip(txop.packets, errored):
+            self.frames_sent += 1
+            if bad:
+                if packet.meta.get("mac_retried"):
+                    self.frames_dropped_retry += 1
+                else:
+                    packet.meta["mac_retried"] = True
+                    retry.append(packet)
+            else:
+                receiver = self.peer_for(packet)
+                if receiver is not None:
+                    receiver.deliver(packet)
+        for packet in reversed(retry):
+            if self._peer_map is not None:
+                key = id(self.peer_for(packet))
+                self._dest_queues.setdefault(
+                    key, collections.deque()
+                ).appendleft(packet)
+            else:
+                self._queue.appendleft(packet)
+        if self.has_backlog():
+            self.medium.notify_backlog()
+
+    def txop_collided(self, txop: TxOp) -> None:
+        """PPDU collided; double the contention window and retry the
+        same aggregate, up to the PHY retry limit."""
+        self._retries += 1
+        if self._retries > self.phy.retry_limit:
+            self.frames_dropped_retry += len(txop.packets)
+            self._inflight = None
+            self._retries = 0
+            self._cw = self.phy.cw_min
+        else:
+            self._cw = min(self._cw * 2 + 1, self.phy.cw_max)
+        self.backoff_slots = -1
+        if self.has_backlog():
+            self.medium.notify_backlog()
+
+    # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # rate adaptation
+    # ------------------------------------------------------------------
+    def current_rate_bps(self) -> float:
+        """MCS rate the next PPDU is modulated at."""
+        if not self.rate_adaptation:
+            return self.phy.phy_rate_bps
+        return self._rate_table[self._rate_index]
+
+    def note_tx_outcome(self, ok: bool) -> None:
+        """Feed one TXOP outcome into the Minstrel-lite ladder."""
+        if not self.rate_adaptation:
+            return
+        if ok:
+            self._consec_ok += 1
+            self._consec_fail = 0
+            if self._consec_ok >= 10 and self._rate_index > 0:
+                self._rate_index -= 1
+                self._consec_ok = 0
+        else:
+            self._consec_fail += 1
+            self._consec_ok = 0
+            if self._consec_fail >= 2 and self._rate_index < len(self._rate_table) - 1:
+                self._rate_index += 1
+                self._consec_fail = 0
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:
+        return f"Station({self.name}, queued={len(self._queue)})"
+
+
+def wireless_pair(
+    medium: WirelessMedium,
+    name_a: str = "ap",
+    name_b: str = "sta",
+    queue_frames: Optional[int] = 1024,
+    aggregate: bool = True,
+) -> tuple[Station, Station]:
+    """Create two peered stations on ``medium`` (e.g. AP and client)."""
+    a = Station(medium, name_a, queue_frames, aggregate)
+    b = Station(medium, name_b, queue_frames, aggregate)
+    a.set_peer(b)
+    b.set_peer(a)
+    medium.register(a)
+    medium.register(b)
+    return a, b

@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flavors import make_connection
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import wired_path
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+def build_wired_connection(
+    sim: Simulator,
+    scheme: str = "tcp-tack",
+    rate_bps: float = 20e6,
+    rtt_s: float = 0.05,
+    data_loss: float = 0.0,
+    ack_loss: float = 0.0,
+    forward_loss=None,
+    reverse_loss=None,
+    queue_bytes=None,
+    **kwargs,
+):
+    """One connection across a software-emulated wired path."""
+    path = wired_path(
+        sim,
+        rate_bps,
+        rtt_s,
+        queue_bytes=queue_bytes,
+        data_loss=data_loss,
+        ack_loss=ack_loss,
+        forward_loss=forward_loss,
+        reverse_loss=reverse_loss,
+    )
+    conn = make_connection(sim, scheme, initial_rtt=rtt_s, **kwargs)
+    conn.wire(path.forward, path.reverse)
+    return conn, path
+
+
+def run_bulk(sim, conn, duration: float):
+    """Start a bulk transfer and run for ``duration`` seconds."""
+    conn.start_bulk()
+    sim.run(until=duration)
+    return conn

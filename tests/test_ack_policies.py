@@ -1,0 +1,280 @@
+"""Unit tests for the acknowledgment policies.
+
+Policies run against a real TransportReceiver fed with hand-built data
+packets; emitted feedback is captured through a stub port.
+"""
+
+import pytest
+
+from repro.ack import (
+    ByteCountingAck,
+    DelayedAck,
+    PerPacketAck,
+    PeriodicAck,
+    TackPolicy,
+)
+from repro.core.params import TackParams
+from repro.netsim.packet import MSS, PacketType, make_data_packet
+from repro.transport.receiver import TransportReceiver
+
+
+class StubPort:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+    def connect(self, sink):
+        pass
+
+
+def make_receiver(sim, policy, **kwargs):
+    rx = TransportReceiver(sim, policy, **kwargs)
+    port = StubPort()
+    rx.connect(port)
+    return rx, port
+
+
+def feed(sim, rx, indices, rtt_min=0.05, at=None):
+    """Deliver MSS-sized segments with the given stream indices."""
+    for idx in indices:
+        pkt = make_data_packet(idx * MSS, idx + 1)
+        pkt.sent_at = sim.now()
+        pkt.meta["rtt_min"] = rtt_min
+        rx.on_packet(pkt)
+
+
+class TestPerPacket:
+    def test_one_ack_per_packet(self, sim):
+        rx, port = make_receiver(sim, PerPacketAck())
+        feed(sim, rx, range(5))
+        assert len(port.sent) == 5
+        assert all(p.kind is PacketType.ACK for p in port.sent)
+
+    def test_cum_ack_advances(self, sim):
+        rx, port = make_receiver(sim, PerPacketAck())
+        feed(sim, rx, range(3))
+        assert port.sent[-1].meta["fb"].cum_ack == 3 * MSS
+
+    def test_sack_blocks_on_gap(self, sim):
+        rx, port = make_receiver(sim, PerPacketAck())
+        feed(sim, rx, [0, 2])
+        fb = port.sent[-1].meta["fb"]
+        assert fb.cum_ack == MSS
+        assert fb.sack_blocks == [(2 * MSS, 3 * MSS)]
+
+
+class TestDelayed:
+    def test_every_second_packet(self, sim):
+        rx, port = make_receiver(sim, DelayedAck(count_l=2, gamma=10.0))
+        feed(sim, rx, range(6))
+        assert len(port.sent) == 3
+
+    def test_timer_flushes_odd_packet(self, sim):
+        rx, port = make_receiver(sim, DelayedAck(count_l=2, gamma=0.05))
+        feed(sim, rx, [0])
+        assert len(port.sent) == 0
+        sim.run(until=0.1)
+        assert len(port.sent) == 1
+
+    def test_out_of_order_acked_immediately(self, sim):
+        rx, port = make_receiver(sim, DelayedAck(count_l=2, gamma=10.0))
+        feed(sim, rx, [0, 1, 3])  # 3 is out of order
+        # 2 for the pair + 1 immediate dupack for the hole
+        assert len(port.sent) == 2
+        assert port.sent[-1].meta["fb"].cum_ack == 2 * MSS
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DelayedAck(count_l=0)
+        with pytest.raises(ValueError):
+            DelayedAck(gamma=0)
+
+
+class TestByteCounting:
+    @pytest.mark.parametrize("L", [4, 8, 16])
+    def test_acks_every_l_packets(self, sim, L):
+        rx, port = make_receiver(sim, ByteCountingAck(count_l=L, gamma=10.0))
+        feed(sim, rx, range(L * 3))
+        assert len(port.sent) == 3
+
+    def test_name_includes_l(self):
+        assert "L8" in ByteCountingAck(8).name
+
+
+class TestPeriodic:
+    def test_fixed_interval(self, sim):
+        rx, port = make_receiver(sim, PeriodicAck(alpha=0.025))
+        # Continuous arrivals for 0.25 s.
+        def arrive(i=[0]):
+            feed(sim, rx, [i[0]])
+            i[0] += 1
+            sim.call_in(0.001, arrive)
+        arrive()
+        sim.run(until=0.25)
+        assert len(port.sent) == pytest.approx(10, abs=2)
+
+    def test_no_acks_when_idle(self, sim):
+        rx, port = make_receiver(sim, PeriodicAck(alpha=0.025))
+        feed(sim, rx, [0])
+        sim.run(until=1.0)
+        # One ACK for the lone packet, then silence.
+        assert len(port.sent) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicAck(alpha=0)
+
+
+class TestTackFrequency:
+    def test_periodic_regime_four_per_rtt(self, sim):
+        """High bw, rtt 100 ms -> ~beta/RTT = 40 TACKs per second."""
+        params = TackParams()
+        rx, port = make_receiver(sim, TackPolicy(params))
+        def arrive(i=[0]):
+            feed(sim, rx, [i[0]], rtt_min=0.1)
+            i[0] += 1
+            sim.call_in(0.001, arrive)  # 12 Mbps
+        arrive()
+        sim.run(until=1.0)
+        tacks = [p for p in port.sent if p.kind is PacketType.TACK]
+        assert 30 <= len(tacks) <= 50
+
+    def test_byte_counting_regime_low_rate(self, sim):
+        """Trickle traffic: one TACK per L=2 packets (plus straggler
+        flush), never the periodic 40/s."""
+        params = TackParams()
+        rx, port = make_receiver(sim, TackPolicy(params))
+        def arrive(i=[0]):
+            if i[0] < 20:
+                feed(sim, rx, [i[0]], rtt_min=0.1)
+                i[0] += 1
+                sim.call_in(0.04, arrive)  # 0.3 Mbps
+        arrive()
+        sim.run(until=2.0)
+        tacks = [p for p in port.sent if p.kind is PacketType.TACK]
+        assert 8 <= len(tacks) <= 13
+
+    def test_tail_flushed_when_flow_stops(self, sim):
+        rx, port = make_receiver(sim, TackPolicy(TackParams()))
+        feed(sim, rx, [0], rtt_min=0.1)  # single sub-L packet
+        sim.run(until=1.0)
+        tacks = [p for p in port.sent if p.kind is PacketType.TACK]
+        assert len(tacks) == 1
+
+    def test_tack_carries_rate_and_timing(self, sim):
+        rx, port = make_receiver(sim, TackPolicy(TackParams()))
+        def arrive(i=[0]):
+            if i[0] < 100:
+                feed(sim, rx, [i[0]], rtt_min=0.05)
+                i[0] += 1
+                sim.call_in(0.001, arrive)
+        arrive()
+        sim.run(until=0.5)
+        tacks = [p for p in port.sent if p.kind is PacketType.TACK]
+        assert tacks
+        fb = tacks[-1].meta["fb"]
+        assert fb.delivery_rate_bps is not None and fb.delivery_rate_bps > 0
+        assert fb.echo_departure_ts is not None
+        assert fb.tack_delay is not None and fb.tack_delay >= 0
+
+
+class TestIack:
+    def test_gap_triggers_iack_pull(self, sim):
+        rx, port = make_receiver(sim, TackPolicy(TackParams()))
+        feed(sim, rx, [0, 1])
+        feed(sim, rx, [3])  # pkt_seq jumps 2 -> 4
+        iacks = [p for p in port.sent if p.kind is PacketType.IACK]
+        assert len(iacks) == 1
+        fb = iacks[0].meta["fb"]
+        assert fb.pull_pkt_range == (2, 4)
+        assert fb.reason == "loss"
+
+    def test_iack_reorder_delay_suppresses_false_pull(self, sim):
+        """With a settling delay, a gap that reordered arrivals fill in
+        time produces no IACK at all."""
+        params = TackParams(iack_reorder_delay_factor=0.25)
+        rx, port = make_receiver(sim, TackPolicy(params))
+        feed(sim, rx, [0, 2], rtt_min=0.1)
+        assert not [p for p in port.sent if p.kind is PacketType.IACK]
+        feed(sim, rx, [1], rtt_min=0.1)  # fills the hole in time
+        sim.run(until=0.1)
+        iacks = [p for p in port.sent if p.kind is PacketType.IACK]
+        assert iacks == []
+
+    def test_iack_reorder_delay_still_pulls_real_loss(self, sim):
+        """A gap that persists past the settling delay is pulled."""
+        params = TackParams(iack_reorder_delay_factor=0.25)
+        rx, port = make_receiver(sim, TackPolicy(params))
+        feed(sim, rx, [0, 2], rtt_min=0.1)  # hole at pkt_seq 2 persists
+        sim.run(until=0.1)
+        iacks = [p for p in port.sent if p.kind is PacketType.IACK]
+        assert len(iacks) == 1
+        assert iacks[0].meta["fb"].pull_pkt_range == (1, 3)
+
+    def test_zero_window_iack(self, sim):
+        rx, port = make_receiver(
+            sim, TackPolicy(TackParams()), rcv_buffer_bytes=6 * MSS,
+            auto_drain=False,
+        )
+        feed(sim, rx, range(5))
+        window_iacks = [
+            p for p in port.sent
+            if p.kind is PacketType.IACK
+            and p.meta["fb"].reason == "zero_window"
+        ]
+        assert window_iacks
+
+    def test_window_open_iack_after_read(self, sim):
+        rx, port = make_receiver(
+            sim, TackPolicy(TackParams()), rcv_buffer_bytes=6 * MSS,
+            auto_drain=False,
+        )
+        feed(sim, rx, range(5))
+        rx.read(5 * MSS)
+        opens = [
+            p for p in port.sent
+            if p.kind is PacketType.IACK
+            and p.meta["fb"].reason == "window_open"
+        ]
+        assert opens
+        assert opens[-1].meta["fb"].awnd == 6 * MSS
+
+
+class TestRichVsPoor:
+    def _gappy_receiver(self, sim, rich):
+        params = TackParams(rich=rich)
+        rx, port = make_receiver(sim, TackPolicy(params))
+        # every third packet missing: indices 0,1, 3,4, 6,7 ...
+        indices = [i for i in range(30) if i % 3 != 2]
+        feed(sim, rx, indices, rtt_min=0.01)
+        sim.run(until=1.0)
+        tacks = [p for p in port.sent if p.kind is PacketType.TACK]
+        return tacks[-1].meta["fb"]
+
+    def test_rich_reports_many_unacked_blocks(self, sim):
+        fb = self._gappy_receiver(sim, rich=True)
+        assert len(fb.unacked_blocks) == 9
+
+    def test_poor_reports_q_blocks(self, sim):
+        fb = self._gappy_receiver(sim, rich=False)
+        assert len(fb.unacked_blocks) == 1
+
+    def test_rich_tack_larger_on_wire(self, sim):
+        rich_fb_size = None
+        poor_fb_size = None
+        for rich in (True, False):
+            params = TackParams(rich=rich)
+            rx, port = make_receiver(sim, TackPolicy(params))
+            indices = [i for i in range(30) if i % 3 != 2]
+            feed(sim, rx, indices, rtt_min=0.01)
+            sim.run(until=sim.now() + 1.0)
+            tacks = [p for p in port.sent if p.kind is PacketType.TACK]
+            size = tacks[-1].size
+            if rich:
+                rich_fb_size = size
+            else:
+                poor_fb_size = size
+        assert rich_fb_size > poor_fb_size

@@ -1,0 +1,115 @@
+"""Tests for the Eq. (6) adaptive TACK block budget ("carried on
+demand", paper S4.4 / Appendix A)."""
+
+import pytest
+
+from repro.ack import TackPolicy
+from repro.core.params import TackParams
+from repro.netsim.packet import MSS, PacketType, make_data_packet
+from repro.transport.receiver import TransportReceiver
+
+from conftest import build_wired_connection
+
+
+class StubPort:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+    def connect(self, sink):
+        pass
+
+
+def make_rx(sim, **kwargs):
+    params = TackParams(rich="adaptive", **kwargs)
+    rx = TransportReceiver(sim, TackPolicy(params))
+    port = StubPort()
+    rx.connect(port)
+    return rx, port
+
+
+def feed(sim, rx, indices, ack_loss=0.0, rtt_min=0.05):
+    for idx in indices:
+        pkt = make_data_packet(idx * MSS, idx + 1)
+        pkt.sent_at = sim.now()
+        pkt.meta["rtt_min"] = rtt_min
+        pkt.meta["ack_loss_rate"] = ack_loss
+        rx.on_packet(pkt)
+
+
+class TestAdaptiveBudget:
+    def _run(self, sim, ack_loss):
+        """Return the richest TACK emitted while bandwidth samples are
+        fresh (the budget intentionally shrinks once the flow idles and
+        the bw filter drains — byte-counting regime, Eq. 8)."""
+        rx, port = make_rx(sim)
+        # every third packet missing -> many holes, rho ~ 0.3
+        indices = [i for i in range(60) if i % 3 != 2]
+        feed(sim, rx, indices, ack_loss=ack_loss, rtt_min=0.01)
+        sim.run(until=sim.now() + 0.05)
+        tacks = [p for p in port.sent if p.kind is PacketType.TACK]
+        assert tacks
+        return max(tacks, key=lambda p: len(p.meta["fb"].unacked_blocks)).meta["fb"]
+
+    def test_low_ack_loss_carries_q_blocks(self, sim):
+        fb = self._run(sim, ack_loss=0.0)
+        assert len(fb.unacked_blocks) <= 1
+
+    def test_high_ack_loss_carries_more_blocks(self, sim):
+        fb = self._run(sim, ack_loss=0.5)
+        assert len(fb.unacked_blocks) > 1
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            TackParams(rich="sometimes")
+
+    def test_copy_preserves_adaptive(self):
+        p = TackParams(rich="adaptive")
+        assert p.copy().rich == "adaptive"
+
+
+class TestAdaptiveEndToEnd:
+    def test_completes_under_bidirectional_loss(self, sim):
+        conn, _ = build_wired_connection(
+            sim, "tcp-tack-adaptive", rate_bps=10e6, rtt_s=0.1,
+            data_loss=0.02, ack_loss=0.05,
+        )
+        conn.start_transfer(300 * MSS)
+        sim.run(until=40.0)
+        assert conn.completed
+
+    def test_cheaper_than_rich_when_lossless(self):
+        """Without ACK loss the adaptive TACKs stay small."""
+        from repro.netsim.engine import Simulator
+
+        sizes = {}
+        for scheme in ("tcp-tack", "tcp-tack-adaptive"):
+            sim = Simulator(seed=11)
+            conn, path = build_wired_connection(
+                sim, scheme, rate_bps=10e6, rtt_s=0.05, data_loss=0.03,
+            )
+            conn.start_bulk()
+            sim.run(until=8.0)
+            # average feedback wire size
+            rev = path.wan.reverse
+            sizes[scheme] = rev.bytes_delivered / max(rev.packets_delivered, 1)
+        assert sizes["tcp-tack-adaptive"] <= sizes["tcp-tack"]
+
+    def test_utilization_close_to_rich_under_heavy_ack_loss(self):
+        from repro.netsim.engine import Simulator
+
+        util = {}
+        for scheme in ("tcp-tack", "tcp-tack-adaptive"):
+            sim = Simulator(seed=7)
+            conn, _ = build_wired_connection(
+                sim, scheme, rate_bps=10e6, rtt_s=0.2,
+                queue_bytes=int(10e6 * 0.2 / 8),
+                data_loss=0.01, ack_loss=0.10,
+            )
+            conn.start_bulk()
+            sim.run(until=15.0)
+            util[scheme] = conn.receiver.stats.bytes_delivered
+        assert util["tcp-tack-adaptive"] > 0.7 * util["tcp-tack"]

@@ -1,0 +1,116 @@
+"""Tests for the analytic airtime model against the DCF simulator."""
+
+import pytest
+
+from repro.analysis.airtime import (
+    ack_airtime_share,
+    ideal_goodput_bps,
+    tack_equivalent_l,
+    txop_airtime_s,
+)
+from repro.wlan.phy import get_profile
+
+
+class TestTxopAirtime:
+    def test_components_add_up(self):
+        phy = get_profile("802.11g")
+        t = txop_airtime_s(phy, 1518)
+        expected = (phy.difs_s + phy.mean_backoff_s()
+                    + phy.exchange_airtime(phy.mpdu_bytes(1518)))
+        assert t == pytest.approx(expected)
+
+    def test_aggregation_amortizes(self):
+        phy = get_profile("802.11n")
+        one = txop_airtime_s(phy, 1518, 1)
+        twelve = txop_airtime_s(phy, 1518, 12)
+        assert twelve < 12 * one
+
+
+class TestIdealGoodput:
+    def test_matches_phy_saturation_at_infinite_l(self):
+        for name in ("802.11b", "802.11g", "802.11n", "802.11ac"):
+            phy = get_profile(name)
+            no_acks = ideal_goodput_bps(phy, ack_every_l=1e9)
+            assert no_acks == pytest.approx(phy.saturation_goodput_bps(), rel=0.001)
+
+    def test_monotone_in_l(self):
+        phy = get_profile("802.11n")
+        series = [ideal_goodput_bps(phy, L) for L in (1, 2, 4, 8, 16)]
+        assert series == sorted(series)
+
+    def test_acks_cost_more_on_faster_phy(self):
+        """The paper's scaling argument: at the same ACK-per-packet
+        ratio (below saturation), the relative ACK cost grows with the
+        PHY rate — faster links deliver more packets per unit airtime,
+        so the same L buys proportionally more acquisitions."""
+        slow = get_profile("802.11b")
+        fast = get_profile("802.11ac")
+        L = 64  # unsaturated for both (n_agg/L < 1)
+        slow_ratio = ideal_goodput_bps(slow, L) / ideal_goodput_bps(slow, 1e9)
+        fast_ratio = ideal_goodput_bps(fast, L) / ideal_goodput_bps(fast, 1e9)
+        assert fast_ratio < slow_ratio
+
+    def test_matches_simulated_fig9b(self):
+        """Analytic ideal goodput tracks the UDP-tool simulation
+        (802.11n, ACK station unaggregated) within a few percent."""
+        from repro.app.udp_blast import run_contention_trial
+        from repro.netsim.engine import Simulator
+        from repro.netsim.paths import wlan_path
+
+        phy = get_profile("802.11n")
+
+        class _Hop:
+            def __init__(self, tx, rx):
+                self.tx, self.rx = tx, rx
+
+            def send(self, p):
+                return self.tx.send(p)
+
+            def connect(self, sink):
+                self.rx.connect(sink)
+
+        for L in (2, 8):
+            sim = Simulator(seed=3)
+            handle = wlan_path(sim, "802.11n")
+            ap, sta = handle.stations
+            sta.aggregate = False  # model: one acquisition per ACK
+            result = run_contention_trial(
+                sim, _Hop(ap, sta), _Hop(sta, ap), count_l=L,
+                rate_bps=phy.saturation_goodput_bps(), duration_s=1.0,
+                medium=handle.medium,
+            )
+            analytic = ideal_goodput_bps(phy, L)
+            assert result.data_throughput_bps == pytest.approx(analytic, rel=0.08)
+
+    def test_validation(self):
+        phy = get_profile("802.11n")
+        with pytest.raises(ValueError):
+            ideal_goodput_bps(phy, 0)
+        with pytest.raises(ValueError):
+            ideal_goodput_bps(phy, 2, ack_aggregation=0)
+
+
+class TestAckShare:
+    def test_share_decreases_with_l(self):
+        phy = get_profile("802.11n")
+        shares = [ack_airtime_share(phy, L) for L in (1, 2, 8, 64)]
+        assert shares == sorted(shares, reverse=True)
+        assert 0 < shares[-1] < shares[0] < 1
+
+    def test_ack_aggregation_reduces_share(self):
+        # Compare below the saturation cap (L=64), where aggregation
+        # genuinely removes acquisitions instead of just lengthening a
+        # capped ACK TXOP.
+        phy = get_profile("802.11ac")
+        assert (ack_airtime_share(phy, 64, ack_aggregation=8)
+                < ack_airtime_share(phy, 64))
+
+
+class TestTackEquivalentL:
+    def test_periodic_regime_math(self):
+        # 210 Mbps, RTT 80 ms, beta 4 -> one TACK per 350 packets.
+        L = tack_equivalent_l(210e6, 0.08)
+        assert L == pytest.approx(210e6 / 12000 * 0.08 / 4, rel=0.01)
+
+    def test_floor_at_one(self):
+        assert tack_equivalent_l(1e3, 0.001) == 1.0

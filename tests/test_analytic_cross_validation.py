@@ -1,0 +1,46 @@
+"""Cross-validation: the closed-form airtime model predicts the
+simulated TCP-TACK goodput per standard.
+
+This ties the two halves of the reproduction together — if either the
+DCF simulator or the analytic model drifts, the comparison breaks.
+"""
+
+import pytest
+
+from repro.analysis.airtime import ideal_goodput_bps, tack_equivalent_l
+from repro.app.bulk import BulkFlow
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import wlan_path
+from repro.wlan.phy import PHY_PROFILES
+
+
+@pytest.mark.parametrize("phy_name", ["802.11g", "802.11n"])
+def test_airtime_model_predicts_tack_goodput(phy_name):
+    """Measured TACK goodput lands within 15% of the model's
+    prediction at its equivalent ACK ratio."""
+    rtt = 0.08
+    phy = PHY_PROFILES[phy_name]
+    sat = phy.saturation_goodput_bps()
+    eq_l = tack_equivalent_l(sat, rtt)
+    predicted = ideal_goodput_bps(phy, eq_l)
+    sim = Simulator(seed=5)
+    path = wlan_path(sim, phy_name, extra_rtt_s=rtt)
+    flow = BulkFlow(sim, path, "tcp-tack", initial_rtt=rtt)
+    flow.start()
+    sim.run(until=5.0)
+    measured = flow.goodput_bps(start=1.5)
+    assert measured == pytest.approx(predicted, rel=0.15)
+
+
+def test_model_orders_policies_like_simulation():
+    """The model's ranking of per-packet vs delayed vs TACK matches
+    what end-to-end simulation produces on 802.11n."""
+    phy = PHY_PROFILES["802.11n"]
+    model = {
+        "per-packet": ideal_goodput_bps(phy, 1),
+        "delayed": ideal_goodput_bps(phy, 2),
+        "tack": ideal_goodput_bps(
+            phy, tack_equivalent_l(phy.saturation_goodput_bps(), 0.08)
+        ),
+    }
+    assert model["per-packet"] <= model["delayed"] < model["tack"]

@@ -1,0 +1,158 @@
+"""Unit tests for the virtual clock and event engine."""
+
+import pytest
+
+from repro.netsim.clock import Clock
+from repro.netsim.engine import Simulator
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now() == 0.0
+
+    def test_custom_start(self):
+        assert Clock(start=5.0).now() == 5.0
+
+    def test_advance_to(self):
+        c = Clock()
+        c.advance_to(1.5)
+        assert c.now() == 1.5
+
+    def test_advance_by(self):
+        c = Clock()
+        c.advance_by(0.25)
+        c.advance_by(0.25)
+        assert c.now() == pytest.approx(0.5)
+
+    def test_rewind_rejected(self):
+        c = Clock(start=2.0)
+        with pytest.raises(ValueError):
+            c.advance_to(1.0)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            Clock().advance_by(-0.1)
+
+
+class TestScheduling:
+    def test_call_in_fires_in_order(self, sim):
+        fired = []
+        sim.call_in(0.2, lambda: fired.append("b"))
+        sim.call_in(0.1, lambda: fired.append("a"))
+        sim.call_in(0.3, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_tie_broken_by_insertion_order(self, sim):
+        fired = []
+        for tag in ("first", "second", "third"):
+            sim.call_at(1.0, lambda t=tag: fired.append(t))
+        sim.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self, sim):
+        times = []
+        sim.call_in(0.5, lambda: times.append(sim.now()))
+        sim.run()
+        assert times == [pytest.approx(0.5)]
+
+    def test_past_scheduling_rejected(self, sim):
+        sim.call_in(0.1, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.call_at(0.05, lambda: None)
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.call_in(-1.0, lambda: None)
+
+    def test_cancelled_event_skipped(self, sim):
+        fired = []
+        ev = sim.call_in(0.1, lambda: fired.append("x"))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_mid_run(self, sim):
+        fired = []
+        later = sim.call_in(0.2, lambda: fired.append("later"))
+        sim.call_in(0.1, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_nested_scheduling(self, sim):
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.call_in(0.1, lambda: fired.append("inner"))
+
+        sim.call_in(0.1, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now() == pytest.approx(0.2)
+
+
+class TestRun:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.call_in(1.0, lambda: fired.append("early"))
+        sim.call_in(3.0, lambda: fired.append("late"))
+        sim.run(until=2.0)
+        assert fired == ["early"]
+        assert sim.now() == pytest.approx(2.0)
+
+    def test_run_until_advances_clock_even_when_idle(self, sim):
+        sim.run(until=7.0)
+        assert sim.now() == pytest.approx(7.0)
+
+    def test_resume_after_until(self, sim):
+        fired = []
+        sim.call_in(3.0, lambda: fired.append("late"))
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == ["late"]
+
+    def test_max_events(self, sim):
+        fired = []
+        for i in range(10):
+            sim.call_in(0.1 * (i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_step(self, sim):
+        fired = []
+        sim.call_in(0.1, lambda: fired.append(1))
+        assert sim.step() is True
+        assert sim.step() is False
+        assert fired == [1]
+
+    def test_events_fired_counter(self, sim):
+        for i in range(5):
+            sim.call_in(0.1, lambda: None)
+        sim.run()
+        assert sim.events_fired == 5
+
+    def test_pending_excludes_cancelled(self, sim):
+        ev = sim.call_in(1.0, lambda: None)
+        sim.call_in(2.0, lambda: None)
+        ev.cancel()
+        assert sim.pending() == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = Simulator(seed=7)
+        b = Simulator(seed=7)
+        assert [a.rng.random() for _ in range(5)] == [
+            b.rng.random() for _ in range(5)
+        ]
+
+    def test_fork_rng_stable(self):
+        a = Simulator(seed=7).fork_rng("x")
+        b = Simulator(seed=7).fork_rng("x")
+        assert a.random() == b.random()
+
+    def test_fork_rng_label_differs(self):
+        s = Simulator(seed=7)
+        assert s.fork_rng("x").random() != s.fork_rng("x").random()

@@ -1,0 +1,88 @@
+"""Tests for the Compound TCP controller (paper S7's future-work list)."""
+
+import pytest
+
+from repro.cc.base import RateSample
+from repro.cc.compound import CompoundTcp
+from repro.netsim.packet import MSS
+
+from conftest import build_wired_connection
+
+
+def fb(now, acked=MSS, lost=0, rtt=0.05, in_flight=10 * MSS):
+    return RateSample(now=now, newly_acked=acked, newly_lost=lost, rtt=rtt,
+                      delivery_rate_bps=None, in_flight=in_flight)
+
+
+class TestCompoundUnit:
+    def test_slow_start_on_sum(self):
+        cc = CompoundTcp()
+        w = cc.cwnd_bytes()
+        cc.on_feedback(fb(0.1, acked=w))
+        assert cc.cwnd_bytes() == 2 * w
+
+    def test_dwnd_grows_without_queueing(self):
+        cc = CompoundTcp()
+        cc._ssthresh = 0  # force congestion avoidance
+        for i in range(20):
+            cc.on_feedback(fb(0.1 + i * 0.06, acked=5 * MSS, rtt=0.05))
+        assert cc._dwnd > 0
+
+    def test_dwnd_retreats_under_queueing(self):
+        cc = CompoundTcp()
+        cc._ssthresh = 0
+        # Establish base RTT and grow a window well beyond gamma (30
+        # packets) — smaller windows cannot exhibit enough backlog.
+        for i in range(80):
+            cc.on_feedback(fb(0.1 + i * 0.06, acked=20 * MSS, rtt=0.05))
+        assert cc.cwnd_bytes() > 60 * MSS
+        grown = cc._dwnd
+        assert grown > 0
+        # RTT inflates heavily: delay window must retreat.
+        for i in range(40):
+            cc.on_feedback(fb(6.0 + i * 0.3, acked=20 * MSS, rtt=0.3))
+        assert cc._dwnd < grown
+
+    def test_loss_halves_total(self):
+        cc = CompoundTcp()
+        before = cc.cwnd_bytes()
+        cc.on_feedback(fb(1.0, acked=0, lost=MSS))
+        assert cc.cwnd_bytes() < before
+
+    def test_rto_resets(self):
+        cc = CompoundTcp()
+        cc.on_rto(1.0)
+        assert cc.cwnd_bytes() == MSS
+
+    def test_pacing_positive(self):
+        cc = CompoundTcp()
+        cc.on_feedback(fb(0.1))
+        assert cc.pacing_rate_bps() > 0
+
+
+class TestCompoundEndToEnd:
+    @pytest.mark.parametrize("scheme", ["tcp-compound", "tcp-tack-compound"])
+    def test_fills_pipe(self, sim, scheme):
+        conn, _ = build_wired_connection(sim, scheme, rate_bps=20e6,
+                                         rtt_s=0.04)
+        conn.start_bulk()
+        sim.run(until=8.0)
+        goodput = conn.receiver.stats.bytes_delivered * 8 / 8.0
+        assert goodput > 12e6
+
+    def test_completes_with_loss(self, sim):
+        conn, _ = build_wired_connection(sim, "tcp-tack-compound",
+                                         rate_bps=10e6, rtt_s=0.05,
+                                         data_loss=0.01)
+        conn.start_transfer(300 * MSS)
+        sim.run(until=30.0)
+        assert conn.completed
+
+    def test_tack_compound_uses_tacks(self, sim):
+        conn, _ = build_wired_connection(sim, "tcp-tack-compound",
+                                         rate_bps=10e6, rtt_s=0.05)
+        conn.start_transfer(100 * MSS)
+        sim.run(until=10.0)
+        assert conn.completed
+        assert conn.receiver.stats.tacks_sent > 0
+        assert conn.receiver.stats.acks_sent == 0

@@ -1,0 +1,84 @@
+"""API-surface tests: Connection, configs, and convenience wrappers."""
+
+import pytest
+
+from repro.ack import DelayedAck
+from repro.cc import NewReno
+from repro.netsim.packet import MSS
+from repro.netsim.paths import wired_path
+from repro.transport.connection import Connection, ConnectionConfig
+
+
+class TestConnectionConfig:
+    def test_defaults(self):
+        cfg = ConnectionConfig()
+        assert cfg.mss == MSS
+        assert not cfg.receiver_driven
+        assert cfg.auto_drain
+
+    def test_wire_after_construction(self, sim):
+        path = wired_path(sim, 10e6, 0.02)
+        conn = Connection(sim, NewReno(), DelayedAck())
+        conn.wire(path.forward, path.reverse)
+        conn.start_transfer(10 * MSS)
+        sim.run(until=2.0)
+        assert conn.completed
+
+    def test_wire_at_construction(self, sim):
+        path = wired_path(sim, 10e6, 0.02)
+        conn = Connection(sim, NewReno(), DelayedAck(),
+                          forward_port=path.forward,
+                          reverse_port=path.reverse)
+        conn.start_transfer(10 * MSS)
+        sim.run(until=2.0)
+        assert conn.completed
+
+    def test_goodput_zero_before_start(self, sim):
+        conn = Connection(sim, NewReno(), DelayedAck())
+        assert conn.goodput_bps() == 0.0
+
+    def test_close_cancels_timers(self, sim):
+        path = wired_path(sim, 10e6, 0.02)
+        conn = Connection(sim, NewReno(), DelayedAck(),
+                          forward_port=path.forward,
+                          reverse_port=path.reverse)
+        conn.start_bulk()
+        sim.run(until=0.5)
+        conn.close()
+        before = sim.now()
+        sim.run(until=before + 5.0)
+        # After close the sender must not keep transmitting.
+        sent_at_close = conn.sender.stats.data_packets_sent
+        sim.run(until=before + 6.0)
+        assert conn.sender.stats.data_packets_sent == sent_at_close
+
+
+class TestWriteApi:
+    def test_incremental_writes(self, sim):
+        path = wired_path(sim, 10e6, 0.02)
+        conn = Connection(sim, NewReno(), DelayedAck(),
+                          forward_port=path.forward,
+                          reverse_port=path.reverse)
+        conn.sender.start()
+        for _ in range(5):
+            conn.sender.write(2 * MSS)
+        sim.run(until=2.0)
+        assert conn.receiver.stats.bytes_delivered == 10 * MSS
+
+    def test_negative_write_rejected(self, sim):
+        conn = Connection(sim, NewReno(), DelayedAck())
+        with pytest.raises(ValueError):
+            conn.sender.write(-1)
+
+    def test_writes_after_start_extend_transfer(self, sim):
+        path = wired_path(sim, 10e6, 0.02)
+        conn = Connection(sim, NewReno(), DelayedAck(),
+                          forward_port=path.forward,
+                          reverse_port=path.reverse)
+        conn.start_transfer(5 * MSS)
+        sim.run(until=1.0)
+        assert conn.completed
+        conn.sender.completed_at = None
+        conn.sender.write(5 * MSS)
+        sim.run(until=3.0)
+        assert conn.receiver.stats.bytes_delivered == 10 * MSS

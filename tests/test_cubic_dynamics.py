@@ -1,0 +1,84 @@
+"""CUBIC dynamics over real paths: convergence, deep-buffer behavior,
+and the window-growth shape after a loss."""
+
+import pytest
+
+from repro.netsim.packet import MSS
+
+from conftest import build_wired_connection
+
+
+class TestCubicOverPaths:
+    def test_recovers_to_wmax_after_isolated_loss(self, sim):
+        from repro.netsim.loss import PatternLoss
+
+        conn, _ = build_wired_connection(
+            sim, "tcp-cubic", rate_bps=20e6, rtt_s=0.03,
+            queue_bytes=300_000,
+            forward_loss=PatternLoss([400]),
+        )
+        conn.start_bulk()
+        sim.run(until=2.0)
+        w_before = conn.sender.cc.cwnd_bytes()
+        sim.run(until=12.0)
+        # Long after the single loss, CUBIC is back at/above its old
+        # operating point.
+        assert conn.sender.cc.cwnd_bytes() > 0.8 * w_before
+
+    def test_sawtooth_under_droptail(self, sim):
+        """With a droptail bottleneck, CUBIC cycles: multiple loss
+        events, each followed by regrowth (the classic sawtooth)."""
+        conn, path = build_wired_connection(
+            sim, "tcp-cubic", rate_bps=10e6, rtt_s=0.04,
+            queue_bytes=50_000,
+        )
+        conn.start_bulk()
+        sim.run(until=20.0)
+        # Several queue-overflow loss episodes happened...
+        assert path.wan.forward.queue.drops > 3
+        # ...yet goodput stays high (fast regrowth between cuts).
+        goodput = conn.receiver.stats.bytes_delivered * 8 / 20.0
+        assert goodput > 0.8 * 10e6
+
+    def test_utilizes_long_fat_pipe(self, sim):
+        conn, _ = build_wired_connection(
+            sim, "tcp-cubic", rate_bps=100e6, rtt_s=0.1,
+            queue_bytes=2 * 1_250_000,
+        )
+        conn.start_bulk()
+        sim.run(until=30.0)
+        goodput = conn.receiver.stats.bytes_delivered * 8 / 30.0
+        # CUBIC's raison d'etre: fill high-bdp pipes within the run.
+        assert goodput > 0.7 * 100e6
+
+
+class TestTackCubicParity:
+    def test_tack_cubic_matches_legacy_cubic_goodput(self):
+        """The TACK mechanism must not hobble a window-based
+        controller (paper S5.3: CUBIC works with minor changes)."""
+        from repro.netsim.engine import Simulator
+
+        results = {}
+        for scheme in ("tcp-cubic", "tcp-tack-cubic"):
+            sim = Simulator(seed=21)
+            conn, _ = build_wired_connection(
+                sim, scheme, rate_bps=20e6, rtt_s=0.04,
+                queue_bytes=200_000,
+            )
+            conn.start_bulk()
+            sim.run(until=15.0)
+            results[scheme] = conn.receiver.stats.bytes_delivered
+        assert results["tcp-tack-cubic"] > 0.85 * results["tcp-cubic"]
+
+    def test_tack_cubic_far_fewer_acks(self):
+        from repro.netsim.engine import Simulator
+
+        acks = {}
+        for scheme in ("tcp-cubic", "tcp-tack-cubic"):
+            sim = Simulator(seed=21)
+            conn, _ = build_wired_connection(sim, scheme, rate_bps=20e6,
+                                             rtt_s=0.08)
+            conn.start_bulk()
+            sim.run(until=10.0)
+            acks[scheme] = conn.ack_count()
+        assert acks["tcp-tack-cubic"] < 0.15 * acks["tcp-cubic"]

@@ -1,0 +1,21 @@
+"""Determinism of the experiment harness: same seed, same tables."""
+
+from repro.experiments import fig03_contention, fig08_ack_frequency
+
+
+class TestExperimentDeterminism:
+    def test_fig03_identical_across_runs(self):
+        a = fig03_contention.run(duration_s=1.0)
+        b = fig03_contention.run(duration_s=1.0)
+        assert a.rows == b.rows
+
+    def test_fig03_seed_changes_results(self):
+        a = fig03_contention.run(duration_s=1.0, seed=7)
+        b = fig03_contention.run(duration_s=1.0, seed=8)
+        # Different backoff draws: collision counts differ somewhere.
+        assert a.rows != b.rows
+
+    def test_analytic_tables_pure(self):
+        a = fig08_ack_frequency.run_analytic()
+        b = fig08_ack_frequency.run_analytic()
+        assert a.rows == b.rows

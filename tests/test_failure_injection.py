@@ -1,0 +1,147 @@
+"""Failure-injection tests: blackouts, reordering, pathological ACK
+loss, zero-window stalls, and handshake loss."""
+
+import pytest
+
+from repro.netsim.loss import BurstLoss, PatternLoss
+from repro.netsim.packet import MSS, PacketType
+
+from conftest import build_wired_connection
+
+
+class TestHandshakeFailures:
+    def test_syn_lost_then_retried(self, sim):
+        conn, _ = build_wired_connection(
+            sim, "tcp-tack", forward_loss=PatternLoss([0]),
+        )
+        conn.start_transfer(10 * MSS)
+        sim.run(until=10.0)
+        assert conn.completed
+
+    def test_syn_ack_lost_then_retried(self, sim):
+        conn, _ = build_wired_connection(
+            sim, "tcp-bbr", reverse_loss=PatternLoss([0]),
+        )
+        conn.start_transfer(10 * MSS)
+        sim.run(until=10.0)
+        assert conn.completed
+
+
+class TestAckPathBlackouts:
+    @pytest.mark.parametrize("scheme", ["tcp-tack", "tcp-bbr"])
+    def test_one_second_ack_blackout(self, sim, scheme):
+        conn, _ = build_wired_connection(
+            sim, scheme, rate_bps=10e6, rtt_s=0.04,
+            reverse_loss=BurstLoss([(1.0, 1.0)]),
+        )
+        conn.start_transfer(800 * MSS)
+        sim.run(until=30.0)
+        assert conn.completed
+
+    def test_tack_blackout_both_directions(self, sim):
+        conn, _ = build_wired_connection(
+            sim, "tcp-tack", rate_bps=10e6, rtt_s=0.04,
+            forward_loss=BurstLoss([(1.0, 0.5)]),
+            reverse_loss=BurstLoss([(1.2, 0.5)]),
+        )
+        conn.start_transfer(500 * MSS)
+        sim.run(until=40.0)
+        assert conn.completed
+
+
+class TestZeroWindow:
+    def test_slow_reader_stalls_then_resumes(self, sim):
+        conn, _ = build_wired_connection(sim, "tcp-tack", rate_bps=50e6,
+                                         rtt_s=0.02)
+        conn.receiver.auto_drain = False
+        conn.receiver.rcv_buffer_bytes = 30 * MSS
+        conn.start_transfer(200 * MSS)
+        sim.run(until=1.0)
+        # The sender must have stalled on the small window...
+        assert conn.sender.cum_acked < 200 * MSS
+        # ...then a periodic reader drains it and the flow finishes.
+        def read_some():
+            conn.receiver.read(10 * MSS)
+            sim.call_in(0.05, read_some)
+        read_some()
+        sim.run(until=10.0)
+        assert conn.completed
+        assert conn.receiver.delivered_ptr == 200 * MSS
+
+    def test_window_update_iack_unblocks_quickly(self, sim):
+        """The window-open IACK (paper S4.4 example) must resume the
+        sender without waiting for the next periodic TACK."""
+        conn, _ = build_wired_connection(sim, "tcp-tack", rate_bps=50e6,
+                                         rtt_s=0.02)
+        conn.receiver.auto_drain = False
+        conn.receiver.rcv_buffer_bytes = 20 * MSS
+        conn.start_transfer(100 * MSS)
+        sim.run(until=1.0)
+        stalled_at = conn.sender.cum_acked
+        conn.receiver.read(20 * MSS)  # big release -> window_open IACK
+        sim.run(until=1.2)
+        assert conn.sender.stats.iacks_received > 0
+        assert conn.sender.cum_acked > stalled_at
+
+
+class TestReordering:
+    def test_mild_reordering_with_settling_delay(self, sim):
+        """With the IACK reorder allowance, reordering does not cause
+        retransmissions (paper S7 'Handling reordering')."""
+        from repro.core.params import TackParams
+        from repro.netsim.paths import wired_path
+        from repro.core import make_connection
+
+        # Every 10th data packet is injected 2 ms late, hopping over
+        # the packets sent in between (load-balancer-style mild
+        # reordering, always bounded and never lost).
+        path = wired_path(sim, 20e6, 0.04)
+        conn = make_connection(
+            sim, "tcp-tack",
+            params=TackParams(iack_reorder_delay_factor=0.25),
+            initial_rtt=0.04,
+        )
+
+        class ReorderPort:
+            def __init__(self, inner):
+                self.inner = inner
+                self.count = 0
+
+            def send(self, pkt):
+                if pkt.kind is PacketType.DATA:
+                    self.count += 1
+                    if self.count % 10 == 0:
+                        sim.call_in(0.002, lambda p=pkt: self.inner.send(p))
+                        return True
+                return self.inner.send(pkt)
+
+            def connect(self, sink):
+                self.inner.connect(sink)
+
+        conn.wire(ReorderPort(path.forward), path.reverse)
+        conn.start_transfer(200 * MSS)
+        sim.run(until=10.0)
+        assert conn.completed
+        # Reordered (not lost) packets should not be retransmitted:
+        # spurious retransmissions surface as duplicate deliveries at
+        # the receiver (genuine queue-overflow losses do not).
+        assert conn.receiver.stats.duplicate_packets <= 2
+
+
+class TestExtremeLoss:
+    def test_quarter_loss_still_completes(self, sim):
+        conn, _ = build_wired_connection(
+            sim, "tcp-tack", rate_bps=5e6, rtt_s=0.05, data_loss=0.25,
+        )
+        conn.start_transfer(50 * MSS)
+        sim.run(until=120.0)
+        assert conn.completed
+
+    def test_full_forward_blackout_then_recovery(self, sim):
+        conn, _ = build_wired_connection(
+            sim, "tcp-tack", rate_bps=10e6, rtt_s=0.04,
+            forward_loss=BurstLoss([(0.5, 2.0)]),
+        )
+        conn.start_transfer(100 * MSS)
+        sim.run(until=30.0)
+        assert conn.completed

@@ -1,0 +1,73 @@
+"""Unit tests for feedback structures and wire-size accounting."""
+
+import pytest
+
+from repro.netsim.packet import ACK_PACKET_SIZE, DATA_PACKET_SIZE, PacketType
+from repro.transport.feedback import (
+    BYTES_PER_BLOCK,
+    FREE_BLOCKS,
+    AckFeedback,
+    feedback_wire_bytes,
+    make_feedback_packet,
+)
+
+
+class TestAckFeedback:
+    def test_defaults(self):
+        fb = AckFeedback(cum_ack=100, awnd=1000)
+        assert fb.sack_blocks == []
+        assert fb.unacked_blocks == []
+        assert fb.pull_pkt_range is None
+        assert fb.block_count() == 0
+
+    def test_block_count_sums_both_lists(self):
+        fb = AckFeedback(
+            cum_ack=0, awnd=0,
+            sack_blocks=[(0, 1), (2, 3)],
+            unacked_blocks=[(4, 5)],
+        )
+        assert fb.block_count() == 3
+
+    def test_repr_is_informative(self):
+        fb = AckFeedback(cum_ack=1500, awnd=1000, reason="loss")
+        assert "loss" in repr(fb)
+        assert "1500" in repr(fb)
+
+
+class TestWireSize:
+    def test_free_blocks_ride_base_ack(self):
+        fb = AckFeedback(cum_ack=0, awnd=0,
+                         sack_blocks=[(i, i + 1) for i in range(FREE_BLOCKS)])
+        assert feedback_wire_bytes(fb) == ACK_PACKET_SIZE
+
+    def test_each_extra_block_costs_eight_bytes(self):
+        fb = AckFeedback(cum_ack=0, awnd=0,
+                         sack_blocks=[(i, i + 1) for i in range(FREE_BLOCKS + 5)])
+        assert feedback_wire_bytes(fb) == ACK_PACKET_SIZE + 5 * BYTES_PER_BLOCK
+
+    def test_mtu_cap(self):
+        fb = AckFeedback(cum_ack=0, awnd=0,
+                         unacked_blocks=[(i, i + 1) for i in range(500)])
+        assert feedback_wire_bytes(fb) == DATA_PACKET_SIZE
+
+
+class TestMakeFeedbackPacket:
+    @pytest.mark.parametrize("kind", [PacketType.ACK, PacketType.TACK,
+                                      PacketType.IACK])
+    def test_kind_preserved(self, kind):
+        fb = AckFeedback(cum_ack=0, awnd=0)
+        pkt = make_feedback_packet(kind, fb)
+        assert pkt.kind is kind
+        assert pkt.meta["fb"] is fb
+
+    def test_flow_id_stamped(self):
+        pkt = make_feedback_packet(PacketType.TACK,
+                                   AckFeedback(cum_ack=0, awnd=0), flow_id=7)
+        assert pkt.flow_id == 7
+
+    def test_size_follows_blocks(self):
+        rich = AckFeedback(cum_ack=0, awnd=0,
+                           unacked_blocks=[(i, i + 1) for i in range(20)])
+        poor = AckFeedback(cum_ack=0, awnd=0)
+        assert (make_feedback_packet(PacketType.TACK, rich).size
+                > make_feedback_packet(PacketType.TACK, poor).size)

@@ -1,0 +1,90 @@
+"""State-growth hygiene: long-running connections must not leak
+per-packet bookkeeping."""
+
+from repro.netsim.packet import MSS
+
+from conftest import build_wired_connection
+
+
+class TestSenderStateBounded:
+    def test_records_pruned_after_cum_ack(self, sim):
+        conn, _ = build_wired_connection(sim, "tcp-tack", rate_bps=20e6,
+                                         rtt_s=0.02)
+        conn.start_bulk()
+        sim.run(until=10.0)
+        sender = conn.sender
+        # Acked records are deleted; the dict holds roughly one
+        # window's worth, not the whole history.
+        sent = sender.stats.data_packets_sent
+        assert sent > 5000
+        assert len(sender.records) < 2000
+
+    def test_pkt_map_does_not_grow_unbounded(self, sim):
+        conn, _ = build_wired_connection(sim, "tcp-tack", rate_bps=20e6,
+                                         rtt_s=0.02, data_loss=0.01)
+        conn.start_bulk()
+        sim.run(until=10.0)
+        sender = conn.sender
+        # Entries die with their records at cum-ack; the map tracks
+        # the window, not total traffic.
+        assert sender.stats.data_packets_sent > 5000
+        assert len(sender.pkt_map) < 2000
+
+    def test_governor_pruned_on_ack(self, sim):
+        conn, _ = build_wired_connection(sim, "tcp-tack", rate_bps=10e6,
+                                         rtt_s=0.05, data_loss=0.02)
+        conn.start_transfer(500 * MSS)
+        sim.run(until=30.0)
+        assert conn.completed
+        # All retransmitted ranges were eventually acked and removed.
+        assert len(conn.sender.governor) == 0
+
+    def test_retx_queue_drains(self, sim):
+        conn, _ = build_wired_connection(sim, "tcp-tack", rate_bps=10e6,
+                                         rtt_s=0.05, data_loss=0.05)
+        conn.start_transfer(300 * MSS)
+        sim.run(until=60.0)
+        assert conn.completed
+        assert len(conn.sender.retx_queue) == 0
+
+
+class TestReceiverStateBounded:
+    def test_interval_set_stays_small(self, sim):
+        conn, _ = build_wired_connection(sim, "tcp-tack", rate_bps=20e6,
+                                         rtt_s=0.02, data_loss=0.01)
+        conn.start_bulk()
+        sim.run(until=10.0)
+        # With auto-drain, consumed ranges are removed; only unfilled
+        # holes and the data above them remain.
+        assert len(conn.receiver.intervals) < 100
+
+    def test_gap_age_tracking_pruned(self, sim):
+        conn, _ = build_wired_connection(sim, "tcp-tack", rate_bps=20e6,
+                                         rtt_s=0.02, data_loss=0.02)
+        conn.start_bulk()
+        sim.run(until=10.0)
+        assert len(conn.receiver._gap_first_seen) < 100
+
+
+class TestEventQueueHygiene:
+    def test_no_timer_accumulation(self, sim):
+        """Pending events stay bounded during a steady flow (timers are
+        rescheduled, not accumulated)."""
+        conn, _ = build_wired_connection(sim, "tcp-tack", rate_bps=20e6,
+                                         rtt_s=0.02)
+        conn.start_bulk()
+        sim.run(until=5.0)
+        assert sim.pending() < 500
+
+    def test_quiescent_after_transfer_and_close(self, sim):
+        conn, _ = build_wired_connection(sim, "tcp-tack", rate_bps=20e6,
+                                         rtt_s=0.02)
+        conn.start_transfer(50 * MSS)
+        sim.run(until=5.0)
+        assert conn.completed
+        conn.close()
+        sim.run(until=6.0)
+        fired_before = sim.events_fired
+        sim.run(until=12.0)
+        # A closed connection generates no event storm.
+        assert sim.events_fired - fired_before < 20

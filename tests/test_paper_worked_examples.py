@@ -1,0 +1,141 @@
+"""The paper's in-text worked examples, transcribed as tests.
+
+Each test reproduces a concrete numeric example the paper walks
+through, so the implementation can be checked against the authors'
+own arithmetic.
+"""
+
+import pytest
+
+from repro.analysis.ack_frequency import tack_frequency
+from repro.analysis.buffer_req import l_upper_bound
+from repro.core.loss_detect import PktSeqTracker
+from repro.core.owd_timing import SenderRttMinEstimator
+from repro.core.params import TackParams
+from repro.netsim.packet import MSS, make_data_packet
+from repro.transport.intervals import IntervalSet
+
+
+class TestS51RetransmissionAmbiguity:
+    """S5.1: five packets [0..5999], MSS 1500; packet 2 dropped, its
+    retransmission (PKT.SEQ 4) dropped again — the receiver still
+    detects the retransmission loss from the number gap."""
+
+    def test_example_step_by_step(self):
+        tracker = PktSeqTracker()
+        assert tracker.on_packet(1) is None          # [0..1499]
+        # PKT.SEQ 2 ([1500..2999]) dropped; 3 arrives:
+        event = tracker.on_packet(3)                 # [3000..4499]
+        assert event is not None
+        assert event.missing_range() == (2, 2)
+        # Sender retransmits [1500..2999] as PKT.SEQ 4; it drops too.
+        # PKT.SEQ 5 arrives ([4500..5999]):
+        event2 = tracker.on_packet(5)
+        assert event2 is not None
+        assert event2.missing_range() == (4, 4)      # the retx loss
+
+    def test_bytestream_state_matches(self):
+        received = IntervalSet()
+        for seq in (0, 3000, 4500):                  # 1500-byte packets
+            received.add(seq, seq + 1500)
+        assert received.first_missing(0) == 1500     # hole at [1500..2999]
+        assert received.gaps(6000) == [(1500, 3000)]
+
+
+class TestS51AckedUnackedLists:
+    """S5.1: packets 1..10 sent; 1, 4, 5, 6, 10 received.  Acked list:
+    {1}, {4,6}, {10}; unacked list: {2,3}, {7,9}."""
+
+    def test_block_lists(self):
+        received = IntervalSet()
+        for pkt in (1, 4, 5, 6, 10):
+            received.add(pkt, pkt + 1)  # packet-number space
+        assert received.ranges() == [(1, 2), (4, 7), (10, 11)]
+        assert received.gaps(11)[1:] == [(2, 4), (7, 10)]
+
+
+class TestS43FeedbackDelayExample:
+    """S4.3: RTT_min 200 ms, bw 10 Mbps, L = 1 -> f_tack = 20 Hz, so a
+    loss just after a TACK waits up to 50 ms for the next one."""
+
+    def test_frequency_is_20hz(self):
+        f = tack_frequency(10e6, 0.2, beta=4.0, count_l=1)
+        assert f == pytest.approx(20.0)
+        assert 1.0 / f == pytest.approx(0.05)  # up to 50 ms delay
+
+
+class TestFig4RttCorrection:
+    """Fig. 4(b): RTT = t1 - t0 - delta_t."""
+
+    def test_sample_formula(self):
+        est = SenderRttMinEstimator()
+        t0, t1, delta = 10.0, 10.35, 0.15
+        sample = est.on_tack(t1, t0, delta)
+        assert sample == pytest.approx(t1 - t0 - delta)
+
+
+class TestAppendixB2LBound:
+    """B.2: Q = 4, rho = rho' = 10% -> an ACK at least every L = 400
+    full-sized packets."""
+
+    def test_bound(self):
+        assert l_upper_bound(4, 0.1, 0.1) == pytest.approx(400.0)
+
+
+class TestS44IackFrequencyBound:
+    """S4.4: with loss rate rho, the loss-event IACK frequency is at
+    most rho * bw / MSS — 'only adds few ACKs on the return path'."""
+
+    def test_iack_rate_bounded_in_simulation(self):
+        import sys
+        sys.path.insert(0, "tests")
+        from conftest import build_wired_connection
+        from repro.netsim.engine import Simulator
+
+        rho, bw = 0.01, 20e6
+        sim = Simulator(seed=3)
+        conn, _ = build_wired_connection(sim, "tcp-tack", rate_bps=bw,
+                                         rtt_s=0.05, data_loss=rho,
+                                         queue_bytes=500_000)
+        conn.start_bulk()
+        sim.run(until=10.0)
+        iack_rate = conn.receiver.stats.iacks_sent / 10.0
+        bound = rho * bw / (MSS * 8)
+        # The bound holds with slack for window-event IACKs.
+        assert iack_rate < 1.5 * bound + 5
+
+
+class TestFig8bNumbers:
+    """Fig. 8(b)'s table entries are Eq. (3) evaluations."""
+
+    @pytest.mark.parametrize(
+        "bw,rtt,expected",
+        [
+            (590e6, 0.010, 400.0),   # 802.11ac @ 10 ms
+            (590e6, 0.080, 50.0),    # 802.11ac @ 80 ms
+            (590e6, 0.200, 20.0),    # 802.11ac @ 200 ms
+            (7e6, 0.010, 291.7),     # 802.11b @ 10 ms ~ TCP(L=2)'s 294
+        ],
+    )
+    def test_fig8b_cell(self, bw, rtt, expected):
+        assert tack_frequency(bw, rtt) == pytest.approx(expected, rel=0.01)
+
+
+class TestS63AckRatioClaim:
+    """S6.3: over 802.11g, TACK's ACKs/data ~ 1.9% vs TCP's ~50%."""
+
+    def test_ratio_in_simulation(self):
+        from repro.app.bulk import BulkFlow
+        from repro.netsim.engine import Simulator
+        from repro.netsim.paths import wlan_path
+
+        ratios = {}
+        for scheme in ("tcp-tack", "tcp-bbr"):
+            sim = Simulator(seed=5)
+            path = wlan_path(sim, "802.11g", extra_rtt_s=0.08)
+            flow = BulkFlow(sim, path, scheme, initial_rtt=0.08)
+            flow.start()
+            sim.run(until=5.0)
+            ratios[scheme] = flow.ack_ratio()
+        assert ratios["tcp-tack"] < 0.08          # paper: ~1.9%
+        assert 0.3 < ratios["tcp-bbr"] < 0.8      # paper: ~50%

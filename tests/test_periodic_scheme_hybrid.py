@@ -1,0 +1,95 @@
+"""Tests for the pure-periodic scheme (Eq. 2) and hybrid-path details.
+
+The paper's S4.1 criticism of pure periodic ACKs — frequency is
+unadaptable, wasting ACKs at low rates — becomes directly observable
+with the ``tcp-bbr-periodic`` flavor.
+"""
+
+import pytest
+
+from repro.netsim.packet import MSS
+from repro.netsim.paths import hybrid_path
+
+from conftest import build_wired_connection
+
+
+class TestPeriodicScheme:
+    def test_completes_transfers(self, sim):
+        conn, _ = build_wired_connection(sim, "tcp-bbr-periodic",
+                                         rate_bps=20e6, rtt_s=0.04)
+        conn.start_transfer(200 * MSS)
+        sim.run(until=10.0)
+        assert conn.completed
+
+    def test_frequency_unadaptable_at_low_rate(self, sim):
+        """Eq. (2)'s flaw (paper S4.1): at rates below 2 packets per
+        alpha, periodic ACKs keep firing per interval while TACK's
+        byte-counting fallback acknowledges every second packet."""
+        from repro.core.flavors import make_connection
+        from repro.netsim.paths import wired_path
+
+        results = {}
+        for scheme in ("tcp-bbr-periodic", "tcp-tack"):
+            from repro.netsim.engine import Simulator
+            local = Simulator(seed=5)
+            path = wired_path(local, 20e6, 0.04)
+            conn = make_connection(local, scheme, initial_rtt=0.04)
+            conn.wire(path.forward, path.reverse)
+            conn.sender.start()
+
+            def produce(c=conn, s=local):
+                c.sender.write(MSS)          # 60 packets per second
+                s.call_in(1.0 / 60.0, produce)
+
+            produce()
+            local.run(until=10.0)
+            results[scheme] = conn.ack_count()
+        assert results["tcp-bbr-periodic"] > 1.2 * results["tcp-tack"]
+
+    def test_bounded_at_high_rate(self, sim):
+        """Eq. (2)'s virtue: frequency stays bounded under load."""
+        conn, _ = build_wired_connection(sim, "tcp-bbr-periodic",
+                                         rate_bps=50e6, rtt_s=0.04)
+        conn.start_bulk()
+        sim.run(until=5.0)
+        # alpha = 25 ms -> at most ~40/s plus dup-ack bursts.
+        assert conn.receiver.stats.acks_sent < 5.0 * 45
+
+
+class TestHybridPathDetails:
+    def test_wan_loss_recovered_over_hybrid(self, sim):
+        path = hybrid_path(sim, "802.11g", wan_rate_bps=100e6,
+                           wan_rtt_s=0.05, data_loss=0.02, ack_loss=0.02)
+        from repro.core.flavors import make_connection
+
+        conn = make_connection(sim, "tcp-tack", initial_rtt=0.06)
+        conn.wire(path.forward, path.reverse)
+        conn.start_transfer(300 * MSS)
+        sim.run(until=30.0)
+        assert conn.completed
+        assert conn.receiver.stats.bytes_delivered == 300 * MSS
+
+    def test_wlan_is_bottleneck_when_wan_fast(self, sim):
+        path = hybrid_path(sim, "802.11g", wan_rate_bps=500e6,
+                           wan_rtt_s=0.01)
+        from repro.core.flavors import make_connection
+
+        conn = make_connection(sim, "tcp-tack", initial_rtt=0.02)
+        conn.wire(path.forward, path.reverse)
+        conn.start_bulk()
+        sim.run(until=6.0)
+        goodput = conn.receiver.stats.bytes_delivered * 8 / 6.0
+        # Limited by 802.11g (~25 Mbps), nowhere near the WAN's 500.
+        assert 15e6 < goodput < 27e6
+
+    def test_wan_is_bottleneck_when_slower_than_wlan(self, sim):
+        path = hybrid_path(sim, "802.11n", wan_rate_bps=30e6,
+                           wan_rtt_s=0.02)
+        from repro.core.flavors import make_connection
+
+        conn = make_connection(sim, "tcp-tack", initial_rtt=0.03)
+        conn.wire(path.forward, path.reverse)
+        conn.start_bulk()
+        sim.run(until=6.0)
+        goodput = conn.receiver.stats.bytes_delivered * 8 / 6.0
+        assert 20e6 < goodput < 31e6

@@ -1,0 +1,110 @@
+"""Policy lifecycle and timer-hygiene tests across all ACK policies."""
+
+import pytest
+
+from repro.ack import (
+    ByteCountingAck,
+    DelayedAck,
+    PerPacketAck,
+    PeriodicAck,
+    TackPolicy,
+)
+from repro.netsim.packet import MSS, PacketType, make_data_packet
+from repro.transport.receiver import TransportReceiver
+
+ALL_POLICIES = [
+    PerPacketAck,
+    DelayedAck,
+    lambda: ByteCountingAck(4),
+    PeriodicAck,
+    TackPolicy,
+]
+
+
+class StubPort:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+    def connect(self, sink):
+        pass
+
+
+def feed(sim, rx, n, start=0):
+    for i in range(start, start + n):
+        pkt = make_data_packet(i * MSS, i + 1)
+        pkt.sent_at = sim.now()
+        pkt.meta["rtt_min"] = 0.05
+        rx.on_packet(pkt)
+
+
+class TestLifecycle:
+    @pytest.mark.parametrize("factory", ALL_POLICIES)
+    def test_detach_cancels_pending_timers(self, sim, factory):
+        policy = factory()
+        rx = TransportReceiver(sim, policy)
+        rx.connect(StubPort())
+        feed(sim, rx, 1)
+        rx.close()
+        pending_before = sim.pending()
+        sim.run(until=5.0)
+        # No policy timer may fire after detach (no exceptions, and the
+        # queue drains or only cancelled events remain).
+        assert sim.pending() <= pending_before
+
+    @pytest.mark.parametrize("factory", ALL_POLICIES)
+    def test_on_close_flushes_final_ack(self, sim, factory):
+        policy = factory()
+        rx = TransportReceiver(sim, policy)
+        port = StubPort()
+        rx.connect(port)
+        feed(sim, rx, 1)
+        rx.close()
+        # Every policy acknowledges the tail on close.
+        assert port.sent, f"{policy.name} sent nothing on close"
+        fb = port.sent[-1].meta["fb"]
+        assert fb.cum_ack == MSS
+
+    @pytest.mark.parametrize("factory", ALL_POLICIES)
+    def test_no_feedback_without_data(self, sim, factory):
+        policy = factory()
+        rx = TransportReceiver(sim, policy)
+        port = StubPort()
+        rx.connect(port)
+        sim.run(until=2.0)
+        assert port.sent == []
+
+    @pytest.mark.parametrize("factory", ALL_POLICIES)
+    def test_policy_survives_burst_then_silence(self, sim, factory):
+        policy = factory()
+        rx = TransportReceiver(sim, policy)
+        port = StubPort()
+        rx.connect(port)
+        feed(sim, rx, 20)
+        sim.run(until=3.0)
+        n_after_burst = len(port.sent)
+        sim.run(until=6.0)
+        # Silence generates no further feedback (timers go dormant).
+        assert len(port.sent) == n_after_burst
+        # And everything got acknowledged eventually.
+        assert port.sent[-1].meta["fb"].cum_ack == 20 * MSS
+
+
+class TestPolicyRestart:
+    @pytest.mark.parametrize("factory", ALL_POLICIES)
+    def test_second_burst_after_dormancy(self, sim, factory):
+        """Policies must re-arm cleanly when traffic resumes."""
+        policy = factory()
+        rx = TransportReceiver(sim, policy)
+        port = StubPort()
+        rx.connect(port)
+        feed(sim, rx, 4)
+        sim.run(until=2.0)
+        first = len(port.sent)
+        feed(sim, rx, 4, start=4)
+        sim.run(until=4.0)
+        assert len(port.sent) > first
+        assert port.sent[-1].meta["fb"].cum_ack == 8 * MSS

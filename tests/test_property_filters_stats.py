@@ -1,0 +1,108 @@
+"""Property-based tests for filters, percentile, and the ACK-frequency
+model (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.ack_frequency import (
+    byte_counting_frequency,
+    delayed_ack_frequency,
+    per_packet_frequency,
+    tack_frequency,
+)
+from repro.cc.windowed_filter import WindowedMaxFilter, WindowedMinFilter
+from repro.stats.percentile import percentile
+
+sample_stream = st.lists(
+    st.tuples(st.floats(0.0, 100.0), st.floats(-1e6, 1e6)),
+    min_size=1,
+    max_size=200,
+).map(lambda xs: sorted(xs, key=lambda p: p[0]))
+
+
+@given(sample_stream, st.floats(0.1, 10.0))
+@settings(max_examples=100)
+def test_windowed_max_matches_brute_force(stream, window):
+    f = WindowedMaxFilter(window)
+    for i, (t, v) in enumerate(stream):
+        f.update(v, t)
+        seen = stream[: i + 1]  # only samples inserted so far
+        brute = max(val for ts, val in seen if ts >= t - window)
+        assert f.get() == brute
+
+
+@given(sample_stream, st.floats(0.1, 10.0))
+@settings(max_examples=100)
+def test_windowed_min_matches_brute_force(stream, window):
+    f = WindowedMinFilter(window)
+    for i, (t, v) in enumerate(stream):
+        f.update(v, t)
+        seen = stream[: i + 1]
+        brute = min(val for ts, val in seen if ts >= t - window)
+        assert f.get() == brute
+
+
+@given(st.lists(st.floats(-1e9, 1e9, allow_nan=False), min_size=1, max_size=300),
+       st.floats(0, 100))
+def test_percentile_bounded_by_extremes(values, pct):
+    p = percentile(values, pct)
+    assert min(values) <= p <= max(values)
+
+
+@given(st.lists(st.floats(-1e9, 1e9, allow_nan=False), min_size=1, max_size=300))
+def test_percentile_endpoints(values):
+    assert percentile(values, 0) == min(values)
+    assert percentile(values, 100) == max(values)
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=100),
+       st.floats(0, 100), st.floats(0, 100))
+def test_percentile_monotone_in_pct(values, p1, p2):
+    lo, hi = min(p1, p2), max(p1, p2)
+    assert percentile(values, lo) <= percentile(values, hi)
+
+
+# --- ACK frequency model properties (paper S4.2 insights) -----------
+
+bw = st.floats(1e3, 1e10)
+rtt = st.floats(1e-4, 10.0)
+
+
+@given(bw, rtt)
+def test_tack_never_exceeds_tcp_frequency(bw_bps, rtt_s):
+    """Paper insight 1: f_tack <= f_tcp for the same L."""
+    assert tack_frequency(bw_bps, rtt_s, count_l=2) <= (
+        byte_counting_frequency(bw_bps, 2) + 1e-9
+    )
+
+
+@given(bw, rtt)
+def test_tack_bounded_by_periodic_clock(bw_bps, rtt_s):
+    assert tack_frequency(bw_bps, rtt_s) <= 4.0 / rtt_s + 1e-9
+
+
+@given(bw, bw, rtt)
+def test_tack_monotone_in_bandwidth(bw1, bw2, rtt_s):
+    lo, hi = min(bw1, bw2), max(bw1, bw2)
+    assert tack_frequency(lo, rtt_s) <= tack_frequency(hi, rtt_s) + 1e-9
+
+
+@given(bw, rtt, rtt)
+def test_tack_antitone_in_rtt(bw_bps, r1, r2):
+    """Larger RTT_min -> no more ACKs (paper insight 3)."""
+    lo, hi = min(r1, r2), max(r1, r2)
+    assert tack_frequency(bw_bps, hi) <= tack_frequency(bw_bps, lo) + 1e-9
+
+
+@given(bw)
+def test_per_packet_dominates_delayed(bw_bps):
+    assert delayed_ack_frequency(bw_bps) <= per_packet_frequency(bw_bps) + 1e-9
+
+
+@given(bw, st.integers(1, 64))
+def test_byte_counting_scales_inverse_l(bw_bps, L):
+    f1 = byte_counting_frequency(bw_bps, 1)
+    fl = byte_counting_frequency(bw_bps, L)
+    assert math.isclose(fl * L, f1, rel_tol=1e-9)

@@ -1,0 +1,94 @@
+"""Property-based tests for the IntervalSet (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport.intervals import IntervalSet
+
+ranges_strategy = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(1, 30)).map(
+        lambda t: (t[0], t[0] + t[1])
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+def brute_force_set(ranges):
+    present = set()
+    for start, end in ranges:
+        present.update(range(start, end))
+    return present
+
+
+@given(ranges_strategy)
+def test_membership_matches_brute_force(ranges):
+    s = IntervalSet(ranges)
+    expected = brute_force_set(ranges)
+    for value in range(0, 240):
+        assert (value in s) == (value in expected)
+
+
+@given(ranges_strategy)
+def test_covered_matches_brute_force(ranges):
+    s = IntervalSet(ranges)
+    assert s.covered() == len(brute_force_set(ranges))
+
+
+@given(ranges_strategy)
+def test_ranges_disjoint_and_sorted(ranges):
+    s = IntervalSet(ranges)
+    rs = s.ranges()
+    for (s1, e1), (s2, e2) in zip(rs, rs[1:]):
+        assert e1 < s2  # disjoint, not even touching
+    for start, end in rs:
+        assert start < end
+
+
+@given(ranges_strategy)
+def test_add_returns_new_count(ranges):
+    s = IntervalSet()
+    total = set()
+    for start, end in ranges:
+        before = len(total)
+        total.update(range(start, end))
+        assert s.add(start, end) == len(total) - before
+
+
+@given(ranges_strategy, st.integers(0, 240))
+def test_first_missing_matches_brute_force(ranges, probe):
+    s = IntervalSet(ranges)
+    expected = brute_force_set(ranges)
+    value = probe
+    while value in expected:
+        value += 1
+    assert s.first_missing(probe) == value
+
+
+@given(ranges_strategy, st.integers(0, 240))
+def test_gaps_complement_ranges(ranges, upto):
+    s = IntervalSet(ranges)
+    expected = brute_force_set(ranges)
+    gap_values = set()
+    for start, end in s.gaps(upto):
+        gap_values.update(range(start, min(end, upto)))
+    for value in range(upto):
+        assert (value in gap_values) == (value not in expected)
+
+
+@given(ranges_strategy, st.integers(0, 240))
+def test_remove_below_drops_exactly(ranges, bound):
+    s = IntervalSet(ranges)
+    expected = {v for v in brute_force_set(ranges) if v >= bound}
+    s.remove_below(bound)
+    assert brute_force_set(s.ranges()) == expected
+
+
+@given(ranges_strategy)
+@settings(max_examples=50)
+def test_idempotent_re_add(ranges):
+    s = IntervalSet(ranges)
+    snapshot = s.ranges()
+    for start, end in ranges:
+        assert s.add(start, end) == 0
+    assert s.ranges() == snapshot

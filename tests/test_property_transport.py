@@ -1,0 +1,132 @@
+"""Property-based tests over the transport machinery (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.loss_detect import PktSeqTracker
+from repro.core.owd_timing import ReceiverOwdTracker
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import MSS, make_data_packet
+from repro.ack import PerPacketAck
+from repro.transport.receiver import TransportReceiver
+
+
+class _NullPort:
+    def send(self, packet):
+        return True
+
+    def connect(self, sink):
+        pass
+
+
+@given(st.permutations(list(range(12))))
+@settings(max_examples=60, deadline=None)
+def test_reassembly_delivers_everything_once(order):
+    """Any arrival permutation of 12 segments yields exactly the full
+    stream, delivered in order."""
+    sim = Simulator(seed=1)
+    rx = TransportReceiver(sim, PerPacketAck())
+    rx.connect(_NullPort())
+    delivered = []
+    rx.on_deliver(lambda n, t: delivered.append(n))
+    for idx in order:
+        pkt = make_data_packet(idx * MSS, idx + 1)
+        pkt.sent_at = 0.0
+        rx.on_packet(pkt)
+    assert sum(delivered) == 12 * MSS
+    assert rx.delivered_ptr == 12 * MSS
+    assert rx.holb_blocked_bytes() == 0
+
+
+@given(st.permutations(list(range(12))), st.sets(st.integers(0, 11)))
+@settings(max_examples=60, deadline=None)
+def test_reassembly_with_duplicates(order, dup_set):
+    """Duplicates never inflate delivery."""
+    sim = Simulator(seed=1)
+    rx = TransportReceiver(sim, PerPacketAck())
+    rx.connect(_NullPort())
+    schedule = list(order) + [i for i in order if i in dup_set]
+    pkt_seq = 1
+    for idx in schedule:
+        pkt = make_data_packet(idx * MSS, pkt_seq)
+        pkt.sent_at = 0.0
+        pkt_seq += 1
+        rx.on_packet(pkt)
+    assert rx.delivered_ptr == 12 * MSS
+    assert rx.stats.bytes_delivered == 12 * MSS
+
+
+@given(st.lists(st.integers(1, 100), min_size=1, max_size=100, unique=True))
+@settings(max_examples=100)
+def test_pkt_tracker_holes_match_brute_force(arrivals):
+    t = PktSeqTracker()
+    for p in sorted(arrivals):
+        t.on_packet(p)
+    first, largest = min(arrivals), max(arrivals)
+    # Holes before the first arrival are never counted (the tracker
+    # treats the first packet as the numbering baseline).
+    expected_holes = {p for p in range(first + 1, largest) if p not in set(arrivals)}
+    assert t.outstanding_holes == len(expected_holes)
+    assert t.largest_seen == largest
+
+
+@given(st.lists(st.integers(1, 60), min_size=2, max_size=60, unique=True))
+@settings(max_examples=100)
+def test_gap_events_cover_every_hole_exactly_once(arrivals):
+    """Ascending arrivals: the union of gap-event ranges equals the
+    hole set, with no overlaps."""
+    t = PktSeqTracker()
+    reported = []
+    for p in sorted(arrivals):
+        ev = t.on_packet(p)
+        if ev is not None:
+            lo, hi = ev.missing_range()
+            reported.extend(range(lo, hi + 1))
+    first = min(arrivals)
+    largest = max(arrivals)
+    expected = [p for p in range(first + 1, largest) if p not in set(arrivals)]
+    assert sorted(reported) == expected
+    assert len(set(reported)) == len(reported)
+
+
+@given(st.lists(st.tuples(st.floats(0, 10), st.floats(0.001, 1.0)),
+                min_size=1, max_size=100))
+@settings(max_examples=100)
+def test_owd_reference_is_interval_minimum(pairs):
+    """Advanced mode picks exactly the min-OWD packet of the interval."""
+    tracker = ReceiverOwdTracker(mode="advanced")
+    best = None
+    t_now = 0.0
+    for depart, owd in pairs:
+        t_now += 0.01
+        arrival = depart + owd
+        tracker.on_packet(depart, arrival)
+        if best is None or owd < best:
+            best = owd
+    ref = tracker.take_reference()
+    assert ref is not None
+    assert abs(ref.owd - best) < 1e-12
+
+
+@given(st.integers(1, 40), st.integers(0, 39))
+@settings(max_examples=60, deadline=None)
+def test_single_drop_any_position_recovers(total_mss, drop_idx):
+    """Drop any one packet of a short TACK transfer; it must complete
+    without RTO (IACK pull or tail flush handles it)."""
+    from repro.netsim.loss import PatternLoss
+    import sys
+    sys.path.insert(0, "tests")
+    from conftest import build_wired_connection
+
+    if drop_idx >= total_mss:
+        drop_idx = total_mss - 1
+    sim = Simulator(seed=3)
+    conn, _ = build_wired_connection(
+        sim, "tcp-tack", rate_bps=20e6, rtt_s=0.02,
+        forward_loss=PatternLoss([drop_idx]),
+        queue_bytes=500_000,
+    )
+    conn.start_transfer(total_mss * MSS)
+    sim.run(until=20.0)
+    assert conn.completed
+    assert conn.receiver.stats.bytes_delivered == total_mss * MSS

@@ -1,0 +1,82 @@
+"""Tests for the Minstrel-lite WLAN rate adaptation extension."""
+
+import pytest
+
+from repro.netsim.packet import make_data_packet
+from repro.wlan.medium import WirelessMedium
+from repro.wlan.phy import get_profile
+from repro.wlan.station import Station, wireless_pair
+
+
+class TestRateLadder:
+    def test_disabled_by_default(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11n"))
+        sta = Station(medium, "sta")
+        assert sta.current_rate_bps == sta.current_rate_bps  # stable accessor
+        assert sta.current_rate_bps() == 300e6
+        sta.note_tx_outcome(ok=False)
+        sta.note_tx_outcome(ok=False)
+        assert sta.current_rate_bps() == 300e6  # no adaptation
+
+    def test_steps_down_after_two_failures(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11n"))
+        sta = Station(medium, "sta", rate_adaptation=True)
+        sta.note_tx_outcome(ok=False)
+        sta.note_tx_outcome(ok=False)
+        assert sta.current_rate_bps() == pytest.approx(0.75 * 300e6)
+
+    def test_steps_back_up_after_ten_successes(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11n"))
+        sta = Station(medium, "sta", rate_adaptation=True)
+        sta.note_tx_outcome(ok=False)
+        sta.note_tx_outcome(ok=False)
+        for _ in range(10):
+            sta.note_tx_outcome(ok=True)
+        assert sta.current_rate_bps() == pytest.approx(300e6)
+
+    def test_bottom_of_ladder(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11n"))
+        sta = Station(medium, "sta", rate_adaptation=True)
+        for _ in range(20):
+            sta.note_tx_outcome(ok=False)
+        assert sta.current_rate_bps() == pytest.approx(0.25 * 300e6)
+
+    def test_rate_table_descending(self):
+        table = get_profile("802.11ac").rate_table()
+        assert table == sorted(table, reverse=True)
+
+
+class TestAdaptationUnderNoise:
+    def test_noisy_channel_lowers_goodput_beyond_retries(self, sim):
+        """With heavy PHY noise, rate adaptation steps the MCS down —
+        goodput falls below the fixed-rate equivalent (the amplifier
+        the paper's testbed exhibits in Fig. 3)."""
+        results = {}
+        for adapt in (False, True):
+            from repro.netsim.engine import Simulator
+            local = Simulator(seed=5)
+            medium = WirelessMedium(local, get_profile("802.11g"),
+                                    per_mpdu_error_rate=0.25)
+            a = Station(medium, "a", queue_frames=4096, rate_adaptation=adapt)
+            b = Station(medium, "b")
+            a.set_peer(b)
+            b.set_peer(a)
+            medium.register(a)
+            medium.register(b)
+            got = [0]
+            b.connect(lambda p: got.__setitem__(0, got[0] + p.payload_len))
+            for i in range(3000):
+                a.send(make_data_packet(i * 1500, i + 1))
+            local.run(until=1.0)
+            results[adapt] = got[0]
+        assert results[True] < results[False]
+
+    def test_clean_channel_stays_at_top_rate(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11n"))
+        ap, sta = wireless_pair(medium)
+        ap.rate_adaptation = True
+        sta.connect(lambda p: None)
+        for i in range(200):
+            ap.send(make_data_packet(i * 1500, i + 1))
+        sim.run(until=0.5)
+        assert ap.current_rate_bps() == pytest.approx(300e6)

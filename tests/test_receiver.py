@@ -1,0 +1,166 @@
+"""Unit tests for the transport receiver."""
+
+from repro.ack import PerPacketAck, TackPolicy
+from repro.netsim.packet import MSS, Packet, PacketType, make_data_packet
+from repro.transport.receiver import TransportReceiver
+
+
+class StubPort:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+    def connect(self, sink):
+        pass
+
+
+def make_rx(sim, policy=None, **kwargs):
+    rx = TransportReceiver(sim, policy or PerPacketAck(), **kwargs)
+    port = StubPort()
+    rx.connect(port)
+    return rx, port
+
+
+def data(sim, idx, payload=MSS, pkt_seq=None):
+    pkt = make_data_packet(idx * MSS, pkt_seq if pkt_seq is not None else idx + 1,
+                           payload_len=payload)
+    pkt.sent_at = sim.now()
+    return pkt
+
+
+class TestReassembly:
+    def test_in_order_delivery(self, sim):
+        rx, _ = make_rx(sim)
+        delivered = []
+        rx.on_deliver(lambda n, t: delivered.append(n))
+        for i in range(3):
+            rx.on_packet(data(sim, i))
+        assert sum(delivered) == 3 * MSS
+        assert rx.stats.bytes_delivered == 3 * MSS
+
+    def test_out_of_order_held_then_released(self, sim):
+        rx, _ = make_rx(sim)
+        rx.on_packet(data(sim, 0))
+        rx.on_packet(data(sim, 2))
+        assert rx.stats.bytes_delivered == MSS
+        assert rx.holb_blocked_bytes() == MSS
+        rx.on_packet(data(sim, 1))
+        assert rx.stats.bytes_delivered == 3 * MSS
+        assert rx.holb_blocked_bytes() == 0
+
+    def test_duplicate_counted_not_delivered_twice(self, sim):
+        rx, _ = make_rx(sim)
+        rx.on_packet(data(sim, 0))
+        rx.on_packet(data(sim, 0, pkt_seq=99))
+        assert rx.stats.duplicate_packets == 1
+        assert rx.stats.bytes_delivered == MSS
+
+    def test_peak_buffer_tracked(self, sim):
+        rx, _ = make_rx(sim)
+        rx.on_packet(data(sim, 5))
+        rx.on_packet(data(sim, 6))
+        assert rx.stats.peak_buffered_bytes == 2 * MSS
+
+
+class TestSlowReader:
+    def test_awnd_shrinks_without_reads(self, sim):
+        rx, _ = make_rx(sim, rcv_buffer_bytes=10 * MSS, auto_drain=False)
+        for i in range(4):
+            rx.on_packet(data(sim, i))
+        assert rx.awnd() == 6 * MSS
+        assert rx.available_bytes() == 4 * MSS
+
+    def test_read_restores_window(self, sim):
+        rx, _ = make_rx(sim, rcv_buffer_bytes=10 * MSS, auto_drain=False)
+        for i in range(4):
+            rx.on_packet(data(sim, i))
+        assert rx.read(2 * MSS) == 2 * MSS
+        assert rx.awnd() == 8 * MSS
+
+    def test_read_limited_to_in_order_data(self, sim):
+        rx, _ = make_rx(sim, auto_drain=False)
+        rx.on_packet(data(sim, 0))
+        rx.on_packet(data(sim, 2))
+        assert rx.read(10 * MSS) == MSS
+
+
+class TestFeedbackConstruction:
+    def test_sack_prefers_highest_blocks(self, sim):
+        rx, _ = make_rx(sim)
+        # holes everywhere: received 1,3,5,7,9
+        for i in (1, 3, 5, 7, 9):
+            rx.on_packet(data(sim, i))
+        fb = rx.build_feedback(max_sack_blocks=2)
+        assert fb.sack_blocks == [(7 * MSS, 8 * MSS), (9 * MSS, 10 * MSS)]
+
+    def test_unacked_prefers_lowest_gaps(self, sim):
+        rx, _ = make_rx(sim)
+        for i in (1, 3, 5):
+            rx.on_packet(data(sim, i))
+        fb = rx.build_feedback(max_unacked_blocks=2)
+        assert fb.unacked_blocks == [(0, MSS), (2 * MSS, 3 * MSS)]
+
+    def test_awnd_in_feedback(self, sim):
+        rx, _ = make_rx(sim, rcv_buffer_bytes=8 * MSS, auto_drain=False)
+        rx.on_packet(data(sim, 0))
+        fb = rx.build_feedback()
+        assert fb.awnd == 7 * MSS
+
+    def test_largest_pkt_seq_reported(self, sim):
+        rx, _ = make_rx(sim)
+        rx.on_packet(data(sim, 0, pkt_seq=41))
+        fb = rx.build_feedback()
+        assert fb.largest_pkt_seq == 41
+
+    def test_timing_reference_consumed_once(self, sim):
+        rx, _ = make_rx(sim)
+        rx.on_packet(data(sim, 0))
+        fb1 = rx.build_feedback(include_timing=True)
+        fb2 = rx.build_feedback(include_timing=True)
+        assert fb1.echo_departure_ts is not None
+        assert fb2.echo_departure_ts is None
+
+    def test_syn_answered_with_syn_ack(self, sim):
+        rx, port = make_rx(sim)
+        syn = Packet(PacketType.SYN, size=64)
+        syn.sent_at = 0.0
+        rx.on_packet(syn)
+        assert port.sent[0].kind is PacketType.SYN_ACK
+
+    def test_rtt_min_synced_from_data(self, sim):
+        rx, _ = make_rx(sim)
+        pkt = data(sim, 0)
+        pkt.meta["rtt_min"] = 0.123
+        rx.on_packet(pkt)
+        assert rx.peer_rtt_min == 0.123
+
+
+class TestFeedbackWire:
+    def test_block_cost_charged(self, sim):
+        from repro.transport.feedback import (
+            AckFeedback,
+            feedback_wire_bytes,
+        )
+        small = AckFeedback(cum_ack=0, awnd=0)
+        assert feedback_wire_bytes(small) == 64
+        big = AckFeedback(
+            cum_ack=0,
+            awnd=0,
+            sack_blocks=[(i, i + 1) for i in range(10)],
+        )
+        assert feedback_wire_bytes(big) == 64 + 7 * 8
+
+    def test_wire_size_capped_at_mtu(self, sim):
+        from repro.transport.feedback import (
+            AckFeedback,
+            feedback_wire_bytes,
+        )
+        huge = AckFeedback(
+            cum_ack=0,
+            awnd=0,
+            unacked_blocks=[(i, i + 1) for i in range(1000)],
+        )
+        assert feedback_wire_bytes(huge) == 1518

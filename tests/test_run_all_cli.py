@@ -1,0 +1,44 @@
+"""Tests for the run_all regeneration CLI."""
+
+import os
+
+import pytest
+
+from repro.experiments import run_all
+
+
+class TestPlan:
+    def test_plan_covers_every_results_artifact(self):
+        names = {name for name, _ in run_all.experiment_plan(fast=True)}
+        # Every headline figure has an entry.
+        for expected in ("fig01_goodput_wlan", "fig03_contention",
+                         "fig05b_rich_info", "fig09b_ideal_goodput",
+                         "fig13_hybrid", "fig14_pantheon",
+                         "ext_tcp_splitting"):
+            assert expected in names
+
+    def test_fast_plan_same_experiments(self):
+        fast = {n for n, _ in run_all.experiment_plan(fast=True)}
+        slow = {n for n, _ in run_all.experiment_plan(fast=False)}
+        assert fast == slow
+
+
+class TestCli:
+    def test_only_filter_runs_single_experiment(self, tmp_path, capsys):
+        rc = run_all.main(["--fast", "--only", "fig17a",
+                           "--out", str(tmp_path)])
+        assert rc == 0
+        assert os.path.exists(tmp_path / "fig17a_vs_bandwidth.txt")
+        out = capsys.readouterr().out
+        assert "Regenerated 1 experiments" in out
+
+    def test_unknown_filter_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_all.main(["--only", "nonexistent", "--out", str(tmp_path)])
+
+    def test_analytic_experiments_run(self, tmp_path, capsys):
+        rc = run_all.main(["--fast", "--only", "eq06_analytic",
+                           "--out", str(tmp_path)])
+        assert rc == 0
+        content = (tmp_path / "eq06_analytic.txt").read_text()
+        assert "threshold" in content

@@ -1,0 +1,292 @@
+"""Unit tests for the transport sender over a controlled pipe."""
+
+import pytest
+
+from repro.cc import BBR, NewReno
+from repro.netsim.packet import MSS, Packet, PacketType
+from repro.netsim.pipe import Pipe
+from repro.transport.feedback import AckFeedback, make_feedback_packet
+from repro.transport.sender import TransportSender
+
+
+class StubPort:
+    """Captures sent packets without delivering them anywhere."""
+
+    def __init__(self):
+        self.sent = []
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return True
+
+    def connect(self, sink):
+        pass
+
+
+def established_sender(sim, cc=None, **kwargs):
+    sender = TransportSender(sim, cc or NewReno(), **kwargs)
+    port = StubPort()
+    sender.connect(port)
+    sender.start()
+    syn_ack = Packet(PacketType.SYN_ACK, size=64)
+    syn_ack.meta["syn_sent_at"] = 0.0
+    sim.call_in(0.01, lambda: sender.on_packet(syn_ack))
+    sim.run(until=0.02)
+    port.sent.clear()
+    return sender, port
+
+
+def ack_for(sender, cum_ack, kind=PacketType.ACK, **fields):
+    fb = AckFeedback(cum_ack=cum_ack, awnd=fields.pop("awnd", 1 << 30), **fields)
+    pkt = make_feedback_packet(kind, fb)
+    sender.on_packet(pkt)
+    return fb
+
+
+class TestHandshake:
+    def test_syn_establishes_and_samples_rtt(self, sim):
+        sender, _ = established_sender(sim)
+        assert sender.established
+        assert sender.rtt.srtt == pytest.approx(0.01, abs=1e-3)
+
+    def test_syn_retry_on_loss(self, sim):
+        sender = TransportSender(sim, NewReno())
+        port = StubPort()
+        sender.connect(port)
+        sender.start()
+        sim.run(until=3.0)
+        syns = [p for p in port.sent if p.kind is PacketType.SYN]
+        assert len(syns) >= 2  # original plus at least one retry
+
+
+class TestSending:
+    def test_respects_cwnd(self, sim):
+        sender, port = established_sender(sim)
+        sender.set_unlimited()
+        sim.run(until=0.1)
+        data = [p for p in port.sent if p.kind is PacketType.DATA]
+        assert len(data) * MSS <= sender.cc.cwnd_bytes() + MSS
+
+    def test_pkt_seq_monotone(self, sim):
+        sender, port = established_sender(sim)
+        sender.set_unlimited()
+        sim.run(until=0.1)
+        seqs = [p.pkt_seq for p in port.sent if p.kind is PacketType.DATA]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_finite_write(self, sim):
+        sender, port = established_sender(sim)
+        sender.set_total(5 * MSS)
+        sim.run(until=0.2)
+        data = [p for p in port.sent if p.kind is PacketType.DATA]
+        assert sum(p.payload_len for p in data) == 5 * MSS
+
+    def test_partial_final_segment(self, sim):
+        sender, port = established_sender(sim)
+        sender.set_total(MSS + 100)
+        sim.run(until=0.2)
+        data = [p for p in port.sent if p.kind is PacketType.DATA]
+        assert [p.payload_len for p in data] == [MSS, 100]
+
+    def test_zero_awnd_blocks(self, sim):
+        sender, port = established_sender(sim)
+        ack_for(sender, 0, awnd=0)
+        sender.set_unlimited()
+        sim.run(until=0.15)  # below the persist timeout
+        assert not [p for p in port.sent if p.kind is PacketType.DATA]
+
+    def test_persist_probe_fires(self, sim):
+        sender, port = established_sender(sim)
+        ack_for(sender, 0, awnd=0)
+        sender.set_unlimited()
+        sim.run(until=1.0)
+        # The persist timer must eventually probe the zero window.
+        assert [p for p in port.sent if p.kind is PacketType.DATA]
+
+    def test_pacing_spaces_packets(self, sim):
+        sender, port = established_sender(sim)
+        sender.pacer.set_rate(1.2e6)  # ~10 pkt/s at full size
+        sender.cc.pacing_rate_bps = lambda: 1.2e6
+        sender.set_unlimited()
+        sim.run(until=0.5)
+        times = [p.sent_at for p in port.sent if p.kind is PacketType.DATA]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert min(gaps) >= 1518 * 8 / 1.2e6 * 0.99
+
+
+class TestCumAck:
+    def test_cum_ack_releases_window(self, sim):
+        sender, port = established_sender(sim)
+        sender.set_unlimited()
+        sim.run(until=0.1)
+        sent_before = len(port.sent)
+        ack_for(sender, 5 * MSS)
+        sim.run(until=0.2)
+        assert len(port.sent) > sent_before
+        assert sender.cum_acked == 5 * MSS
+
+    def test_in_flight_decreases(self, sim):
+        sender, port = established_sender(sim)
+        sender.set_total(5 * MSS)
+        sim.run(until=0.1)
+        assert sender.in_flight == 5 * MSS
+        ack_for(sender, 2 * MSS)
+        assert sender.in_flight == 3 * MSS
+
+    def test_completion_stamped(self, sim):
+        sender, port = established_sender(sim)
+        sender.set_total(3 * MSS)
+        sim.run(until=0.1)
+        assert sender.completed_at is None
+        ack_for(sender, 3 * MSS)
+        assert sender.completed_at == pytest.approx(sim.now())
+
+    def test_stale_cum_ack_ignored(self, sim):
+        sender, port = established_sender(sim)
+        sender.set_unlimited()
+        sim.run(until=0.1)
+        ack_for(sender, 5 * MSS)
+        ack_for(sender, 2 * MSS)  # reordered feedback
+        assert sender.cum_acked == 5 * MSS
+
+
+class TestDupAckRecovery:
+    def test_three_dupacks_fast_retransmit(self, sim):
+        sender, port = established_sender(sim)
+        sender.set_unlimited()
+        sim.run(until=0.1)
+        port.sent.clear()
+        for _ in range(3):
+            ack_for(sender, 0, sack_blocks=[(MSS, 2 * MSS)])
+        sim.run(until=0.15)
+        retx = [p for p in port.sent if p.kind is PacketType.DATA and p.seq == 0]
+        assert retx
+        assert sender.stats.fast_retransmits == 1
+
+    def test_retransmission_gets_new_pkt_seq(self, sim):
+        sender, port = established_sender(sim)
+        sender.set_unlimited()
+        sim.run(until=0.1)
+        original = next(p for p in port.sent if p.seq == 0)
+        port.sent.clear()
+        for _ in range(3):
+            ack_for(sender, 0, sack_blocks=[(MSS, 2 * MSS)])
+        sim.run(until=0.15)
+        retx = next(p for p in port.sent if p.seq == 0)
+        assert retx.pkt_seq > original.pkt_seq
+
+    def test_no_spurious_fast_retx_in_recovery(self, sim):
+        sender, port = established_sender(sim)
+        sender.set_unlimited()
+        sim.run(until=0.1)
+        for _ in range(6):
+            ack_for(sender, 0, sack_blocks=[(MSS, 2 * MSS)])
+        assert sender.stats.fast_retransmits == 1
+
+
+class TestReceiverDrivenPull:
+    def make_tack_sender(self, sim):
+        sender, port = None, None
+        s = TransportSender(sim, BBR(initial_rtt=0.01), receiver_driven=True,
+                            use_receiver_rate=True)
+        p = StubPort()
+        s.connect(p)
+        s.start()
+        syn_ack = Packet(PacketType.SYN_ACK, size=64)
+        syn_ack.meta["syn_sent_at"] = 0.0
+        sim.call_in(0.01, lambda: s.on_packet(syn_ack))
+        sim.run(until=0.02)
+        p.sent.clear()
+        return s, p
+
+    def test_pull_range_retransmits(self, sim):
+        sender, port = self.make_tack_sender(sim)
+        sender.set_unlimited()
+        sim.run(until=0.1)
+        lost = [p for p in port.sent if p.pkt_seq == 2][0]
+        port.sent.clear()
+        ack_for(sender, MSS, kind=PacketType.IACK, pull_pkt_range=(1, 3))
+        sim.run(until=0.12)
+        retx = [p for p in port.sent if p.seq == lost.seq]
+        assert len(retx) == 1
+        assert retx[0].pkt_seq > lost.pkt_seq
+
+    def test_stale_pull_for_superseded_pkt_seq_ignored(self, sim):
+        sender, port = self.make_tack_sender(sim)
+        sender.set_unlimited()
+        sim.run(until=0.1)
+        port.sent.clear()
+        ack_for(sender, MSS, kind=PacketType.IACK, pull_pkt_range=(1, 3))
+        sim.run(until=0.12)
+        n_after_first = sender.stats.retransmissions
+        # Same pull again: pkt_seq 2 now superseded, nothing happens.
+        ack_for(sender, MSS, kind=PacketType.IACK, pull_pkt_range=(1, 3))
+        sim.run(until=0.14)
+        assert sender.stats.retransmissions == n_after_first
+
+    def test_unacked_block_governed_once_per_rtt(self, sim):
+        sender, port = self.make_tack_sender(sim)
+        sender.rtt.on_sample(0.1)
+        sender.set_unlimited()
+        sim.run(until=0.1)
+        port.sent.clear()
+        for _ in range(4):
+            ack_for(sender, MSS, kind=PacketType.TACK,
+                    unacked_blocks=[(MSS, 2 * MSS)])
+        sim.run(until=0.15)
+        retx = [p for p in port.sent if p.seq == MSS]
+        assert len(retx) == 1
+
+    def test_tack_timing_updates_rtt_min(self, sim):
+        sender, port = self.make_tack_sender(sim)
+        sender.set_unlimited()
+        sim.run(until=0.1)
+        now = sim.now()
+        ack_for(sender, MSS, kind=PacketType.TACK,
+                echo_departure_ts=now - 0.05, tack_delay=0.02)
+        assert sender.rtt_min_est.last_sample == pytest.approx(0.03)
+
+    def test_receiver_rate_feeds_cc(self, sim):
+        sender, port = self.make_tack_sender(sim)
+        sender.set_unlimited()
+        sim.run(until=0.1)
+        ack_for(sender, MSS, kind=PacketType.TACK, delivery_rate_bps=42e6)
+        assert sender.cc.bw_estimate() == pytest.approx(42e6)
+
+
+class TestRto:
+    def test_rto_fires_and_retransmits(self, sim):
+        sender, port = established_sender(sim)
+        sender.set_total(2 * MSS)
+        sim.run(until=0.05)
+        port.sent.clear()
+        sim.run(until=3.0)  # no feedback at all
+        assert sender.stats.rtos >= 1
+        assert any(p.seq == 0 for p in port.sent)
+
+    def test_rto_backoff_doubles(self, sim):
+        sender, port = established_sender(sim)
+        sender.set_total(MSS)
+        first_rto = sender.rtt.rto()
+        sim.run(until=0.05 + first_rto + 0.01)
+        assert sender.rtt.rto() >= 1.9 * first_rto
+
+
+class TestEndToEndPipe:
+    def test_data_flows_through_pipe(self, sim):
+        """Sender against a real receiver via lossless pipes."""
+        from repro.ack import PerPacketAck
+        from repro.transport.receiver import TransportReceiver
+
+        sender = TransportSender(sim, NewReno())
+        receiver = TransportReceiver(sim, PerPacketAck())
+        fwd = Pipe(sim, delay_s=0.01, sink=receiver.on_packet)
+        rev = Pipe(sim, delay_s=0.01, sink=sender.on_packet)
+        sender.connect(fwd)
+        receiver.connect(rev)
+        sender.set_total(100 * MSS)
+        sender.start()
+        sim.run(until=5.0)
+        assert receiver.stats.bytes_delivered == 100 * MSS
+        assert sender.completed_at is not None

@@ -1,0 +1,210 @@
+"""Unit tests for the stats and analysis packages."""
+
+import pytest
+
+from repro.analysis.ack_frequency import (
+    byte_counting_frequency,
+    delayed_ack_frequency,
+    per_packet_frequency,
+    periodic_frequency,
+    pivot_bandwidth_bps,
+    pivot_rtt_s,
+    reduction_vs_tcp,
+    tack_frequency,
+)
+from repro.analysis.buffer_req import (
+    beta_lower_bound,
+    buffer_requirement_bytes,
+    l_upper_bound,
+    min_send_window_bytes,
+)
+from repro.analysis.thresholds import additional_blocks, rich_info_threshold
+from repro.stats.percentile import median, percentile
+from repro.stats.power import kleinrock_power
+from repro.stats.ranking import RankSummary, rank_schemes
+from repro.stats.series import TimeSeries
+
+
+class TestPercentile:
+    def test_median_simple(self):
+        assert median([1, 2, 3]) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5
+
+    def test_single_value(self):
+        assert percentile([7], 95) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_pct(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestTimeSeries:
+    def test_window_selection(self):
+        ts = TimeSeries()
+        for i in range(10):
+            ts.add(i * 1.0, float(i))
+        assert ts.window(2.0, 5.0) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_mean(self):
+        ts = TimeSeries()
+        ts.add(0, 1.0)
+        ts.add(1, 3.0)
+        assert ts.mean() == 2.0
+
+    def test_time_must_not_rewind(self):
+        ts = TimeSeries()
+        ts.add(1.0, 0.0)
+        with pytest.raises(ValueError):
+            ts.add(0.5, 0.0)
+
+    def test_empty_mean_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries().mean()
+
+    def test_last_default(self):
+        assert TimeSeries().last(default=9.0) == 9.0
+
+
+class TestPower:
+    def test_higher_throughput_higher_power(self):
+        assert kleinrock_power(10e6, 0.1) > kleinrock_power(1e6, 0.1)
+
+    def test_lower_delay_higher_power(self):
+        assert kleinrock_power(10e6, 0.01) > kleinrock_power(10e6, 0.1)
+
+    def test_zero_throughput_ranks_worst(self):
+        assert kleinrock_power(0, 0.1) == float("-inf")
+
+    def test_invalid_delay(self):
+        with pytest.raises(ValueError):
+            kleinrock_power(1e6, 0.0)
+
+
+class TestRanking:
+    def test_clear_winner(self):
+        trials = [{"a": 3.0, "b": 2.0, "c": 1.0} for _ in range(5)]
+        result = rank_schemes(trials)
+        assert result[0].scheme == "a"
+        assert result[0].mean == 1.0
+        assert result[-1].scheme == "c"
+
+    def test_rank_distribution(self):
+        trials = [
+            {"a": 2.0, "b": 1.0},
+            {"a": 1.0, "b": 2.0},
+        ]
+        result = rank_schemes(trials)
+        for summary in result:
+            assert sorted(summary.ranks) == [1, 2]
+
+    def test_quartiles(self):
+        s = RankSummary("x", [1, 1, 2, 3, 3])
+        q1, q2, q3 = s.quartiles()
+        assert q2 == 2
+
+    def test_mismatched_trials_rejected(self):
+        with pytest.raises(ValueError):
+            rank_schemes([{"a": 1.0}, {"b": 1.0}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rank_schemes([])
+
+
+class TestAckFrequencyModel:
+    def test_per_packet(self):
+        # 12 Mbps of 1500-byte packets = 1000 pkt/s
+        assert per_packet_frequency(12e6) == pytest.approx(1000.0)
+
+    def test_delayed_high_rate_is_half(self):
+        assert delayed_ack_frequency(12e6) == pytest.approx(500.0)
+
+    def test_delayed_low_rate_per_packet(self):
+        # 2 packets take longer than gamma -> per-packet regime
+        f = delayed_ack_frequency(0.05e6, gamma_s=0.2)
+        assert f == pytest.approx(per_packet_frequency(0.05e6))
+
+    def test_periodic(self):
+        assert periodic_frequency(0.025) == 40.0
+
+    def test_pivot_consistency(self):
+        """At the pivot the two clocks agree."""
+        rtt = 0.05
+        bw_star = pivot_bandwidth_bps(rtt)
+        assert byte_counting_frequency(bw_star, 2) == pytest.approx(4.0 / rtt)
+        assert pivot_rtt_s(bw_star) == pytest.approx(rtt)
+
+    def test_reduction_positive_at_high_bw(self):
+        assert reduction_vs_tcp(590e6, 0.08) > 0
+
+    def test_fig17_shape_frequency_plateaus(self):
+        """Fig. 17(a): above the pivot, f_tack is flat in bw."""
+        rtt = 0.08
+        f1 = tack_frequency(100e6, rtt)
+        f2 = tack_frequency(1000e6, rtt)
+        assert f1 == f2 == pytest.approx(4.0 / rtt)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            byte_counting_frequency(1e6, 0)
+        with pytest.raises(ValueError):
+            periodic_frequency(0)
+        with pytest.raises(ValueError):
+            tack_frequency(1e6, 0)
+
+
+class TestThresholds:
+    def test_lossless_data_path_never_needs_rich(self):
+        assert rich_info_threshold(0.0, bdp_bytes=1e6) == float("inf")
+
+    def test_large_bdp_branch(self):
+        """Eq. (7): rho' <= Q*MSS / (rho*bdp)."""
+        got = rich_info_threshold(0.01, bdp_bytes=15e6, q_blocks=1)
+        assert got == pytest.approx(1 * 1500 / (0.01 * 15e6))
+
+    def test_small_bdp_branch(self):
+        """Eq. (8): rho' <= Q / (rho*L)."""
+        got = rich_info_threshold(0.1, bdp_bytes=1000, q_blocks=1)
+        assert got == pytest.approx(1 / (0.1 * 2))
+
+    def test_additional_blocks_zero_when_q_sufficient(self):
+        assert additional_blocks(0.01, 0.001, bdp_bytes=15e6, q_blocks=4) == 0
+
+    def test_additional_blocks_positive_under_heavy_ack_loss(self):
+        assert additional_blocks(0.05, 0.2, bdp_bytes=15e6, q_blocks=1) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rich_info_threshold(1.5, 1e6)
+
+
+class TestBufferRequirements:
+    def test_paper_beta4_needs_one_third_bdp(self):
+        """Paper S7: beta=4 -> 0.33 bdp of buffer."""
+        assert buffer_requirement_bytes(3e6, beta=4) == pytest.approx(1e6)
+
+    def test_beta2_needs_full_bdp(self):
+        assert buffer_requirement_bytes(1e6, beta=2) == pytest.approx(1e6)
+
+    def test_wmin_formula(self):
+        assert min_send_window_bytes(1e6, beta=2) == pytest.approx(2e6)
+
+    def test_beta_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            min_send_window_bytes(1e6, beta=1)
+
+    def test_l_upper_bound_paper_example(self):
+        """Appendix B.2: Q=4, rho=rho'=10% -> L <= 400."""
+        assert l_upper_bound(4, 0.1, 0.1) == pytest.approx(400.0)
+
+    def test_l_unbounded_lossless(self):
+        assert l_upper_bound(4, 0.0, 0.1) == float("inf")
+
+    def test_beta_lower_bound(self):
+        assert beta_lower_bound() == 2

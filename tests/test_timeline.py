@@ -1,0 +1,71 @@
+"""Tests for the time-binned rate and ASCII chart utilities."""
+
+import pytest
+
+from repro.stats.series import TimeSeries
+from repro.stats.timeline import ascii_chart, binned_rate
+
+
+def cumulative(points):
+    ts = TimeSeries()
+    for t, v in points:
+        ts.add(t, v)
+    return ts
+
+
+class TestBinnedRate:
+    def test_constant_rate(self):
+        ts = cumulative([(i * 0.1, i * 100.0) for i in range(11)])
+        rates = binned_rate(ts, 0.2, end=1.0)
+        assert len(rates) == 5
+        assert all(r == pytest.approx(1000.0) for r in rates)
+
+    def test_idle_bins_zero(self):
+        ts = cumulative([(0.0, 0.0), (0.1, 100.0), (0.9, 100.0),
+                         (1.0, 200.0)])
+        rates = binned_rate(ts, 0.5, end=1.0)
+        assert rates[0] == pytest.approx(200.0)
+        assert rates[1] == pytest.approx(200.0)
+
+    def test_empty_series(self):
+        assert binned_rate(TimeSeries(), 0.1) == []
+
+    def test_invalid_bin(self):
+        with pytest.raises(ValueError):
+            binned_rate(cumulative([(0, 0)]), 0.0)
+
+    def test_total_conserved(self):
+        ts = cumulative([(0.0, 0.0), (0.25, 40.0), (0.8, 100.0)])
+        rates = binned_rate(ts, 0.1, end=0.8)
+        assert sum(r * 0.1 for r in rates) == pytest.approx(100.0)
+
+
+class TestAsciiChart:
+    def test_rows_share_scale(self):
+        chart = ascii_chart({"lo": [1.0] * 10, "hi": [10.0] * 10}, width=10)
+        lo_row, hi_row = chart.splitlines()
+        assert "█" in hi_row
+        assert "█" not in lo_row
+
+    def test_width_respected(self):
+        chart = ascii_chart({"x": list(range(500))}, width=20)
+        row = chart.splitlines()[0]
+        body = row.split("|")[1]
+        assert len(body) == 20
+
+    def test_short_series_not_padded_wrong(self):
+        chart = ascii_chart({"x": [1.0, 2.0, 3.0]}, width=50)
+        body = chart.splitlines()[0].split("|")[1]
+        assert len(body) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+
+    def test_all_zero_series_renders(self):
+        chart = ascii_chart({"flat": [0.0] * 5})
+        assert "|" in chart
+
+    def test_peak_label(self):
+        chart = ascii_chart({"x": [5.0]}, unit=" Mbps")
+        assert "peak 5 Mbps" in chart or "peak 5.0 Mbps" in chart

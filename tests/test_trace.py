@@ -1,0 +1,77 @@
+"""Tests for the packet tap / tracing helpers."""
+
+import pytest
+
+from repro.netsim.packet import PacketType, make_ack_packet, make_data_packet
+from repro.netsim.pipe import Pipe
+from repro.netsim.trace import PacketTap
+
+
+class TestPacketTap:
+    def test_records_and_forwards(self, sim):
+        got = []
+        tap = PacketTap(sim, sink=got.append)
+        pipe = Pipe(sim, 0.01, sink=tap)
+        pipe.send(make_data_packet(0, 1))
+        sim.run()
+        assert len(got) == 1
+        assert tap.count() == 1
+        assert tap.records[0].time == pytest.approx(0.01)
+
+    def test_counts_by_kind(self, sim):
+        tap = PacketTap(sim)
+        tap(make_data_packet(0, 1))
+        tap(make_ack_packet())
+        tap(make_ack_packet(kind=PacketType.TACK))
+        tap(make_ack_packet(kind=PacketType.IACK))
+        assert tap.count(PacketType.DATA) == 1
+        assert tap.count_acks() == 3
+        assert tap.count() == 4
+
+    def test_bytes_and_rate(self, sim):
+        tap = PacketTap(sim)
+        sim.call_in(1.0, lambda: tap(make_data_packet(0, 1)))
+        sim.run()
+        assert tap.bytes_seen() == 1518
+        assert tap.bytes_seen(PacketType.ACK) == 0
+        assert tap.rate_bps(start=0.0, end=2.0) == pytest.approx(1518 * 8 / 2.0)
+
+    def test_rate_window_filters(self, sim):
+        tap = PacketTap(sim)
+        sim.call_in(1.0, lambda: tap(make_data_packet(0, 1)))
+        sim.call_in(5.0, lambda: tap(make_data_packet(1500, 2)))
+        sim.run()
+        only_first = tap.rate_bps(start=0.0, end=2.0)
+        assert only_first == pytest.approx(1518 * 8 / 2.0)
+
+    def test_zero_duration_rate(self, sim):
+        tap = PacketTap(sim)
+        assert tap.rate_bps(start=1.0, end=1.0) == 0.0
+
+    def test_clear(self, sim):
+        tap = PacketTap(sim)
+        tap(make_data_packet(0, 1))
+        tap.clear()
+        assert tap.count() == 0
+
+    def test_tap_without_sink(self, sim):
+        tap = PacketTap(sim)
+        tap(make_data_packet(0, 1))  # must not raise
+        assert tap.count() == 1
+
+    def test_tap_on_live_connection(self, sim):
+        """Tap a real connection's reverse path to count ACK flavors."""
+        import sys
+        sys.path.insert(0, "tests")
+        from conftest import build_wired_connection
+
+        conn, path = build_wired_connection(sim, "tcp-tack", rate_bps=10e6,
+                                            rtt_s=0.05)
+        original_sink = conn.sender.on_packet
+        tap = PacketTap(sim, sink=original_sink)
+        path.wan.reverse.connect(tap)
+        conn.start_transfer(50 * 1500)
+        sim.run(until=5.0)
+        assert conn.completed
+        assert tap.count(PacketType.TACK) > 0
+        assert tap.count(PacketType.TACK) == conn.receiver.stats.tacks_sent

@@ -1,0 +1,76 @@
+"""Additional tests for the RTP/UDP video path and the UDP blaster's
+sequencing (deliberately unreliable workloads)."""
+
+import pytest
+
+from repro.app.udp_blast import UdpBlaster
+from repro.app.video import RtpUdpVideoSession
+from repro.netsim.paths import wired_path, wlan_path
+
+
+class TestRtpUdpSession:
+    def test_lossless_path_no_macroblocking(self, sim):
+        # Queue must absorb one whole frame burst (each frame is sent
+        # back to back as ~56 datagrams).
+        path = wired_path(sim, 200e6, 0.002, queue_bytes=1_000_000)
+        v = RtpUdpVideoSession(sim, path, bitrate_bps=20e6)
+        v.start()
+        sim.run(until=5.0)
+        stats = v.finish()
+        assert stats.frames_macroblocked == 0
+        assert stats.frames_played > 100
+
+    def test_lossy_path_macroblocks_proportionally(self, sim):
+        from repro.netsim.loss import BernoulliLoss
+
+        path = wired_path(sim, 200e6, 0.002, queue_bytes=1_000_000,
+                          forward_loss=BernoulliLoss(0.01, sim.fork_rng("v")))
+        v = RtpUdpVideoSession(sim, path, bitrate_bps=20e6)
+        v.start()
+        sim.run(until=10.0)
+        stats = v.finish()
+        # ~56 datagrams per frame at 1% independent loss:
+        # P(macroblock) = 1 - 0.99^56 ~= 0.43.
+        ratio = stats.frames_macroblocked / stats.frames_played
+        assert ratio == pytest.approx(1 - 0.99 ** 56, abs=0.12)
+
+    def test_overload_never_stalls_only_corrupts(self, sim):
+        """RTP pushes on regardless of capacity: zero rebuffering, but
+        heavy frame corruption when the channel can't keep up."""
+        path = wlan_path(sim, "802.11g")  # ~25 Mbps capacity
+        v = RtpUdpVideoSession(sim, path, bitrate_bps=80e6)
+        v.start()
+        sim.run(until=5.0)
+        stats = v.finish()
+        assert stats.stall_time_s == 0.0
+        assert stats.frames_macroblocked > 0.5 * stats.frames_played
+
+
+class TestUdpBlasterSequencing:
+    def test_packet_numbers_monotone(self, sim):
+        path = wired_path(sim, 1e9, 0.0)
+        seen = []
+        path.forward.connect(lambda p: seen.append(p.pkt_seq))
+        blaster = UdpBlaster(sim, path.forward, rate_bps=50e6)
+        blaster.start()
+        sim.run(until=0.05)
+        blaster.stop()
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+
+    def test_interval_matches_rate(self, sim):
+        path = wired_path(sim, 1e9, 0.0)
+        blaster = UdpBlaster(sim, path.forward, rate_bps=12.144e6)
+        # 1518 B at 12.144 Mbps -> exactly 1 ms per packet.
+        assert blaster.interval_s == pytest.approx(1e-3)
+
+    def test_stop_is_idempotent(self, sim):
+        path = wired_path(sim, 1e9, 0.0)
+        blaster = UdpBlaster(sim, path.forward, rate_bps=10e6)
+        blaster.start()
+        sim.run(until=0.01)
+        blaster.stop()
+        blaster.stop()
+        count = blaster.packets_sent
+        sim.run(until=0.05)
+        assert blaster.packets_sent == count

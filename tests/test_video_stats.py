@@ -1,0 +1,59 @@
+"""Unit tests for the video playback model's statistics."""
+
+import pytest
+
+from repro.app.video import VideoStats
+
+
+class TestVideoStats:
+    def test_rebuffering_ratio(self):
+        s = VideoStats()
+        s.stall_time_s = 3.0
+        s.wall_time_s = 30.0
+        assert s.rebuffering_ratio() == pytest.approx(0.1)
+
+    def test_rebuffering_zero_wall_time(self):
+        assert VideoStats().rebuffering_ratio() == 0.0
+
+    def test_macroblocking_scaled_to_30min(self):
+        s = VideoStats()
+        s.frames_macroblocked = 2
+        s.wall_time_s = 60.0
+        assert s.macroblocking_per_30min() == pytest.approx(60.0)
+
+    def test_macroblocking_zero_wall_time(self):
+        assert VideoStats().macroblocking_per_30min() == 0.0
+
+
+class TestPlaybackDynamics:
+    def test_startup_delay_equals_prebuffer_fill(self, sim):
+        """With an ideal link the player starts once prebuffer_frames
+        are delivered — about prebuffer/fps after the handshake."""
+        from repro.app.video import VideoSession
+        from repro.netsim.paths import wired_path
+
+        path = wired_path(sim, 1e9, 0.002)
+        session = VideoSession(sim, path, "tcp-tack", bitrate_bps=8e6,
+                               fps=30.0, prebuffer_frames=6,
+                               initial_rtt=0.002)
+        session.start()
+        sim.run(until=3.0)
+        stats = session.finish()
+        # 6 frames at 30 fps ~ 0.2 s (plus handshake and transmission).
+        assert stats.startup_delay_s == pytest.approx(6 / 30.0, abs=0.08)
+
+    def test_stall_accounts_wall_time(self, sim):
+        """A link slower than the bitrate stalls the player; stall time
+        approaches the delivery deficit."""
+        from repro.app.video import VideoSession
+        from repro.netsim.paths import wired_path
+
+        path = wired_path(sim, 4e6, 0.002)  # half the bitrate
+        session = VideoSession(sim, path, "tcp-tack", bitrate_bps=8e6,
+                               initial_rtt=0.002)
+        session.start()
+        sim.run(until=10.0)
+        stats = session.finish()
+        assert stats.rebuffering_ratio() > 0.3
+        # Frames played tracks what the link could deliver.
+        assert stats.frames_played < 0.7 * stats.frames_generated

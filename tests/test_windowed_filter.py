@@ -1,0 +1,77 @@
+"""Unit tests for windowed extrema filters (BBR/TACK estimators)."""
+
+import pytest
+
+from repro.cc.windowed_filter import WindowedMaxFilter, WindowedMinFilter
+
+
+class TestMaxFilter:
+    def test_empty_returns_none(self):
+        assert WindowedMaxFilter(1.0).get() is None
+
+    def test_tracks_running_max(self):
+        f = WindowedMaxFilter(10.0)
+        for t, v in enumerate([3.0, 7.0, 5.0]):
+            f.update(v, float(t))
+        assert f.get() == 7.0
+
+    def test_expires_old_samples(self):
+        f = WindowedMaxFilter(1.0)
+        f.update(10.0, 0.0)
+        f.update(5.0, 0.5)
+        assert f.get(now=1.2) == 5.0  # the 10.0 at t=0 has aged out
+
+    def test_all_expired(self):
+        f = WindowedMaxFilter(1.0)
+        f.update(10.0, 0.0)
+        assert f.get(now=5.0) is None
+
+    def test_reset(self):
+        f = WindowedMaxFilter(1.0)
+        f.update(10.0, 0.0)
+        f.reset()
+        assert f.get() is None
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedMaxFilter(0.0)
+
+    def test_matches_brute_force(self):
+        import random
+        rng = random.Random(5)
+        f = WindowedMaxFilter(2.0)
+        samples = []
+        for i in range(500):
+            t = i * 0.01
+            v = rng.random()
+            samples.append((t, v))
+            f.update(v, t)
+            brute = max(val for ts, val in samples if ts >= t - 2.0)
+            assert f.get() == pytest.approx(brute)
+
+
+class TestMinFilter:
+    def test_tracks_running_min(self):
+        f = WindowedMinFilter(10.0)
+        for t, v in enumerate([3.0, 7.0, 1.0, 5.0]):
+            f.update(v, float(t))
+        assert f.get() == 1.0
+
+    def test_window_expiry_reveals_larger_value(self):
+        f = WindowedMinFilter(1.0)
+        f.update(1.0, 0.0)
+        f.update(3.0, 0.9)
+        assert f.get(now=1.5) == 3.0
+
+    def test_matches_brute_force(self):
+        import random
+        rng = random.Random(9)
+        f = WindowedMinFilter(0.5)
+        samples = []
+        for i in range(500):
+            t = i * 0.01
+            v = rng.random()
+            samples.append((t, v))
+            f.update(v, t)
+            brute = min(val for ts, val in samples if ts >= t - 0.5)
+            assert f.get() == pytest.approx(brute)

@@ -1,0 +1,185 @@
+"""Unit tests for the WLAN PHY profiles, DCF medium, and stations."""
+
+import pytest
+
+from repro.netsim.packet import make_ack_packet, make_data_packet
+from repro.wlan.medium import WirelessMedium
+from repro.wlan.phy import PHY_PROFILES, PhyProfile, get_profile
+from repro.wlan.station import Station, wireless_pair
+
+
+class TestPhyProfiles:
+    def test_all_four_standards_present(self):
+        assert set(PHY_PROFILES) == {
+            "802.11b", "802.11g", "802.11n", "802.11ac"
+        }
+
+    def test_phy_rates_match_paper_figure7(self):
+        assert PHY_PROFILES["802.11b"].phy_rate_bps == 11e6
+        assert PHY_PROFILES["802.11g"].phy_rate_bps == 54e6
+        assert PHY_PROFILES["802.11n"].phy_rate_bps == 300e6
+        assert PHY_PROFILES["802.11ac"].phy_rate_bps == pytest.approx(866.7e6)
+
+    @pytest.mark.parametrize(
+        "name,target,tolerance",
+        [
+            ("802.11b", 7e6, 0.20),
+            ("802.11g", 26e6, 0.10),
+            ("802.11n", 210e6, 0.05),
+            ("802.11ac", 590e6, 0.05),
+        ],
+    )
+    def test_saturation_goodput_near_paper_udp_baseline(self, name, target, tolerance):
+        goodput = PHY_PROFILES[name].saturation_goodput_bps()
+        assert abs(goodput - target) / target < tolerance
+
+    def test_get_profile_short_form(self):
+        assert get_profile("n") is PHY_PROFILES["802.11n"]
+        with pytest.raises(KeyError):
+            get_profile("802.11zz")
+
+    def test_aggregation_only_on_n_ac(self):
+        assert PHY_PROFILES["802.11b"].aggregate_limit(1518) == 1
+        assert PHY_PROFILES["802.11g"].aggregate_limit(1518) == 1
+        assert PHY_PROFILES["802.11n"].aggregate_limit(1518) > 1
+        assert PHY_PROFILES["802.11ac"].aggregate_limit(1518) > 1
+
+    def test_exchange_airtime_positive_and_monotone(self):
+        phy = PHY_PROFILES["802.11n"]
+        assert phy.exchange_airtime(1518) > phy.ppdu_airtime(1518)
+        assert phy.exchange_airtime(3036) > phy.exchange_airtime(1518)
+
+    def test_invalid_profile_params(self):
+        with pytest.raises(ValueError):
+            PhyProfile("x", phy_rate_bps=0, basic_rate_bps=1e6, slot_s=9e-6,
+                       sifs_s=1e-5, difs_s=3e-5, preamble_s=2e-5, ack_s=3e-5)
+
+
+def _saturate(sim, station, n=600):
+    for i in range(n):
+        station.send(make_data_packet(i * 1500, i + 1))
+
+
+class TestSingleStation:
+    def test_goodput_matches_analytic_model(self, sim):
+        phy = get_profile("802.11g")
+        medium = WirelessMedium(sim, phy)
+        ap, sta = wireless_pair(medium, queue_frames=4096)
+        got = [0]
+        sta.connect(lambda p: got.__setitem__(0, got[0] + p.payload_len))
+        _saturate(sim, ap, 3000)
+        sim.run(until=1.0)
+        assert got[0] * 8 == pytest.approx(phy.saturation_goodput_bps(), rel=0.02)
+
+    def test_no_collisions_single_contender(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11b"))
+        ap, sta = wireless_pair(medium)
+        sta.connect(lambda p: None)
+        _saturate(sim, ap, 100)
+        sim.run(until=1.0)
+        assert medium.collisions == 0
+
+    def test_ampdu_aggregation_depth(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11n"))
+        ap, sta = wireless_pair(medium)
+        sta.connect(lambda p: None)
+        _saturate(sim, ap, 240)
+        sim.run(until=0.5)
+        depth = ap.frames_sent / ap.txops_won
+        assert depth > 8  # deep aggregation when backlogged
+
+    def test_aggregate_false_sends_single_frames(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11n"))
+        ap = Station(medium, "ap", aggregate=False)
+        sta = Station(medium, "sta")
+        ap.set_peer(sta)
+        sta.set_peer(ap)
+        medium.register(ap)
+        medium.register(sta)
+        sta.connect(lambda p: None)
+        _saturate(sim, ap, 50)
+        sim.run(until=0.1)
+        assert ap.frames_sent == ap.txops_won
+
+
+class TestContention:
+    def test_two_contenders_collide_sometimes(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11g"))
+        a, b = wireless_pair(medium)
+        a.connect(lambda p: None)
+        b.connect(lambda p: None)
+        _saturate(sim, a, 2000)
+        _saturate(sim, b, 2000)
+        sim.run(until=1.0)
+        assert medium.collisions > 0
+        # DCF with CW_min 15 gives a few percent collision rate.
+        assert medium.collision_rate() < 0.3
+
+    def test_collided_frames_retried_not_lost(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11g"))
+        a, b = wireless_pair(medium)
+        got_a, got_b = [0], [0]
+        a.connect(lambda p: got_a.__setitem__(0, got_a[0] + 1))
+        b.connect(lambda p: got_b.__setitem__(0, got_b[0] + 1))
+        for i in range(50):
+            a.send(make_data_packet(i * 1500, i + 1))
+            b.send(make_data_packet(i * 1500, i + 1))
+        sim.run()
+        assert got_a[0] == 50
+        assert got_b[0] == 50
+
+    def test_fair_airtime_split(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11g"))
+        a, b = wireless_pair(medium)
+        a.connect(lambda p: None)
+        b.connect(lambda p: None)
+        _saturate(sim, a, 3000)
+        _saturate(sim, b, 3000)
+        sim.run(until=1.0)
+        ratio = a.txops_won / max(b.txops_won, 1)
+        assert 0.8 < ratio < 1.25
+
+
+class TestPhyErrors:
+    def test_mpdu_errors_cause_mac_retry(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11n"), per_mpdu_error_rate=0.2)
+        ap, sta = wireless_pair(medium)
+        got = [0]
+        sta.connect(lambda p: got.__setitem__(0, got[0] + 1))
+        _saturate(sim, ap, 100)
+        sim.run(until=1.0)
+        assert medium.mpdu_phy_errors > 0
+        # One MAC retry recovers most errors (expected residual loss is
+        # rate^2 = 4%; allow statistical slack).
+        assert got[0] >= 88
+
+    def test_error_rate_validation(self, sim):
+        with pytest.raises(ValueError):
+            WirelessMedium(sim, get_profile("802.11n"), per_mpdu_error_rate=1.5)
+
+
+class TestStationQueue:
+    def test_queue_overflow_drops(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11b"))
+        ap, sta = wireless_pair(medium, queue_frames=10)
+        sta.connect(lambda p: None)
+        for i in range(50):
+            ap.send(make_data_packet(i * 1500, i + 1))
+        assert ap.frames_dropped_queue > 0
+
+    def test_control_aggregate_limit(self, sim):
+        medium = WirelessMedium(sim, get_profile("802.11n"))
+        ap = Station(medium, "ap", control_aggregate_limit=2)
+        sta = Station(medium, "sta")
+        ap.set_peer(sta)
+        sta.set_peer(ap)
+        medium.register(ap)
+        medium.register(sta)
+        got = [0]
+        sta.connect(lambda p: got.__setitem__(0, got[0] + 1))
+        for _ in range(20):
+            ap.send(make_ack_packet())
+        sim.run(until=0.5)
+        assert got[0] == 20
+        # 20 small frames at <=2 per TXOP plus the leading frame rule.
+        assert ap.txops_won >= 8
