@@ -3,6 +3,13 @@
 Each bench wraps one experiment from :mod:`repro.experiments`.  The
 resulting tables are printed and written to ``benchmarks/results/`` so
 the regenerated figures survive pytest's output capture.
+
+Setting ``REPRO_BENCH_CACHE=1`` lets benches reuse the campaign
+runner's on-disk result cache (``benchmarks/.cache``) via
+:func:`cached_experiment`: an experiment whose code and parameters are
+unchanged is replayed from disk instead of re-simulated.  Timing
+assertions should not run against cached replays — the cache is for
+iterating on table *shape* checks, not for measuring.
 """
 
 from __future__ import annotations
@@ -10,9 +17,33 @@ from __future__ import annotations
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
+CACHE_ENV = "REPRO_BENCH_CACHE"
 
 
 def record_table(table, name: str) -> None:
     """Print and persist an experiment table."""
     table.show()
     table.save(os.path.join(RESULTS_DIR, f"{name}.txt"))
+
+
+def cached_experiment(name: str, fn, **kwargs):
+    """Run *fn(**kwargs)*, optionally through the runner's result cache.
+
+    With ``REPRO_BENCH_CACHE`` unset this is a plain call.  With it
+    set, the result is served from ``benchmarks/.cache`` when the
+    experiment's parameters and the ``repro`` source tree are
+    unchanged (same content-hash key the campaign runner uses), and
+    stored there after a miss.
+    """
+    if not os.environ.get(CACHE_ENV):
+        return fn(**kwargs)
+    from repro.runner import ResultCache, Task, code_fingerprint
+    cache = ResultCache(CACHE_DIR, code_fingerprint())
+    key = cache.key_for(Task(name, fn, kwargs=kwargs))
+    hit, value = cache.load(key)
+    if hit:
+        return value
+    value = fn(**kwargs)
+    cache.store(key, value)
+    return value

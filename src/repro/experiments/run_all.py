@@ -2,16 +2,28 @@
 
 Usage::
 
-    python -m repro.experiments.run_all [--fast] [--out DIR]
+    python -m repro.experiments.run_all [--fast] [--out DIR] [--jobs N]
+        [--only PAT[,PAT...]] [--list] [--no-cache] [--timeout S]
+        [--retries K]
 
 ``--fast`` shrinks durations ~3x for a quick smoke regeneration;
 without it the defaults match the benchmark harness.  Tables are
 printed and written to ``DIR`` (default ``benchmarks/results``).
+
+Experiments run through :mod:`repro.runner`: ``--jobs N`` fans them out
+over N worker processes (results are deterministic and identical to a
+serial run), results are cached on disk under ``DIR/.cache`` keyed by
+(experiment, parameters, source fingerprint) so unchanged experiments
+are instant on re-run, and a JSON manifest of per-task status, timing,
+and cache behavior is written to ``DIR/run_manifest.json``.  A failed
+experiment is reported in the summary instead of aborting the run; the
+exit code is non-zero if any experiment failed.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import time
 
@@ -38,57 +50,78 @@ from repro.experiments import (
     fig16_beta_bound,
     fig17_freq_model,
 )
+from repro.runner import Campaign
 
 
 def experiment_plan(fast: bool):
-    """(name, callable) for every experiment, durations scaled."""
+    """(name, callable) for every experiment, durations scaled.
+
+    Every callable is a plain function or a :func:`functools.partial`
+    of one, so the plan is picklable (ships to worker processes) and
+    parameter-introspectable (feeds the result-cache key).
+    """
     s = (1.0 / 3.0) if fast else 1.0
 
     def d(x):  # scaled duration with a floor
         return max(x * s, 2.0)
 
+    p = functools.partial
     return [
-        ("fig01_goodput_wlan", lambda: fig01_goodput_wlan.run(duration_s=d(5), warmup_s=d(5) * 0.3)),
+        ("fig01_goodput_wlan", p(fig01_goodput_wlan.run, duration_s=d(5), warmup_s=d(5) * 0.3)),
         ("fig02_bitrates", fig02_bitrates.run),
-        ("fig03_contention", lambda: fig03_contention.run(duration_s=d(2))),
+        ("fig03_contention", p(fig03_contention.run, duration_s=d(2))),
         ("fig03_contention_rate_adaptation",
-         lambda: fig03_contention.run(duration_s=d(2), rate_adaptation=True,
-                                      per_mpdu_error_rate=0.01)),
-        ("fig05a_holb", lambda: fig05a_holb.run(trials=4 if fast else 8,
-                                                duration_s=d(6))),
-        ("fig05b_rich_info", lambda: fig05b_rich_info.run(duration_s=d(15), warmup_s=d(15) / 3)),
-        ("fig06a_rttmin", lambda: fig06a_rttmin.run(duration_s=max(d(25), 12.0))),
-        ("fig06b_owd_loss", lambda: fig06b_owd_loss.run(duration_s=d(15))),
+         p(fig03_contention.run, duration_s=d(2), rate_adaptation=True,
+           per_mpdu_error_rate=0.01)),
+        ("fig05a_holb", p(fig05a_holb.run, trials=4 if fast else 8,
+                          duration_s=d(6))),
+        ("fig05b_rich_info", p(fig05b_rich_info.run, duration_s=d(15), warmup_s=d(15) / 3)),
+        ("fig06a_rttmin", p(fig06a_rttmin.run, duration_s=max(d(25), 12.0))),
+        ("fig06b_owd_loss", p(fig06b_owd_loss.run, duration_s=d(15))),
         ("fig08a_ack_reduction", fig08_ack_frequency.run_analytic),
         ("fig08b_measured_frequency",
-         lambda: fig08_ack_frequency.run_measured(duration_s=d(4))),
+         p(fig08_ack_frequency.run_measured, duration_s=d(4))),
         ("fig09a_improvement",
-         lambda: fig09_goodput_trend.run_improvement(duration_s=d(4), warmup_s=d(4) * 0.35,
-                                                     rtts=(0.08, 0.2))),
-        ("fig09b_ideal_goodput", lambda: fig09_goodput_trend.run_ideal(duration_s=d(2))),
+         p(fig09_goodput_trend.run_improvement, duration_s=d(4), warmup_s=d(4) * 0.35,
+           rtts=(0.08, 0.2))),
+        ("fig09b_ideal_goodput", p(fig09_goodput_trend.run_ideal, duration_s=d(2))),
         ("fig10b_actual_goodput",
-         lambda: fig10b_actual_goodput.run(duration_s=d(5), warmup_s=d(5) * 0.4)),
-        ("fig11_miracast", lambda: fig11_miracast.run(duration_s=d(15))),
-        ("fig13_hybrid", lambda: fig13_hybrid.run(duration_s=d(8), warmup_s=d(8) / 4)),
-        ("fig14_pantheon", lambda: fig14_pantheon.run(trials=4 if fast else 8,
-                                                      duration_s=d(10), warmup_s=d(10) * 0.3)),
+         p(fig10b_actual_goodput.run, duration_s=d(5), warmup_s=d(5) * 0.4)),
+        ("fig11_miracast", p(fig11_miracast.run, duration_s=d(15))),
+        ("fig13_hybrid", p(fig13_hybrid.run, duration_s=d(8), warmup_s=d(8) / 4)),
+        ("fig14_pantheon", p(fig14_pantheon.run, trials=4 if fast else 8,
+                             duration_s=d(10), warmup_s=d(10) * 0.3)),
         ("fig15_friendliness",
-         lambda: fig15_friendliness.run(trials=2 if fast else 4, duration_s=d(40))),
+         p(fig15_friendliness.run, trials=2 if fast else 4, duration_s=d(40))),
         ("fig16_beta_analytic", fig16_beta_bound.run_analytic),
         ("fig16_beta_simulated",
-         lambda: fig16_beta_bound.run_simulated(duration_s=d(12), warmup_s=d(12) / 3)),
+         p(fig16_beta_bound.run_simulated, duration_s=d(12), warmup_s=d(12) / 3)),
         ("fig17a_vs_bandwidth", fig17_freq_model.run_vs_bandwidth),
         ("fig17b_vs_rtt", fig17_freq_model.run_vs_rtt),
         ("eq06_analytic", eq06_threshold.run_analytic),
-        ("eq06_simulated", lambda: eq06_threshold.run_simulated(duration_s=d(12), warmup_s=d(12) / 3)),
-        ("ablation_beta_l", lambda: ablations.run_beta_l_sweep(duration_s=d(4), warmup_s=d(4) * 0.35)),
-        ("ablation_pacing", lambda: ablations.run_pacing_ablation(duration_s=d(12), warmup_s=d(12) / 3)),
-        ("ablation_governor", lambda: ablations.run_governor_ablation(duration_s=d(12))),
-        ("ablation_rpc_latency", lambda: ablations.run_rpc_latency_ablation(duration_s=d(8))),
-        ("ext_tcp_splitting", lambda: ext_tcp_splitting.run(duration_s=d(8), warmup_s=d(8) / 4)),
-        ("ext_multiflow", lambda: ext_multiflow.run(duration_s=d(5), warmup_s=d(5) * 0.3)),
-        ("ext_asymmetric", lambda: ext_asymmetric.run(duration_s=d(8), warmup_s=d(8) / 4)),
+        ("eq06_simulated", p(eq06_threshold.run_simulated, duration_s=d(12), warmup_s=d(12) / 3)),
+        ("ablation_beta_l", p(ablations.run_beta_l_sweep, duration_s=d(4), warmup_s=d(4) * 0.35)),
+        ("ablation_pacing", p(ablations.run_pacing_ablation, duration_s=d(12), warmup_s=d(12) / 3)),
+        ("ablation_governor", p(ablations.run_governor_ablation, duration_s=d(12))),
+        ("ablation_rpc_latency", p(ablations.run_rpc_latency_ablation, duration_s=d(8))),
+        ("ext_tcp_splitting", p(ext_tcp_splitting.run, duration_s=d(8), warmup_s=d(8) / 4)),
+        ("ext_multiflow", p(ext_multiflow.run, duration_s=d(5), warmup_s=d(5) * 0.3)),
+        ("ext_asymmetric", p(ext_asymmetric.run, duration_s=d(8), warmup_s=d(8) / 4)),
     ]
+
+
+def filter_plan(plan, only: str):
+    """Keep experiments matching any comma-separated substring pattern."""
+    patterns = [pat.strip() for pat in only.split(",") if pat.strip()]
+    return [(name, fn) for name, fn in plan
+            if any(pat in name for pat in patterns)]
+
+
+def build_campaign(plan, base_seed: int = 1) -> Campaign:
+    campaign = Campaign("run_all", base_seed=base_seed)
+    for name, fn in plan:
+        campaign.add(name, fn)
+    return campaign
 
 
 def main(argv=None) -> int:
@@ -97,23 +130,78 @@ def main(argv=None) -> int:
                         help="shrink durations ~3x for a smoke run")
     parser.add_argument("--out", default=os.path.join("benchmarks", "results"),
                         help="output directory for the tables")
-    parser.add_argument("--only", default=None,
-                        help="substring filter on experiment names")
+    parser.add_argument("--only", default=None, metavar="PAT[,PAT...]",
+                        help="run only experiments whose name contains any "
+                             "of the comma-separated substrings")
+    parser.add_argument("--list", action="store_true",
+                        help="print experiment names (after --only "
+                             "filtering) and exit without running")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default 1; results are "
+                             "identical to a serial run)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute everything, ignoring and not "
+                             "updating the on-disk result cache")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="kill any experiment running longer than S "
+                             "seconds (default: no timeout)")
+    parser.add_argument("--retries", type=int, default=0, metavar="K",
+                        help="retry a failed/timed-out/crashed experiment "
+                             "up to K extra times (default 0)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
     plan = experiment_plan(args.fast)
+    available = [name for name, _ in plan]
     if args.only:
-        plan = [(name, fn) for name, fn in plan if args.only in name]
+        plan = filter_plan(plan, args.only)
         if not plan:
-            parser.error(f"no experiment matches {args.only!r}")
+            parser.error(f"no experiment matches {args.only!r}; "
+                         f"available: {', '.join(available)}")
+    if args.list:
+        for name, _ in plan:
+            print(name)
+        return 0
+
+    os.makedirs(args.out, exist_ok=True)
+    campaign = build_campaign(plan)
     total_start = time.time()
-    for name, fn in plan:
-        start = time.time()
-        table = fn()
-        table.show()
-        table.save(os.path.join(args.out, f"{name}.txt"))
-        print(f"[{name}: {time.time() - start:.1f}s]\n")
-    print(f"Regenerated {len(plan)} experiments in "
-          f"{time.time() - total_start:.0f}s -> {args.out}/")
+
+    def emit(result):
+        """Print and persist each table as its task settles (tables
+        stream out in completion order; files are what parity cares
+        about)."""
+        if result.ok:
+            table = result.value
+            table.show()
+            table.save(os.path.join(args.out, f"{result.name}.txt"))
+            tag = " (cached)" if result.cache == "hit" else ""
+            print(f"[{result.name}: {result.wall_time_s:.1f}s{tag}]\n")
+        else:
+            print(f"[{result.name}: FAILED ({result.failure}) after "
+                  f"{result.attempts} attempt(s) in "
+                  f"{result.wall_time_s:.1f}s]")
+            if result.error:
+                print(result.error.rstrip())
+            print()
+
+    outcome = campaign.run(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else os.path.join(args.out, ".cache"),
+        timeout=args.timeout,
+        retries=args.retries,
+        manifest_path=os.path.join(args.out, "run_manifest.json"),
+        on_result=emit,
+    )
+
+    hits = sum(1 for r in outcome.results if r.cache == "hit")
+    cache_note = f" ({hits} cached)" if hits else ""
+    print(f"Regenerated {len(outcome.ok)}/{len(plan)} experiments{cache_note} "
+          f"in {time.time() - total_start:.0f}s -> {args.out}/")
+    if outcome.failed:
+        print("FAILED: " + ", ".join(r.name for r in outcome.failed))
+        return 1
     return 0
 
 

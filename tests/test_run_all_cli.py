@@ -1,10 +1,16 @@
 """Tests for the run_all regeneration CLI."""
 
+import functools
+import json
 import os
 
 import pytest
 
 from repro.experiments import run_all
+
+
+def _boom():
+    raise RuntimeError("synthetic experiment failure")
 
 
 class TestPlan:
@@ -22,23 +28,103 @@ class TestPlan:
         slow = {n for n, _ in run_all.experiment_plan(fast=False)}
         assert fast == slow
 
+    def test_plan_is_picklable(self):
+        """Every entry must ship to worker processes under any start
+        method: a plain function or a partial of one, never a lambda."""
+        import pickle
+        for name, fn in run_all.experiment_plan(fast=True):
+            pickle.dumps(fn)
+
+    def test_filter_plan_comma_patterns(self):
+        plan = run_all.experiment_plan(fast=True)
+        names = [n for n, _ in run_all.filter_plan(plan, "fig05,fig06")]
+        assert names == ["fig05a_holb", "fig05b_rich_info",
+                         "fig06a_rttmin", "fig06b_owd_loss"]
+
 
 class TestCli:
     def test_only_filter_runs_single_experiment(self, tmp_path, capsys):
-        rc = run_all.main(["--fast", "--only", "fig17a",
+        rc = run_all.main(["--fast", "--only", "fig17a", "--no-cache",
                            "--out", str(tmp_path)])
         assert rc == 0
         assert os.path.exists(tmp_path / "fig17a_vs_bandwidth.txt")
         out = capsys.readouterr().out
-        assert "Regenerated 1 experiments" in out
+        assert "Regenerated 1/1 experiments" in out
 
-    def test_unknown_filter_errors(self, tmp_path):
+    def test_unknown_filter_errors_and_names_available(self, tmp_path,
+                                                       capsys):
         with pytest.raises(SystemExit):
             run_all.main(["--only", "nonexistent", "--out", str(tmp_path)])
+        err = capsys.readouterr().err
+        assert "no experiment matches" in err
+        assert "fig01_goodput_wlan" in err  # lists what *is* available
 
     def test_analytic_experiments_run(self, tmp_path, capsys):
-        rc = run_all.main(["--fast", "--only", "eq06_analytic",
+        rc = run_all.main(["--fast", "--only", "eq06_analytic", "--no-cache",
                            "--out", str(tmp_path)])
         assert rc == 0
         content = (tmp_path / "eq06_analytic.txt").read_text()
         assert "threshold" in content
+
+    def test_comma_separated_only(self, tmp_path, capsys):
+        rc = run_all.main(["--fast", "--only", "fig17a,eq06_analytic",
+                           "--no-cache", "--out", str(tmp_path)])
+        assert rc == 0
+        assert os.path.exists(tmp_path / "fig17a_vs_bandwidth.txt")
+        assert os.path.exists(tmp_path / "eq06_analytic.txt")
+        assert "Regenerated 2/2 experiments" in capsys.readouterr().out
+
+    def test_list_prints_names_without_running(self, tmp_path, capsys):
+        rc = run_all.main(["--list", "--only", "fig08",
+                           "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out.split()
+        assert out == ["fig08a_ack_reduction", "fig08b_measured_frequency"]
+        assert not os.listdir(tmp_path)  # nothing ran, nothing written
+
+    def test_creates_missing_out_directory(self, tmp_path):
+        out = tmp_path / "fresh" / "nested"
+        rc = run_all.main(["--fast", "--only", "fig17a", "--no-cache",
+                           "--out", str(out)])
+        assert rc == 0
+        assert os.path.exists(out / "fig17a_vs_bandwidth.txt")
+
+    def test_manifest_written_next_to_tables(self, tmp_path):
+        rc = run_all.main(["--fast", "--only", "fig17a", "--no-cache",
+                           "--out", str(tmp_path)])
+        assert rc == 0
+        with open(tmp_path / "run_manifest.json") as f:
+            manifest = json.load(f)
+        assert manifest["campaign"] == "run_all"
+        assert [t["name"] for t in manifest["tasks"]] == ["fig17a_vs_bandwidth"]
+        assert manifest["tasks"][0]["status"] == "ok"
+
+    def test_cache_round_trip(self, tmp_path, capsys):
+        args = ["--fast", "--only", "fig17a", "--out", str(tmp_path)]
+        assert run_all.main(args) == 0
+        first = capsys.readouterr().out
+        assert "(cached)" not in first
+        assert run_all.main(args) == 0
+        second = capsys.readouterr().out
+        assert "(cached)" in second
+        with open(tmp_path / "run_manifest.json") as f:
+            manifest = json.load(f)
+        assert manifest["counts"]["cache_hits"] == 1
+
+    def test_failed_experiment_reported_and_nonzero_exit(
+            self, tmp_path, capsys, monkeypatch):
+        plan = [("eq06_analytic",
+                 dict(run_all.experiment_plan(True))["eq06_analytic"]),
+                ("synthetic_boom", functools.partial(_boom))]
+        monkeypatch.setattr(run_all, "experiment_plan", lambda fast: plan)
+        rc = run_all.main(["--fast", "--no-cache", "--out", str(tmp_path)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+        assert "synthetic_boom" in out
+        # The healthy experiment still produced its table.
+        assert os.path.exists(tmp_path / "eq06_analytic.txt")
+
+    def test_bad_jobs_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_all.main(["--jobs", "0", "--out", str(tmp_path)])
