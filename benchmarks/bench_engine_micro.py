@@ -33,7 +33,7 @@ def test_engine_event_throughput(benchmark):
 def _one_connection_second(scheme: str) -> float:
     sim = Simulator(seed=2)
     path = wired_path(sim, 50e6, 0.04)
-    conn = make_connection(sim, scheme, initial_rtt=0.04)
+    conn = make_connection(sim, scheme, initial_rtt_s=0.04)
     conn.wire(path.forward, path.reverse)
     conn.start_bulk()
     sim.run(until=1.0)

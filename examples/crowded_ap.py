@@ -26,7 +26,7 @@ def run(scheme: str, n_clients: int) -> dict:
     handles = multi_client_wlan(sim, n_clients, "802.11n", extra_rtt_s=RTT_S)
     flows = []
     for i, handle in enumerate(handles):
-        conn = make_connection(sim, scheme, flow_id=i, initial_rtt=RTT_S)
+        conn = make_connection(sim, scheme, flow_id=i, initial_rtt_s=RTT_S)
         conn.wire(handle.forward, handle.reverse)
         flows.append((conn, FlowCollector(sim, conn)))
         conn.start_bulk()

@@ -22,7 +22,7 @@ RTT_S = 0.04
 def trajectory(scheme: str) -> list[float]:
     sim = Simulator(seed=2)
     path = wlan_path(sim, "802.11n", extra_rtt_s=RTT_S)
-    flow = BulkFlow(sim, path, scheme, initial_rtt=RTT_S)
+    flow = BulkFlow(sim, path, scheme, initial_rtt_s=RTT_S)
     flow.start()
     sim.run(until=DURATION_S)
     rates = binned_rate(flow.collector.delivered, BIN_S, end=DURATION_S)

@@ -28,7 +28,7 @@ def run(scheme: str, case) -> dict:
     sim = Simulator(seed=11)
     path = hybrid_path(sim, phy, wan_rate_bps=rate, wan_rtt_s=rtt,
                        data_loss=dl, ack_loss=al)
-    flow = BulkFlow(sim, path, scheme, initial_rtt=rtt + 0.005)
+    flow = BulkFlow(sim, path, scheme, initial_rtt_s=rtt + 0.005)
     flow.start()
     sim.run(until=DURATION_S)
     return {

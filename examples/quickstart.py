@@ -21,7 +21,7 @@ RTT_S = 0.08  # end-to-end latency between the endpoints
 def run_scheme(scheme: str) -> dict:
     sim = Simulator(seed=1)
     path = wlan_path(sim, "802.11n", extra_rtt_s=RTT_S)
-    flow = BulkFlow(sim, path, scheme, initial_rtt=RTT_S)
+    flow = BulkFlow(sim, path, scheme, initial_rtt_s=RTT_S)
     flow.start()
     sim.run(until=DURATION_S)
     return {

@@ -27,7 +27,7 @@ def run(scheme: str, ack_loss: float) -> float:
         queue_bytes=int(RATE_BPS * RTT_S / 8),
         data_loss=DATA_LOSS, ack_loss=ack_loss,
     )
-    flow = BulkFlow(sim, path, scheme, initial_rtt=RTT_S)
+    flow = BulkFlow(sim, path, scheme, initial_rtt_s=RTT_S)
     flow.start()
     sim.run(until=DURATION_S)
     return flow.goodput_bps(start=WARMUP_S) / RATE_BPS

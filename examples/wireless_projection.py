@@ -31,7 +31,7 @@ def run(scheme: str) -> dict:
         session = RtpUdpVideoSession(sim, path, bitrate_bps=BITRATE_BPS)
     else:
         session = VideoSession(sim, path, scheme, bitrate_bps=BITRATE_BPS,
-                               initial_rtt=0.004)
+                               initial_rtt_s=0.004)
     session.start()
     sim.run(until=DURATION_S)
     stats = session.finish()

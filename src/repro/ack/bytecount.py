@@ -16,6 +16,6 @@ class ByteCountingAck(DelayedAck):
 
     name = "byte-counting"
 
-    def __init__(self, count_l: int = 4, gamma: float = 0.2, max_sack_blocks: int = 3):
-        super().__init__(count_l=count_l, gamma=gamma, max_sack_blocks=max_sack_blocks)
+    def __init__(self, count_l: int = 4, gamma_s: float = 0.2, max_sack_blocks: int = 3):
+        super().__init__(count_l=count_l, gamma_s=gamma_s, max_sack_blocks=max_sack_blocks)
         self.name = f"byte-counting-L{count_l}"

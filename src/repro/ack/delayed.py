@@ -1,7 +1,7 @@
 """RFC 1122/5681 delayed acknowledgment (paper Eq. 5).
 
 An ACK is sent for every second full-sized segment, or when the
-delayed-ACK timer (gamma) expires, whichever comes first.  Out-of-order
+delayed-ACK timer (gamma_s) expires, whichever comes first.  Out-of-order
 segments and segments that fill a hole are acknowledged immediately, as
 the RFCs require — legacy fast retransmit depends on those dupACKs.
 """
@@ -17,14 +17,14 @@ class DelayedAck(AckPolicy):
 
     name = "delayed"
 
-    def __init__(self, count_l: int = 2, gamma: float = 0.1, max_sack_blocks: int = 3):
+    def __init__(self, count_l: int = 2, gamma_s: float = 0.1, max_sack_blocks: int = 3):
         super().__init__()
         if count_l < 1:
             raise ValueError(f"L must be >= 1, got {count_l}")
-        if gamma <= 0:
-            raise ValueError(f"gamma must be positive, got {gamma}")
+        if gamma_s <= 0:
+            raise ValueError(f"gamma_s must be positive, got {gamma_s}")
         self.count_l = count_l
-        self.gamma = gamma
+        self.gamma_s = gamma_s
         self.max_sack_blocks = max_sack_blocks
         self._unacked_segments = 0
         self._timer = None
@@ -36,7 +36,7 @@ class DelayedAck(AckPolicy):
         if immediate or self._unacked_segments >= self.count_l:
             self._emit()
         elif self._timer is None:
-            self._timer = self.receiver.sim.call_in(self.gamma, self._on_timer)
+            self._timer = self.receiver.sim.call_in(self.gamma_s, self._on_timer)
 
     def _fills_hole(self) -> bool:
         # A segment that advanced cum_ack past previously buffered

@@ -1,6 +1,6 @@
 """Purely periodic acknowledgment (paper Eq. 2).
 
-One ACK every ``alpha`` seconds while data is flowing.  Bounded
+One ACK every ``alpha_s`` seconds while data is flowing.  Bounded
 frequency under high throughput, but unadaptable: the same frequency
 is paid at trickle rates (the shortcoming TACK fixes by taking the
 minimum of the two clocks).
@@ -13,15 +13,15 @@ from repro.netsim.packet import Packet, PacketType
 
 
 class PeriodicAck(AckPolicy):
-    """Timer-driven ACKs at fixed interval ``alpha``."""
+    """Timer-driven ACKs at fixed interval ``alpha_s``."""
 
     name = "periodic"
 
-    def __init__(self, alpha: float = 0.025, max_sack_blocks: int = 3):
+    def __init__(self, alpha_s: float = 0.025, max_sack_blocks: int = 3):
         super().__init__()
-        if alpha <= 0:
-            raise ValueError(f"alpha must be positive, got {alpha}")
-        self.alpha = alpha
+        if alpha_s <= 0:
+            raise ValueError(f"alpha_s must be positive, got {alpha_s}")
+        self.alpha_s = alpha_s
         self.max_sack_blocks = max_sack_blocks
         self._timer = None
         self._pending = False
@@ -29,7 +29,7 @@ class PeriodicAck(AckPolicy):
     def on_data(self, packet: Packet, in_order: bool) -> None:
         self._pending = True
         if self._timer is None:
-            self._timer = self.receiver.sim.call_in(self.alpha, self._on_timer)
+            self._timer = self.receiver.sim.call_in(self.alpha_s, self._on_timer)
 
     def _on_timer(self) -> None:
         self._timer = None
@@ -38,7 +38,7 @@ class PeriodicAck(AckPolicy):
         self._pending = False
         fb = self.receiver.build_feedback(max_sack_blocks=self.max_sack_blocks)
         self.receiver.emit_feedback(PacketType.ACK, fb)
-        self._timer = self.receiver.sim.call_in(self.alpha, self._on_timer)
+        self._timer = self.receiver.sim.call_in(self.alpha_s, self._on_timer)
 
     def on_close(self) -> None:
         if self.receiver is not None and self._pending:

@@ -26,7 +26,7 @@ class BulkFlow:
         params: Optional[TackParams] = None,
         flow_id: int = 0,
         rcv_buffer_bytes: int = 8 * 1024 * 1024,
-        initial_rtt: float = 0.05,
+        initial_rtt_s: float = 0.05,
         total_bytes: Optional[int] = None,
     ):
         self.sim = sim
@@ -38,7 +38,7 @@ class BulkFlow:
             params=params,
             flow_id=flow_id,
             rcv_buffer_bytes=rcv_buffer_bytes,
-            initial_rtt=initial_rtt,
+            initial_rtt_s=initial_rtt_s,
         )
         self.conn.wire(path.forward, path.reverse)
         self.collector = FlowCollector(sim, self.conn, name=f"{scheme}#{flow_id}")

@@ -47,13 +47,13 @@ class RpcClient:
         response_bytes: int = 20_000,
         interval_s: float = 0.1,
         params: Optional[TackParams] = None,
-        initial_rtt: float = 0.02,
+        initial_rtt_s: float = 0.02,
     ):
         self.sim = sim
         self.response_bytes = response_bytes
         self.interval_s = interval_s
         self.stats = RpcStats()
-        self.conn = make_connection(sim, scheme, params=params, initial_rtt=initial_rtt)
+        self.conn = make_connection(sim, scheme, params=params, initial_rtt_s=initial_rtt_s)
         self.conn.wire(path.forward, path.reverse)
         self.conn.receiver.on_deliver(self._on_deliver)
         self._delivered = 0

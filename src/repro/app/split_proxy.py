@@ -51,9 +51,9 @@ class SplitTransfer:
         self.sim = sim
         self.proxy_buffer_bytes = proxy_buffer_bytes
         self.wan_conn = make_connection(sim, wan_scheme, params=params,
-                                        flow_id=0, initial_rtt=wan_rtt_hint)
+                                        flow_id=0, initial_rtt_s=wan_rtt_hint)
         self.wlan_conn = make_connection(sim, wlan_scheme, params=params,
-                                         flow_id=1, initial_rtt=wlan_rtt_hint)
+                                         flow_id=1, initial_rtt_s=wlan_rtt_hint)
         self.wan_conn.wire(wan_path.forward, wan_path.reverse)
         self.wlan_conn.wire(wlan_path.forward, wlan_path.reverse)
         # Backpressure: the proxy reads from the WAN connection only

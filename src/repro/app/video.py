@@ -62,7 +62,7 @@ class VideoSession:
         fps: float = 30.0,
         prebuffer_frames: int = 8,
         params: Optional[TackParams] = None,
-        initial_rtt: float = 0.02,
+        initial_rtt_s: float = 0.02,
     ):
         self.sim = sim
         self.scheme = scheme
@@ -71,7 +71,7 @@ class VideoSession:
         self.prebuffer_frames = prebuffer_frames
         self.stats = VideoStats()
         self.conn = make_connection(
-            sim, scheme, params=params, initial_rtt=initial_rtt
+            sim, scheme, params=params, initial_rtt_s=initial_rtt_s
         )
         self.conn.wire(path.forward, path.reverse)
         self._delivered_bytes = 0

@@ -45,7 +45,7 @@ class BBR(CongestionController):
     def __init__(
         self,
         mss: int = MSS,
-        initial_rtt: float = 0.1,
+        initial_rtt_s: float = 0.1,
         bw_window_rtts: float = 10.0,
         min_rtt_window: float = _MIN_RTT_WINDOW,
         initial_cwnd_mss: int = 10,
@@ -55,9 +55,9 @@ class BBR(CongestionController):
         self.aggregation_compensation = aggregation_compensation
         self.state = STARTUP
         self._min_rtt = WindowedMinFilter(window=min_rtt_window)
-        self._initial_rtt = initial_rtt
+        self._initial_rtt_s = initial_rtt_s
         self.bw_window_rtts = bw_window_rtts
-        self._btl_bw = WindowedMaxFilter(window=bw_window_rtts * initial_rtt)
+        self._btl_bw = WindowedMaxFilter(window=bw_window_rtts * initial_rtt_s)
         self._pacing_gain = _STARTUP_GAIN
         self._cwnd_gain = _STARTUP_GAIN
         self._cwnd = initial_cwnd_mss * mss
@@ -77,7 +77,7 @@ class BBR(CongestionController):
         # [18]): wireless links deliver ACK credit in A-MPDU bursts, so
         # cwnd gets a bonus equal to the windowed-max "extra acked"
         # (bytes acked beyond bw * elapsed) or utilization collapses.
-        self._extra_acked = WindowedMaxFilter(window=bw_window_rtts * initial_rtt)
+        self._extra_acked = WindowedMaxFilter(window=bw_window_rtts * initial_rtt_s)
         self._ack_epoch_start: float = -1.0
         self._ack_epoch_acked = 0
 
@@ -94,7 +94,7 @@ class BBR(CongestionController):
 
     def min_rtt(self) -> float:
         value = self._min_rtt.get()
-        return value if value is not None else self._initial_rtt
+        return value if value is not None else self._initial_rtt_s
 
     def bdp_bytes(self, gain: float = 1.0) -> int:
         return max(int(gain * self.bw_estimate() * self.min_rtt() / 8.0), 4 * self.mss)

@@ -8,23 +8,23 @@ from repro.netsim.packet import MSS
 
 
 class Vegas(CongestionController):
-    """Vegas keeps ``diff = cwnd/base_rtt - cwnd/rtt`` between alpha
-    and beta packets by additive adjustment once per RTT."""
+    """Vegas keeps ``diff = cwnd/base_rtt - cwnd/rtt`` between alpha_pkts
+    and beta_pkts packets by additive adjustment once per RTT."""
 
     name = "vegas"
 
     def __init__(
         self,
         mss: int = MSS,
-        alpha: float = 2.0,
-        beta: float = 4.0,
+        alpha_pkts: float = 2.0,
+        beta_pkts: float = 4.0,
         initial_cwnd_mss: int = 10,
     ):
         super().__init__(mss)
-        if beta < alpha:
-            raise ValueError("beta must be >= alpha")
-        self.alpha = alpha
-        self.beta = beta
+        if beta_pkts < alpha_pkts:
+            raise ValueError("beta_pkts must be >= alpha_pkts")
+        self.alpha_pkts = alpha_pkts
+        self.beta_pkts = beta_pkts
         self._cwnd = float(initial_cwnd_mss * mss)
         self._ssthresh = float("inf")
         self._base_rtt = WindowedMinFilter(window=30.0)
@@ -51,11 +51,11 @@ class Vegas(CongestionController):
         expected = self._cwnd / base
         actual = self._cwnd / max(self._srtt, 1e-6)
         diff_packets = (expected - actual) * base / self.mss
-        if diff_packets < self.alpha:
+        if diff_packets < self.alpha_pkts:
             self._cwnd += self.mss
-        elif diff_packets > self.beta:
+        elif diff_packets > self.beta_pkts:
             self._cwnd = max(self._cwnd - self.mss, 2 * self.mss)
-        if diff_packets > self.alpha:
+        if diff_packets > self.alpha_pkts:
             self._ssthresh = min(self._ssthresh, self._cwnd)
 
     def on_rto(self, now: float) -> None:

@@ -44,13 +44,13 @@ def _tack_scheme(cc_factory: Callable[[], CongestionController],
                  rich: "bool | str", timing_mode: str = "advanced",
                  holb_keepalive: bool = True):
     def build(sim: Simulator, params: Optional[TackParams], flow_id: int,
-              rcv_buffer: int, initial_rtt: float) -> Connection:
+              rcv_buffer: int, initial_rtt_s: float) -> Connection:
         tack_params = (params or TackParams()).copy(
             rich=rich, timing_mode=timing_mode, holb_keepalive=holb_keepalive
         )
         cc = cc_factory()
         if isinstance(cc, BBR):
-            cc._initial_rtt = initial_rtt
+            cc._initial_rtt_s = initial_rtt_s
         config = ConnectionConfig(
             receiver_driven=True,
             use_receiver_rate=True,
@@ -65,10 +65,10 @@ def _tack_scheme(cc_factory: Callable[[], CongestionController],
 def _legacy_scheme(cc_factory: Callable[[], CongestionController],
                    policy_factory: Callable[[], AckPolicy]):
     def build(sim: Simulator, params: Optional[TackParams], flow_id: int,
-              rcv_buffer: int, initial_rtt: float) -> Connection:
+              rcv_buffer: int, initial_rtt_s: float) -> Connection:
         cc = cc_factory()
         if isinstance(cc, BBR):
-            cc._initial_rtt = initial_rtt
+            cc._initial_rtt_s = initial_rtt_s
         config = ConnectionConfig(
             receiver_driven=False,
             use_receiver_rate=False,
@@ -108,15 +108,15 @@ def make_connection(
     params: Optional[TackParams] = None,
     flow_id: int = 0,
     rcv_buffer_bytes: int = 8 * 1024 * 1024,
-    initial_rtt: float = 0.05,
+    initial_rtt_s: float = 0.05,
 ) -> Connection:
     """Build a connection of the named scheme.
 
-    ``initial_rtt`` seeds BBR before the first measurement (the real
+    ``initial_rtt_s`` seeds BBR before the first measurement (the real
     stack inherits this from the handshake).
     """
     try:
         factory = SCHEMES[scheme]
     except KeyError:
         raise KeyError(f"unknown scheme {scheme!r}; have {sorted(SCHEMES)}") from None
-    return factory(sim, params, flow_id, rcv_buffer_bytes, initial_rtt)
+    return factory(sim, params, flow_id, rcv_buffer_bytes, initial_rtt_s)

@@ -37,7 +37,7 @@ def run_beta_l_sweep(duration_s: float = 5.0, warmup_s: float = 1.5,
             flow = BulkFlow(
                 sim, path, "tcp-tack",
                 params=TackParams(beta=beta, ack_count_l=L),
-                initial_rtt=rtt_s,
+                initial_rtt_s=rtt_s,
             )
             flow.start()
             sim.run(until=duration_s)
@@ -67,7 +67,7 @@ def run_pacing_ablation(rate_bps: float = 20e6, rtt_s: float = 0.1,
     for mode in ("paced", "burst"):
         sim = Simulator(seed=seed)
         path = wired_path(sim, rate_bps, rtt_s, queue_bytes=bdp // 4)
-        flow = BulkFlow(sim, path, "tcp-tack", initial_rtt=rtt_s)
+        flow = BulkFlow(sim, path, "tcp-tack", initial_rtt_s=rtt_s)
         if mode == "burst":
             pacer = flow.conn.sender.pacer
             real_set = pacer.set_rate
@@ -102,7 +102,7 @@ def run_governor_ablation(rate_bps: float = 20e6, rtt_s: float = 0.2,
         path = wired_path(sim, rate_bps, rtt_s,
                           queue_bytes=int(rate_bps * rtt_s / 8),
                           data_loss=data_loss, ack_loss=ack_loss)
-        flow = BulkFlow(sim, path, "tcp-tack", initial_rtt=rtt_s)
+        flow = BulkFlow(sim, path, "tcp-tack", initial_rtt_s=rtt_s)
         if not enabled:
             flow.conn.sender.governor.may_retransmit = (
                 lambda seq, now, srtt: True
@@ -143,7 +143,7 @@ def run_rpc_latency_ablation(rtt_s: float = 0.04, duration_s: float = 10.0,
         path = wired_path(sim, 100e6, rtt_s)
         conn = make_connection(sim, "tcp-tack",
                                params=TackParams(ack_count_l=L),
-                               initial_rtt=rtt_s)
+                               initial_rtt_s=rtt_s)
         conn.wire(path.forward, path.reverse)
         conn.sender.start()
         latencies: list[float] = []

@@ -52,7 +52,7 @@ def run_simulated(rate_bps: float = 20e6, rtt_s: float = 0.2,
                               queue_bytes=int(bdp),
                               data_loss=data_loss,
                               ack_loss=min(ack_loss, 0.3))
-            flow = BulkFlow(sim, path, scheme, initial_rtt=rtt_s)
+            flow = BulkFlow(sim, path, scheme, initial_rtt_s=rtt_s)
             flow.start()
             sim.run(until=duration_s)
             utils[scheme] = 100 * min(flow.goodput_bps(start=warmup_s) / rate_bps, 1.0)

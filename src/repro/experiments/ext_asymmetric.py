@@ -53,7 +53,7 @@ def run(down_bps: float = 100e6, rtt_s: float = 0.04,
         for scheme, tag in (("tcp-bbr", "bbr"), ("tcp-tack", "tack")):
             sim = Simulator(seed=seed)
             path = _asymmetric_path(sim, down_bps, up, rtt_s)
-            flow = BulkFlow(sim, path, scheme, initial_rtt=rtt_s)
+            flow = BulkFlow(sim, path, scheme, initial_rtt_s=rtt_s)
             flow.start()
             sim.run(until=duration_s)
             row[f"{tag}_mbps"] = flow.goodput_bps(start=warmup_s) / 1e6

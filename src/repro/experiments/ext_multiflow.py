@@ -23,7 +23,7 @@ def _aggregate_goodput(scheme: str, n_clients: int, duration_s: float,
     handles = multi_client_wlan(sim, n_clients, "802.11n", extra_rtt_s=rtt_s)
     flows = []
     for i, handle in enumerate(handles):
-        conn = make_connection(sim, scheme, flow_id=i, initial_rtt=rtt_s)
+        conn = make_connection(sim, scheme, flow_id=i, initial_rtt_s=rtt_s)
         conn.wire(handle.forward, handle.reverse)
         flows.append((conn, FlowCollector(sim, conn, name=f"{scheme}#{i}")))
     for conn, _ in flows:

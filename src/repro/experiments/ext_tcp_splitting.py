@@ -28,7 +28,7 @@ def _end_to_end(scheme: str, phy: str, wan_rate: float, wan_rtt: float,
     sim = Simulator(seed=seed)
     path = hybrid_path(sim, phy, wan_rate_bps=wan_rate, wan_rtt_s=wan_rtt,
                        data_loss=loss, ack_loss=loss)
-    flow = BulkFlow(sim, path, scheme, initial_rtt=wan_rtt + 0.005)
+    flow = BulkFlow(sim, path, scheme, initial_rtt_s=wan_rtt + 0.005)
     flow.start()
     sim.run(until=duration_s)
     return {

@@ -33,7 +33,7 @@ def _run_flow(scheme: str, phy: str, rtt_s: float, duration_s: float,
               warmup_s: float, seed: int):
     sim = Simulator(seed=seed)
     path = wlan_path(sim, phy, extra_rtt_s=rtt_s)
-    flow = BulkFlow(sim, path, scheme, initial_rtt=rtt_s)
+    flow = BulkFlow(sim, path, scheme, initial_rtt_s=rtt_s)
     flow.start()
     sim.run(until=duration_s)
     return {

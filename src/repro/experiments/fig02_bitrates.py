@@ -34,7 +34,7 @@ def run(duration_s: float = 2.0) -> Table:
         sim = Simulator(seed=1)
         path = wired_path(sim, rate_bps=2e9, rtt_s=0.001)
         session = VideoSession(sim, path, "tcp-tack", bitrate_bps=mbps * 1e6,
-                               initial_rtt=0.001)
+                               initial_rtt_s=0.001)
         session.start()
         sim.run(until=duration_s)
         produced = session.stats.frames_generated * session.frame_bytes

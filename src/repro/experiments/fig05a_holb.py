@@ -33,7 +33,7 @@ def _trial_samples(enable_iack: bool, seed: int, duration_s: float) -> list[int]
     path = wired_path(sim, 20e6, rtt, data_loss=loss,
                       queue_bytes=max(int(20e6 * rtt / 8), 30_000))
     params = TackParams(loss_event_iack=enable_iack)
-    flow = BulkFlow(sim, path, "tcp-tack", params=params, initial_rtt=rtt)
+    flow = BulkFlow(sim, path, "tcp-tack", params=params, initial_rtt_s=rtt)
     samples: list[int] = []
     receiver = flow.conn.receiver
     emit = receiver.emit_feedback

@@ -28,7 +28,7 @@ def _utilization(scheme: str, ack_loss: float, rate_bps: float, rtt_s: float,
     path = wired_path(sim, rate_bps, rtt_s,
                       queue_bytes=int(rate_bps * rtt_s / 8),
                       data_loss=data_loss, ack_loss=ack_loss)
-    flow = BulkFlow(sim, path, scheme, initial_rtt=rtt_s)
+    flow = BulkFlow(sim, path, scheme, initial_rtt_s=rtt_s)
     flow.start()
     sim.run(until=duration_s)
     return min(100.0, 100.0 * flow.goodput_bps(start=warmup_s) / rate_bps)

@@ -18,7 +18,7 @@ from repro.netsim.paths import wlan_path
 def _estimate(scheme: str, rtt_s: float, duration_s: float, seed: int):
     sim = Simulator(seed=seed)
     path = wlan_path(sim, "802.11n", extra_rtt_s=rtt_s)
-    flow = BulkFlow(sim, path, scheme, initial_rtt=rtt_s)
+    flow = BulkFlow(sim, path, scheme, initial_rtt_s=rtt_s)
     flow.start()
     sim.run(until=duration_s)
     sender = flow.conn.sender

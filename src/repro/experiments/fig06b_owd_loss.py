@@ -29,7 +29,7 @@ def _measure(scheme: str, rate_bps: float, rtt_s: float, duration_s: float,
     sim = Simulator(seed=seed)
     path = wired_path(sim, rate_bps, rtt_s,
                       queue_bytes=int(2 * rate_bps * rtt_s / 8))
-    flow = BulkFlow(sim, path, scheme, initial_rtt=rtt_s)
+    flow = BulkFlow(sim, path, scheme, initial_rtt_s=rtt_s)
     flow.start()
     sim.run(until=duration_s)
     owds = [o for o in flow.collector.owd_samples]

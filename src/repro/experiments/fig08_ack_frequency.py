@@ -48,7 +48,7 @@ def run_measured(rtt_s: float = 0.08, duration_s: float = 5.0,
     for name in PHY_PROFILES:
         sim = Simulator(seed=seed)
         path = wlan_path(sim, name, extra_rtt_s=rtt_s)
-        flow = BulkFlow(sim, path, "tcp-tack", initial_rtt=rtt_s)
+        flow = BulkFlow(sim, path, "tcp-tack", initial_rtt_s=rtt_s)
         flow.start()
         sim.run(until=warmup_s)
         tacks_at_warmup = flow.conn.receiver.stats.tacks_sent

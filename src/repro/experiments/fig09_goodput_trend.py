@@ -38,7 +38,7 @@ def run_improvement(rtts=(0.01, 0.08, 0.2), duration_s: float = 5.0,
             for scheme in ("tcp-tack", "tcp-bbr"):
                 sim = Simulator(seed=seed)
                 path = wlan_path(sim, phy, extra_rtt_s=rtt)
-                flow = BulkFlow(sim, path, scheme, initial_rtt=rtt,
+                flow = BulkFlow(sim, path, scheme, initial_rtt_s=rtt,
                                 rcv_buffer_bytes=rcv_buffer)
                 flow.start()
                 sim.run(until=duration_s)

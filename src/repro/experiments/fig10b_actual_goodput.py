@@ -39,7 +39,7 @@ def run(rtt_s: float = 0.08, duration_s: float = 6.0, warmup_s: float = 2.0,
         sim = Simulator(seed=seed)
         path = wlan_path(sim, "802.11n", extra_rtt_s=rtt_s,
                          per_mpdu_error_rate=impairment)
-        flow = BulkFlow(sim, path, scheme, initial_rtt=rtt_s)
+        flow = BulkFlow(sim, path, scheme, initial_rtt_s=rtt_s)
         flow.start()
         sim.run(until=duration_s)
         table.add_row(

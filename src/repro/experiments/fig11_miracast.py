@@ -44,7 +44,7 @@ def run(bitrate_bps: float = 165e6, duration_s: float = 20.0,
             session = RtpUdpVideoSession(sim, path, bitrate_bps=bitrate_bps)
         else:
             session = VideoSession(sim, path, scheme, bitrate_bps=bitrate_bps,
-                                   initial_rtt=0.004)
+                                   initial_rtt_s=0.004)
         session.start()
         sim.run(until=duration_s)
         stats = session.finish()

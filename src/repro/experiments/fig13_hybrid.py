@@ -45,7 +45,7 @@ def run(duration_s: float = 10.0, warmup_s: float = 2.0, seed: int = 11) -> Tabl
             sim = Simulator(seed=seed)
             path = hybrid_path(sim, phy, wan_rate_bps=rate, wan_rtt_s=rtt,
                                data_loss=loss, ack_loss=loss)
-            flow = BulkFlow(sim, path, scheme, initial_rtt=rtt + 0.005)
+            flow = BulkFlow(sim, path, scheme, initial_rtt_s=rtt + 0.005)
             flow.start()
             sim.run(until=duration_s)
             table.add_row(

@@ -44,7 +44,7 @@ def _trial(seed: int, duration_s: float, warmup_s: float) -> dict:
         path = wired_path(sim, rate, rtt,
                           queue_bytes=max(int(buf * rate * rtt / 8), 20_000),
                           data_loss=loss)
-        flow = BulkFlow(sim, path, scheme, initial_rtt=rtt)
+        flow = BulkFlow(sim, path, scheme, initial_rtt_s=rtt)
         if cross:
             x = OnOffCrossTraffic(sim, path.forward, rate_bps=0.3 * rate)
             x.start()

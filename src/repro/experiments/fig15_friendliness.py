@@ -36,7 +36,7 @@ def _one_trial(schemes, seed: int, duration_s: float):
     ports = share_path(wan, len(schemes))
     flows = []
     for flow_id, (scheme, (fwd, rev)) in enumerate(zip(schemes, ports)):
-        conn = make_connection(sim, scheme, flow_id=flow_id, initial_rtt=rtt)
+        conn = make_connection(sim, scheme, flow_id=flow_id, initial_rtt_s=rtt)
         conn.wire(fwd, rev)
         flows.append(conn)
     for conn in flows:

@@ -49,7 +49,7 @@ def run_simulated(rate_bps: float = 20e6, rtt_s: float = 0.1,
         sim = Simulator(seed=seed)
         path = wired_path(sim, rate_bps, rtt_s, queue_bytes=bdp // 2)
         flow = BulkFlow(sim, path, "tcp-tack",
-                        params=TackParams(beta=beta), initial_rtt=rtt_s)
+                        params=TackParams(beta=beta), initial_rtt_s=rtt_s)
         flow.start()
         sim.run(until=duration_s)
         table.add_row(

@@ -1,0 +1,31 @@
+"""reprolint: determinism lint for the TACK reproduction.
+
+Repo-specific static analysis that keeps the simulator replayable:
+
+==========  =====================================================
+REP001      no wall-clock reads in simulation code
+REP002      no ambient/unseeded RNG in simulation code
+REP003      no float ``==``/``!=`` on clock values
+REP004      unit-suffix discipline for numeric parameters
+REP005      no mutable default arguments
+==========  =====================================================
+
+Run ``python -m repro.lint src/`` (or the ``reprolint`` entry point);
+suppress individual findings with ``# reprolint: disable=REPxxx``.
+Configuration lives in ``[tool.reprolint]`` in ``pyproject.toml``.
+"""
+
+from repro.lint.config import LintConfig, load_config
+from repro.lint.engine import lint_file, lint_paths, lint_source
+from repro.lint.rules import RULES, RULE_SUMMARIES, Finding
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "RULES",
+    "RULE_SUMMARIES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

@@ -1,0 +1,91 @@
+"""Command-line front end: ``python -m repro.lint`` / ``reprolint``.
+
+Exit codes: 0 clean, 1 findings reported, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.config import find_pyproject, load_config
+from repro.lint.engine import lint_paths
+from repro.lint.rules import RULE_SUMMARIES, Finding
+
+#: JSON report schema version; bump on incompatible change.
+JSON_SCHEMA_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Determinism lint for the TACK simulator "
+                    "(rules REP001-REP005).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--json", dest="format", action="store_const",
+                        const="json", help="shorthand for --format json")
+    parser.add_argument("--config", type=Path, default=None,
+                        help="pyproject.toml with a [tool.reprolint] table "
+                             "(default: discovered upward from the first path)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule set and exit")
+    return parser
+
+
+def _report_text(findings: List[Finding], checked: int) -> str:
+    lines = [f.render() for f in findings]
+    counts = Counter(f.code for f in findings)
+    if findings:
+        summary = ", ".join(f"{code}: {n}" for code, n in sorted(counts.items()))
+        lines.append(f"{len(findings)} finding(s) in {checked} file(s) ({summary})")
+    else:
+        lines.append(f"clean: {checked} file(s), 0 findings")
+    return "\n".join(lines)
+
+
+def _report_json(findings: List[Finding], checked: int) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": checked,
+        "findings": [f.to_dict() for f in findings],
+        "counts": dict(sorted(Counter(f.code for f in findings).items())),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for code, summary in RULE_SUMMARIES.items():
+            print(f"{code}  {summary}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"reprolint: no such path: {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+    pyproject = args.config if args.config else find_pyproject(paths[0])
+    if args.config and not args.config.is_file():
+        print(f"reprolint: config not found: {args.config}", file=sys.stderr)
+        return 2
+    config = load_config(pyproject)
+
+    findings, checked = lint_paths(paths, config)
+    report = (_report_json if args.format == "json" else _report_text)(
+        findings, checked)
+    print(report)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

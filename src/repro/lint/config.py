@@ -1,0 +1,171 @@
+"""reprolint configuration.
+
+Defaults are tuned for this repository; projects override them from a
+``[tool.reprolint]`` table in ``pyproject.toml``.  The split matters
+for REP001/REP002: *simulation* code must never touch the wall clock
+or ambient RNG state, while *host-side* orchestration (the campaign
+runner, the ``run_all`` driver) legitimately measures wall time — the
+``exempt`` globs carve those files out.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+#: Globs (matched against ``/``-normalized paths) excluded from the
+#: determinism rules REP001-REP003.  REP005 still applies: a mutable
+#: default argument is a bug in host code too.
+DEFAULT_EXEMPT = (
+    "*/repro/runner/*",
+    "*/repro/experiments/run_all.py",
+    "*/repro/lint/*",
+)
+
+#: Packages whose ``__init__`` constructors fall under the REP004
+#: unit-suffix discipline (plus every function in ``core/params.py``).
+DEFAULT_REP004_PACKAGES = (
+    "netsim",
+    "transport",
+    "ack",
+    "cc",
+    "core",
+    "wlan",
+)
+
+#: Suffixes that state a unit (or an explicit dimensionless kind).
+DEFAULT_UNIT_SUFFIXES = (
+    "_s",
+    "_ms",
+    "_us",
+    "_ts",
+    "_bytes",
+    "_bits",
+    "_bps",
+    "_pps",
+    "_mbps",
+    "_hz",
+    "_pkts",
+    "_rtts",
+    "_gain",
+    "_factor",
+    "_fraction",
+    "_frac",
+    "_ratio",
+    "_rate",
+    "_loss",
+    "_pct",
+    "_db",
+)
+
+#: Parameter names that are genuinely dimensionless or contextual and
+#: therefore carry no suffix (``beta`` is the paper's ACKs-per-RTT).
+DEFAULT_ALLOW_NAMES = ("seed", "default")
+
+#: Identifier suffixes/names treated as clock readings by REP003.
+DEFAULT_TIME_NAMES = ("now", "time", "deadline", "t")
+DEFAULT_TIME_SUFFIXES = ("_s", "_ms", "_us", "_ts", "_time", "_at", "_ns")
+
+
+@dataclass
+class LintConfig:
+    """Effective rule configuration for one lint run."""
+
+    exempt: Sequence[str] = DEFAULT_EXEMPT
+    rep004_packages: Sequence[str] = DEFAULT_REP004_PACKAGES
+    unit_suffixes: Sequence[str] = DEFAULT_UNIT_SUFFIXES
+    allow_names: Sequence[str] = DEFAULT_ALLOW_NAMES
+    time_names: Sequence[str] = DEFAULT_TIME_NAMES
+    time_suffixes: Sequence[str] = DEFAULT_TIME_SUFFIXES
+    disabled_rules: Sequence[str] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------
+    def is_exempt(self, path: str) -> bool:
+        """True when *path* is host-side code outside REP001-REP003."""
+        norm = path.replace("\\", "/")
+        return any(fnmatch.fnmatch(norm, pat) for pat in self.exempt)
+
+    def in_rep004_scope(self, path: str) -> bool:
+        """True when *path* holds simulator constructors (REP004)."""
+        norm = path.replace("\\", "/")
+        if norm.endswith("/core/params.py") or norm.endswith("core/params.py"):
+            return True
+        return any(f"/repro/{pkg}/" in norm for pkg in self.rep004_packages)
+
+    def is_params_file(self, path: str) -> bool:
+        norm = path.replace("\\", "/")
+        return norm.endswith("core/params.py")
+
+    def has_unit_suffix(self, name: str) -> bool:
+        return (
+            name in self.allow_names
+            or any(name.endswith(sfx) for sfx in self.unit_suffixes)
+        )
+
+    def is_time_name(self, name: str) -> bool:
+        lowered = name.lower()
+        return (
+            lowered in self.time_names
+            or any(lowered.endswith(sfx) for sfx in self.time_suffixes)
+        )
+
+
+def _load_toml(path: Path) -> dict:
+    if sys.version_info >= (3, 11):
+        import tomllib
+    else:  # pragma: no cover - py<3.11 fallback
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ImportError:
+            return {}
+    with open(path, "rb") as fh:
+        return tomllib.load(fh)
+
+
+def find_pyproject(start: Optional[Path] = None) -> Optional[Path]:
+    """Walk upward from *start* looking for a ``pyproject.toml``."""
+    node = (start or Path.cwd()).resolve()
+    if node.is_file():
+        node = node.parent
+    for candidate in (node, *node.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None
+
+
+def load_config(pyproject: Optional[Path] = None) -> LintConfig:
+    """Build a :class:`LintConfig`, merging ``[tool.reprolint]`` overrides.
+
+    List-valued keys *replace* the defaults except ``extend-exempt`` /
+    ``extend-allow-names``, which append — the common case is adding a
+    few repo-specific entries, not re-stating the whole default table.
+    """
+    config = LintConfig()
+    if pyproject is None or not pyproject.is_file():
+        return config
+    table = _load_toml(pyproject).get("tool", {}).get("reprolint", {})
+    if not isinstance(table, dict):
+        return config
+
+    def seq(key: str, current: Sequence[str]) -> Sequence[str]:
+        value = table.get(key)
+        if isinstance(value, list):
+            return tuple(str(v) for v in value)
+        return current
+
+    config.exempt = seq("exempt", config.exempt)
+    config.rep004_packages = seq("rep004-packages", config.rep004_packages)
+    config.unit_suffixes = seq("unit-suffixes", config.unit_suffixes)
+    config.allow_names = seq("allow-names", config.allow_names)
+    config.disabled_rules = seq("disable", config.disabled_rules)
+    for key, attr in (("extend-exempt", "exempt"),
+                      ("extend-allow-names", "allow_names")):
+        extra = table.get(key)
+        if isinstance(extra, list):
+            setattr(config, attr,
+                    tuple(getattr(config, attr)) + tuple(str(v) for v in extra))
+    return config

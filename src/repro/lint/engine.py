@@ -1,0 +1,119 @@
+"""reprolint driver: file discovery, pragmas, rule dispatch.
+
+Pragmas
+-------
+Line-level, suppressing specific codes (or every code) on that line::
+
+    started = time.time()  # reprolint: disable=REP001
+    x = foo()              # reprolint: disable
+
+File-level, anywhere in the file (conventionally near the top)::
+
+    # reprolint: disable-file=REP002,REP003
+
+Suppression is by source line of the *finding*, matching how flake8 /
+ruff ``noqa`` behaves.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.config import LintConfig
+from repro.lint.rules import DETERMINISM_RULES, RULES, Finding
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*(disable(?:-file)?)\s*(?:=\s*([A-Z0-9,\s]+))?"
+)
+
+#: Sentinel meaning "every code" in a pragma set.
+_ALL = "ALL"
+
+
+def parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
+    """Extract (line -> suppressed codes, file-wide suppressed codes)."""
+    per_line: Dict[int, Set[str]] = {}
+    file_wide: Set[str] = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        kind, codes_raw = match.groups()
+        codes = (
+            {c.strip() for c in codes_raw.split(",") if c.strip()}
+            if codes_raw else {_ALL}
+        )
+        if kind == "disable-file":
+            file_wide |= codes
+        else:
+            per_line.setdefault(lineno, set()).update(codes)
+    return per_line, file_wide
+
+
+def _suppressed(finding: Finding, per_line: Dict[int, Set[str]],
+                file_wide: Set[str]) -> bool:
+    if _ALL in file_wide or finding.code in file_wide:
+        return True
+    codes = per_line.get(finding.line)
+    return codes is not None and (_ALL in codes or finding.code in codes)
+
+
+def lint_source(source: str, path: str = "<string>",
+                config: Optional[LintConfig] = None) -> List[Finding]:
+    """Lint one unit of Python source; returns unsuppressed findings."""
+    config = config or LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding("REP000", f"syntax error: {exc.msg}", path,
+                        exc.lineno or 1, (exc.offset or 1) - 1)]
+    per_line, file_wide = parse_pragmas(source)
+    exempt = config.is_exempt(path)
+    findings: List[Finding] = []
+    for code, rule in RULES.items():
+        if code in config.disabled_rules:
+            continue
+        if exempt and code in DETERMINISM_RULES:
+            continue
+        findings.extend(rule(tree, path, config))
+    findings = [f for f in findings
+                if not _suppressed(f, per_line, file_wide)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_file(path: Path, config: Optional[LintConfig] = None) -> List[Finding]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, str(path), config)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(paths: Iterable[Path],
+               config: Optional[LintConfig] = None) -> Tuple[List[Finding], int]:
+    """Lint every ``.py`` under *paths*; returns (findings, files seen)."""
+    config = config or LintConfig()
+    findings: List[Finding] = []
+    checked = 0
+    for file in iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_file(file, config))
+    return findings, checked

@@ -1,0 +1,322 @@
+"""The REP rule set: repo-specific determinism checks.
+
+Each rule is a function ``(tree, source_path, config) -> list[Finding]``
+registered in :data:`RULES` under a stable code.  Codes never change
+meaning; retired rules leave a hole rather than being renumbered, so a
+``# reprolint: disable=REPxxx`` pragma stays valid forever.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.lint.config import LintConfig
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name for a Name/Attribute chain ('' if other)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _is_const(node: ast.AST, *types: type) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, types)
+
+
+def _is_approx_call(node: ast.AST) -> bool:
+    """True for ``pytest.approx(...)`` / ``approx(...)`` operands."""
+    return (isinstance(node, ast.Call)
+            and _dotted(node.func).rpartition(".")[2] == "approx")
+
+
+# ----------------------------------------------------------------------
+# REP001 — no wall clock in simulation code
+# ----------------------------------------------------------------------
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+
+def rep001_no_wall_clock(tree: ast.AST, path: str, config: LintConfig) -> List[Finding]:
+    """Simulation code must read the virtual clock, never the host's.
+
+    A single ``time.time()`` in an event handler silently breaks
+    byte-identical replay: results begin to depend on machine load.
+    """
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name in _WALL_CLOCK_CALLS:
+            findings.append(Finding(
+                "REP001",
+                f"wall-clock call `{name}()` in simulation code; "
+                "use the simulator's virtual clock (`sim.now()`)",
+                path, node.lineno, node.col_offset,
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP002 — no ambient / unseeded randomness in simulation code
+# ----------------------------------------------------------------------
+
+_NP_RANDOM_ROOTS = {"numpy.random", "np.random"}
+
+
+def rep002_no_ambient_rng(tree: ast.AST, path: str, config: LintConfig) -> List[Finding]:
+    """All randomness must flow from an explicitly seeded generator.
+
+    Flags module-level ``random.xxx(...)`` calls, any ``numpy.random``
+    access, ``from random import ...``, and unseeded ``random.Random()``
+    / ``default_rng()`` / ``RandomState()`` constructions.  Seeded
+    instances (``random.Random(seed)``) are the sanctioned pattern.
+    """
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "random":
+            findings.append(Finding(
+                "REP002",
+                "`from random import ...` hides the shared-state module "
+                "RNG; construct a seeded `random.Random(seed)` instead",
+                path, node.lineno, node.col_offset,
+            ))
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if not name:
+            continue
+        root, _, leaf = name.rpartition(".")
+        if name.startswith(("numpy.random.", "np.random.")) or name in _NP_RANDOM_ROOTS:
+            if leaf in ("default_rng", "Generator", "RandomState") and node.args:
+                continue  # seeded construction is fine
+            findings.append(Finding(
+                "REP002",
+                f"`{name}` uses numpy's global/unseeded RNG state; pass an "
+                "explicitly seeded generator into the component",
+                path, node.lineno, node.col_offset,
+            ))
+        elif root == "random":
+            if leaf == "Random":
+                if not node.args and not node.keywords:
+                    findings.append(Finding(
+                        "REP002",
+                        "`random.Random()` without a seed is "
+                        "nondeterministic; pass a seed (or fork from "
+                        "`sim.fork_rng`)",
+                        path, node.lineno, node.col_offset,
+                    ))
+                continue
+            if leaf == "SystemRandom":
+                findings.append(Finding(
+                    "REP002",
+                    "`random.SystemRandom` is inherently nondeterministic",
+                    path, node.lineno, node.col_offset,
+                ))
+                continue
+            findings.append(Finding(
+                "REP002",
+                f"module-level `{name}(...)` draws from the shared global "
+                "RNG; draw from a seeded `random.Random` instance",
+                path, node.lineno, node.col_offset,
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP003 — no float equality on clock values
+# ----------------------------------------------------------------------
+
+def rep003_no_time_equality(tree: ast.AST, path: str, config: LintConfig) -> List[Finding]:
+    """``==``/``!=`` between simulated-clock floats is a latent bug.
+
+    Clock values are sums of float link delays; two mathematically
+    equal instants can differ in the last ulp depending on summation
+    order.  Compare with ``<=``/``>=`` or an explicit tolerance.
+    Comparisons against ``None``/strings/bools are untouched (those are
+    sentinel checks, not arithmetic), and so are comparisons against
+    ``pytest.approx(...)`` — that call *is* the tolerance the rule
+    asks for.
+    """
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        ops = node.ops
+        for i, op in enumerate(ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[i], operands[i + 1]
+            pair = (left, right)
+            if any(_is_const(side, str, bool) or
+                   (isinstance(side, ast.Constant) and side.value is None) or
+                   _is_approx_call(side)
+                   for side in pair):
+                continue
+            for side in pair:
+                name = _dotted(side)
+                leaf = name.rpartition(".")[2]
+                if leaf and config.is_time_name(leaf):
+                    findings.append(Finding(
+                        "REP003",
+                        f"float equality on clock value `{name}`; use an "
+                        "ordering comparison or explicit tolerance",
+                        path, node.lineno, node.col_offset,
+                    ))
+                    break
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP004 — unit-suffix discipline for numeric parameters
+# ----------------------------------------------------------------------
+
+def rep004_unit_suffixes(tree: ast.AST, path: str, config: LintConfig) -> List[Finding]:
+    """Float-typed knobs must say their unit in the name.
+
+    Applies to every function in ``core/params.py`` and to ``__init__``
+    constructors in the simulator packages.  A parameter with a float
+    literal default is a physical quantity (seconds, bytes, bps, ...)
+    or an explicitly dimensionless ratio — either way the name must end
+    in a recognized suffix (``_s``, ``_bytes``, ``_bps``, ``_gain``,
+    ...) or appear in the configured allow-list.  Integer defaults are
+    exempt: counts are self-describing.
+    """
+    if not config.in_rep004_scope(path):
+        return []
+    check_all_defs = config.is_params_file(path)
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not check_all_defs and node.name != "__init__":
+            continue
+        args = node.args
+        positional = args.posonlyargs + args.args
+        pairs = list(zip(positional[len(positional) - len(args.defaults):],
+                         args.defaults))
+        pairs += [(a, d) for a, d in zip(args.kwonlyargs, args.kw_defaults)
+                  if d is not None]
+        for arg, default in pairs:
+            if not _is_const(default, float) or isinstance(default.value, bool):
+                continue
+            if config.has_unit_suffix(arg.arg):
+                continue
+            findings.append(Finding(
+                "REP004",
+                f"numeric parameter `{arg.arg}` (default {default.value!r}) "
+                "lacks a unit suffix "
+                "(_s/_ms/_bytes/_bps/_pkts/...); rename or add it to "
+                "[tool.reprolint] allow-names",
+                path, arg.lineno, arg.col_offset,
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# REP005 — no mutable default arguments
+# ----------------------------------------------------------------------
+
+_MUTABLE_CTORS = {"list", "dict", "set", "bytearray", "deque", "defaultdict"}
+
+
+def rep005_no_mutable_defaults(tree: ast.AST, path: str, config: LintConfig) -> List[Finding]:
+    """A mutable default is shared across every call — state leaks
+    between simulations, the exact class of bug this repo cannot
+    afford."""
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        args = node.args
+        defaults = list(args.defaults) + [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and _dotted(default.func).rpartition(".")[2] in _MUTABLE_CTORS
+            )
+            if bad:
+                findings.append(Finding(
+                    "REP005",
+                    "mutable default argument is shared across calls; "
+                    "default to None and construct inside the function",
+                    path, default.lineno, default.col_offset,
+                ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+RuleFn = Callable[[ast.AST, str, LintConfig], List[Finding]]
+
+#: All rules, keyed by stable code.
+RULES: Dict[str, RuleFn] = {
+    "REP001": rep001_no_wall_clock,
+    "REP002": rep002_no_ambient_rng,
+    "REP003": rep003_no_time_equality,
+    "REP004": rep004_unit_suffixes,
+    "REP005": rep005_no_mutable_defaults,
+}
+
+#: Rules suspended for host-side files matched by the ``exempt`` globs.
+DETERMINISM_RULES = ("REP001", "REP002", "REP003")
+
+RULE_SUMMARIES: Dict[str, str] = {
+    "REP001": "no wall-clock reads in simulation code",
+    "REP002": "no ambient/unseeded RNG in simulation code",
+    "REP003": "no float ==/!= on clock values",
+    "REP004": "unit-suffix discipline for numeric parameters",
+    "REP005": "no mutable default arguments",
+}

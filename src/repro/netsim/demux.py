@@ -9,7 +9,7 @@ flow's endpoint.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.netsim.packet import Packet
 

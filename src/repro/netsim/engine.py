@@ -18,6 +18,7 @@ import itertools
 import random
 from typing import Callable, Optional
 
+from repro import sanitize
 from repro.netsim.clock import Clock
 
 
@@ -59,14 +60,30 @@ class Simulator:
         stochastic components (loss models, backoff draws, workload
         jitter) must draw from :attr:`rng` or from generators forked via
         :meth:`fork_rng` so runs are reproducible.
+    simsan:
+        Runtime invariant checking (see :mod:`repro.sanitize`):
+        ``True``/``False`` force it, ``None`` (default) follows the
+        ``REPRO_SIMSAN`` environment variable.
     """
 
-    def __init__(self, seed: int = 1):
+    def __init__(self, seed: int = 1, simsan: Optional[bool] = None):
         self.clock = Clock()
         self.rng = random.Random(seed)
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._events_fired = 0
+        self.san = (sanitize.SimSanitizer(self)
+                    if sanitize.resolve(simsan) else None)
+
+    def enable_sanitizer(self) -> "sanitize.SimSanitizer":
+        """Attach (or return the already-attached) invariant sanitizer.
+
+        Must be called before endpoints are constructed — they cache
+        the sanitizer reference at build time.
+        """
+        if self.san is None:
+            self.san = sanitize.SimSanitizer(self)
+        return self.san
 
     # ------------------------------------------------------------------
     # time
@@ -119,6 +136,8 @@ class Simulator:
             ev = heapq.heappop(self._queue)
             if ev.cancelled:
                 continue
+            if self.san is not None:
+                self.san.on_event(ev.time)
             self.clock.advance_to(ev.time)
             self._events_fired += 1
             ev.fn()
@@ -145,6 +164,8 @@ class Simulator:
             if max_events is not None and fired >= max_events:
                 break
             heapq.heappop(self._queue)
+            if self.san is not None:
+                self.san.on_event(ev.time)
             self.clock.advance_to(ev.time)
             self._events_fired += 1
             fired += 1

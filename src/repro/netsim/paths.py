@@ -21,7 +21,6 @@ from typing import Optional
 
 from repro.netsim.emulator import EmulatedPath, PathConfig
 from repro.netsim.engine import Simulator
-from repro.netsim.link import Link, LinkConfig
 from repro.netsim.loss import LossModel
 from repro.netsim.packet import Packet
 from repro.netsim.pipe import Pipe

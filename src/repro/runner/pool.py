@@ -20,7 +20,7 @@ order and of how many workers run concurrently.
 from __future__ import annotations
 
 import multiprocessing as mp
-import multiprocessing.connection
+import multiprocessing.connection  # noqa: F401  (populates mp.connection)
 import time
 import traceback
 from collections import deque

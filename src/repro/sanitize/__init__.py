@@ -1,0 +1,50 @@
+"""simsan: zero-cost-when-off runtime invariant sanitizer.
+
+Enable globally with the environment variable::
+
+    REPRO_SIMSAN=1 python -m pytest
+
+or per simulation::
+
+    sim = Simulator(seed=1, simsan=True)
+    cfg = ConnectionConfig(simsan=True)   # enables on the Connection's sim
+
+When enabled, the engine and both transport endpoints run invariant
+checks (event-clock monotonicity, PKT.SEQ monotonicity, byte
+conservation, non-negative rwnd/pacing, windowed RTT_min monotonicity)
+and raise a structured :class:`InvariantViolation` naming the
+invariant, the simulated time, and the flow.  When disabled the hooks
+cost one ``is not None`` test — no state, no allocation.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sanitize.invariants import (
+    LEDGER_CHECK_PERIOD,
+    InvariantViolation,
+    SimSanitizer,
+)
+
+_ENV_VAR = "REPRO_SIMSAN"
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def env_enabled() -> bool:
+    """True when ``REPRO_SIMSAN`` requests sanitized runs."""
+    return os.environ.get(_ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+def resolve(flag: "bool | None") -> bool:
+    """Fold an explicit three-state flag with the environment default."""
+    return env_enabled() if flag is None else bool(flag)
+
+
+__all__ = [
+    "InvariantViolation",
+    "LEDGER_CHECK_PERIOD",
+    "SimSanitizer",
+    "env_enabled",
+    "resolve",
+]

@@ -1,0 +1,281 @@
+"""simsan: runtime invariant checks for the TACK simulator.
+
+The sanitizer validates, *while a simulation runs*, the invariants the
+paper's correctness rests on:
+
+``event_clock``
+    Events fire in non-decreasing simulated time and never at a
+    negative or non-finite instant.
+``pkt_seq_monotone``
+    ``PKT.SEQ`` strictly increases per flow (paper S5.1 — this is what
+    removes retransmission ambiguity for receiver-based loss
+    detection), and stream ``seq``/lengths are sane.
+``cum_ack_monotone``
+    The sender's cumulative-ack point never moves backward.
+``byte_conservation``
+    Sender ledger identity: every byte between ``cum_acked`` and
+    ``next_seq`` is covered by exactly one live send record
+    (sent = delivered + lost + in-flight), and the incremental
+    ``in_flight`` counter matches the records.
+``stream_conservation``
+    The receiver never holds more stream bytes than the sender
+    injected.
+``nonneg_rwnd`` / ``nonneg_pacing``
+    Advertised windows, pacing rates, and congestion windows stay
+    non-negative (cwnd strictly positive).
+``rtt_min_window``
+    The windowed RTT_min estimate never exceeds the smallest raw RTT
+    sample observed within the trailing tau window (S5.2: RTT_min is
+    non-increasing until samples age out).
+
+Checks are wired through ``if self._san is not None`` guards at the
+hook sites, so a disabled sanitizer costs one attribute test per
+event/packet — measured well under the 5% budget.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+import weakref
+from typing import Deque, Optional, Tuple
+
+#: Absolute slack for float comparisons on clock-derived quantities.
+_EPS = 1e-9
+
+#: Expensive O(window) ledger walks run every Nth feedback per flow.
+LEDGER_CHECK_PERIOD = 32
+
+
+class InvariantViolation(AssertionError):
+    """A simulation invariant failed.
+
+    Attributes
+    ----------
+    invariant:
+        Stable name of the violated invariant (e.g. ``pkt_seq_monotone``).
+    sim_time:
+        Simulated time of the violation in seconds.
+    flow_id:
+        Flow the violation belongs to, or ``None`` for engine-global
+        invariants.
+    detail:
+        Human-readable specifics (observed vs expected values).
+    """
+
+    def __init__(self, invariant: str, sim_time: float,
+                 flow_id: Optional[int], detail: str):
+        self.invariant = invariant
+        self.sim_time = sim_time
+        self.flow_id = flow_id
+        self.detail = detail
+        flow = "engine" if flow_id is None else f"flow {flow_id}"
+        super().__init__(
+            f"[simsan] {invariant} violated at t={sim_time:.9f} ({flow}): {detail}"
+        )
+
+
+class _FlowState:
+    """Per-flow bookkeeping the sanitizer needs across hook calls."""
+
+    __slots__ = ("last_pkt_seq", "last_cum_ack", "last_delivered_ptr",
+                 "feedbacks_seen", "rtt_samples")
+
+    def __init__(self):
+        self.last_pkt_seq = 0
+        self.last_cum_ack = 0
+        self.last_delivered_ptr = 0
+        self.feedbacks_seen = 0
+        # Monotonic (time, sample) deque: values non-decreasing front to
+        # back, so the front is the window minimum in O(1).  A newer,
+        # smaller sample dominates (and outlives) anything larger behind
+        # it, so popping those from the back loses nothing.
+        self.rtt_samples: Deque[Tuple[float, float]] = collections.deque()
+
+    def push_rtt_sample(self, now: float, sample: float) -> None:
+        samples = self.rtt_samples
+        while samples and samples[-1][1] >= sample:
+            samples.pop()
+        samples.append((now, sample))
+
+
+class SimSanitizer:
+    """Invariant checker attached to one :class:`Simulator`.
+
+    The engine and the transport endpoints call the ``on_*`` hooks;
+    each hook either returns silently or raises
+    :class:`InvariantViolation`.  One sanitizer instance serves every
+    flow on the simulator.
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._last_event_time = -math.inf
+        # States are keyed by endpoint *object*: several endpoints may
+        # legitimately share a flow_id on one simulator (unit tests,
+        # multi-connection scenarios).  Weak keys let torn-down
+        # endpoints disappear without unbounded growth.
+        self._senders: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._receivers: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._peer_sender: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self.checks_run = 0
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register_sender(self, sender) -> None:
+        self._senders.setdefault(sender, _FlowState())
+
+    def register_receiver(self, receiver) -> None:
+        self._receivers.setdefault(receiver, _FlowState())
+
+    def register_pair(self, sender, receiver) -> None:
+        """Link the two endpoints of a connection so cross-endpoint
+        conservation (receiver never holds more than the sender
+        injected) can be checked."""
+        self.register_sender(sender)
+        self.register_receiver(receiver)
+        self._peer_sender[receiver] = sender
+
+    def _fail(self, invariant: str, flow_id: Optional[int], detail: str):
+        raise InvariantViolation(invariant, self.sim.now(), flow_id, detail)
+
+    # ------------------------------------------------------------------
+    # engine hooks
+    # ------------------------------------------------------------------
+    def on_event(self, t: float) -> None:
+        """Called by the engine for every event about to fire."""
+        self.checks_run += 1
+        if not math.isfinite(t) or t < 0.0:
+            self._fail("event_clock", None, f"event time {t!r} is not a "
+                       "finite non-negative instant")
+        if t < self._last_event_time - _EPS:
+            self._fail("event_clock", None,
+                       f"event fires at {t!r} after one at "
+                       f"{self._last_event_time!r} (queue order broken)")
+        self._last_event_time = t
+
+    # ------------------------------------------------------------------
+    # sender hooks
+    # ------------------------------------------------------------------
+    def on_data_sent(self, sender, rec) -> None:
+        """Called for every DATA emission (new or retransmission)."""
+        self.checks_run += 1
+        state = self._senders.setdefault(sender, _FlowState())
+        if rec.pkt_seq <= state.last_pkt_seq:
+            self._fail("pkt_seq_monotone", sender.flow_id,
+                       f"PKT.SEQ {rec.pkt_seq} not above previous "
+                       f"{state.last_pkt_seq} (S5.1 requires strictly "
+                       "increasing packet numbers)")
+        state.last_pkt_seq = rec.pkt_seq
+        if rec.seq < 0 or rec.length <= 0:
+            self._fail("pkt_seq_monotone", sender.flow_id,
+                       f"bad segment seq={rec.seq} length={rec.length}")
+
+    def on_rtt_sample(self, sender, sample: float, now: float) -> None:
+        """Called for every raw RTT sample the sender takes."""
+        if sample <= 0 or not math.isfinite(sample):
+            self._fail("rtt_min_window", sender.flow_id,
+                       f"non-positive RTT sample {sample!r}")
+        state = self._senders.setdefault(sender, _FlowState())
+        state.push_rtt_sample(now, sample)
+
+    def on_sender_feedback(self, sender, fb) -> None:
+        """Called at the end of every processed acknowledgment."""
+        self.checks_run += 1
+        flow = sender.flow_id
+        state = self._senders.setdefault(sender, _FlowState())
+        state.feedbacks_seen += 1
+        now = self.sim.now()
+
+        if fb.awnd < 0:
+            self._fail("nonneg_rwnd", flow,
+                       f"advertised window {fb.awnd} < 0")
+        pacing = sender.cc.pacing_rate_bps()
+        if pacing < 0 or not math.isfinite(pacing):
+            self._fail("nonneg_pacing", flow,
+                       f"pacing rate {pacing!r} bps")
+        cwnd = sender.cc.cwnd_bytes()
+        if cwnd <= 0:
+            self._fail("nonneg_pacing", flow,
+                       f"congestion window {cwnd} <= 0")
+        if sender.cum_acked < state.last_cum_ack:
+            self._fail("cum_ack_monotone", flow,
+                       f"cum_ack moved backward: {sender.cum_acked} < "
+                       f"{state.last_cum_ack}")
+        state.last_cum_ack = sender.cum_acked
+        if sender.in_flight < 0:
+            self._fail("byte_conservation", flow,
+                       f"in_flight {sender.in_flight} < 0")
+
+        self._check_rtt_min_window(sender, state, now)
+        if state.feedbacks_seen % LEDGER_CHECK_PERIOD == 0:
+            self.check_sender_ledger(sender)
+
+    def check_sender_ledger(self, sender) -> None:
+        """Full O(window) conservation audit of the sender's ledger."""
+        self.checks_run += 1
+        flow = sender.flow_id
+        covered = 0
+        in_flight = 0
+        for rec in sender.records.values():
+            covered += max(0, rec.end - max(rec.seq, sender.cum_acked))
+            if rec.in_flight():
+                in_flight += rec.length
+        outstanding = sender.next_seq - sender.cum_acked
+        if covered != outstanding:
+            self._fail("byte_conservation", flow,
+                       f"send records cover {covered} bytes but "
+                       f"next_seq - cum_acked = {outstanding} "
+                       "(sent != delivered + lost + in-flight)")
+        if in_flight != sender.in_flight:
+            self._fail("byte_conservation", flow,
+                       f"in_flight counter {sender.in_flight} != "
+                       f"{in_flight} summed from live records")
+
+    def _check_rtt_min_window(self, sender, state: _FlowState,
+                              now: float) -> None:
+        window = getattr(sender.min_rtt_legacy._filter, "window", 10.0)
+        samples = state.rtt_samples
+        horizon = now - window
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+        if not samples:
+            return
+        floor = samples[0][1]
+        reported = sender.current_rtt_min()
+        if reported > floor + _EPS:
+            self._fail("rtt_min_window", sender.flow_id,
+                       f"RTT_min {reported:.9f} exceeds smallest sample "
+                       f"{floor:.9f} within the trailing "
+                       f"{window:.3f}s window (min filter must be "
+                       "non-increasing until samples expire)")
+
+    # ------------------------------------------------------------------
+    # receiver hooks
+    # ------------------------------------------------------------------
+    def on_receiver_data(self, receiver) -> None:
+        """Called after every data packet the receiver ingests."""
+        self.checks_run += 1
+        flow = receiver.flow_id
+        state = self._receivers.setdefault(receiver, _FlowState())
+        if receiver.delivered_ptr < state.last_delivered_ptr:
+            self._fail("cum_ack_monotone", flow,
+                       f"delivered_ptr moved backward: "
+                       f"{receiver.delivered_ptr} < {state.last_delivered_ptr}")
+        state.last_delivered_ptr = receiver.delivered_ptr
+        awnd = receiver.awnd()
+        if awnd < 0:
+            self._fail("nonneg_rwnd", flow, f"advertised window {awnd} < 0")
+        first_missing = receiver.intervals.first_missing(receiver.delivered_ptr)
+        if first_missing < receiver.delivered_ptr:
+            self._fail("stream_conservation", flow,
+                       f"reassembly cursor {first_missing} below "
+                       f"consumption point {receiver.delivered_ptr}")
+        sender = self._peer_sender.get(receiver)
+        if sender is not None:
+            held = receiver.delivered_ptr + receiver.intervals.covered()
+            if held > sender.next_seq:
+                self._fail("stream_conservation", flow,
+                           f"receiver holds {held} stream bytes but the "
+                           f"sender only injected {sender.next_seq}")

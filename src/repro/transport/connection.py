@@ -30,7 +30,8 @@ class ConnectionConfig:
         timing_mode: str = "legacy",
         auto_drain: bool = True,
         flow_id: int = 0,
-        initial_rto: float = 1.0,
+        initial_rto_s: float = 1.0,
+        simsan: Optional[bool] = None,
     ):
         self.mss = mss
         self.rcv_buffer_bytes = rcv_buffer_bytes
@@ -39,7 +40,10 @@ class ConnectionConfig:
         self.timing_mode = timing_mode
         self.auto_drain = auto_drain
         self.flow_id = flow_id
-        self.initial_rto = initial_rto
+        self.initial_rto_s = initial_rto_s
+        # Tri-state: None follows REPRO_SIMSAN / the simulator's own
+        # setting; True force-enables invariant checks on the sim.
+        self.simsan = simsan
 
 
 class Connection:
@@ -70,6 +74,10 @@ class Connection:
         self.sim = sim
         self.config = config or ConnectionConfig()
         cfg = self.config
+        if cfg.simsan:
+            # Must happen before the endpoints are built: they cache
+            # the sanitizer reference at construction time.
+            sim.enable_sanitizer()
         receiver_timing = (
             cfg.timing_mode
             if cfg.timing_mode in ("advanced", "naive", "per-packet")
@@ -82,7 +90,7 @@ class Connection:
             receiver_driven=cfg.receiver_driven,
             use_receiver_rate=cfg.use_receiver_rate,
             flow_id=cfg.flow_id,
-            initial_rto=cfg.initial_rto,
+            initial_rto_s=cfg.initial_rto_s,
         )
         self.receiver = TransportReceiver(
             sim,
@@ -92,6 +100,8 @@ class Connection:
             timing_mode=receiver_timing,
             flow_id=cfg.flow_id,
         )
+        if sim.san is not None:
+            sim.san.register_pair(self.sender, self.receiver)
         if forward_port is not None and reverse_port is not None:
             self.wire(forward_port, reverse_port)
 

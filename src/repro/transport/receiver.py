@@ -99,6 +99,10 @@ class TransportReceiver:
         self._closed = False
         self._on_deliver: Optional[Callable[[int, float], None]] = None
         self._arrival_log: Optional[list] = None
+        # simsan: one None-check per data packet when disabled.
+        self._san = sim.san
+        if self._san is not None:
+            self._san.register_receiver(self)
         policy.attach(self)
 
     # ------------------------------------------------------------------
@@ -176,6 +180,8 @@ class TransportReceiver:
         if gap is not None:
             self.stats.gap_events += 1
             self.policy.on_gap(gap)
+        if self._san is not None:
+            self._san.on_receiver_data(self)
         self.policy.on_data(packet, in_order)
         self._check_window_events()
 

@@ -4,7 +4,7 @@ Two estimators live here:
 
 * :class:`RttEstimator` -- the classic srtt/rttvar/RTO machinery every
   sender needs for its retransmission timer.
-* :class:`MinRttTracker` -- a time-windowed minimum filter (tau <= 10 s
+* :class:`MinRttTracker` -- a time-windowed minimum filter (tau_s <= 10 s
   per the paper S5.2) used both for BBR's min_rtt and for TACK's
   RTT_min; the advanced TACK timing feeds it bias-corrected samples
   from :mod:`repro.core.owd_timing`.
@@ -22,15 +22,15 @@ class RttEstimator:
 
     def __init__(
         self,
-        initial_rto: float = 1.0,
-        min_rto: float = 0.2,
-        max_rto: float = 60.0,
+        initial_rto_s: float = 1.0,
+        min_rto_s: float = 0.2,
+        max_rto_s: float = 60.0,
         alpha: float = 1.0 / 8.0,
         beta: float = 1.0 / 4.0,
     ):
-        self.initial_rto = initial_rto
-        self.min_rto = min_rto
-        self.max_rto = max_rto
+        self.initial_rto_s = initial_rto_s
+        self.min_rto_s = min_rto_s
+        self.max_rto_s = max_rto_s
         self.alpha = alpha
         self.beta = beta
         self.srtt: Optional[float] = None
@@ -54,14 +54,14 @@ class RttEstimator:
     def rto(self) -> float:
         """Current retransmission timeout with exponential backoff."""
         if self.srtt is None:
-            base = self.initial_rto
+            base = self.initial_rto_s
         else:
             base = self.srtt + max(4.0 * self.rttvar, 1e-3)
-        return min(max(base, self.min_rto) * self._backoff, self.max_rto)
+        return min(max(base, self.min_rto_s) * self._backoff, self.max_rto_s)
 
     def back_off(self) -> None:
         """Double the RTO after a timeout (Karn)."""
-        self._backoff = min(self._backoff * 2.0, self.max_rto / self.min_rto)
+        self._backoff = min(self._backoff * 2.0, self.max_rto_s / self.min_rto_s)
 
     def smoothed(self, default: float = 0.1) -> float:
         """srtt, or ``default`` before the first sample."""
@@ -69,10 +69,10 @@ class RttEstimator:
 
 
 class MinRttTracker:
-    """Windowed minimum RTT over ``tau`` seconds (route-change safe)."""
+    """Windowed minimum RTT over ``tau_s`` seconds (route-change safe)."""
 
-    def __init__(self, tau: float = 10.0):
-        self._filter = WindowedMinFilter(window=tau)
+    def __init__(self, tau_s: float = 10.0):
+        self._filter = WindowedMinFilter(window=tau_s)
 
     def on_sample(self, rtt: float, now: float) -> None:
         if rtt > 0:

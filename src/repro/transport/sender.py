@@ -109,7 +109,7 @@ class TransportSender:
         use_receiver_rate: bool = False,
         sync_rtt_min: bool = False,
         flow_id: int = 0,
-        initial_rto: float = 1.0,
+        initial_rto_s: float = 1.0,
         min_rtt_window_s: float = 10.0,
     ):
         self.sim = sim
@@ -142,8 +142,8 @@ class TransportSender:
         self.total_bytes: Optional[int] = None
         self.completed_at: Optional[float] = None
         # estimators
-        self.rtt = RttEstimator(initial_rto=initial_rto)
-        self.min_rtt_legacy = MinRttTracker(tau=min_rtt_window_s)
+        self.rtt = RttEstimator(initial_rto_s=initial_rto_s)
+        self.min_rtt_legacy = MinRttTracker(tau_s=min_rtt_window_s)
         self.rtt_min_est = SenderRttMinEstimator(window_s=min_rtt_window_s)
         self.rack = RackState()
         self.governor = RetransmitGovernor()
@@ -159,6 +159,10 @@ class TransportSender:
         self._persist_timer = None
         self._syn_sent_at: Optional[float] = None
         self.stats = SenderStats()
+        # simsan: one None-check per hook site when disabled.
+        self._san = sim.san
+        if self._san is not None:
+            self._san.register_sender(self)
 
     @staticmethod
     def _safe_rate(cc: CongestionController) -> bool:
@@ -316,12 +320,16 @@ class TransportSender:
                 self.stats.rtt_samples += 1
                 rtt_sample = sample
                 self.ack_loss.on_rtt_min_update(now, self._tack_interval_hint())
+                if self._san is not None:
+                    self._san.on_rtt_sample(self, sample, now)
             for departure_ts, delay in fb.packet_delays:
                 # Per-packet delay entries (S4.3 alternative): one RTT
                 # sample each.
                 extra = self.rtt_min_est.on_tack(now, departure_ts, delay)
                 if extra is not None:
                     self.stats.rtt_samples += 1
+                    if self._san is not None:
+                        self._san.on_rtt_sample(self, extra, now)
 
         # --- loss notifications -------------------------------------
         if fb.pull_pkt_range is not None:
@@ -354,6 +362,8 @@ class TransportSender:
         )
         self.cc.on_feedback(sample)
         self.pacer.set_rate(self.cc.pacing_rate_bps())
+        if self._san is not None:
+            self._san.on_sender_feedback(self, fb)
 
         # --- completion / timers -------------------------------------
         if (
@@ -381,6 +391,8 @@ class TransportSender:
         self.rtt.on_sample(sample)
         self.min_rtt_legacy.on_sample(sample, now)
         self.stats.rtt_samples += 1
+        if self._san is not None:
+            self._san.on_rtt_sample(self, sample, now)
 
     def _legacy_rate_sample(self, rec: SendRecord, now: float) -> Optional[float]:
         """BBR-style delivery-rate sample from a newly acked record."""
@@ -605,6 +617,8 @@ class TransportSender:
             flow_id=self.flow_id,
         )
         pkt.sent_at = now
+        if self._san is not None:
+            self._san.on_data_sent(self, rec)
         if self.sync_rtt_min:
             pkt.meta["rtt_min"] = self.current_rtt_min()
             # rho' sync for the Eq. (6) adaptive block budget: the

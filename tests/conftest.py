@@ -37,7 +37,7 @@ def build_wired_connection(
         forward_loss=forward_loss,
         reverse_loss=reverse_loss,
     )
-    conn = make_connection(sim, scheme, initial_rtt=rtt_s, **kwargs)
+    conn = make_connection(sim, scheme, initial_rtt_s=rtt_s, **kwargs)
     conn.wire(path.forward, path.reverse)
     return conn, path
 

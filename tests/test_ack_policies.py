@@ -4,6 +4,8 @@ Policies run against a real TransportReceiver fed with hand-built data
 packets; emitted feedback is captured through a stub port.
 """
 
+import itertools
+
 import pytest
 
 from repro.ack import (
@@ -68,19 +70,19 @@ class TestPerPacket:
 
 class TestDelayed:
     def test_every_second_packet(self, sim):
-        rx, port = make_receiver(sim, DelayedAck(count_l=2, gamma=10.0))
+        rx, port = make_receiver(sim, DelayedAck(count_l=2, gamma_s=10.0))
         feed(sim, rx, range(6))
         assert len(port.sent) == 3
 
     def test_timer_flushes_odd_packet(self, sim):
-        rx, port = make_receiver(sim, DelayedAck(count_l=2, gamma=0.05))
+        rx, port = make_receiver(sim, DelayedAck(count_l=2, gamma_s=0.05))
         feed(sim, rx, [0])
         assert len(port.sent) == 0
         sim.run(until=0.1)
         assert len(port.sent) == 1
 
     def test_out_of_order_acked_immediately(self, sim):
-        rx, port = make_receiver(sim, DelayedAck(count_l=2, gamma=10.0))
+        rx, port = make_receiver(sim, DelayedAck(count_l=2, gamma_s=10.0))
         feed(sim, rx, [0, 1, 3])  # 3 is out of order
         # 2 for the pair + 1 immediate dupack for the hole
         assert len(port.sent) == 2
@@ -90,13 +92,13 @@ class TestDelayed:
         with pytest.raises(ValueError):
             DelayedAck(count_l=0)
         with pytest.raises(ValueError):
-            DelayedAck(gamma=0)
+            DelayedAck(gamma_s=0)
 
 
 class TestByteCounting:
     @pytest.mark.parametrize("L", [4, 8, 16])
     def test_acks_every_l_packets(self, sim, L):
-        rx, port = make_receiver(sim, ByteCountingAck(count_l=L, gamma=10.0))
+        rx, port = make_receiver(sim, ByteCountingAck(count_l=L, gamma_s=10.0))
         feed(sim, rx, range(L * 3))
         assert len(port.sent) == 3
 
@@ -106,18 +108,18 @@ class TestByteCounting:
 
 class TestPeriodic:
     def test_fixed_interval(self, sim):
-        rx, port = make_receiver(sim, PeriodicAck(alpha=0.025))
+        rx, port = make_receiver(sim, PeriodicAck(alpha_s=0.025))
         # Continuous arrivals for 0.25 s.
-        def arrive(i=[0]):
-            feed(sim, rx, [i[0]])
-            i[0] += 1
+        seqs = itertools.count()
+        def arrive():
+            feed(sim, rx, [next(seqs)])
             sim.call_in(0.001, arrive)
         arrive()
         sim.run(until=0.25)
         assert len(port.sent) == pytest.approx(10, abs=2)
 
     def test_no_acks_when_idle(self, sim):
-        rx, port = make_receiver(sim, PeriodicAck(alpha=0.025))
+        rx, port = make_receiver(sim, PeriodicAck(alpha_s=0.025))
         feed(sim, rx, [0])
         sim.run(until=1.0)
         # One ACK for the lone packet, then silence.
@@ -125,7 +127,7 @@ class TestPeriodic:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            PeriodicAck(alpha=0)
+            PeriodicAck(alpha_s=0)
 
 
 class TestTackFrequency:
@@ -133,9 +135,9 @@ class TestTackFrequency:
         """High bw, rtt 100 ms -> ~beta/RTT = 40 TACKs per second."""
         params = TackParams()
         rx, port = make_receiver(sim, TackPolicy(params))
-        def arrive(i=[0]):
-            feed(sim, rx, [i[0]], rtt_min=0.1)
-            i[0] += 1
+        seqs = itertools.count()
+        def arrive():
+            feed(sim, rx, [next(seqs)], rtt_min=0.1)
             sim.call_in(0.001, arrive)  # 12 Mbps
         arrive()
         sim.run(until=1.0)
@@ -147,10 +149,11 @@ class TestTackFrequency:
         flush), never the periodic 40/s."""
         params = TackParams()
         rx, port = make_receiver(sim, TackPolicy(params))
-        def arrive(i=[0]):
-            if i[0] < 20:
-                feed(sim, rx, [i[0]], rtt_min=0.1)
-                i[0] += 1
+        seqs = itertools.count()
+        def arrive():
+            i = next(seqs)
+            if i < 20:
+                feed(sim, rx, [i], rtt_min=0.1)
                 sim.call_in(0.04, arrive)  # 0.3 Mbps
         arrive()
         sim.run(until=2.0)
@@ -166,10 +169,11 @@ class TestTackFrequency:
 
     def test_tack_carries_rate_and_timing(self, sim):
         rx, port = make_receiver(sim, TackPolicy(TackParams()))
-        def arrive(i=[0]):
-            if i[0] < 100:
-                feed(sim, rx, [i[0]], rtt_min=0.05)
-                i[0] += 1
+        seqs = itertools.count()
+        def arrive():
+            i = next(seqs)
+            if i < 100:
+                feed(sim, rx, [i], rtt_min=0.05)
                 sim.call_in(0.001, arrive)
         arrive()
         sim.run(until=0.5)

@@ -25,7 +25,7 @@ def test_airtime_model_predicts_tack_goodput(phy_name):
     predicted = ideal_goodput_bps(phy, eq_l)
     sim = Simulator(seed=5)
     path = wlan_path(sim, phy_name, extra_rtt_s=rtt)
-    flow = BulkFlow(sim, path, "tcp-tack", initial_rtt=rtt)
+    flow = BulkFlow(sim, path, "tcp-tack", initial_rtt_s=rtt)
     flow.start()
     sim.run(until=5.0)
     measured = flow.goodput_bps(start=1.5)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.netsim.emulator import EmulatedPath, PathConfig
-from repro.netsim.packet import MSS, make_ack_packet, make_data_packet
+from repro.netsim.packet import MSS, make_ack_packet
 
 from conftest import run_bulk
 
@@ -40,7 +40,6 @@ class TestAckCongestion:
     def _goodput(self, scheme, up_bps):
         from repro.core.flavors import make_connection
         from repro.netsim.engine import Simulator
-        from repro.netsim.paths import PathHandle
 
         sim = Simulator(seed=13)
         wan = EmulatedPath(
@@ -48,7 +47,7 @@ class TestAckCongestion:
             PathConfig(50e6, 0.04, queue_bytes=int(50e6 * 0.04 / 8),
                        reverse_rate_bps=up_bps, reverse_queue_bytes=16_000),
         )
-        conn = make_connection(sim, scheme, initial_rtt=0.04)
+        conn = make_connection(sim, scheme, initial_rtt_s=0.04)
         conn.wire(wan.forward, wan.reverse)
         run_bulk(sim, conn, 8.0)
         return conn.receiver.stats.bytes_delivered * 8 / 8.0
@@ -78,7 +77,7 @@ class TestAckCongestion:
             PathConfig(50e6, 0.04, queue_bytes=250_000,
                        reverse_rate_bps=0.2e6, reverse_queue_bytes=16_000),
         )
-        conn = make_connection(sim, "tcp-tack", initial_rtt=0.04)
+        conn = make_connection(sim, "tcp-tack", initial_rtt_s=0.04)
         conn.wire(wan.forward, wan.reverse)
         conn.start_transfer(500 * MSS)
         sim.run(until=20.0)

@@ -8,7 +8,6 @@ from repro.cc.bbr import (
     DRAIN,
     PROBE_BW,
     PROBE_RTT,
-    STARTUP,
     _PROBE_BW_GAINS,
 )
 from repro.netsim.packet import MSS
@@ -32,7 +31,7 @@ def drive_to_probe_bw(cc, t0=0.0):
 
 class TestGainCycle:
     def test_cycle_advances_once_per_min_rtt(self):
-        cc = BBR(initial_rtt=0.05)
+        cc = BBR(initial_rtt_s=0.05)
         t = drive_to_probe_bw(cc)
         seen_gains = set()
         for _ in range(20):
@@ -56,7 +55,7 @@ class TestDrain:
     def test_drain_waits_for_inflight_to_fall(self):
         # bdp at 50 Mbps x 50 ms is ~208 packets; keep in-flight well
         # above it so the startup queue actually needs draining.
-        cc = BBR(initial_rtt=0.05)
+        cc = BBR(initial_rtt_s=0.05)
         t = 0.0
         for _ in range(40):
             t += 0.05
@@ -71,7 +70,7 @@ class TestDrain:
         assert cc.state == PROBE_BW
 
     def test_drain_pacing_gain_below_one(self):
-        cc = BBR(initial_rtt=0.05)
+        cc = BBR(initial_rtt_s=0.05)
         t = 0.0
         for _ in range(40):
             t += 0.05
@@ -82,7 +81,7 @@ class TestDrain:
     def test_no_drain_when_pipe_never_overfilled(self):
         """In-flight below bdp at startup exit: drain is a no-op and
         the controller lands straight in PROBE_BW."""
-        cc = BBR(initial_rtt=0.05)
+        cc = BBR(initial_rtt_s=0.05)
         t = 0.0
         for _ in range(40):
             t += 0.05
@@ -92,7 +91,7 @@ class TestDrain:
 
 class TestProbeRttRecovery:
     def test_exits_probe_rtt_back_to_probe_bw(self):
-        cc = BBR(initial_rtt=0.05, min_rtt_window=0.5)
+        cc = BBR(initial_rtt_s=0.05, min_rtt_window=0.5)
         t = drive_to_probe_bw(cc)
         # Starve min_rtt updates until PROBE_RTT triggers.
         for _ in range(40):
@@ -110,7 +109,7 @@ class TestProbeRttRecovery:
         assert cc.state == PROBE_BW
 
     def test_min_rtt_refreshed_by_probe(self):
-        cc = BBR(initial_rtt=0.05, min_rtt_window=0.5)
+        cc = BBR(initial_rtt_s=0.05, min_rtt_window=0.5)
         t = drive_to_probe_bw(cc)
         for _ in range(60):
             t += 0.05
@@ -122,7 +121,7 @@ class TestProbeRttRecovery:
 
 class TestBandwidthWindow:
     def test_stale_peak_expires(self):
-        cc = BBR(initial_rtt=0.05, bw_window_rtts=2.0)
+        cc = BBR(initial_rtt_s=0.05, bw_window_rtts=2.0)
         cc.on_feedback(fb(0.05, rate=100e6))
         # Feed lower rates past the 2-RTT window.
         t = 0.05

@@ -108,7 +108,7 @@ class TestVegas:
         assert cc.cwnd_bytes() > w
 
     def test_decreases_when_queueing(self):
-        cc = Vegas(alpha=1.0, beta=2.0)
+        cc = Vegas(alpha_pkts=1.0, beta_pkts=2.0)
         cc._ssthresh = 0
         cc.on_feedback(fb(0.1, acked=MSS, rtt=0.05))  # base
         w = cc.cwnd_bytes()
@@ -119,7 +119,7 @@ class TestVegas:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            Vegas(alpha=4.0, beta=2.0)
+            Vegas(alpha_pkts=4.0, beta_pkts=2.0)
 
 
 class TestBBR:
@@ -127,7 +127,7 @@ class TestBBR:
         assert BBR().state == STARTUP
 
     def test_startup_exits_on_bw_plateau(self):
-        cc = BBR(initial_rtt=0.05)
+        cc = BBR(initial_rtt_s=0.05)
         t = 0.0
         for _ in range(40):
             t += 0.05
@@ -136,7 +136,7 @@ class TestBBR:
         assert cc.filled_pipe
 
     def test_reaches_probe_bw_when_drained(self):
-        cc = BBR(initial_rtt=0.05)
+        cc = BBR(initial_rtt_s=0.05)
         t = 0.0
         for _ in range(60):
             t += 0.05
@@ -144,26 +144,26 @@ class TestBBR:
         assert cc.state == PROBE_BW
 
     def test_bw_estimate_tracks_max_sample(self):
-        cc = BBR(initial_rtt=0.05)
+        cc = BBR(initial_rtt_s=0.05)
         cc.on_feedback(fb(0.05, rate=30e6))
         cc.on_feedback(fb(0.10, rate=50e6))
         cc.on_feedback(fb(0.15, rate=40e6))
         assert cc.bw_estimate() == pytest.approx(50e6)
 
     def test_app_limited_sample_cannot_lower_estimate(self):
-        cc = BBR(initial_rtt=0.05)
+        cc = BBR(initial_rtt_s=0.05)
         cc.on_feedback(fb(0.05, rate=50e6))
         cc.on_feedback(fb(0.10, rate=1e6, app_limited=True))
         assert cc.bw_estimate() == pytest.approx(50e6)
 
     def test_app_limited_sample_can_raise_estimate(self):
-        cc = BBR(initial_rtt=0.05)
+        cc = BBR(initial_rtt_s=0.05)
         cc.on_feedback(fb(0.05, rate=10e6))
         cc.on_feedback(fb(0.10, rate=50e6, app_limited=True))
         assert cc.bw_estimate() == pytest.approx(50e6)
 
     def test_probe_rtt_entered_when_min_rtt_stale(self):
-        cc = BBR(initial_rtt=0.05, min_rtt_window=1.0)
+        cc = BBR(initial_rtt_s=0.05, min_rtt_window=1.0)
         t = 0.0
         # Establish, then feed only larger RTTs past the window.
         cc.on_feedback(fb(0.01, rtt=0.05, rate=50e6))
@@ -176,17 +176,17 @@ class TestBBR:
         assert cc.cwnd_bytes() == 4 * MSS
 
     def test_external_min_rtt_accepted(self):
-        cc = BBR(initial_rtt=0.5)
+        cc = BBR(initial_rtt_s=0.5)
         cc.on_feedback(fb(0.1, rate=50e6, rtt=None, min_rtt=0.02))
         assert cc.min_rtt() == pytest.approx(0.02)
 
     def test_pacing_rate_scales_with_gain(self):
-        cc = BBR(initial_rtt=0.05)
+        cc = BBR(initial_rtt_s=0.05)
         cc.on_feedback(fb(0.05, rate=50e6))
         assert cc.pacing_rate_bps() == pytest.approx(2.885 * cc.bw_estimate(), rel=0.01)
 
     def test_aggregation_compensation_grows_cwnd(self):
-        cc = BBR(initial_rtt=0.05)
+        cc = BBR(initial_rtt_s=0.05)
         t = 0.0
         for _ in range(50):
             t += 0.05
@@ -197,12 +197,12 @@ class TestBBR:
         assert cc.cwnd_bytes() > base
 
     def test_no_compensation_when_disabled(self):
-        cc = BBR(initial_rtt=0.05, aggregation_compensation=False)
+        cc = BBR(initial_rtt_s=0.05, aggregation_compensation=False)
         cc.on_feedback(fb(0.05, acked=100 * MSS, rate=50e6))
         assert cc.extra_acked_bytes() == 0
 
     def test_rto_shrinks_cwnd_keeps_bw(self):
-        cc = BBR(initial_rtt=0.05)
+        cc = BBR(initial_rtt_s=0.05)
         cc.on_feedback(fb(0.05, rate=50e6))
         cc.on_rto(0.1)
         assert cc.cwnd_bytes() == 4 * MSS

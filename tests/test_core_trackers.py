@@ -151,7 +151,7 @@ class TestReceiverOwdTracker:
         t.on_packet(1.0, 1.04)   # owd 0.04  <- min
         t.on_packet(2.0, 2.08)   # owd 0.08
         ref = t.take_reference()
-        assert ref.departure_ts == 1.0
+        assert ref.departure_ts == pytest.approx(1.0)
         assert ref.owd == pytest.approx(0.04)
 
     def test_naive_mode_picks_first_packet(self):
@@ -160,7 +160,7 @@ class TestReceiverOwdTracker:
         t.on_packet(0.0, 0.04)
         t.on_packet(1.0, 1.10)
         ref = t.take_reference()
-        assert ref.departure_ts == 0.0
+        assert ref.departure_ts == pytest.approx(0.0)
 
     def test_reference_resets_per_interval(self):
         t = ReceiverOwdTracker()

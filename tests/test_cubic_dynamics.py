@@ -1,9 +1,7 @@
 """CUBIC dynamics over real paths: convergence, deep-buffer behavior,
 and the window-growth shape after a loss."""
 
-import pytest
 
-from repro.netsim.packet import MSS
 
 from conftest import build_wired_connection
 

@@ -3,9 +3,7 @@ on a reduced scale (full-scale runs live in the examples themselves)."""
 
 import importlib.util
 import pathlib
-import sys
 
-import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
 

@@ -99,7 +99,7 @@ class TestReordering:
         conn = make_connection(
             sim, "tcp-tack",
             params=TackParams(iack_reorder_delay_factor=0.25),
-            initial_rtt=0.04,
+            initial_rtt_s=0.04,
         )
 
         class ReorderPort:

@@ -3,7 +3,7 @@ property is observable end to end."""
 
 import pytest
 
-from repro.netsim.packet import MSS, PacketType
+from repro.netsim.packet import MSS
 
 from conftest import build_wired_connection
 

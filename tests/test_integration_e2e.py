@@ -7,7 +7,7 @@ completely and in order — the core reliability invariant.
 import pytest
 
 from repro.netsim.loss import BurstLoss, GilbertElliottLoss, PatternLoss
-from repro.netsim.packet import MSS, PacketType
+from repro.netsim.packet import MSS
 
 from conftest import build_wired_connection
 

@@ -71,7 +71,7 @@ class TestMultiClientPaths:
         conns = []
         for i, handle in enumerate(handles):
             conn = make_connection(sim, "tcp-tack", flow_id=i,
-                                   initial_rtt=0.01)
+                                   initial_rtt_s=0.01)
             conn.wire(handle.forward, handle.reverse)
             conns.append(conn)
         for conn in conns:
@@ -83,7 +83,7 @@ class TestMultiClientPaths:
 
     def test_extra_rtt_applies_per_flow(self, sim):
         handles = multi_client_wlan(sim, 2, "802.11g", extra_rtt_s=0.1)
-        conn = make_connection(sim, "tcp-tack", flow_id=0, initial_rtt=0.1)
+        conn = make_connection(sim, "tcp-tack", flow_id=0, initial_rtt_s=0.1)
         conn.wire(handles[0].forward, handles[0].reverse)
         conn.start_transfer(5 * MSS)
         sim.run(until=5.0)

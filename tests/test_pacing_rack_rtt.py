@@ -74,7 +74,7 @@ class TestRack:
         r = RackState()
         r.on_delivered(3.0)
         r.on_delivered(1.0)  # stale, ignored
-        assert r.latest_delivered_send_time == 3.0
+        assert r.latest_delivered_send_time == pytest.approx(3.0)
 
 
 class TestRttEstimator:
@@ -91,7 +91,7 @@ class TestRttEstimator:
         assert e.srtt == pytest.approx(0.875 * 0.1 + 0.125 * 0.2)
 
     def test_rto_floor(self):
-        e = RttEstimator(min_rto=0.2)
+        e = RttEstimator(min_rto_s=0.2)
         e.on_sample(0.001)
         assert e.rto() >= 0.2
 
@@ -120,14 +120,14 @@ class TestRttEstimator:
 
 class TestMinRttTracker:
     def test_tracks_minimum(self):
-        t = MinRttTracker(tau=10.0)
+        t = MinRttTracker(tau_s=10.0)
         t.on_sample(0.2, 0.0)
         t.on_sample(0.1, 1.0)
         t.on_sample(0.3, 2.0)
         assert t.get() == pytest.approx(0.1)
 
     def test_window_expiry(self):
-        t = MinRttTracker(tau=5.0)
+        t = MinRttTracker(tau_s=5.0)
         t.on_sample(0.1, 0.0)
         t.on_sample(0.2, 4.9)
         t.on_sample(0.2, 6.0)

@@ -11,8 +11,7 @@ from repro.analysis.ack_frequency import tack_frequency
 from repro.analysis.buffer_req import l_upper_bound
 from repro.core.loss_detect import PktSeqTracker
 from repro.core.owd_timing import SenderRttMinEstimator
-from repro.core.params import TackParams
-from repro.netsim.packet import MSS, make_data_packet
+from repro.netsim.packet import MSS
 from repro.transport.intervals import IntervalSet
 
 
@@ -133,7 +132,7 @@ class TestS63AckRatioClaim:
         for scheme in ("tcp-tack", "tcp-bbr"):
             sim = Simulator(seed=5)
             path = wlan_path(sim, "802.11g", extra_rtt_s=0.08)
-            flow = BulkFlow(sim, path, scheme, initial_rtt=0.08)
+            flow = BulkFlow(sim, path, scheme, initial_rtt_s=0.08)
             flow.start()
             sim.run(until=5.0)
             ratios[scheme] = flow.ack_ratio()

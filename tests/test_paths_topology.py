@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.flavors import make_connection
-from repro.netsim.demux import FlowDemux, SharedPort, share_path
+from repro.netsim.demux import FlowDemux, share_path
 from repro.netsim.emulator import EmulatedPath, PathConfig
 from repro.netsim.node import Forwarder
 from repro.netsim.packet import make_ack_packet, make_data_packet
@@ -138,7 +138,7 @@ class TestDemux:
         flows = []
         for flow_id, (fwd, rev) in enumerate(ports):
             conn = make_connection(sim, "tcp-tack", flow_id=flow_id,
-                                   initial_rtt=0.04)
+                                   initial_rtt_s=0.04)
             conn.wire(fwd, rev)
             flows.append(conn)
         for conn in flows:

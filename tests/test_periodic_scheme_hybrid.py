@@ -5,7 +5,6 @@ unadaptable, wasting ACKs at low rates — becomes directly observable
 with the ``tcp-bbr-periodic`` flavor.
 """
 
-import pytest
 
 from repro.netsim.packet import MSS
 from repro.netsim.paths import hybrid_path
@@ -33,7 +32,7 @@ class TestPeriodicScheme:
             from repro.netsim.engine import Simulator
             local = Simulator(seed=5)
             path = wired_path(local, 20e6, 0.04)
-            conn = make_connection(local, scheme, initial_rtt=0.04)
+            conn = make_connection(local, scheme, initial_rtt_s=0.04)
             conn.wire(path.forward, path.reverse)
             conn.sender.start()
 
@@ -62,7 +61,7 @@ class TestHybridPathDetails:
                            wan_rtt_s=0.05, data_loss=0.02, ack_loss=0.02)
         from repro.core.flavors import make_connection
 
-        conn = make_connection(sim, "tcp-tack", initial_rtt=0.06)
+        conn = make_connection(sim, "tcp-tack", initial_rtt_s=0.06)
         conn.wire(path.forward, path.reverse)
         conn.start_transfer(300 * MSS)
         sim.run(until=30.0)
@@ -74,7 +73,7 @@ class TestHybridPathDetails:
                            wan_rtt_s=0.01)
         from repro.core.flavors import make_connection
 
-        conn = make_connection(sim, "tcp-tack", initial_rtt=0.02)
+        conn = make_connection(sim, "tcp-tack", initial_rtt_s=0.02)
         conn.wire(path.forward, path.reverse)
         conn.start_bulk()
         sim.run(until=6.0)
@@ -87,7 +86,7 @@ class TestHybridPathDetails:
                            wan_rtt_s=0.02)
         from repro.core.flavors import make_connection
 
-        conn = make_connection(sim, "tcp-tack", initial_rtt=0.03)
+        conn = make_connection(sim, "tcp-tack", initial_rtt_s=0.03)
         conn.wire(path.forward, path.reverse)
         conn.start_bulk()
         sim.run(until=6.0)

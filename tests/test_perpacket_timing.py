@@ -10,7 +10,6 @@ carry.
 import pytest
 
 from repro.core.owd_timing import ReceiverOwdTracker
-from repro.netsim.packet import MSS
 
 from conftest import build_wired_connection
 

@@ -9,7 +9,7 @@ from repro.ack import (
     PeriodicAck,
     TackPolicy,
 )
-from repro.netsim.packet import MSS, PacketType, make_data_packet
+from repro.netsim.packet import MSS, make_data_packet
 from repro.transport.receiver import TransportReceiver
 
 ALL_POLICIES = [

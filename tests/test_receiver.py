@@ -1,6 +1,6 @@
 """Unit tests for the transport receiver."""
 
-from repro.ack import PerPacketAck, TackPolicy
+from repro.ack import PerPacketAck
 from repro.netsim.packet import MSS, Packet, PacketType, make_data_packet
 from repro.transport.receiver import TransportReceiver
 

@@ -1,0 +1,211 @@
+"""reprolint: rule firing, pragmas, config, CLI contract."""
+
+import json
+from pathlib import Path
+
+from repro.lint import LintConfig, RULES, lint_source
+from repro.lint.cli import JSON_SCHEMA_VERSION, main
+from repro.lint.config import load_config
+from repro.lint.engine import parse_pragmas
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Path prefix that places a fixture inside simulation scope.
+SIM = "src/repro/netsim/fixture.py"
+#: Host-side path matched by the default exempt globs.
+HOST = "src/repro/runner/fixture.py"
+
+
+def codes(src, path=SIM, config=None):
+    return [f.code for f in lint_source(src, path, config)]
+
+
+class TestRuleFiring:
+    def test_rep001_wall_clock(self):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        assert codes(src) == ["REP001"]
+
+    def test_rep001_variants(self):
+        for call in ("time.monotonic()", "time.perf_counter()",
+                     "datetime.now()", "datetime.datetime.utcnow()"):
+            assert codes(f"x = {call}\n") == ["REP001"], call
+
+    def test_rep001_virtual_clock_ok(self):
+        assert codes("t = sim.now()\nu = self.sim.clock.now()\n") == []
+
+    def test_rep002_module_level_random(self):
+        assert codes("import random\nx = random.random()\n") == ["REP002"]
+        assert codes("import random\nrandom.seed(4)\n") == ["REP002"]
+
+    def test_rep002_numpy_random(self):
+        assert codes("import numpy as np\nx = np.random.rand(3)\n") == ["REP002"]
+        assert codes("import numpy\nnumpy.random.seed(1)\n") == ["REP002"]
+
+    def test_rep002_from_import(self):
+        assert codes("from random import random\n") == ["REP002"]
+
+    def test_rep002_unseeded_instance(self):
+        assert codes("import random\nrng = random.Random()\n") == ["REP002"]
+
+    def test_rep002_seeded_ok(self):
+        assert codes("import random\nrng = random.Random(42)\n") == []
+        assert codes("import numpy as np\nrng = np.random.default_rng(7)\n") == []
+
+    def test_rep003_time_equality(self):
+        assert codes("if t1_s == t2_s:\n    pass\n") == ["REP003"]
+        assert codes("done = ev.time != now\n") == ["REP003"]
+
+    def test_rep003_sentinels_ok(self):
+        assert codes("if completed_at == None:\n    pass\n") == []
+        assert codes("if timing_mode == 'advanced':\n    pass\n") == []
+        assert codes("if t1_s <= t2_s:\n    pass\n") == []
+
+    def test_rep004_missing_suffix(self):
+        src = ("class Link:\n"
+               "    def __init__(self, delay: float = 0.5):\n"
+               "        self.delay = delay\n")
+        assert codes(src) == ["REP004"]
+
+    def test_rep004_suffixed_ok(self):
+        src = ("class Link:\n"
+               "    def __init__(self, delay_s: float = 0.5,\n"
+               "                 rate_bps: float = 1e6,\n"
+               "                 gain_factor: float = 0.5):\n"
+               "        pass\n")
+        assert codes(src) == []
+
+    def test_rep004_int_and_out_of_scope_exempt(self):
+        src = ("class Q:\n"
+               "    def __init__(self, depth: int = 100):\n"
+               "        pass\n")
+        assert codes(src) == []
+        # Same float violation outside the simulator packages: silent.
+        bad = ("class A:\n"
+               "    def __init__(self, delay: float = 0.5):\n"
+               "        pass\n")
+        assert codes(bad, path="src/repro/stats/fixture.py") == []
+
+    def test_rep004_params_file_checks_all_defs(self):
+        src = "def interval(self, period: float = 0.5):\n    return period\n"
+        assert codes(src, path="src/repro/core/params.py") == ["REP004"]
+        assert codes(src, path=SIM) == []  # not an __init__
+
+    def test_rep005_mutable_default(self):
+        assert codes("def f(xs=[]):\n    pass\n") == ["REP005"]
+        assert codes("def f(m={}):\n    pass\n") == ["REP005"]
+        assert codes("def f(s=set()):\n    pass\n") == ["REP005"]
+
+    def test_rep005_none_default_ok(self):
+        assert codes("def f(xs=None):\n    pass\n") == []
+
+    def test_syntax_error_is_reported(self):
+        assert codes("def f(:\n") == ["REP000"]
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses(self):
+        src = "import time\nx = time.time()  # reprolint: disable=REP001\n"
+        assert codes(src) == []
+
+    def test_line_pragma_wrong_code_keeps_finding(self):
+        src = "import time\nx = time.time()  # reprolint: disable=REP002\n"
+        assert codes(src) == ["REP001"]
+
+    def test_bare_disable_suppresses_everything_on_line(self):
+        src = "import time\nx = time.time()  # reprolint: disable\n"
+        assert codes(src) == []
+
+    def test_file_pragma(self):
+        src = ("# reprolint: disable-file=REP001\n"
+               "import time\n"
+               "a = time.time()\n"
+               "b = time.monotonic()\n")
+        assert codes(src) == []
+
+    def test_parse_pragmas(self):
+        per_line, file_wide = parse_pragmas(
+            "# reprolint: disable-file=REP004\n"
+            "x = 1  # reprolint: disable=REP001,REP003\n")
+        assert file_wide == {"REP004"}
+        assert per_line == {2: {"REP001", "REP003"}}
+
+
+class TestConfig:
+    def test_exempt_paths_skip_determinism_rules(self):
+        src = "import time\nstarted = time.time()\n"
+        assert codes(src, path=HOST) == []
+
+    def test_exempt_paths_still_check_mutable_defaults(self):
+        assert codes("def f(xs=[]):\n    pass\n", path=HOST) == ["REP005"]
+
+    def test_repo_pyproject_extends_allow_names(self):
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        assert "beta" in config.allow_names
+        assert "seed" in config.allow_names  # defaults preserved
+
+    def test_disabled_rules(self):
+        config = LintConfig(disabled_rules=("REP001",))
+        assert codes("import time\nx = time.time()\n", config=config) == []
+
+    def test_rule_registry_is_stable(self):
+        assert list(RULES) == ["REP001", "REP002", "REP003", "REP004", "REP005"]
+
+
+class TestCli:
+    def write(self, tmp_path, name, body):
+        f = tmp_path / name
+        f.write_text(body)
+        return f
+
+    def test_exit_zero_and_text_output_on_clean_file(self, tmp_path, capsys):
+        f = self.write(tmp_path, "ok.py", "x = 1\n")
+        assert main([str(f)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        f = self.write(tmp_path, "bad.py", "def f(xs=[]):\n    pass\n")
+        assert main([str(f)]) == 1
+        out = capsys.readouterr().out
+        assert "REP005" in out and "bad.py" in out
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_json_schema(self, tmp_path, capsys):
+        f = self.write(tmp_path, "bad.py",
+                       "import time\ndef f(xs=[]):\n    return time.time()\n")
+        # Fixture lives outside any repro package: REP001 needs sim
+        # scope only for exemption, and tmp files are not exempt.
+        assert main([str(f), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["files_checked"] == 1
+        assert set(payload["counts"]) == {"REP001", "REP005"}
+        finding = payload["findings"][0]
+        assert set(finding) == {"code", "message", "path", "line", "col"}
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out
+
+    def test_directory_walk(self, tmp_path, capsys):
+        self.write(tmp_path, "a.py", "x = 1\n")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "b.py").write_text("def f(m={}):\n    pass\n")
+        assert main([str(tmp_path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 2
+        assert payload["counts"] == {"REP005": 1}
+
+
+class TestTreeIsClean:
+    def test_src_lints_clean_with_repo_config(self):
+        """The acceptance gate: `python -m repro.lint src/` exits 0."""
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        from repro.lint import lint_paths
+        findings, checked = lint_paths([REPO_ROOT / "src"], config)
+        assert checked > 100
+        assert findings == [], "\n".join(f.render() for f in findings)

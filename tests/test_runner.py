@@ -1,4 +1,5 @@
 """Tests for the campaign runner: cache, pool, manifest, campaign."""
+# reprolint: disable-file=REP001,REP002  (host-side pool: real timeouts, worker RNG)
 
 from __future__ import annotations
 

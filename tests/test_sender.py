@@ -188,7 +188,7 @@ class TestDupAckRecovery:
 class TestReceiverDrivenPull:
     def make_tack_sender(self, sim):
         sender, port = None, None
-        s = TransportSender(sim, BBR(initial_rtt=0.01), receiver_driven=True,
+        s = TransportSender(sim, BBR(initial_rtt_s=0.01), receiver_driven=True,
                             use_receiver_rate=True)
         p = StubPort()
         s.connect(p)

@@ -1,0 +1,220 @@
+"""simsan: enablement plumbing, each invariant trips on a broken flow,
+and clean runs stay clean under the sanitizer."""
+
+import pytest
+
+from repro import sanitize
+from repro.ack import DelayedAck
+from repro.cc import NewReno
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import MSS
+from repro.netsim.paths import wired_path
+from repro.sanitize import InvariantViolation, SimSanitizer
+from repro.transport.connection import Connection, ConnectionConfig
+
+
+def make_conn(sim, **cfg):
+    path = wired_path(sim, 20e6, 0.04)
+    return Connection(sim, NewReno(), DelayedAck(),
+                      config=ConnectionConfig(**cfg),
+                      forward_port=path.forward,
+                      reverse_port=path.reverse)
+
+
+def run_transfer(sim, conn, nbytes=50 * MSS, until=5.0):
+    conn.start_transfer(nbytes)
+    sim.run(until=until)
+    assert conn.completed
+    return conn
+
+
+class TestEnablement:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIMSAN", raising=False)
+        assert Simulator(seed=1).san is None
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMSAN", "1")
+        assert sanitize.env_enabled()
+        assert isinstance(Simulator(seed=1).san, SimSanitizer)
+
+    def test_env_falsy_values(self, monkeypatch):
+        for value in ("0", "off", "no", ""):
+            monkeypatch.setenv("REPRO_SIMSAN", value)
+            assert Simulator(seed=1).san is None, value
+
+    def test_constructor_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMSAN", "1")
+        assert Simulator(seed=1, simsan=False).san is None
+        monkeypatch.delenv("REPRO_SIMSAN")
+        assert Simulator(seed=1, simsan=True).san is not None
+
+    def test_connection_config_flag(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIMSAN", raising=False)
+        sim = Simulator(seed=1)
+        conn = make_conn(sim, simsan=True)
+        assert sim.san is not None
+        assert conn.sender in sim.san._senders
+        assert sim.san._peer_sender[conn.receiver] is conn.sender
+
+    def test_enable_sanitizer_idempotent(self):
+        sim = Simulator(seed=1, simsan=True)
+        first = sim.san
+        sim.enable_sanitizer()
+        assert sim.san is first
+
+
+class TestViolationObject:
+    def test_structured_fields_and_message(self):
+        sim = Simulator(seed=1, simsan=True)
+        sim.san.on_event(2.0)
+        with pytest.raises(InvariantViolation) as exc_info:
+            sim.san.on_event(1.0)
+        err = exc_info.value
+        assert err.invariant == "event_clock"
+        assert err.flow_id is None
+        assert isinstance(err.sim_time, float)
+        assert "[simsan] event_clock violated at t=" in str(err)
+        assert isinstance(err, AssertionError)
+
+
+class TestInvariantsTrip:
+    """Each invariant fires when the corresponding state is corrupted.
+
+    Corruptions poke endpoint internals directly — the point is that
+    the sanitizer notices a broken simulator, using a deliberately
+    broken one."""
+
+    def setup_conn(self):
+        sim = Simulator(seed=7, simsan=True)
+        conn = make_conn(sim)
+        run_transfer(sim, conn)
+        return sim, conn
+
+    def test_event_clock_rejects_bad_instants(self):
+        sim = Simulator(seed=1, simsan=True)
+        with pytest.raises(InvariantViolation, match="event_clock"):
+            sim.san.on_event(-0.5)
+        with pytest.raises(InvariantViolation, match="event_clock"):
+            sim.san.on_event(float("nan"))
+
+    def test_pkt_seq_monotone(self):
+        sim, conn = self.setup_conn()
+        sender = conn.sender
+        rec = next(iter(sender.records.values()), None)
+        if rec is None:  # all records retired after completion
+            sim2 = Simulator(seed=7, simsan=True)
+            conn2 = make_conn(sim2)
+            conn2.start_transfer(50 * MSS)
+            sim2.step()  # just enough to emit the first packets
+            while not conn2.sender.records:
+                sim2.step()
+            sim, sender = sim2, conn2.sender
+            rec = next(iter(sender.records.values()))
+        state = sim.san._senders[sender]
+        with pytest.raises(InvariantViolation, match="pkt_seq_monotone"):
+            # Re-announce an already-seen PKT.SEQ: S5.1 forbids reuse.
+            sim.san.on_data_sent(sender, rec)
+        assert state.last_pkt_seq >= rec.pkt_seq
+
+    def test_cum_ack_monotone(self):
+        sim, conn = self.setup_conn()
+        sender = conn.sender
+        sender.cum_acked -= MSS  # corrupt: ack point regresses
+        from repro.transport.feedback import AckFeedback
+        fb = AckFeedback(cum_ack=sender.cum_acked, awnd=1 << 20)
+        with pytest.raises(InvariantViolation, match="cum_ack_monotone"):
+            sim.san.on_sender_feedback(sender, fb)
+
+    def test_nonneg_rwnd(self):
+        sim, conn = self.setup_conn()
+        from repro.transport.feedback import AckFeedback
+        fb = AckFeedback(cum_ack=conn.sender.cum_acked, awnd=-1)
+        with pytest.raises(InvariantViolation, match="nonneg_rwnd"):
+            sim.san.on_sender_feedback(conn.sender, fb)
+
+    def test_nonneg_pacing(self):
+        sim, conn = self.setup_conn()
+        conn.sender.cc._cwnd = 0  # corrupt: zero congestion window
+        from repro.transport.feedback import AckFeedback
+        fb = AckFeedback(cum_ack=conn.sender.cum_acked, awnd=1 << 20)
+        with pytest.raises(InvariantViolation, match="nonneg_pacing"):
+            sim.san.on_sender_feedback(conn.sender, fb)
+
+    def test_byte_conservation_counter_drift(self):
+        sim, conn = self.setup_conn()
+        conn.sender.in_flight += MSS  # corrupt: phantom in-flight bytes
+        with pytest.raises(InvariantViolation, match="byte_conservation"):
+            sim.san.check_sender_ledger(conn.sender)
+
+    def test_byte_conservation_missing_record(self):
+        sim, conn = self.setup_conn()
+        sender = conn.sender
+        sender.next_seq += MSS  # corrupt: bytes sent with no record
+        with pytest.raises(InvariantViolation, match="byte_conservation"):
+            sim.san.check_sender_ledger(sender)
+
+    def test_rtt_min_window(self):
+        sim, conn = self.setup_conn()
+        sender = conn.sender
+        state = sim.san._senders[sender]
+        assert state.rtt_samples, "transfer should have produced samples"
+        # Corrupt: inflate every estimator so the reported windowed min
+        # exceeds the smallest raw sample the sanitizer witnessed.
+        floor = min(s for _, s in state.rtt_samples)
+        bad = floor * 10.0
+        from repro.transport.feedback import AckFeedback
+        sender.min_rtt_legacy._filter._samples.clear()
+        sender.min_rtt_legacy._filter.update(bad, sim.now())
+        fb = AckFeedback(cum_ack=sender.cum_acked, awnd=1 << 20)
+        with pytest.raises(InvariantViolation, match="rtt_min_window"):
+            sim.san.on_sender_feedback(sender, fb)
+
+    def test_rtt_sample_must_be_positive(self):
+        sim, conn = self.setup_conn()
+        with pytest.raises(InvariantViolation, match="rtt_min_window"):
+            sim.san.on_rtt_sample(conn.sender, -0.001, sim.now())
+
+    def test_stream_conservation(self):
+        sim, conn = self.setup_conn()
+        receiver = conn.receiver
+        # Corrupt: receiver claims delivery of bytes never injected.
+        receiver.delivered_ptr = conn.sender.next_seq + 10 * MSS
+        with pytest.raises(InvariantViolation, match="stream_conservation"):
+            sim.san.on_receiver_data(receiver)
+
+    def test_receiver_delivered_ptr_monotone(self):
+        sim, conn = self.setup_conn()
+        receiver = conn.receiver
+        sim.san.on_receiver_data(receiver)  # snapshot current pointer
+        receiver.delivered_ptr -= 1
+        with pytest.raises(InvariantViolation, match="cum_ack_monotone"):
+            sim.san.on_receiver_data(receiver)
+
+
+class TestCleanRunsStayClean:
+    @pytest.mark.parametrize("receiver_driven", [False, True])
+    def test_transfer_completes_under_sanitizer(self, receiver_driven):
+        sim = Simulator(seed=11, simsan=True)
+        conn = make_conn(sim, receiver_driven=receiver_driven,
+                         timing_mode="advanced" if receiver_driven else "legacy")
+        run_transfer(sim, conn)
+        assert sim.san.checks_run > 100
+
+    def test_lossy_path_under_sanitizer(self):
+        from repro.netsim.loss import BernoulliLoss
+        sim = Simulator(seed=3, simsan=True)
+        path = wired_path(sim, 20e6, 0.04,
+                          forward_loss=BernoulliLoss(0.02, sim.fork_rng("l")))
+        conn = Connection(sim, NewReno(), DelayedAck(),
+                          forward_port=path.forward,
+                          reverse_port=path.reverse)
+        run_transfer(sim, conn, until=20.0)
+
+    def test_sanitizer_off_leaves_no_hooks(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIMSAN", raising=False)
+        sim = Simulator(seed=5)
+        conn = make_conn(sim)
+        assert conn.sender._san is None
+        assert conn.receiver._san is None
+        run_transfer(sim, conn)

@@ -42,7 +42,7 @@ class TestRtpUdpSession:
         v.start()
         sim.run(until=5.0)
         stats = v.finish()
-        assert stats.stall_time_s == 0.0
+        assert stats.stall_time_s == pytest.approx(0.0)
         assert stats.frames_macroblocked > 0.5 * stats.frames_played
 
 

@@ -35,7 +35,7 @@ class TestPlaybackDynamics:
         path = wired_path(sim, 1e9, 0.002)
         session = VideoSession(sim, path, "tcp-tack", bitrate_bps=8e6,
                                fps=30.0, prebuffer_frames=6,
-                               initial_rtt=0.002)
+                               initial_rtt_s=0.002)
         session.start()
         sim.run(until=3.0)
         stats = session.finish()
@@ -50,7 +50,7 @@ class TestPlaybackDynamics:
 
         path = wired_path(sim, 4e6, 0.002)  # half the bitrate
         session = VideoSession(sim, path, "tcp-tack", bitrate_bps=8e6,
-                               initial_rtt=0.002)
+                               initial_rtt_s=0.002)
         session.start()
         sim.run(until=10.0)
         stats = session.finish()
