@@ -58,6 +58,10 @@ class TackPolicy(AckPolicy):
         self._last_arrival = 0.0
         self._fallback_rtt_min = 0.1
         self.tack_intervals_used: list[float] = []
+        # Timer ticks since the last emission: 1 means the periodic
+        # clock is the binding constraint of Eq. (3) ("periodic"), >1
+        # means ticks were skipped waiting for L*MSS ("bytecount").
+        self._ticks_since_emit = 0
 
     # ------------------------------------------------------------------
     # helpers
@@ -153,7 +157,7 @@ class TackPolicy(AckPolicy):
 
     def on_close(self) -> None:
         if self.receiver is not None:
-            self._emit_tack()
+            self._emit_tack(reason="close")
 
     # ------------------------------------------------------------------
     # the periodic TACK clock
@@ -174,10 +178,15 @@ class TackPolicy(AckPolicy):
         if self.receiver is None:
             return
         now = self.receiver.sim.now()
+        self._ticks_since_emit += 1
         interval = self.periodic_interval()
         threshold = self.params.ack_count_l * self.params.mss
         if self._bytes_since_tack >= threshold:
-            self._emit_tack()
+            # One tick since the last TACK means the periodic clock
+            # (beta/RTT_min) binds; skipped ticks mean emission waited
+            # on the byte-counting clock (bw/(L*MSS)).
+            self._emit_tack(reason="periodic" if self._ticks_since_emit <= 1
+                            else "bytecount")
             self._arm(interval)
         elif self._bytes_since_tack > 0:
             if now - self._last_arrival >= 2.0 * interval:
@@ -185,7 +194,7 @@ class TackPolicy(AckPolicy):
                 # intervals of silence distinguish "flow ended" from
                 # "next packet is merely slower than the periodic
                 # clock" (trickle flows stay byte-counting).
-                self._emit_tack()
+                self._emit_tack(reason="flush")
                 if (self.params.holb_keepalive
                         and self.receiver.holb_blocked_bytes() > 0):
                     self._arm(interval)
@@ -199,12 +208,13 @@ class TackPolicy(AckPolicy):
             # lost pull strands the connection until RTO.  (Disable
             # via TackParams.holb_keepalive to get the literal Eq. (3)
             # clock the paper's TACK-poor baseline exhibits.)
-            self._emit_tack()
+            self._emit_tack(reason="periodic")
             self._arm(interval)
         # else: dormant; the next data arrival re-arms the clock.
 
-    def _emit_tack(self) -> None:
+    def _emit_tack(self, reason: str = "periodic") -> None:
         self._bytes_since_tack = 0
+        self._ticks_since_emit = 0
         max_acked, max_unacked = self._block_budget()
         if not self.params.loss_event_iack:
             # Paper S5.1: "TACK only reports missing packets that have
@@ -217,6 +227,7 @@ class TackPolicy(AckPolicy):
             max_unacked_blocks=max_unacked,
             include_timing=True,
             include_rate=True,
+            reason=reason,
             min_gap_age=self.params.iack_reorder_delay_factor * self.rtt_min(),
         )
         self.receiver.emit_feedback(PacketType.TACK, fb)

@@ -78,6 +78,20 @@ class CongestionController:
 
     def __init__(self, mss: int = MSS):
         self.mss = mss
+        # telemetry: attached by the sender (null-guard pattern).  The
+        # controller has no simulator reference; the collector stamps
+        # sim-time itself, so hooks stay dependency-free.
+        self._tel = None
+        self._tel_flow = 0
+
+    def attach_telemetry(self, collector, flow_id: int = 0) -> None:
+        """Route ``cc``-category events through *collector*."""
+        self._tel = collector
+        self._tel_flow = flow_id
+
+    def _tel_emit(self, name: str, **fields) -> None:
+        if self._tel is not None:
+            self._tel.emit("cc", name, self._tel_flow, **fields)
 
     def on_feedback(self, sample: RateSample) -> None:
         raise NotImplementedError

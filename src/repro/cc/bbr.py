@@ -119,7 +119,14 @@ class BBR(CongestionController):
         if sample.delivery_rate_bps is not None and sample.delivery_rate_bps > 0:
             if not sample.is_app_limited or sample.delivery_rate_bps > (self._btl_bw.get() or 0.0):
                 self._btl_bw.window = self.bw_window_rtts * self.min_rtt()
+                prior_bw = self._btl_bw.get() if self._tel is not None else None
                 self._btl_bw.update(sample.delivery_rate_bps, now)
+                if self._tel is not None:
+                    new_bw = self._btl_bw.get()
+                    # Value-change detection on the windowed max, not
+                    # clock arithmetic; most updates leave it unchanged.
+                    if new_bw != prior_bw:
+                        self._tel_emit("bw_filter", bw_bps=new_bw)
         if self.aggregation_compensation and sample.newly_acked > 0:
             self._update_extra_acked(sample.newly_acked, now)
         self._update_rounds(now)
@@ -163,9 +170,18 @@ class BBR(CongestionController):
             if self._full_bw_rounds >= 3:
                 self.filled_pipe = True
 
+    def _set_state(self, state: str) -> None:
+        """State transition routed through one point for telemetry."""
+        if state == self.state:
+            return
+        self.state = state
+        if self._tel is not None:
+            self._tel_emit("state", state=state, bw_bps=self.bw_estimate(),
+                           min_rtt_s=self.min_rtt())
+
     def _update_state(self, now: float) -> None:
         if self.state == STARTUP and self.filled_pipe:
-            self.state = DRAIN
+            self._set_state(DRAIN)
             self._pacing_gain = _DRAIN_GAIN
             self._cwnd_gain = _CWND_GAIN
         if self.state == DRAIN and self._in_flight <= self.bdp_bytes():
@@ -178,12 +194,12 @@ class BBR(CongestionController):
             if self.filled_pipe:
                 self._enter_probe_bw(now)
             else:
-                self.state = STARTUP
+                self._set_state(STARTUP)
                 self._pacing_gain = _STARTUP_GAIN
                 self._cwnd_gain = _STARTUP_GAIN
 
     def _enter_probe_bw(self, now: float) -> None:
-        self.state = PROBE_BW
+        self._set_state(PROBE_BW)
         self._cwnd_gain = _CWND_GAIN
         self._cycle_index = 2  # start in a neutral phase
         self._cycle_start = now
@@ -197,7 +213,7 @@ class BBR(CongestionController):
 
     def _maybe_enter_probe_rtt(self, now: float) -> None:
         if now - self._min_rtt_stamp > self._min_rtt.window:
-            self.state = PROBE_RTT
+            self._set_state(PROBE_RTT)
             self._pacing_gain = 1.0
             self._probe_rtt_done_at = now + max(_PROBE_RTT_DURATION, self.min_rtt())
 

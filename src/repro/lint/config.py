@@ -23,6 +23,8 @@ DEFAULT_EXEMPT = (
     "*/repro/runner/*",
     "*/repro/experiments/run_all.py",
     "*/repro/lint/*",
+    "*/repro/telemetry/cli.py",
+    "*/repro/telemetry/__main__.py",
 )
 
 #: Packages whose ``__init__`` constructors fall under the REP004
@@ -69,6 +71,10 @@ DEFAULT_ALLOW_NAMES = ("seed", "default")
 DEFAULT_TIME_NAMES = ("now", "time", "deadline", "t")
 DEFAULT_TIME_SUFFIXES = ("_s", "_ms", "_us", "_ts", "_time", "_at", "_ns")
 
+#: Basenames under ``repro/telemetry/`` that run host-side (REP006
+#: lets them read the wall clock for file naming / progress display).
+DEFAULT_TELEMETRY_HOST_FILES = ("cli.py", "__main__.py")
+
 
 @dataclass
 class LintConfig:
@@ -80,6 +86,7 @@ class LintConfig:
     allow_names: Sequence[str] = DEFAULT_ALLOW_NAMES
     time_names: Sequence[str] = DEFAULT_TIME_NAMES
     time_suffixes: Sequence[str] = DEFAULT_TIME_SUFFIXES
+    telemetry_host_files: Sequence[str] = DEFAULT_TELEMETRY_HOST_FILES
     disabled_rules: Sequence[str] = field(default_factory=tuple)
 
     # ------------------------------------------------------------------
@@ -161,6 +168,8 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
     config.rep004_packages = seq("rep004-packages", config.rep004_packages)
     config.unit_suffixes = seq("unit-suffixes", config.unit_suffixes)
     config.allow_names = seq("allow-names", config.allow_names)
+    config.telemetry_host_files = seq("telemetry-host-files",
+                                      config.telemetry_host_files)
     config.disabled_rules = seq("disable", config.disabled_rules)
     for key, attr in (("extend-exempt", "exempt"),
                       ("extend-allow-names", "allow_names")):

@@ -296,6 +296,42 @@ def rep005_no_mutable_defaults(tree: ast.AST, path: str, config: LintConfig) -> 
 
 
 # ----------------------------------------------------------------------
+# REP006 — telemetry timestamps come from the sim clock
+# ----------------------------------------------------------------------
+
+def rep006_telemetry_sim_clock(tree: ast.AST, path: str, config: LintConfig) -> List[Finding]:
+    """Simulation-side telemetry code must never read the wall clock.
+
+    Trace events are stamped from the simulator's virtual clock so a
+    trace replays byte-identically.  The host-side CLI modules (file
+    naming, progress display — ``config.telemetry_host_files``) are
+    allowed; everything else under ``repro/telemetry/`` is not.  The
+    rule is deliberately *not* suspended for ``exempt``-glob paths:
+    adding a telemetry module to the host-side exempt list must not
+    silently license wall-clock event timestamps.
+    """
+    norm = path.replace("\\", "/")
+    if "/repro/telemetry/" not in norm:
+        return []
+    if norm.rpartition("/")[2] in config.telemetry_host_files:
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name in _WALL_CLOCK_CALLS:
+            findings.append(Finding(
+                "REP006",
+                f"wall-clock call `{name}()` in simulation-side telemetry "
+                "code; event timestamps must come from the sim clock "
+                "(the collector stamps `sim.clock.now()`)",
+                path, node.lineno, node.col_offset,
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -308,6 +344,7 @@ RULES: Dict[str, RuleFn] = {
     "REP003": rep003_no_time_equality,
     "REP004": rep004_unit_suffixes,
     "REP005": rep005_no_mutable_defaults,
+    "REP006": rep006_telemetry_sim_clock,
 }
 
 #: Rules suspended for host-side files matched by the ``exempt`` globs.
@@ -319,4 +356,5 @@ RULE_SUMMARIES: Dict[str, str] = {
     "REP003": "no float ==/!= on clock values",
     "REP004": "unit-suffix discipline for numeric parameters",
     "REP005": "no mutable default arguments",
+    "REP006": "sim-side telemetry must stamp events from the sim clock",
 }

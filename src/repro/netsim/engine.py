@@ -64,9 +64,15 @@ class Simulator:
         Runtime invariant checking (see :mod:`repro.sanitize`):
         ``True``/``False`` force it, ``None`` (default) follows the
         ``REPRO_SIMSAN`` environment variable.
+    telemetry:
+        Optional :class:`repro.telemetry.TraceCollector` capturing
+        structured events from instrumented components.  Like the
+        sanitizer it must be in place before endpoints/links are
+        constructed — they cache the reference at build time.
     """
 
-    def __init__(self, seed: int = 1, simsan: Optional[bool] = None):
+    def __init__(self, seed: int = 1, simsan: Optional[bool] = None,
+                 telemetry=None):
         self.clock = Clock()
         self.rng = random.Random(seed)
         self._queue: list[Event] = []
@@ -74,6 +80,9 @@ class Simulator:
         self._events_fired = 0
         self.san = (sanitize.SimSanitizer(self)
                     if sanitize.resolve(simsan) else None)
+        self.telemetry = None
+        if telemetry is not None:
+            self.attach_telemetry(telemetry)
 
     def enable_sanitizer(self) -> "sanitize.SimSanitizer":
         """Attach (or return the already-attached) invariant sanitizer.
@@ -84,6 +93,16 @@ class Simulator:
         if self.san is None:
             self.san = sanitize.SimSanitizer(self)
         return self.san
+
+    def attach_telemetry(self, collector):
+        """Attach an event-trace collector (``repro.telemetry``).
+
+        Binds the collector to this simulator's virtual clock.  Must
+        be called before endpoints/links are constructed — they cache
+        ``sim.telemetry`` at build time (same rule as the sanitizer).
+        """
+        self.telemetry = collector.attach(self)
+        return self.telemetry
 
     # ------------------------------------------------------------------
     # time

@@ -74,6 +74,8 @@ class Link:
         self.packets_delivered = 0
         self.packets_lost = 0
         self.bytes_delivered = 0
+        # telemetry: one None-check per packet event when disabled.
+        self._tel = sim.telemetry
 
     # ------------------------------------------------------------------
     def connect(self, sink: Callable[[Packet], None]) -> None:
@@ -89,10 +91,25 @@ class Link:
         self.packets_sent += 1
         if self.config.loss.should_drop(packet, self.sim.now()):
             self.packets_lost += 1
+            if self._tel is not None:
+                self._tel.emit("netsim", "drop", packet.flow_id,
+                               link=self.name, reason="loss",
+                               kind=packet.kind.value, size=packet.size,
+                               pkt_seq=packet.pkt_seq)
             return False
         if not self.queue.try_enqueue(packet):
             self.packets_lost += 1
+            if self._tel is not None:
+                self._tel.emit("netsim", "drop", packet.flow_id,
+                               link=self.name, reason="queue",
+                               kind=packet.kind.value, size=packet.size,
+                               pkt_seq=packet.pkt_seq)
             return False
+        if self._tel is not None:
+            self._tel.emit("netsim", "enqueue", packet.flow_id,
+                           link=self.name, kind=packet.kind.value,
+                           size=packet.size,
+                           queued_bytes=self.queue.bytes_queued)
         if not self._busy:
             self._start_transmission()
         return True
@@ -101,9 +118,15 @@ class Link:
     def _start_transmission(self) -> None:
         packet = self.queue.dequeue()
         if packet is None:
+            if self._busy and self._tel is not None:
+                self._tel.emit("netsim", "idle", 0, link=self.name)
             self._busy = False
             return
         self._busy = True
+        if self._tel is not None:
+            self._tel.emit("netsim", "tx_start", packet.flow_id,
+                           link=self.name, kind=packet.kind.value,
+                           size=packet.size)
         tx_time = self.config.serialization_delay(packet.size)
         self.sim.call_in(tx_time, lambda p=packet: self._finish_transmission(p))
 
@@ -115,6 +138,10 @@ class Link:
         self.packets_delivered += 1
         self.bytes_delivered += packet.size
         packet.hops += 1
+        if self._tel is not None:
+            self._tel.emit("netsim", "delivered", packet.flow_id,
+                           link=self.name, kind=packet.kind.value,
+                           size=packet.size)
         if self.sink is not None:
             self.sink(packet)
 

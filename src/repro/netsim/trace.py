@@ -7,6 +7,7 @@ protocol code.
 
 from __future__ import annotations
 
+import collections
 from typing import Callable, Optional
 
 from repro.netsim.engine import Simulator
@@ -34,15 +35,42 @@ class PacketTap:
     """Wraps a sink callback and records every packet flowing through.
 
     Use ``tap = PacketTap(sim, real_sink); link.connect(tap)``.
+
+    .. deprecated::
+        PacketTap predates :mod:`repro.telemetry` and is kept for the
+        existing count/rate helpers.  New code should attach a
+        ``TraceCollector`` to the simulator and consume the ``netsim``
+        event category instead — it covers every link (enqueue, drop
+        with reason, transmit, deliver), not just one tapped sink.
+        When the simulator carries a collector, the tap forwards each
+        observed packet as a ``netsim``/``tap`` event so both worlds
+        see the same traffic.
+
+    ``max_records`` bounds the in-memory record list (oldest records
+    are evicted first); the default ``None`` keeps the historical
+    unbounded behavior.
     """
 
-    def __init__(self, sim: Simulator, sink: Optional[Callable[[Packet], None]] = None):
+    def __init__(self, sim: Simulator,
+                 sink: Optional[Callable[[Packet], None]] = None,
+                 max_records: Optional[int] = None,
+                 telemetry=None):
         self.sim = sim
         self.sink = sink
-        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        if max_records is not None:
+            self.records: "collections.deque[TraceRecord]" = (
+                collections.deque(maxlen=max_records))
+        else:
+            self.records = []  # type: ignore[assignment]
+        self._tel = telemetry if telemetry is not None else sim.telemetry
 
     def __call__(self, packet: Packet) -> None:
         self.records.append(TraceRecord(self.sim.now(), packet))
+        if self._tel is not None:
+            self._tel.emit("netsim", "tap", packet.flow_id,
+                           kind=packet.kind.value, size=packet.size,
+                           pkt_seq=packet.pkt_seq)
         if self.sink is not None:
             self.sink(packet)
 

@@ -18,10 +18,12 @@ results/manifest and the caller decides what a failure means.
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.runner.cache import ResultCache, code_fingerprint
+from repro.telemetry.trace_io import trace_digest
 from repro.runner.manifest import build_manifest, write_manifest
 from repro.runner.pool import execute_tasks
 from repro.runner.task import Task, TaskResult, derive_seed, task_signature
@@ -68,13 +70,23 @@ class Campaign:
         self._names: set[str] = set()
 
     def add(self, name: str, fn: Callable[..., Any],
-            seed: Optional[int] = None, **kwargs: Any) -> Task:
-        """Append a task; its seed defaults to ``derive_seed(base, name)``."""
+            seed: Optional[int] = None, trace_path: Optional[str] = None,
+            **kwargs: Any) -> Task:
+        """Append a task; its seed defaults to ``derive_seed(base, name)``.
+
+        Passing *trace_path* opts the task into telemetry capture: the
+        path is forwarded to *fn* as a ``trace_path`` keyword and the
+        finished trace's sha256 lands in the manifest (see
+        :class:`repro.runner.task.Task`).
+        """
         if name in self._names:
             raise ValueError(f"duplicate task name {name!r}")
+        if trace_path is not None:
+            kwargs["trace_path"] = trace_path
         task = Task(name=name, fn=fn, kwargs=kwargs,
                     seed=derive_seed(self.base_seed, name)
-                    if seed is None else seed)
+                    if seed is None else seed,
+                    trace_path=trace_path)
         self._names.add(name)
         self.tasks.append(task)
         return task
@@ -111,7 +123,9 @@ class Campaign:
         misses: List[Task] = []
         keys: Dict[str, str] = {}
         for task in self.tasks:
-            if cache is None:
+            if cache is None or task.trace_path is not None:
+                # Traced tasks bypass the cache: a hit would return the
+                # table without regenerating the trace file.
                 misses.append(task)
                 continue
             key = cache.key_for(task)
@@ -131,19 +145,24 @@ class Campaign:
                 misses.append(task)
 
         def settle(result: TaskResult) -> None:
-            if cache is not None:
+            task = next(t for t in self.tasks if t.name == result.name)
+            if cache is not None and task.trace_path is None:
                 result.cache = "miss"
                 if result.ok:
                     cache.store(
                         keys[result.name], result.value,
                         meta={
-                            "signature": task_signature(
-                                next(t for t in self.tasks
-                                     if t.name == result.name)),
+                            "signature": task_signature(task),
                             "fingerprint": cache.fingerprint,
                             "wall_time_s": result.wall_time_s,
                             "stored_unix": time.time(),
                         })
+            if (task.trace_path is not None and result.ok
+                    and os.path.isfile(task.trace_path)):
+                result.trace = {
+                    "path": task.trace_path,
+                    "sha256": trace_digest(task.trace_path),
+                }
             results[result.name] = result
             if on_result is not None:
                 on_result(result)

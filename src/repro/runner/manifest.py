@@ -20,7 +20,8 @@ reproduce the run.  Schema (version 1)::
       "tasks": [
         {"name": ..., "status": "ok"|"failed", "failure": null|"error"|
          "timeout"|"crashed", "cache": "hit"|"miss"|"off",
-         "attempts": 1, "wall_time_s": 0.8, "seed": 123, "error": null},
+         "attempts": 1, "wall_time_s": 0.8, "seed": 123, "error": null,
+         "trace": null|{"path": ..., "sha256": "..."}},
         ...
       ]
     }
@@ -66,6 +67,7 @@ def build_manifest(campaign: str, results: Sequence[TaskResult], *,
         "wall_time_s": round(r.wall_time_s, 4),
         "seed": r.seed,
         "error": r.error,
+        "trace": r.trace,
     } for r in results]
     return {
         "schema_version": SCHEMA_VERSION,

@@ -1,0 +1,120 @@
+"""The trace collector: opt-in event capture with near-zero off cost.
+
+The collector follows the null-guard hook pattern simsan established:
+instrumented components cache ``sim.telemetry`` at construction and
+every hook site is guarded by ``if self._tel is not None``, so a
+simulation without telemetry pays one attribute test per hook.  With
+telemetry on, each hook calls :meth:`TraceCollector.emit`, which
+
+1. drops the event if its category is filtered out,
+2. applies deterministic per-category sampling (keep 1 in N, counted
+   per category — no RNG involved, so a given run always keeps the
+   same events),
+3. stamps the current *simulated* time (the collector caches
+   ``sim.clock.now`` at attach time; it never reads the wall clock),
+4. appends the event to the sink and notifies live listeners (e.g. a
+   :class:`~repro.telemetry.metrics.MetricsRegistry`).
+
+Usage::
+
+    collector = TraceCollector(sink=JsonlSink("run.jsonl"))
+    sim = Simulator(seed=7, telemetry=collector)
+    ... build endpoints, run ...
+    collector.close()
+
+Like the sanitizer, the collector must be attached *before* endpoints
+and links are constructed — they cache the reference at build time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.telemetry.events import TraceEvent
+from repro.telemetry.sinks import MemorySink, TraceSink
+
+
+class TraceCollector:
+    """Routes instrumentation events to a sink.
+
+    Parameters
+    ----------
+    sink:
+        Where events go; defaults to an unbounded :class:`MemorySink`.
+    categories:
+        Iterable of category names to keep; ``None`` keeps everything.
+    sampling:
+        ``{category: N}`` — keep one event in every N for that
+        category (N <= 1 keeps all).  Sampling is counter-based and
+        therefore deterministic for a fixed simulation seed.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[TraceSink] = None,
+        categories: Optional[Iterable[str]] = None,
+        sampling: Optional[Dict[str, int]] = None,
+    ):
+        self.sink = sink if sink is not None else MemorySink()
+        self._categories = (frozenset(categories)
+                            if categories is not None else None)
+        self._sampling = dict(sampling) if sampling else {}
+        self._sample_counts: Dict[str, int] = {}
+        self._now: Optional[Callable[[], float]] = None
+        self._listeners: List[Callable[[TraceEvent], None]] = []
+        self.events_emitted = 0
+        self.events_dropped = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, sim) -> "TraceCollector":
+        """Bind to a simulator's virtual clock (timestamp source)."""
+        self._now = sim.clock.now
+        return self
+
+    def wants(self, category: str) -> bool:
+        """True when events of *category* would not be filtered out."""
+        return self._categories is None or category in self._categories
+
+    def add_listener(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Register a live consumer called for every kept event."""
+        self._listeners.append(fn)
+
+    # ------------------------------------------------------------------
+    def emit(self, category: str, name: str, flow_id: int = 0,
+             **fields) -> Optional[TraceEvent]:
+        """Record one event; returns it, or ``None`` if filtered."""
+        if self._categories is not None and category not in self._categories:
+            self.events_dropped += 1
+            return None
+        step = self._sampling.get(category)
+        if step is not None and step > 1:
+            n = self._sample_counts.get(category, 0)
+            self._sample_counts[category] = n + 1
+            if n % step:
+                self.events_dropped += 1
+                return None
+        t = self._now() if self._now is not None else 0.0
+        event = TraceEvent(t, category, name, flow_id, fields)
+        self.events_emitted += 1
+        self.sink.append(event)
+        for fn in self._listeners:
+            fn(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[TraceEvent]:
+        """Events retained by the sink (memory sinks only)."""
+        getter = getattr(self.sink, "events", None)
+        if getter is None:
+            raise TypeError(
+                f"{type(self.sink).__name__} does not retain events; "
+                "read the trace file back with repro.telemetry.read_trace")
+        return getter()
+
+    def close(self) -> None:
+        self.sink.close()
+
+    def __repr__(self) -> str:
+        return (f"TraceCollector(emitted={self.events_emitted}, "
+                f"dropped={self.events_dropped}, "
+                f"sink={type(self.sink).__name__})")

@@ -1,0 +1,155 @@
+"""Per-flow time-series metrics derived from the event stream.
+
+A :class:`MetricsRegistry` consumes trace events — live (registered as
+a collector listener) or offline (:meth:`MetricsRegistry.from_trace`)
+— and buckets them into fixed-cadence per-flow series:
+
+``goodput_bps``
+    Bits per second of in-order data handed to the application
+    (``transport/deliver`` events).
+``ack_hz``
+    Acknowledgments per second, all flavors (``ack`` category).
+``inflight_bytes``
+    Last reported sender in-flight bytes (``transport/feedback``).
+``srtt_s`` / ``rtt_min_s``
+    Last smoothed-RTT / RTT_min values (``timing/rtt_sample``).
+
+Everything derives purely from events: the registry holds no timers
+and touches neither the simulator nor the wall clock, which is what
+makes the live and offline paths bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.telemetry.events import CAT_ACK, CAT_TIMING, CAT_TRANSPORT, TraceEvent
+
+#: Metric names exposed by :meth:`MetricsRegistry.series`.
+METRICS = ("goodput_bps", "ack_hz", "inflight_bytes", "srtt_s", "rtt_min_s")
+
+
+class _FlowSeries:
+    """Bucketed accumulators for one flow."""
+
+    __slots__ = ("delivered", "acks", "inflight", "srtt", "rtt_min",
+                 "bytes_delivered", "ack_count", "first_t", "last_t")
+
+    def __init__(self):
+        self.delivered: Dict[int, int] = {}
+        self.acks: Dict[int, int] = {}
+        self.inflight: Dict[int, int] = {}
+        self.srtt: Dict[int, float] = {}
+        self.rtt_min: Dict[int, float] = {}
+        self.bytes_delivered = 0
+        self.ack_count = 0
+        self.first_t = math.inf
+        self.last_t = -math.inf
+
+
+class MetricsRegistry:
+    """Fixed-cadence per-flow metrics derived from trace events."""
+
+    def __init__(self, cadence_s: float = 0.1):
+        if cadence_s <= 0:
+            raise ValueError(f"cadence must be positive, got {cadence_s}")
+        self.cadence_s = cadence_s
+        self._flows: Dict[int, _FlowSeries] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, collector) -> "MetricsRegistry":
+        """Consume events live from a :class:`TraceCollector`."""
+        collector.add_listener(self.feed)
+        return self
+
+    @classmethod
+    def from_trace(cls, path: str,
+                   cadence_s: float = 0.1) -> "MetricsRegistry":
+        """Replay a trace file through a fresh registry."""
+        from repro.telemetry.trace_io import iter_events
+        registry = cls(cadence_s=cadence_s)
+        for event in iter_events(path):
+            registry.feed(event)
+        return registry
+
+    # ------------------------------------------------------------------
+    def feed(self, event: TraceEvent) -> None:
+        flow = self._flows.get(event.flow_id)
+        if flow is None:
+            flow = self._flows[event.flow_id] = _FlowSeries()
+        if event.time < flow.first_t:
+            flow.first_t = event.time
+        if event.time > flow.last_t:
+            flow.last_t = event.time
+        bucket = int(event.time / self.cadence_s)
+        cat = event.category
+        if cat == CAT_TRANSPORT:
+            if event.name == "deliver":
+                nbytes = event.fields.get("nbytes", 0)
+                flow.delivered[bucket] = flow.delivered.get(bucket, 0) + nbytes
+                flow.bytes_delivered += nbytes
+            elif event.name == "feedback":
+                flow.inflight[bucket] = event.fields.get("in_flight", 0)
+        elif cat == CAT_ACK:
+            flow.acks[bucket] = flow.acks.get(bucket, 0) + 1
+            flow.ack_count += 1
+        elif cat == CAT_TIMING and event.name == "rtt_sample":
+            if "srtt_s" in event.fields:
+                flow.srtt[bucket] = event.fields["srtt_s"]
+            if "rtt_min_s" in event.fields:
+                flow.rtt_min[bucket] = event.fields["rtt_min_s"]
+
+    # ------------------------------------------------------------------
+    def flows(self) -> List[int]:
+        return sorted(self._flows)
+
+    def series(self, flow_id: int,
+               metric: str) -> List[Tuple[float, float]]:
+        """``[(bucket_start_time, value), ...]`` for one metric.
+
+        Rate metrics (goodput, ack frequency) are normalized by the
+        cadence; gauge metrics report the last value seen in each
+        bucket.  Only buckets with data appear.
+        """
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            return []
+        if metric == "goodput_bps":
+            data = {b: v * 8.0 / self.cadence_s
+                    for b, v in flow.delivered.items()}
+        elif metric == "ack_hz":
+            data = {b: v / self.cadence_s for b, v in flow.acks.items()}
+        elif metric == "inflight_bytes":
+            data = dict(flow.inflight)
+        elif metric == "srtt_s":
+            data = dict(flow.srtt)
+        elif metric == "rtt_min_s":
+            data = dict(flow.rtt_min)
+        else:
+            raise KeyError(f"unknown metric {metric!r}; one of {METRICS}")
+        return [(b * self.cadence_s, data[b]) for b in sorted(data)]
+
+    def summary(self, flow_id: int) -> Dict[str, Any]:
+        """Whole-run aggregates for one flow."""
+        flow = self._flows.get(flow_id)
+        if flow is None:
+            raise KeyError(f"no events for flow {flow_id}")
+        span = max(flow.last_t - flow.first_t, 0.0)
+        last = (lambda d: d[max(d)] if d else None)
+        return {
+            "flow": flow_id,
+            "span_s": span,
+            "bytes_delivered": flow.bytes_delivered,
+            "acks": flow.ack_count,
+            "goodput_bps": (flow.bytes_delivered * 8.0 / span
+                            if span > 0 else 0.0),
+            "ack_hz": flow.ack_count / span if span > 0 else 0.0,
+            "srtt_s": last(flow.srtt),
+            "rtt_min_s": last(flow.rtt_min),
+        }
+
+    def _last_gauge(self, flow_id: int,
+                    metric: str) -> Optional[float]:
+        points = self.series(flow_id, metric)
+        return points[-1][1] if points else None

@@ -103,6 +103,9 @@ class TransportReceiver:
         self._san = sim.san
         if self._san is not None:
             self._san.register_receiver(self)
+        # telemetry: same null-guard pattern (recv/gap/deliver + one
+        # `ack`-category event per feedback emission).
+        self._tel = sim.telemetry
         policy.attach(self)
 
     # ------------------------------------------------------------------
@@ -177,8 +180,16 @@ class TransportReceiver:
             if self.auto_drain:
                 self._drain()
         self._track_buffer_peak()
+        if self._tel is not None:
+            self._tel.emit("transport", "recv", self.flow_id,
+                           seq=packet.seq, pkt_seq=packet.pkt_seq,
+                           added=added)
         if gap is not None:
             self.stats.gap_events += 1
+            if self._tel is not None:
+                lo, hi = gap.missing_range()
+                self._tel.emit("transport", "gap", self.flow_id,
+                               lo=lo, hi=hi, missing=gap.missing_count)
             self.policy.on_gap(gap)
         if self._san is not None:
             self._san.on_receiver_data(self)
@@ -210,6 +221,9 @@ class TransportReceiver:
         self.delivered_ptr += nbytes
         self.intervals.remove_below(self.delivered_ptr)
         self.stats.bytes_delivered += nbytes
+        if self._tel is not None:
+            self._tel.emit("transport", "deliver", self.flow_id,
+                           nbytes=nbytes)
         if self._on_deliver is not None:
             self._on_deliver(nbytes, self.sim.now())
 
@@ -340,6 +354,11 @@ class TransportReceiver:
             self.stats.iacks_sent += 1
         else:
             self.stats.acks_sent += 1
+        if self._tel is not None:
+            self._tel.emit("ack", kind.value, self.flow_id,
+                           reason=fb.reason, cum_ack=fb.cum_ack,
+                           sack=len(fb.sack_blocks),
+                           unacked=len(fb.unacked_blocks), size=pkt.size)
         self._port.send(pkt)
 
     # ------------------------------------------------------------------

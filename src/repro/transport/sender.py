@@ -163,6 +163,12 @@ class TransportSender:
         self._san = sim.san
         if self._san is not None:
             self._san.register_sender(self)
+        # telemetry: same null-guard pattern; the congestion controller
+        # shares the collector so cwnd/state events carry this flow id.
+        self._tel = sim.telemetry
+        self._tel_last_rtt_min: Optional[float] = None
+        if self._tel is not None:
+            cc.attach_telemetry(self._tel, flow_id)
 
     @staticmethod
     def _safe_rate(cc: CongestionController) -> bool:
@@ -322,6 +328,8 @@ class TransportSender:
                 self.ack_loss.on_rtt_min_update(now, self._tack_interval_hint())
                 if self._san is not None:
                     self._san.on_rtt_sample(self, sample, now)
+                if self._tel is not None:
+                    self._tel_rtt(sample)
             for departure_ts, delay in fb.packet_delays:
                 # Per-packet delay entries (S4.3 alternative): one RTT
                 # sample each.
@@ -330,6 +338,8 @@ class TransportSender:
                     self.stats.rtt_samples += 1
                     if self._san is not None:
                         self._san.on_rtt_sample(self, extra, now)
+                    if self._tel is not None:
+                        self._tel_rtt(extra)
 
         # --- loss notifications -------------------------------------
         if fb.pull_pkt_range is not None:
@@ -364,6 +374,14 @@ class TransportSender:
         self.pacer.set_rate(self.cc.pacing_rate_bps())
         if self._san is not None:
             self._san.on_sender_feedback(self, fb)
+        if self._tel is not None:
+            self._tel.emit("transport", "feedback", self.flow_id,
+                           kind=kind.value, cum_ack=self.cum_acked,
+                           acked_bytes=newly_acked, lost_bytes=newly_lost,
+                           in_flight=self.in_flight, awnd=fb.awnd)
+            self._tel.emit("cc", "update", self.flow_id,
+                           cwnd_bytes=self.cc.cwnd_bytes(),
+                           pacing_bps=self.cc.pacing_rate_bps())
 
         # --- completion / timers -------------------------------------
         if (
@@ -393,6 +411,14 @@ class TransportSender:
         self.stats.rtt_samples += 1
         if self._san is not None:
             self._san.on_rtt_sample(self, sample, now)
+        if self._tel is not None:
+            self._tel_rtt(sample)
+
+    def _tel_rtt(self, sample: float) -> None:
+        """Emit one ``timing``/``rtt_sample`` telemetry event."""
+        self._tel.emit("timing", "rtt_sample", self.flow_id,
+                       rtt_s=sample, srtt_s=self.rtt.smoothed(),
+                       rtt_min_s=self.current_rtt_min())
 
     def _legacy_rate_sample(self, rec: SendRecord, now: float) -> Optional[float]:
         """BBR-style delivery-rate sample from a newly acked record."""
@@ -620,10 +646,23 @@ class TransportSender:
         if self._san is not None:
             self._san.on_data_sent(self, rec)
         if self.sync_rtt_min:
-            pkt.meta["rtt_min"] = self.current_rtt_min()
+            rtt_min = self.current_rtt_min()
+            pkt.meta["rtt_min"] = rtt_min
             # rho' sync for the Eq. (6) adaptive block budget: the
             # sender measures ACK-path loss and tells the receiver.
             pkt.meta["ack_loss_rate"] = self.ack_loss.loss_rate
+            if self._tel is not None and rtt_min != self._tel_last_rtt_min:
+                # Value-change detection, not clock arithmetic: the
+                # sync rides every data packet, but only changes are
+                # worth an event.
+                self._tel_last_rtt_min = rtt_min
+                self._tel.emit("timing", "rttmin_sync", self.flow_id,
+                               rtt_min_s=rtt_min)
+        if self._tel is not None:
+            self._tel.emit("transport",
+                           "retx" if rec.retx_count else "send",
+                           self.flow_id, seq=rec.seq, pkt_seq=rec.pkt_seq,
+                           length=rec.length, in_flight=self.in_flight)
         self.stats.data_packets_sent += 1
         self.stats.bytes_sent += rec.length
         self.pacer.on_sent(pkt.size, now)
@@ -655,6 +694,9 @@ class TransportSender:
         if self.closed or (self.in_flight == 0 and not self._has_retx()):
             return
         self.stats.rtos += 1
+        if self._tel is not None:
+            self._tel.emit("transport", "rto", self.flow_id,
+                           rto_s=self.rtt.rto(), in_flight=self.in_flight)
         self.rtt.back_off()
         self.cc.on_rto(self.sim.now())
         self.pacer.set_rate(self.cc.pacing_rate_bps())

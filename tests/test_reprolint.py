@@ -98,6 +98,32 @@ class TestRuleFiring:
     def test_rep005_none_default_ok(self):
         assert codes("def f(xs=None):\n    pass\n") == []
 
+    def test_rep006_sim_side_telemetry_wall_clock(self):
+        src = "import time\nstamp = time.time()\n"
+        found = codes(src, path="src/repro/telemetry/collector.py")
+        # Telemetry modules are in general-simulation scope too, so
+        # REP001 fires alongside the telemetry-specific rule.
+        assert found == ["REP001", "REP006"]
+
+    def test_rep006_host_side_cli_exempt(self):
+        src = "import time\nstamp = time.time()\n"
+        # cli.py/__main__.py run host-side: both the exempt globs
+        # (REP001-REP003) and the REP006 host-file list carve them out.
+        assert codes(src, path="src/repro/telemetry/cli.py") == []
+        assert codes(src, path="src/repro/telemetry/__main__.py") == []
+
+    def test_rep006_outside_telemetry_silent(self):
+        src = "import time\nstamp = time.time()\n"
+        assert codes(src, path=SIM) == ["REP001"]
+
+    def test_rep006_host_files_configurable(self):
+        config = LintConfig(telemetry_host_files=("special.py",))
+        src = "import time\nstamp = time.time()\n"
+        found = codes(src, path="src/repro/telemetry/cli.py", config=config)
+        assert "REP006" in found  # cli.py no longer in the host list
+        assert codes(src, path="src/repro/telemetry/special.py",
+                     config=config) == ["REP001"]
+
     def test_syntax_error_is_reported(self):
         assert codes("def f(:\n") == ["REP000"]
 
@@ -148,7 +174,8 @@ class TestConfig:
         assert codes("import time\nx = time.time()\n", config=config) == []
 
     def test_rule_registry_is_stable(self):
-        assert list(RULES) == ["REP001", "REP002", "REP003", "REP004", "REP005"]
+        assert list(RULES) == ["REP001", "REP002", "REP003", "REP004",
+                               "REP005", "REP006"]
 
 
 class TestCli:

@@ -59,6 +59,38 @@ class TestPacketTap:
         tap(make_data_packet(0, 1))  # must not raise
         assert tap.count() == 1
 
+    def test_max_records_bounds_memory(self, sim):
+        tap = PacketTap(sim, max_records=3)
+        for i in range(10):
+            tap(make_data_packet(i * 1500, i))
+        assert len(tap.records) == 3
+        # Oldest records are evicted; the newest three survive.
+        assert [r.pkt_seq for r in tap.records] == [7, 8, 9]
+
+    def test_unbounded_by_default(self, sim):
+        tap = PacketTap(sim)
+        for i in range(10):
+            tap(make_data_packet(i * 1500, i))
+        assert len(tap.records) == 10
+
+    def test_tap_forwards_to_telemetry(self, sim):
+        from repro.telemetry import TraceCollector
+        collector = TraceCollector().attach(sim)
+        tap = PacketTap(sim, telemetry=collector)
+        tap(make_data_packet(0, 1))
+        events = collector.events()
+        assert len(events) == 1
+        assert events[0].category == "netsim"
+        assert events[0].name == "tap"
+
+    def test_tap_picks_up_simulator_collector(self):
+        from repro.netsim.engine import Simulator
+        from repro.telemetry import TraceCollector
+        sim = Simulator(seed=1, telemetry=TraceCollector())
+        tap = PacketTap(sim)
+        tap(make_data_packet(0, 1))
+        assert len(sim.telemetry.events()) == 1
+
     def test_tap_on_live_connection(self, sim):
         """Tap a real connection's reverse path to count ACK flavors."""
         import sys
