@@ -3,11 +3,22 @@
 These give the harness real wall-clock numbers (events/second, cost of
 one simulated connection-second per scheme) so performance regressions
 in the simulator are visible alongside the paper experiments.
+
+Each test also appends its best wall time to
+``benchmarks/results/history/`` as BenchRecords (see
+:mod:`repro.bench`), which is what ``python -m repro.profile gate``
+compares against the trailing window in CI.
 """
 
 from repro.netsim.engine import Simulator
 from repro.netsim.paths import wired_path
 from repro.core.flavors import make_connection
+
+from conftest import record_bench_history
+
+_EVENT_COUNT = 200_000
+_RATE_BPS = 50e6
+_RTT_S = 0.04
 
 
 def _spin_events(n: int) -> int:
@@ -24,20 +35,33 @@ def _spin_events(n: int) -> int:
     return count[0]
 
 
-def test_engine_event_throughput(benchmark):
-    result = benchmark.pedantic(_spin_events, args=(200_000,), rounds=1,
-                                iterations=1)
-    assert result == 200_000
-
-
 def _one_connection_second(scheme: str) -> float:
     sim = Simulator(seed=2)
-    path = wired_path(sim, 50e6, 0.04)
-    conn = make_connection(sim, scheme, initial_rtt_s=0.04)
+    path = wired_path(sim, _RATE_BPS, _RTT_S)
+    conn = make_connection(sim, scheme, initial_rtt_s=_RTT_S)
     conn.wire(path.forward, path.reverse)
     conn.start_bulk()
     sim.run(until=1.0)
     return conn.receiver.stats.bytes_delivered
+
+
+def _record_wall(benchmark, bench: str, config: dict,
+                 extra: dict | None = None) -> None:
+    """Append this test's best wall time as a BenchRecord series."""
+    metrics = {"wall_s": benchmark.stats.stats.min}
+    if extra:
+        metrics.update(extra)
+    record_bench_history(bench, metrics, config=config)
+
+
+def test_engine_event_throughput(benchmark):
+    result = benchmark.pedantic(_spin_events, args=(_EVENT_COUNT,), rounds=1,
+                                iterations=1)
+    assert result == _EVENT_COUNT
+    wall_s = benchmark.stats.stats.min
+    _record_wall(benchmark, "engine_micro.event_spin",
+                 {"events": _EVENT_COUNT},
+                 extra={"events_per_s": _EVENT_COUNT / wall_s})
 
 
 def test_tack_connection_second(benchmark):
@@ -45,6 +69,9 @@ def test_tack_connection_second(benchmark):
         _one_connection_second, args=("tcp-tack",), rounds=1, iterations=1
     )
     assert delivered > 2e6  # the flow actually ran
+    _record_wall(benchmark, "engine_micro.connection_second_tack",
+                 {"scheme": "tcp-tack", "rate_bps": _RATE_BPS,
+                  "rtt_s": _RTT_S})
 
 
 def test_bbr_connection_second(benchmark):
@@ -52,3 +79,6 @@ def test_bbr_connection_second(benchmark):
         _one_connection_second, args=("tcp-bbr",), rounds=1, iterations=1
     )
     assert delivered > 2e6
+    _record_wall(benchmark, "engine_micro.connection_second_bbr",
+                 {"scheme": "tcp-bbr", "rate_bps": _RATE_BPS,
+                  "rtt_s": _RTT_S})

@@ -21,7 +21,7 @@ import os
 import statistics
 import time
 
-from conftest import RESULTS_DIR
+from conftest import RESULTS_DIR, record_bench_history
 
 from repro.core.flavors import make_connection
 from repro.netsim.engine import Simulator
@@ -97,6 +97,8 @@ def test_telemetry_overhead(tmp_path):
     with open(out, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
+    record_bench_history("telemetry_overhead", doc["metrics"],
+                         config=doc["config"])
     print(f"\ntelemetry overhead: off={off_s:.3f}s "
           f"mem={mem_s:.3f}s (+{doc['metrics']['memory_overhead_pct']:.1f}%) "
           f"jsonl={jsonl_s:.3f}s (+{doc['metrics']['jsonl_overhead_pct']:.1f}%)")

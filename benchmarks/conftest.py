@@ -16,9 +16,12 @@ from __future__ import annotations
 
 import os
 
+from repro.runner.cache import BENCH_CACHE_ENV, cached_call
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
-CACHE_ENV = "REPRO_BENCH_CACHE"
+HISTORY_DIR = os.path.join(RESULTS_DIR, "history")
+CACHE_ENV = BENCH_CACHE_ENV  # single source of truth: repro.runner.cache
 
 
 def record_table(table, name: str) -> None:
@@ -30,20 +33,33 @@ def record_table(table, name: str) -> None:
 def cached_experiment(name: str, fn, **kwargs):
     """Run *fn(**kwargs)*, optionally through the runner's result cache.
 
-    With ``REPRO_BENCH_CACHE`` unset this is a plain call.  With it
-    set, the result is served from ``benchmarks/.cache`` when the
+    Thin wrapper over :func:`repro.runner.cache.cached_call` bound to
+    ``benchmarks/.cache``: with ``REPRO_BENCH_CACHE`` unset this is a
+    plain call; with it set, the result is replayed from disk when the
     experiment's parameters and the ``repro`` source tree are
-    unchanged (same content-hash key the campaign runner uses), and
-    stored there after a miss.
+    unchanged, and stored there after a miss.
     """
-    if not os.environ.get(CACHE_ENV):
-        return fn(**kwargs)
-    from repro.runner import ResultCache, Task, code_fingerprint
-    cache = ResultCache(CACHE_DIR, code_fingerprint())
-    key = cache.key_for(Task(name, fn, kwargs=kwargs))
-    hit, value = cache.load(key)
-    if hit:
-        return value
-    value = fn(**kwargs)
-    cache.store(key, value)
-    return value
+    return cached_call(CACHE_DIR, name, fn, **kwargs)
+
+
+def record_bench_history(bench: str, metrics: dict, config=None) -> None:
+    """Append every numeric metric of a bench run as a BenchRecord.
+
+    Wall-clock metrics land in ``benchmarks/results/history/`` where
+    ``python -m repro.profile gate`` compares them against the trailing
+    window (see :mod:`repro.bench`).
+    """
+    from repro.bench import BenchRecord, append_records
+    from repro.profile.cli import infer_better
+
+    meta = {"config": config} if config else {}
+    records = [
+        BenchRecord.make(bench, metric, float(value),
+                         "1/s" if metric.endswith("_per_s") else
+                         ("s" if metric.endswith("_s") else
+                          ("pct" if metric.endswith("_pct") else "")),
+                         better=infer_better(metric), meta=meta)
+        for metric, value in sorted(metrics.items())
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    ]
+    append_records(HISTORY_DIR, records)

@@ -1,0 +1,40 @@
+"""Benchmark-history tracking.
+
+The simulator's *protocol* behavior is observed by ``repro.telemetry``;
+this package observes the simulator's own *performance trajectory*.
+Every benchmark run appends one :class:`BenchRecord` per metric to a
+JSONL file under ``benchmarks/results/history/``, stamped with run
+metadata (machine fingerprint, git revision, wall timestamp), so a
+hot-path regression in the engine or a protocol module is visible as a
+bend in a machine-readable series rather than a silently-shipped slow
+build.
+
+The companion CLI lives in :mod:`repro.profile`
+(``python -m repro.profile record|compare|gate|top``): ``gate`` exits
+non-zero when the latest record for a metric falls outside a noise
+band around the recent window — the CI perf gate.
+"""
+
+from repro.bench.record import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    BenchRecord,
+    file_sha256,
+    git_revision,
+    machine_fingerprint,
+)
+from repro.bench.history import (
+    BenchHistory,
+    GateFinding,
+    append_records,
+    compare_series,
+    gate_history,
+    load_history,
+)
+
+__all__ = [
+    "SCHEMA_NAME", "SCHEMA_VERSION",
+    "BenchRecord", "machine_fingerprint", "git_revision", "file_sha256",
+    "BenchHistory", "GateFinding",
+    "append_records", "load_history", "compare_series", "gate_history",
+]

@@ -1,0 +1,212 @@
+"""Append-only benchmark history and the regression gate.
+
+History layout: one JSONL file per bench name under a history root
+(the repo uses ``benchmarks/results/history/``) —
+``history/engine_micro.jsonl`` holds every recorded metric of the
+``engine_micro`` bench in append order.  Unreadable lines are skipped
+with a count, never fatal: a corrupt record must not brick the gate.
+
+The gate compares, per ``(name, metric)`` series, the latest record
+against the median of the previous *window* records **from the same
+machine fingerprint** (cross-machine comparisons are pure noise).  A
+metric regresses when it moves past the noise band in its "worse"
+direction; improvements and unknown-direction metrics never fail the
+gate.  Series with fewer than *min_records* baseline points report
+``insufficient-history`` and pass — this is what keeps a freshly
+bootstrapped trajectory (or a new CI machine) warn-only for the first
+window, as the CI job relies on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.bench.record import BenchRecord
+from repro.stats.percentile import median
+
+#: Default relative noise band (fraction) for the gate.
+DEFAULT_NOISE_PCT = 10.0
+
+#: Default number of baseline records the gate compares against.
+DEFAULT_WINDOW = 5
+
+#: Baseline points required before the gate can fail a series.
+DEFAULT_MIN_RECORDS = 3
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _history_path(root: str, name: str) -> str:
+    return os.path.join(root, _SAFE_NAME.sub("_", name) + ".jsonl")
+
+
+def append_records(root: str, records: Iterable[BenchRecord]) -> int:
+    """Append records to ``<root>/<name>.jsonl``; returns the count."""
+    os.makedirs(root, exist_ok=True)
+    appended = 0
+    by_name: Dict[str, List[BenchRecord]] = {}
+    for rec in records:
+        by_name.setdefault(rec.name, []).append(rec)
+    for name, group in by_name.items():
+        with open(_history_path(root, name), "a") as fh:
+            for rec in group:
+                fh.write(rec.to_json_line() + "\n")
+                appended += 1
+    return appended
+
+
+def load_history(root: str,
+                 name: Optional[str] = None) -> "BenchHistory":
+    """Load every record under *root* (or only the named bench)."""
+    records: List[BenchRecord] = []
+    skipped = 0
+    if not os.path.isdir(root):
+        return BenchHistory(records=records, skipped=0, root=root)
+    if name is not None:
+        files = [_history_path(root, name)]
+    else:
+        files = [os.path.join(root, f)
+                 for f in sorted(os.listdir(root)) if f.endswith(".jsonl")]
+    for path in files:
+        if not os.path.isfile(path):
+            continue
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(BenchRecord.from_dict(json.loads(line)))
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError):
+                    skipped += 1
+    return BenchHistory(records=records, skipped=skipped, root=root)
+
+
+@dataclass
+class BenchHistory:
+    """All loaded records plus load diagnostics."""
+
+    records: List[BenchRecord] = field(default_factory=list)
+    skipped: int = 0
+    root: str = ""
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def series(self) -> Dict[Tuple[str, str], List[BenchRecord]]:
+        """Records grouped by ``(name, metric)`` in append order."""
+        out: Dict[Tuple[str, str], List[BenchRecord]] = {}
+        for rec in self.records:
+            out.setdefault((rec.name, rec.metric), []).append(rec)
+        return out
+
+
+# ----------------------------------------------------------------------
+# comparison and gating
+# ----------------------------------------------------------------------
+
+@dataclass
+class GateFinding:
+    """Verdict for one ``(name, metric)`` series."""
+
+    name: str
+    metric: str
+    status: str             # "ok" | "regressed" | "improved" |
+    #                         "insufficient-history" | "no-direction"
+    latest: float = 0.0
+    baseline: Optional[float] = None   # median of the window
+    window_n: int = 0                  # baseline records actually used
+    change_pct: Optional[float] = None  # signed, relative to baseline
+    unit: str = ""
+    better: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "regressed"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "metric": self.metric,
+            "status": self.status, "latest": self.latest,
+            "baseline": self.baseline, "window_n": self.window_n,
+            "change_pct": self.change_pct, "unit": self.unit,
+            "better": self.better,
+        }
+
+    def render(self) -> str:
+        head = f"{self.name}/{self.metric}"
+        if self.baseline is None:
+            return f"{head}: {self.status} (latest={self.latest:g}{self.unit and ' ' + self.unit})"
+        change = (f"{self.change_pct:+.1f}%" if self.change_pct is not None
+                  else "n/a")
+        return (f"{head}: {self.status}  latest={self.latest:g} "
+                f"baseline={self.baseline:g} ({change}, "
+                f"n={self.window_n}, better={self.better})")
+
+
+def _same_machine(series: List[BenchRecord]) -> List[BenchRecord]:
+    """Restrict a series to the latest record's machine fingerprint."""
+    if not series:
+        return series
+    fp = series[-1].fingerprint
+    return [r for r in series if r.fingerprint == fp]
+
+
+def compare_series(history: BenchHistory, window: int = DEFAULT_WINDOW,
+                   min_records: int = DEFAULT_MIN_RECORDS,
+                   noise_pct: float = DEFAULT_NOISE_PCT,
+                   same_machine: bool = True) -> List[GateFinding]:
+    """Latest-vs-window verdict for every ``(name, metric)`` series."""
+    findings: List[GateFinding] = []
+    for (name, metric), series in sorted(history.series().items()):
+        if same_machine:
+            series = _same_machine(series)
+        latest = series[-1]
+        baseline_records = series[:-1][-window:] if len(series) > 1 else []
+        finding = GateFinding(
+            name=name, metric=metric, status="ok", latest=latest.value,
+            window_n=len(baseline_records), unit=latest.unit,
+            better=latest.better)
+        if len(baseline_records) < min_records:
+            finding.status = "insufficient-history"
+            findings.append(finding)
+            continue
+        baseline = median([r.value for r in baseline_records])
+        finding.baseline = baseline
+        if baseline != 0:
+            finding.change_pct = 100.0 * (latest.value - baseline) / abs(baseline)
+        if latest.better is None:
+            finding.status = "no-direction"
+            findings.append(finding)
+            continue
+        band = abs(baseline) * noise_pct / 100.0
+        if latest.better == "lower":
+            if latest.value > baseline + band:
+                finding.status = "regressed"
+            elif latest.value < baseline - band:
+                finding.status = "improved"
+        else:  # higher is better
+            if latest.value < baseline - band:
+                finding.status = "regressed"
+            elif latest.value > baseline + band:
+                finding.status = "improved"
+        findings.append(finding)
+    return findings
+
+
+def gate_history(history: BenchHistory, window: int = DEFAULT_WINDOW,
+                 min_records: int = DEFAULT_MIN_RECORDS,
+                 noise_pct: float = DEFAULT_NOISE_PCT,
+                 same_machine: bool = True,
+                 ) -> Tuple[List[GateFinding], bool]:
+    """``(findings, passed)`` — passed is False iff any series regressed."""
+    findings = compare_series(history, window=window,
+                              min_records=min_records,
+                              noise_pct=noise_pct,
+                              same_machine=same_machine)
+    return findings, not any(f.failed for f in findings)

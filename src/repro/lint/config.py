@@ -25,6 +25,8 @@ DEFAULT_EXEMPT = (
     "*/repro/lint/*",
     "*/repro/telemetry/cli.py",
     "*/repro/telemetry/__main__.py",
+    "*/repro/profile/*",
+    "*/repro/bench/*",
 )
 
 #: Packages whose ``__init__`` constructors fall under the REP004
@@ -75,6 +77,18 @@ DEFAULT_TIME_SUFFIXES = ("_s", "_ms", "_us", "_ts", "_time", "_at", "_ns")
 #: lets them read the wall clock for file naming / progress display).
 DEFAULT_TELEMETRY_HOST_FILES = ("cli.py", "__main__.py")
 
+#: Simulation-side packages covered by REP007: they may hold the
+#: null-guard profiler hook but must not import ``repro.profile`` /
+#: ``repro.bench`` or touch a profiler reference unguarded.
+DEFAULT_SIM_PACKAGES = (
+    "netsim",
+    "transport",
+    "ack",
+    "cc",
+    "core",
+    "wlan",
+)
+
 
 @dataclass
 class LintConfig:
@@ -87,6 +101,7 @@ class LintConfig:
     time_names: Sequence[str] = DEFAULT_TIME_NAMES
     time_suffixes: Sequence[str] = DEFAULT_TIME_SUFFIXES
     telemetry_host_files: Sequence[str] = DEFAULT_TELEMETRY_HOST_FILES
+    sim_packages: Sequence[str] = DEFAULT_SIM_PACKAGES
     disabled_rules: Sequence[str] = field(default_factory=tuple)
 
     # ------------------------------------------------------------------
@@ -105,6 +120,11 @@ class LintConfig:
     def is_params_file(self, path: str) -> bool:
         norm = path.replace("\\", "/")
         return norm.endswith("core/params.py")
+
+    def in_sim_scope(self, path: str) -> bool:
+        """True when *path* is simulation-side code (REP007)."""
+        norm = path.replace("\\", "/")
+        return any(f"/repro/{pkg}/" in norm for pkg in self.sim_packages)
 
     def has_unit_suffix(self, name: str) -> bool:
         return (
@@ -170,6 +190,7 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
     config.allow_names = seq("allow-names", config.allow_names)
     config.telemetry_host_files = seq("telemetry-host-files",
                                       config.telemetry_host_files)
+    config.sim_packages = seq("sim-packages", config.sim_packages)
     config.disabled_rules = seq("disable", config.disabled_rules)
     for key, attr in (("extend-exempt", "exempt"),
                       ("extend-allow-names", "allow_names")):

@@ -332,6 +332,102 @@ def rep006_telemetry_sim_clock(tree: ast.AST, path: str, config: LintConfig) -> 
 
 
 # ----------------------------------------------------------------------
+# REP007 — profiler isolation in simulation code
+# ----------------------------------------------------------------------
+
+_PROFILE_PACKAGES = ("repro.profile", "repro.bench")
+
+
+def _is_profiler_leaf(leaf: str) -> bool:
+    return (leaf in ("prof", "profiler")
+            or leaf.endswith(("_prof", "_profiler")))
+
+
+def _none_guarded_names(test: ast.AST) -> set:
+    """Dotted names *test* proves non-None (``x is not None`` shapes,
+    possibly ``and``-joined)."""
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        names: set = set()
+        for value in test.values:
+            names |= _none_guarded_names(value)
+        return names
+    if (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.IsNot)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None):
+        name = _dotted(test.left)
+        return {name} if name else set()
+    return set()
+
+
+def rep007_profiler_isolation(tree: ast.AST, path: str, config: LintConfig) -> List[Finding]:
+    """Simulation code may *hold* a profiler but never depend on it.
+
+    The host-side fence has two halves: sim packages must not import
+    ``repro.profile`` / ``repro.bench`` (the profiler arrives by
+    injection, keeping the wall clock out of the dependency graph),
+    and every method call on a profiler reference (``self.profiler``,
+    ``prof``, ``*_prof``) must sit inside an ``... is not None`` guard
+    on that same name — otherwise a disabled simulation would reach
+    through a ``None`` or, worse, silently read wall time.  Like
+    REP006 this rule is not suspended for ``exempt``-glob paths.
+    """
+    if not config.in_sim_scope(path):
+        return []
+    findings: List[Finding] = []
+
+    for node in ast.walk(tree):
+        modules: List[str] = []
+        if isinstance(node, ast.Import):
+            modules = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            modules = [node.module or ""]
+        for mod in modules:
+            if any(mod == pkg or mod.startswith(pkg + ".")
+                   for pkg in _PROFILE_PACKAGES):
+                findings.append(Finding(
+                    "REP007",
+                    f"simulation code imports `{mod}`; profilers are "
+                    "injected by the host (hold the reference, never "
+                    "import repro.profile/repro.bench)",
+                    path, node.lineno, node.col_offset,
+                ))
+
+    class _GuardVisitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.guarded: set = set()
+
+        def visit_If(self, node: ast.If) -> None:
+            self.visit(node.test)
+            added = _none_guarded_names(node.test) - self.guarded
+            self.guarded |= added
+            for child in node.body:
+                self.visit(child)
+            self.guarded -= added
+            for child in node.orelse:
+                self.visit(child)
+
+        def visit_Call(self, node: ast.Call) -> None:
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                target = _dotted(func.value)
+                leaf = target.rpartition(".")[2]
+                if (target and _is_profiler_leaf(leaf)
+                        and target not in self.guarded):
+                    findings.append(Finding(
+                        "REP007",
+                        f"call through profiler reference `{target}` "
+                        "outside an `is not None` guard; a disabled "
+                        "simulation must never touch the profiler",
+                        path, node.lineno, node.col_offset,
+                    ))
+            self.generic_visit(node)
+
+    _GuardVisitor().visit(tree)
+    return findings
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -345,6 +441,7 @@ RULES: Dict[str, RuleFn] = {
     "REP004": rep004_unit_suffixes,
     "REP005": rep005_no_mutable_defaults,
     "REP006": rep006_telemetry_sim_clock,
+    "REP007": rep007_profiler_isolation,
 }
 
 #: Rules suspended for host-side files matched by the ``exempt`` globs.
@@ -357,4 +454,6 @@ RULE_SUMMARIES: Dict[str, str] = {
     "REP004": "unit-suffix discipline for numeric parameters",
     "REP005": "no mutable default arguments",
     "REP006": "sim-side telemetry must stamp events from the sim clock",
+    "REP007": "sim code must hold profilers behind `is not None` guards, "
+              "never import repro.profile/repro.bench",
 }

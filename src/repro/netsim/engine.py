@@ -69,10 +69,15 @@ class Simulator:
         structured events from instrumented components.  Like the
         sanitizer it must be in place before endpoints/links are
         constructed — they cache the reference at build time.
+    profiler:
+        Optional :class:`repro.profile.Profiler` accounting host wall
+        time per handler class and subsystem.  Same construction-order
+        rule as telemetry: attach before endpoints are built so they
+        can bind profiled spans at construction time.
     """
 
     def __init__(self, seed: int = 1, simsan: Optional[bool] = None,
-                 telemetry=None):
+                 telemetry=None, profiler=None):
         self.clock = Clock()
         self.rng = random.Random(seed)
         self._queue: list[Event] = []
@@ -83,6 +88,9 @@ class Simulator:
         self.telemetry = None
         if telemetry is not None:
             self.attach_telemetry(telemetry)
+        self.profiler = None
+        if profiler is not None:
+            self.attach_profiler(profiler)
 
     def enable_sanitizer(self) -> "sanitize.SimSanitizer":
         """Attach (or return the already-attached) invariant sanitizer.
@@ -103,6 +111,19 @@ class Simulator:
         """
         self.telemetry = collector.attach(self)
         return self.telemetry
+
+    def attach_profiler(self, profiler):
+        """Attach a host-side profiler (``repro.profile``).
+
+        Binds the profiler to this simulator's virtual clock so the
+        report can state simulated-seconds-per-wall-second.  Must be
+        called before endpoints/links are constructed — they bind
+        profiled method spans at build time (same rule as telemetry).
+        """
+        if profiler is not None:
+            profiler.attach(self)
+        self.profiler = profiler
+        return self.profiler
 
     # ------------------------------------------------------------------
     # time
@@ -159,7 +180,14 @@ class Simulator:
                 self.san.on_event(ev.time)
             self.clock.advance_to(ev.time)
             self._events_fired += 1
-            ev.fn()
+            if self.profiler is not None:
+                self.profiler.event_begin(ev.fn, len(self._queue))
+                try:
+                    ev.fn()
+                finally:
+                    self.profiler.event_end()
+            else:
+                ev.fn()
             return True
         return False
 
@@ -173,6 +201,7 @@ class Simulator:
         measurement window behaves.
         """
         fired = 0
+        prof = self.profiler  # hoisted: attach happens before run()
         while self._queue:
             ev = self._queue[0]
             if ev.cancelled:
@@ -188,7 +217,14 @@ class Simulator:
             self.clock.advance_to(ev.time)
             self._events_fired += 1
             fired += 1
-            ev.fn()
+            if prof is not None:
+                prof.event_begin(ev.fn, len(self._queue))
+                try:
+                    ev.fn()
+                finally:
+                    prof.event_end()
+            else:
+                ev.fn()
         if until is not None and self.clock.now() < until:
             self.clock.advance_to(until)
         return self.clock.now()

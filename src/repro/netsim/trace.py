@@ -8,6 +8,7 @@ protocol code.
 from __future__ import annotations
 
 import collections
+import warnings
 from typing import Callable, Optional
 
 from repro.netsim.engine import Simulator
@@ -38,7 +39,8 @@ class PacketTap:
 
     .. deprecated::
         PacketTap predates :mod:`repro.telemetry` and is kept for the
-        existing count/rate helpers.  New code should attach a
+        existing count/rate helpers; constructing one now raises a
+        :class:`DeprecationWarning`.  New code should attach a
         ``TraceCollector`` to the simulator and consume the ``netsim``
         event category instead — it covers every link (enqueue, drop
         with reason, transmit, deliver), not just one tapped sink.
@@ -55,6 +57,10 @@ class PacketTap:
                  sink: Optional[Callable[[Packet], None]] = None,
                  max_records: Optional[int] = None,
                  telemetry=None):
+        warnings.warn(
+            "PacketTap is deprecated; attach a repro.telemetry."
+            "TraceCollector to the Simulator and consume the 'netsim' "
+            "event category instead", DeprecationWarning, stacklevel=2)
         self.sim = sim
         self.sink = sink
         self.max_records = max_records

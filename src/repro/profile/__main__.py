@@ -1,0 +1,8 @@
+"""``python -m repro.profile`` entry point (host-side)."""
+
+import sys
+
+from repro.profile.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

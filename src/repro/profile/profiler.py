@@ -1,0 +1,287 @@
+"""The :class:`Profiler`: wall-CPU accounting for a running simulation.
+
+All wall-clock reads live *here*, on the host side of the fence.  The
+instrumented simulation modules only hold an optional reference and
+call the hook methods behind ``if ... is not None`` guards (or bind
+:meth:`wrap`-ped methods at construction time); they never import this
+package — reprolint REP007 enforces both halves of that contract.
+
+Two kinds of accounting share one frame stack:
+
+* **engine events** — :meth:`event_begin` / :meth:`event_end` around
+  each fired callback give per-handler-class inclusive latency
+  histograms (percentiles via :func:`repro.stats.percentile`), the
+  events/second rate, and the calendar-queue high-water mark;
+* **subsystem spans** — :meth:`wrap` re-binds a hot method (sender
+  feedback path, receiver ingress, congestion-controller update, ACK
+  policy) so its wall time is attributed to a named span, nested under
+  whatever engine handler fired it.
+
+Because spans nest inside events on one stack, exclusive ("self") time
+is exact: a parent's self time never double-counts its children, and
+the accumulated ``(stack path -> self seconds)`` map exports directly
+as collapsed stacks for standard flamegraph tooling.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+_perf = time.perf_counter
+
+#: Latency samples kept per handler class before decimation kicks in.
+_MAX_SAMPLES = 1 << 16
+
+
+class _Agg:
+    """Streaming aggregate of one handler class or span."""
+
+    __slots__ = ("count", "total_s", "self_s", "max_s",
+                 "samples", "stride")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+        self.max_s = 0.0
+        self.samples: List[float] = []
+        self.stride = 1
+
+    def add(self, elapsed: float, self_s: float, keep_sample: bool) -> None:
+        self.count += 1
+        self.total_s += elapsed
+        self.self_s += self_s
+        if elapsed > self.max_s:
+            self.max_s = elapsed
+        if not keep_sample:
+            return
+        if self.count % self.stride == 0:
+            self.samples.append(elapsed)
+            if len(self.samples) >= _MAX_SAMPLES:
+                # Decimate: keep every other sample, double the stride.
+                # Percentiles stay representative at bounded memory.
+                self.samples = self.samples[::2]
+                self.stride *= 2
+
+
+class _Frame:
+    """One open entry on the profile stack."""
+
+    __slots__ = ("kind", "name", "t0", "child_s", "path")
+
+    def __init__(self, kind: str, name: str, t0: float,
+                 path: Tuple[str, ...]):
+        self.kind = kind          # "event" | "span"
+        self.name = name
+        self.t0 = t0
+        self.child_s = 0.0
+        self.path = path
+
+
+def _classify(fn: Callable) -> str:
+    """Handler-class label for a scheduled callback.
+
+    Bound methods become ``Owner.method`` (the common case: timers and
+    deliveries are methods on senders, receivers, links); bare
+    functions and closures fall back to their qualname.
+    """
+    owner = getattr(fn, "__self__", None)
+    if owner is not None:
+        name = getattr(fn, "__name__", "?")
+        return f"{type(owner).__name__}.{name}"
+    return getattr(fn, "__qualname__", None) or type(fn).__name__
+
+
+def _safe_frame(name: str) -> str:
+    """Collapsed-stack frames may not contain ';' or whitespace."""
+    return (name.replace(";", ":").replace(" ", "_")
+            .replace("\n", "_").replace("\t", "_"))
+
+
+class Profiler:
+    """Accumulates wall-CPU accounting for one (or more) simulations.
+
+    Parameters
+    ----------
+    label:
+        Free-form run label stored in the report metadata.
+    memory:
+        Start :mod:`tracemalloc` at attach time and include a heap
+        snapshot (current/peak bytes plus the top allocation sites) in
+        the report.  Costs real overhead; off by default.
+    histogram:
+        Keep per-handler latency samples for percentile computation.
+        Disabling drops the per-event list append, for minimum-
+        overhead runs where only totals matter.
+    """
+
+    def __init__(self, label: str = "", memory: bool = False,
+                 histogram: bool = True):
+        self.label = label
+        self._histogram = histogram
+        self._stack: List[_Frame] = []
+        self._handlers: Dict[str, _Agg] = {}
+        self._spans: Dict[str, _Agg] = {}
+        self._folded: Dict[Tuple[str, ...], float] = {}
+        self.events_fired = 0
+        self.dispatch_s = 0.0          # wall time inside event callbacks
+        self.queue_high_water = 0
+        self._sim_now: Optional[Callable[[], float]] = None
+        self._sim_t0: Optional[float] = None
+        self._sim_t1: Optional[float] = None
+        self._memory = memory
+        self._mem_started = False
+        self._mem_stats: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, sim) -> "Profiler":
+        """Bind to a simulator (sim-clock source for the report's
+        simulated-seconds-per-wall-second figure)."""
+        self._sim_now = sim.clock.now
+        if self._memory and not self._mem_started:
+            import tracemalloc
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._mem_started = True
+        return self
+
+    def close(self) -> None:
+        """Snapshot and stop memory tracing, if this profiler owns it."""
+        if self._mem_started:
+            self._snapshot_memory()
+            import tracemalloc
+            tracemalloc.stop()
+            self._mem_started = False
+
+    def _snapshot_memory(self) -> None:
+        import tracemalloc
+        if not tracemalloc.is_tracing():
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        top = tracemalloc.take_snapshot().statistics("lineno")[:15]
+        self._mem_stats = {
+            "current_bytes": current,
+            "peak_bytes": peak,
+            "top": [{"site": str(stat.traceback),
+                     "bytes": stat.size, "count": stat.count}
+                    for stat in top],
+        }
+
+    # ------------------------------------------------------------------
+    # hooks (called from instrumented sim code, always behind a guard)
+    # ------------------------------------------------------------------
+    def event_begin(self, fn: Callable, queue_depth: int) -> None:
+        """The engine is about to fire *fn*; stack depth must return to
+        its current level via exactly one :meth:`event_end`."""
+        if queue_depth > self.queue_high_water:
+            self.queue_high_water = queue_depth
+        self._push("event", _classify(fn))
+        if self._sim_t0 is None and self._sim_now is not None:
+            self._sim_t0 = self._sim_now()
+
+    def event_end(self) -> None:
+        self._pop()
+        self.events_fired += 1
+        if self._sim_now is not None:
+            self._sim_t1 = self._sim_now()
+
+    def wrap(self, name: str, fn: Callable) -> Callable:
+        """Return *fn* wrapped in a named subsystem span.
+
+        Meant for construction-time method re-binding
+        (``self.method = prof.wrap("span", self.method)``) so the hot
+        path carries zero profiling branches when disabled.
+        """
+        @functools.wraps(fn)
+        def profiled(*args, **kwargs):
+            self._push("span", name)
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                self._pop()
+        return profiled
+
+    # ------------------------------------------------------------------
+    # frame stack
+    # ------------------------------------------------------------------
+    def _push(self, kind: str, name: str) -> None:
+        parent = self._stack[-1].path if self._stack else ()
+        self._stack.append(_Frame(kind, name, _perf(), parent + (name,)))
+
+    def _pop(self) -> None:
+        if not self._stack:
+            return
+        frame = self._stack.pop()
+        elapsed = _perf() - frame.t0
+        self_s = elapsed - frame.child_s
+        if self_s < 0.0:
+            self_s = 0.0  # clock granularity can make child > parent
+        if self._stack:
+            self._stack[-1].child_s += elapsed
+        self._folded[frame.path] = self._folded.get(frame.path, 0.0) + self_s
+        if frame.kind == "event":
+            agg = self._handlers.get(frame.name)
+            if agg is None:
+                agg = self._handlers[frame.name] = _Agg()
+            agg.add(elapsed, self_s, self._histogram)
+            self.dispatch_s += elapsed
+        else:
+            agg = self._spans.get(frame.name)
+            if agg is None:
+                agg = self._spans[frame.name] = _Agg()
+            agg.add(elapsed, self_s, self._histogram)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """JSON-ready profile document (schema ``repro-profile`` v1)."""
+        from repro.profile.report import build_report
+        if self._memory and self._mem_stats is None:
+            self._snapshot_memory()
+        return build_report(self)
+
+    def write_json(self, path: str) -> Dict[str, Any]:
+        """Write the report to *path*; returns the document."""
+        from repro.profile.report import write_profile
+        return write_profile(path, self.report())
+
+    def collapsed_stacks(self) -> List[str]:
+        """Flamegraph-compatible lines: ``frame;frame;... <microsec>``.
+
+        Values are integer self-microseconds; zero-self frames are
+        dropped (flamegraph tooling requires positive sample counts).
+        """
+        lines: List[str] = []
+        for path in sorted(self._folded):
+            us = round(self._folded[path] * 1e6)
+            if us <= 0:
+                continue
+            lines.append(";".join(_safe_frame(f) for f in path) + f" {us}")
+        return lines
+
+    def write_collapsed(self, path: str) -> int:
+        """Write collapsed stacks to *path*; returns the line count."""
+        lines = self.collapsed_stacks()
+        with open(path, "w") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        return len(lines)
+
+    # ------------------------------------------------------------------
+    @property
+    def sim_elapsed_s(self) -> float:
+        """Simulated seconds covered while profiling (0 before run)."""
+        if self._sim_t0 is None or self._sim_t1 is None:
+            return 0.0
+        return max(self._sim_t1 - self._sim_t0, 0.0)
+
+    def __repr__(self) -> str:
+        return (f"Profiler(events={self.events_fired}, "
+                f"dispatch={self.dispatch_s:.3f}s, "
+                f"handlers={len(self._handlers)}, "
+                f"spans={len(self._spans)})")

@@ -1,0 +1,182 @@
+"""Profile report document: build, write, read, and query.
+
+Schema (``repro-profile``, version 1)::
+
+    {"schema": "repro-profile", "version": 1,
+     "meta": {"label": ..., "hostname": ..., "platform": ...,
+              "python": ..., "cpus": N, "recorded_unix": ...},
+     "events": {"fired": N, "dispatch_s": ..., "per_s": ...,
+                "queue_high_water": ..., "sim_s": ...,
+                "sim_per_wall": ...},
+     "handlers": {"TransportSender._on_send_timer":
+                      {"count": ..., "total_s": ..., "self_s": ...,
+                       "max_us": ..., "mean_us": ..., "p50_us": ...,
+                       "p90_us": ..., "p99_us": ...}, ...},
+     "spans": {"transport.sender.feedback": {...same fields...}, ...},
+     "memory": null | {"current_bytes": ..., "peak_bytes": ...,
+                       "top": [{"site": ..., "bytes": ..., "count": ...}]}}
+
+Percentiles come from :func:`repro.stats.percentile` over the
+profiler's (possibly decimated) latency samples; ``null`` when the
+histogram was disabled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runner.manifest import host_metadata
+from repro.stats.percentile import percentile
+
+PROFILE_SCHEMA = "repro-profile"
+PROFILE_VERSION = 1
+
+
+def _agg_doc(agg) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {
+        "count": agg.count,
+        "total_s": round(agg.total_s, 9),
+        "self_s": round(agg.self_s, 9),
+        "max_us": round(agg.max_s * 1e6, 3),
+        "mean_us": round(agg.total_s / agg.count * 1e6, 3) if agg.count else 0.0,
+    }
+    if agg.samples:
+        for pct in (50, 90, 99):
+            doc[f"p{pct}_us"] = round(
+                percentile(agg.samples, float(pct)) * 1e6, 3)
+    else:
+        doc["p50_us"] = doc["p90_us"] = doc["p99_us"] = None
+    return doc
+
+
+def build_report(profiler) -> Dict[str, Any]:
+    """Assemble the schema-v1 document from a live profiler."""
+    dispatch = profiler.dispatch_s
+    sim_s = profiler.sim_elapsed_s
+    return {
+        "schema": PROFILE_SCHEMA,
+        "version": PROFILE_VERSION,
+        "meta": {
+            "label": profiler.label,
+            **host_metadata(),
+            "recorded_unix": time.time(),
+        },
+        "events": {
+            "fired": profiler.events_fired,
+            "dispatch_s": round(dispatch, 6),
+            "per_s": round(profiler.events_fired / dispatch, 1)
+            if dispatch > 0 else 0.0,
+            "queue_high_water": profiler.queue_high_water,
+            "sim_s": round(sim_s, 9),
+            "sim_per_wall": round(sim_s / dispatch, 3) if dispatch > 0 else 0.0,
+        },
+        "handlers": {name: _agg_doc(agg)
+                     for name, agg in sorted(profiler._handlers.items())},
+        "spans": {name: _agg_doc(agg)
+                  for name, agg in sorted(profiler._spans.items())},
+        "memory": profiler._mem_stats,
+    }
+
+
+def write_profile(path: str, report: Dict[str, Any]) -> Dict[str, Any]:
+    """Atomically write a report document as JSON."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return report
+
+
+def read_profile(path: str) -> Dict[str, Any]:
+    """Load and validate a profile document."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("schema") != PROFILE_SCHEMA:
+        raise ValueError(f"{path}: not a {PROFILE_SCHEMA} document")
+    return doc
+
+
+def parse_collapsed(lines) -> List[Tuple[Tuple[str, ...], int]]:
+    """Parse collapsed-stack lines back into ``(frames, value)`` pairs.
+
+    Raises :class:`ValueError` on any malformed line — the format
+    assertion the tests (and downstream flamegraph tooling) rely on:
+    ``frame(;frame)* <positive int>`` with no whitespace in frames.
+    """
+    out: List[Tuple[Tuple[str, ...], int]] = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line:
+            continue
+        stack, sep, value = line.rpartition(" ")
+        if not sep or not stack:
+            raise ValueError(f"line {lineno}: missing stack or value")
+        if not value.isdigit() or int(value) <= 0:
+            raise ValueError(f"line {lineno}: value {value!r} is not a "
+                             "positive integer")
+        frames = tuple(stack.split(";"))
+        if any((not f) or (" " in f) or ("\t" in f) for f in frames):
+            raise ValueError(f"line {lineno}: malformed frame in {stack!r}")
+        out.append((frames, int(value)))
+    return out
+
+
+def _top(table: Dict[str, Dict[str, Any]], n: int,
+         key: str) -> List[Tuple[str, Dict[str, Any]]]:
+    return sorted(table.items(),
+                  key=lambda kv: kv[1].get(key) or 0.0,
+                  reverse=True)[:n]
+
+
+def top_handlers(report: Dict[str, Any], n: int = 10,
+                 key: str = "self_s") -> List[Tuple[str, Dict[str, Any]]]:
+    """Hottest handler classes, descending by *key*."""
+    return _top(report.get("handlers", {}), n, key)
+
+
+def top_spans(report: Dict[str, Any], n: int = 10,
+              key: str = "self_s") -> List[Tuple[str, Dict[str, Any]]]:
+    """Hottest subsystem spans, descending by *key*."""
+    return _top(report.get("spans", {}), n, key)
+
+
+def render_top(report: Dict[str, Any], n: int = 10) -> str:
+    """Human-readable ``top`` table for one report."""
+    ev = report["events"]
+    lines = [
+        f"events: {ev['fired']}  dispatch: {ev['dispatch_s']:.3f}s  "
+        f"rate: {ev['per_s']:,.0f}/s  queue high-water: "
+        f"{ev['queue_high_water']}",
+        f"simulated: {ev['sim_s']:.3f}s  "
+        f"({ev['sim_per_wall']:.1f} sim-s per wall-s)",
+        "",
+        f"{'handler':<44} {'count':>9} {'self':>9} {'total':>9} "
+        f"{'p50':>8} {'p99':>8}",
+    ]
+    for name, h in top_handlers(report, n):
+        p50 = f"{h['p50_us']:.0f}us" if h.get("p50_us") is not None else "-"
+        p99 = f"{h['p99_us']:.0f}us" if h.get("p99_us") is not None else "-"
+        lines.append(
+            f"{name[:44]:<44} {h['count']:>9} {h['self_s']:>8.3f}s "
+            f"{h['total_s']:>8.3f}s {p50:>8} {p99:>8}")
+    spans = report.get("spans") or {}
+    if spans:
+        lines.append("")
+        lines.append(f"{'span':<44} {'calls':>9} {'self':>9} {'total':>9}")
+        for name, s in top_spans(report, n):
+            lines.append(
+                f"{name[:44]:<44} {s['count']:>9} {s['self_s']:>8.3f}s "
+                f"{s['total_s']:>8.3f}s")
+    mem = report.get("memory")
+    if mem:
+        lines.append("")
+        lines.append(f"memory: current={mem['current_bytes']:,}B "
+                     f"peak={mem['peak_bytes']:,}B")
+    return "\n".join(lines)

@@ -107,6 +107,12 @@ class TransportReceiver:
         # `ack`-category event per feedback emission).
         self._tel = sim.telemetry
         policy.attach(self)
+        # profiling: construction-time re-binding (see the sender); the
+        # ACK policy binds its own spans through attach_profiler.
+        prof = getattr(sim, "profiler", None)
+        if prof is not None:
+            self.on_packet = prof.wrap("receiver.packet", self.on_packet)
+            policy.attach_profiler(prof)
 
     # ------------------------------------------------------------------
     # wiring

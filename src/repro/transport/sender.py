@@ -169,6 +169,13 @@ class TransportSender:
         self._tel_last_rtt_min: Optional[float] = None
         if self._tel is not None:
             cc.attach_telemetry(self._tel, flow_id)
+        # profiling: construction-time re-binding keeps the hot paths
+        # free of profiling branches when no profiler is attached.
+        prof = getattr(sim, "profiler", None)
+        if prof is not None:
+            self._on_feedback = prof.wrap("sender.feedback", self._on_feedback)
+            self._try_send = prof.wrap("sender.try_send", self._try_send)
+            cc.attach_profiler(prof)
 
     @staticmethod
     def _safe_rate(cc: CongestionController) -> bool:

@@ -1,0 +1,261 @@
+"""repro.bench: BenchRecord schema, history files, the regression gate,
+and the record/compare/gate CLI surface."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchRecord,
+    append_records,
+    compare_series,
+    file_sha256,
+    gate_history,
+    git_revision,
+    load_history,
+    machine_fingerprint,
+)
+from repro.profile.cli import infer_better, main
+
+
+def rec(value, metric="wall_s", name="demo", better="lower", machine=None,
+        unit="s"):
+    r = BenchRecord.make(name, metric, value, unit, better=better)
+    if machine is not None:
+        r.machine = {"fingerprint": machine}
+    return r
+
+
+class TestBenchRecord:
+    def test_make_stamps_provenance(self):
+        r = BenchRecord.make("engine", "wall_s", 1.25, "s", better="lower")
+        assert r.recorded_unix > 0
+        assert r.machine["fingerprint"] == machine_fingerprint()
+        assert r.git_rev  # short hex or "unknown", never empty
+
+    def test_round_trips_through_dict(self):
+        r = BenchRecord.make("engine", "wall_s", 1.25, "s", better="lower",
+                             meta={"rounds": 3})
+        back = BenchRecord.from_dict(json.loads(r.to_json_line()))
+        assert back == r
+
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            BenchRecord(name="x", metric="m", value=1.0, unit="",
+                        better="sideways")
+
+    def test_from_dict_rejects_wrong_schema(self):
+        doc = json.loads(rec(1.0).to_json_line())
+        doc["schema"] = "other"
+        with pytest.raises(ValueError):
+            BenchRecord.from_dict(doc)
+
+    def test_git_revision_of_this_repo(self):
+        sha = git_revision(__file__)
+        assert sha != "unknown"
+        int(sha, 16)  # short hex
+
+    def test_file_sha256(self, tmp_path):
+        p = tmp_path / "f"
+        p.write_bytes(b"abc")
+        assert file_sha256(str(p)) == (
+            "ba7816bf8f01cfea414140de5dae2223"
+            "b00361a396177a9cb410ff61f20015ad")
+
+
+class TestHistoryIo:
+    def test_append_and_load_round_trip(self, tmp_path):
+        root = str(tmp_path / "hist")
+        records = [rec(1.0), rec(1.1),
+                   rec(5.0, name="other", metric="events_per_s",
+                       better="higher", unit="")]
+        assert append_records(root, records) == 3
+        history = load_history(root)
+        assert len(history) == 3
+        assert history.skipped == 0
+        assert history.records[:2] == records[:2]
+        assert set(history.series()) == {("demo", "wall_s"),
+                                         ("other", "events_per_s")}
+
+    def test_one_file_per_bench_name(self, tmp_path):
+        root = str(tmp_path / "hist")
+        append_records(root, [rec(1.0), rec(2.0, name="other")])
+        assert sorted(p.name for p in (tmp_path / "hist").iterdir()) == \
+            ["demo.jsonl", "other.jsonl"]
+
+    def test_corrupt_lines_skipped_not_fatal(self, tmp_path):
+        root = tmp_path / "hist"
+        append_records(str(root), [rec(1.0)])
+        with open(root / "demo.jsonl", "a") as fh:
+            fh.write("not json\n")
+            fh.write('{"schema": "other"}\n')
+        history = load_history(str(root))
+        assert len(history) == 1
+        assert history.skipped == 2
+
+    def test_missing_root_is_empty(self, tmp_path):
+        history = load_history(str(tmp_path / "nope"))
+        assert len(history) == 0
+
+    def test_load_single_name(self, tmp_path):
+        root = str(tmp_path / "hist")
+        append_records(root, [rec(1.0), rec(2.0, name="other")])
+        history = load_history(root, name="other")
+        assert [r.name for r in history.records] == ["other"]
+
+
+def history_of(values, tmp_path, **kwargs):
+    root = str(tmp_path / "hist")
+    append_records(root, [rec(v, **kwargs) for v in values])
+    return load_history(root)
+
+
+class TestGate:
+    def test_flat_series_passes(self, tmp_path):
+        history = history_of([1.0, 1.02, 0.98, 1.01, 0.99], tmp_path)
+        findings, passed = gate_history(history)
+        assert passed
+        assert [f.status for f in findings] == ["ok"]
+
+    def test_regression_fails(self, tmp_path):
+        history = history_of([1.0, 1.0, 1.0, 1.5], tmp_path)
+        findings, passed = gate_history(history)
+        assert not passed
+        f = findings[0]
+        assert f.status == "regressed" and f.failed
+        assert f.baseline == pytest.approx(1.0)
+        assert f.change_pct == pytest.approx(50.0)
+
+    def test_improvement_never_fails(self, tmp_path):
+        history = history_of([1.0, 1.0, 1.0, 0.5], tmp_path)
+        findings, passed = gate_history(history)
+        assert passed
+        assert findings[0].status == "improved"
+
+    def test_higher_is_better_direction(self, tmp_path):
+        worse = history_of([100, 100, 100, 50], tmp_path,
+                           metric="events_per_s", better="higher", unit="")
+        findings, passed = gate_history(worse)
+        assert not passed and findings[0].status == "regressed"
+
+    def test_within_noise_band_is_ok(self, tmp_path):
+        history = history_of([1.0, 1.0, 1.0, 1.05], tmp_path)
+        findings, passed = gate_history(history, noise_pct=10.0)
+        assert passed and findings[0].status == "ok"
+
+    def test_insufficient_history_passes_with_warning(self, tmp_path):
+        history = history_of([1.0, 1.5], tmp_path)
+        findings, passed = gate_history(history, min_records=3)
+        assert passed
+        assert findings[0].status == "insufficient-history"
+
+    def test_no_direction_metric_never_fails(self, tmp_path):
+        history = history_of([1.0, 1.0, 1.0, 99.0], tmp_path, better=None)
+        findings, passed = gate_history(history)
+        assert passed
+        assert findings[0].status == "no-direction"
+
+    def test_cross_machine_records_filtered(self, tmp_path):
+        root = str(tmp_path / "hist")
+        append_records(root, [rec(9.0, machine="aaaa"),
+                              rec(9.0, machine="aaaa"),
+                              rec(9.0, machine="aaaa"),
+                              rec(1.0, machine="bbbb"),
+                              rec(1.0, machine="bbbb"),
+                              rec(1.0, machine="bbbb"),
+                              rec(1.0, machine="bbbb")])
+        findings, passed = gate_history(load_history(root))
+        # Same-machine view: flat 1.0 series from "bbbb"; the 9.0
+        # records from "aaaa" would otherwise mask a regression or
+        # fabricate one.
+        assert passed
+        assert findings[0].status == "ok"
+        assert findings[0].window_n == 3
+
+        findings, _ = gate_history(load_history(root), same_machine=False)
+        assert findings[0].window_n == 5  # foreign records leak back in
+
+    def test_window_bounds_baseline(self, tmp_path):
+        history = history_of([9.0] * 10 + [1.0, 1.0, 1.0, 1.0], tmp_path)
+        findings, passed = gate_history(history, window=3)
+        assert passed and findings[0].status == "ok"
+
+
+class TestCli:
+    def test_record_then_gate_round_trip(self, tmp_path, capsys):
+        hist = str(tmp_path / "hist")
+        for v in ("1.0", "1.02", "0.98", "1.01"):
+            assert main(["record", "--history", hist, "--name", "demo",
+                         "--metric", "wall_s", "--value", v, "--unit", "s",
+                         "--better", "lower"]) == 0
+        capsys.readouterr()
+        assert main(["gate", "--history", hist]) == 0
+        assert "ok" in capsys.readouterr().out
+        # Loader sees exactly what record wrote (JSONL schema intact).
+        history = load_history(hist)
+        assert [r.value for r in history.records] == [1.0, 1.02, 0.98, 1.01]
+        assert all(r.better == "lower" for r in history.records)
+
+    def test_gate_exit_1_on_regressed_history(self, tmp_path, capsys):
+        hist = str(tmp_path / "hist")
+        append_records(hist, [rec(v) for v in (1.0, 1.0, 1.0, 1.5)])
+        assert main(["gate", "--history", hist]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_gate_warn_only_forces_exit_0(self, tmp_path, capsys):
+        hist = str(tmp_path / "hist")
+        append_records(hist, [rec(v) for v in (1.0, 1.0, 1.0, 1.5)])
+        assert main(["gate", "--history", hist, "--warn-only"]) == 0
+
+    def test_gate_empty_history_passes(self, tmp_path, capsys):
+        assert main(["gate", "--history", str(tmp_path / "none")]) == 0
+        assert "nothing to gate" in capsys.readouterr().out
+
+    def test_compare_json_document(self, tmp_path, capsys):
+        hist = str(tmp_path / "hist")
+        append_records(hist, [rec(v) for v in (1.0, 1.0, 1.0, 1.2)])
+        assert main(["compare", "--history", hist, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["records"] == 4
+        assert doc["series"][0]["status"] == "regressed"
+        assert doc["passed"] is None  # compare never gates
+
+    def test_compare_empty_history_exits_2(self, tmp_path, capsys):
+        assert main(["compare", "--history", str(tmp_path / "none")]) == 2
+        assert "no bench history" in capsys.readouterr().err
+
+    def test_record_from_bench_json(self, tmp_path, capsys):
+        doc = {"bench": "telemetry_overhead",
+               "config": {"rounds": 3},
+               "metrics": {"off_s": 0.5, "memory_overhead_pct": 2.0,
+                           "events_per_connection_second": 4000},
+               "timestamp": 0}
+        src = tmp_path / "BENCH_telemetry.json"
+        src.write_text(json.dumps(doc))
+        hist = str(tmp_path / "hist")
+        assert main(["record", "--history", hist,
+                     "--from-json", str(src)]) == 0
+        series = load_history(hist).series()
+        assert set(series) == {
+            ("telemetry_overhead", "off_s"),
+            ("telemetry_overhead", "memory_overhead_pct"),
+            ("telemetry_overhead", "events_per_connection_second")}
+        assert series[("telemetry_overhead", "off_s")][0].better == "lower"
+
+    def test_record_missing_flags_exits_2(self, tmp_path, capsys):
+        assert main(["record", "--history", str(tmp_path / "h"),
+                     "--name", "x"]) == 2
+        assert "--metric" in capsys.readouterr().err
+
+    def test_usage_error_exits_2(self):
+        assert main(["no-such-command"]) == 2
+        assert main([]) == 2
+
+
+class TestInferBetter:
+    def test_directions(self):
+        assert infer_better("wall_s") == "lower"
+        assert infer_better("overhead_pct") == "lower"
+        assert infer_better("events_per_s") == "higher"
+        assert infer_better("goodput_bps") == "higher"
+        assert infer_better("bytes_delivered") is None

@@ -124,6 +124,78 @@ class TestRuleFiring:
         assert codes(src, path="src/repro/telemetry/special.py",
                      config=config) == ["REP001"]
 
+    def test_rep007_import_of_profile_packages(self):
+        assert codes("from repro.profile import Profiler\n") == ["REP007"]
+        assert codes("import repro.bench\n") == ["REP007"]
+        assert codes("from repro.profile.profiler import Profiler\n") == \
+            ["REP007"]
+
+    def test_rep007_unguarded_profiler_call(self):
+        src = ("class Engine:\n"
+               "    def step(self):\n"
+               "        self.profiler.event_begin(None, 0)\n")
+        assert codes(src) == ["REP007"]
+        assert codes("prof.wrap('x', f)\n") == ["REP007"]
+        assert codes("self._prof.event_end()\n") == ["REP007"]
+
+    def test_rep007_guarded_calls_ok(self):
+        src = ("class Engine:\n"
+               "    def step(self):\n"
+               "        if self.profiler is not None:\n"
+               "            self.profiler.event_begin(None, 0)\n"
+               "            try:\n"
+               "                pass\n"
+               "            finally:\n"
+               "                self.profiler.event_end()\n")
+        assert codes(src) == []
+        hoisted = ("def run(self):\n"
+                   "    prof = self.profiler\n"
+                   "    if prof is not None:\n"
+                   "        prof.event_begin(None, 0)\n")
+        assert codes(hoisted) == []
+
+    def test_rep007_guard_does_not_leak_to_else_or_after(self):
+        src = ("if prof is not None:\n"
+               "    pass\n"
+               "else:\n"
+               "    prof.wrap('x', f)\n")
+        assert codes(src) == ["REP007"]
+        after = ("if prof is not None:\n"
+                 "    pass\n"
+                 "prof.wrap('x', f)\n")
+        assert codes(after) == ["REP007"]
+
+    def test_rep007_guard_name_must_match(self):
+        src = ("if other is not None:\n"
+               "    prof.wrap('x', f)\n")
+        assert codes(src) == ["REP007"]
+
+    def test_rep007_host_side_silent(self):
+        src = "from repro.profile import Profiler\nprof.wrap('x', f)\n"
+        assert codes(src, path=HOST) == []
+        assert codes(src, path="src/repro/experiments/fixture.py") == []
+
+    def test_rep007_non_profiler_names_untouched(self):
+        assert codes("self.policy.attach(receiver)\n") == []
+
+    def test_rep007_pragma_suppresses(self):
+        src = "prof.close()  # reprolint: disable=REP007\n"
+        assert codes(src) == []
+
+    def test_instrumented_sim_modules_pass_rep007(self):
+        """The real hook sites stay inside the fence."""
+        config = load_config(REPO_ROOT / "pyproject.toml")
+        for rel in ("src/repro/netsim/engine.py",
+                    "src/repro/transport/sender.py",
+                    "src/repro/transport/receiver.py",
+                    "src/repro/cc/base.py",
+                    "src/repro/ack/base.py"):
+            path = REPO_ROOT / rel
+            found = [f for f in
+                     lint_source(path.read_text(), str(path), config)
+                     if f.code == "REP007"]
+            assert found == [], "\n".join(f.render() for f in found)
+
     def test_syntax_error_is_reported(self):
         assert codes("def f(:\n") == ["REP000"]
 
@@ -175,7 +247,7 @@ class TestConfig:
 
     def test_rule_registry_is_stable(self):
         assert list(RULES) == ["REP001", "REP002", "REP003", "REP004",
-                               "REP005", "REP006"]
+                               "REP005", "REP006", "REP007"]
 
 
 class TestCli:

@@ -139,3 +139,32 @@ class TestDiff:
 
     def test_missing_operand_exits_2(self, trace):
         assert main(["diff", trace]) == 2
+
+    def test_empty_trace_exits_2(self, trace, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["diff", trace, str(empty)]) == 2
+        assert "empty file" in capsys.readouterr().err
+        # order must not matter: empty operand first fails the same way
+        assert main(["diff", str(empty), trace]) == 2
+
+    def test_mismatched_schema_header_exits_2(self, trace, tmp_path,
+                                              capsys):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"schema": "not-a-trace", "version": 1}\n')
+        assert main(["diff", trace, str(bogus)]) == 2
+        assert "header" in capsys.readouterr().err
+
+    def test_header_only_traces_are_identical(self, tmp_path, capsys):
+        """Zero events is a valid trace; two of them diff clean."""
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        write_trace(a, [])
+        write_trace(b, [])
+        assert main(["diff", a, b]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_self_diff_exits_0(self, trace, capsys):
+        """A trace diffed against itself is identical by construction."""
+        assert main(["diff", trace, trace]) == 0
+        assert "identical" in capsys.readouterr().out

@@ -7,10 +7,23 @@ from repro.netsim.pipe import Pipe
 from repro.netsim.trace import PacketTap
 
 
+def make_tap(*args, **kwargs):
+    """Construct a PacketTap, asserting its deprecation warning."""
+    with pytest.warns(DeprecationWarning, match="PacketTap is deprecated"):
+        return PacketTap(*args, **kwargs)
+
+
+class TestDeprecation:
+    def test_construction_warns_and_points_at_telemetry(self, sim):
+        with pytest.warns(DeprecationWarning,
+                          match="repro.telemetry.*TraceCollector"):
+            PacketTap(sim)
+
+
 class TestPacketTap:
     def test_records_and_forwards(self, sim):
         got = []
-        tap = PacketTap(sim, sink=got.append)
+        tap = make_tap(sim, sink=got.append)
         pipe = Pipe(sim, 0.01, sink=tap)
         pipe.send(make_data_packet(0, 1))
         sim.run()
@@ -19,7 +32,7 @@ class TestPacketTap:
         assert tap.records[0].time == pytest.approx(0.01)
 
     def test_counts_by_kind(self, sim):
-        tap = PacketTap(sim)
+        tap = make_tap(sim)
         tap(make_data_packet(0, 1))
         tap(make_ack_packet())
         tap(make_ack_packet(kind=PacketType.TACK))
@@ -29,7 +42,7 @@ class TestPacketTap:
         assert tap.count() == 4
 
     def test_bytes_and_rate(self, sim):
-        tap = PacketTap(sim)
+        tap = make_tap(sim)
         sim.call_in(1.0, lambda: tap(make_data_packet(0, 1)))
         sim.run()
         assert tap.bytes_seen() == 1518
@@ -37,7 +50,7 @@ class TestPacketTap:
         assert tap.rate_bps(start=0.0, end=2.0) == pytest.approx(1518 * 8 / 2.0)
 
     def test_rate_window_filters(self, sim):
-        tap = PacketTap(sim)
+        tap = make_tap(sim)
         sim.call_in(1.0, lambda: tap(make_data_packet(0, 1)))
         sim.call_in(5.0, lambda: tap(make_data_packet(1500, 2)))
         sim.run()
@@ -45,22 +58,22 @@ class TestPacketTap:
         assert only_first == pytest.approx(1518 * 8 / 2.0)
 
     def test_zero_duration_rate(self, sim):
-        tap = PacketTap(sim)
+        tap = make_tap(sim)
         assert tap.rate_bps(start=1.0, end=1.0) == 0.0
 
     def test_clear(self, sim):
-        tap = PacketTap(sim)
+        tap = make_tap(sim)
         tap(make_data_packet(0, 1))
         tap.clear()
         assert tap.count() == 0
 
     def test_tap_without_sink(self, sim):
-        tap = PacketTap(sim)
+        tap = make_tap(sim)
         tap(make_data_packet(0, 1))  # must not raise
         assert tap.count() == 1
 
     def test_max_records_bounds_memory(self, sim):
-        tap = PacketTap(sim, max_records=3)
+        tap = make_tap(sim, max_records=3)
         for i in range(10):
             tap(make_data_packet(i * 1500, i))
         assert len(tap.records) == 3
@@ -68,7 +81,7 @@ class TestPacketTap:
         assert [r.pkt_seq for r in tap.records] == [7, 8, 9]
 
     def test_unbounded_by_default(self, sim):
-        tap = PacketTap(sim)
+        tap = make_tap(sim)
         for i in range(10):
             tap(make_data_packet(i * 1500, i))
         assert len(tap.records) == 10
@@ -76,7 +89,7 @@ class TestPacketTap:
     def test_tap_forwards_to_telemetry(self, sim):
         from repro.telemetry import TraceCollector
         collector = TraceCollector().attach(sim)
-        tap = PacketTap(sim, telemetry=collector)
+        tap = make_tap(sim, telemetry=collector)
         tap(make_data_packet(0, 1))
         events = collector.events()
         assert len(events) == 1
@@ -87,7 +100,7 @@ class TestPacketTap:
         from repro.netsim.engine import Simulator
         from repro.telemetry import TraceCollector
         sim = Simulator(seed=1, telemetry=TraceCollector())
-        tap = PacketTap(sim)
+        tap = make_tap(sim)
         tap(make_data_packet(0, 1))
         assert len(sim.telemetry.events()) == 1
 
@@ -100,7 +113,7 @@ class TestPacketTap:
         conn, path = build_wired_connection(sim, "tcp-tack", rate_bps=10e6,
                                             rtt_s=0.05)
         original_sink = conn.sender.on_packet
-        tap = PacketTap(sim, sink=original_sink)
+        tap = make_tap(sim, sink=original_sink)
         path.wan.reverse.connect(tap)
         conn.start_transfer(50 * 1500)
         sim.run(until=5.0)

@@ -10,9 +10,15 @@ from repro.netsim.trace import PacketTap
 from conftest import build_wired_connection
 
 
+def make_tap(*args, **kwargs):
+    """Construct a PacketTap, asserting its deprecation warning."""
+    with pytest.warns(DeprecationWarning, match="PacketTap is deprecated"):
+        return PacketTap(*args, **kwargs)
+
+
 class TestTraceExport:
     def test_csv_roundtrip(self, sim, tmp_path):
-        tap = PacketTap(sim)
+        tap = make_tap(sim)
         tap(make_data_packet(0, 1))
         tap(make_ack_packet())
         path = tmp_path / "sub" / "trace.csv"
@@ -26,7 +32,7 @@ class TestTraceExport:
         assert parsed[1]["seq"] == ""
 
     def test_summary_by_kind(self, sim):
-        tap = PacketTap(sim)
+        tap = make_tap(sim)
         tap(make_data_packet(0, 1))
         tap(make_data_packet(1500, 2))
         tap(make_ack_packet(kind=PacketType.TACK))
@@ -39,7 +45,7 @@ class TestTraceExport:
         conn, path = build_wired_connection(sim, "tcp-tack", rate_bps=10e6,
                                             rtt_s=0.02)
         original = conn.receiver.on_packet
-        tap = PacketTap(sim, sink=original)
+        tap = make_tap(sim, sink=original)
         path.wan.forward.connect(tap)
         conn.start_transfer(30 * 1500)
         sim.run(until=3.0)
