@@ -62,6 +62,9 @@ class TackPolicy(AckPolicy):
         # clock is the binding constraint of Eq. (3) ("periodic"), >1
         # means ticks were skipped waiting for L*MSS ("bytecount").
         self._ticks_since_emit = 0
+        # Graceful degradation under heavy ACK-path loss: True while
+        # the periodic clock is densified (see periodic_interval).
+        self._degraded = False
 
     # ------------------------------------------------------------------
     # helpers
@@ -71,12 +74,35 @@ class TackPolicy(AckPolicy):
         return peer if peer is not None and peer > 0 else self._fallback_rtt_min
 
     def periodic_interval(self) -> float:
-        """The periodic component of Eq. (3): RTT_min / beta."""
+        """The periodic component of Eq. (3): RTT_min / beta.
+
+        Under heavy ACK-path loss (sender-synced rho' above
+        ``degrade_ack_loss``) a rich/adaptive receiver *degrades
+        gracefully*: the clock densifies by ``1 / (1 - rho')`` (capped
+        at ``max_degrade_factor``) so the expected rate of *surviving*
+        feedback stays near the Eq. (3) design point instead of
+        starving the sender into RTO.  Poor mode never degrades — it
+        is the Fig. 5(b) baseline and must keep the literal clock.
+        """
         rtt_min = self.rtt_min()
         self.receiver.rate.set_filter_window(
             max(self.params.bw_filter_rtts * rtt_min, 0.05)
         )
-        return max(rtt_min / self.params.beta, 1e-4)
+        boost = 1.0
+        if self.params.rich is not False:
+            rho_prime = self.receiver.peer_ack_loss_rate
+            if rho_prime > self.params.degrade_ack_loss:
+                boost = min(1.0 / (1.0 - min(rho_prime, 0.9)),
+                            self.params.max_degrade_factor)
+        degraded = boost > 1.0
+        if degraded != self._degraded:
+            self._degraded = degraded
+            tel = self.receiver.sim.telemetry
+            if tel is not None:
+                tel.emit("ack", "degrade", self.receiver.flow_id,
+                         on=degraded, boost=round(boost, 3),
+                         ack_loss=self.receiver.peer_ack_loss_rate)
+        return max(rtt_min / (self.params.beta * boost), 1e-4)
 
     def _block_budget(self) -> tuple[int, int]:
         """(max acked blocks, max unacked blocks) for the next TACK.

@@ -1,0 +1,8 @@
+"""``python -m repro.chaos`` entry point (host-side)."""
+
+import sys
+
+from repro.chaos.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

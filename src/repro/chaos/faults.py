@@ -1,0 +1,451 @@
+"""Deterministic fault injection: timed impairments on live links.
+
+A :class:`FaultSchedule` is a list of :class:`Fault` windows; a
+:class:`ChaosInjector` arms them against one
+:class:`~repro.netsim.paths.PathHandle`, turning each window into a
+pair of simulator events (apply at ``start_s``, revert at
+``start_s + duration_s``).  Faults act through the link mutation API
+(:meth:`~repro.netsim.link.Link.set_rate` /
+:meth:`~repro.netsim.link.Link.set_loss` /
+:meth:`~repro.netsim.link.Link.impairments`) so the topology is never
+rebuilt mid-run and an unimpaired link keeps its zero-cost hot path.
+
+Determinism: every random decision (loss draws, jitter, duplication)
+comes from RNG streams forked off the simulation seed, so a scenario
+replays identically under the same seed — the property the chaos test
+suite and the campaign cache both rely on.
+
+Composability: faults targeting *different* knobs may overlap freely;
+two windows of the same fault class on the same direction must not
+overlap (the second revert would clobber the first's restore state —
+:meth:`FaultSchedule.validate` rejects this at arm time).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.link import Link
+from repro.netsim.loss import BernoulliLoss, GilbertElliottLoss, LossModel
+
+#: Valid ``direction`` values: which link(s) of the path a fault hits.
+DIRECTIONS = ("forward", "reverse", "both")
+
+
+class Fault:
+    """One timed impairment window.
+
+    Subclasses implement :meth:`on_start` / :meth:`on_end` against a
+    single :class:`~repro.netsim.link.Link`; per-link restore state
+    lives in ``self._saved[id(link)]`` so a ``direction="both"`` fault
+    keeps the two links' states apart.
+    """
+
+    kind = "fault"
+
+    def __init__(self, start_s: float, duration_s: float,
+                 direction: str = "forward"):
+        if start_s < 0:
+            raise ValueError(f"fault start must be >= 0, got {start_s}")
+        if duration_s <= 0:
+            raise ValueError(f"fault duration must be > 0, got {duration_s}")
+        if direction not in DIRECTIONS:
+            raise ValueError(
+                f"direction must be one of {DIRECTIONS}, got {direction!r}")
+        self.start_s = float(start_s)
+        self.duration_s = float(duration_s)
+        self.direction = direction
+        self._saved: dict[int, object] = {}
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def on_start(self, link: Link, injector: "ChaosInjector") -> None:
+        raise NotImplementedError
+
+    def on_end(self, link: Link, injector: "ChaosInjector") -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return (f"{self.kind}[{self.direction}] "
+                f"t={self.start_s:g}s +{self.duration_s:g}s")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class Blackout(Fault):
+    """Total outage: the link drops everything at ingress."""
+
+    kind = "blackout"
+
+    def on_start(self, link: Link, injector: "ChaosInjector") -> None:
+        link.impairments(injector.rng).blackout = True
+
+    def on_end(self, link: Link, injector: "ChaosInjector") -> None:
+        link.impairments(injector.rng).blackout = False
+
+
+class LinkFlap(Fault):
+    """The link toggles dead/alive with period ``period_s`` for the
+    window (down first) — the Wi-Fi roam / interface-bounce pattern."""
+
+    kind = "flap"
+
+    def __init__(self, start_s: float, duration_s: float,
+                 period_s: float, direction: str = "forward"):
+        super().__init__(start_s, duration_s, direction)
+        if period_s <= 0:
+            raise ValueError(f"flap period must be > 0, got {period_s}")
+        self.period_s = float(period_s)
+        self._running: dict[int, bool] = {}
+
+    def on_start(self, link: Link, injector: "ChaosInjector") -> None:
+        self._running[id(link)] = True
+        imp = link.impairments(injector.rng)
+        imp.blackout = True
+        self._schedule_toggle(link, injector)
+
+    def _schedule_toggle(self, link: Link, injector: "ChaosInjector") -> None:
+        injector.sim.call_in(
+            self.period_s / 2.0, lambda: self._toggle(link, injector))
+
+    def _toggle(self, link: Link, injector: "ChaosInjector") -> None:
+        if not self._running.get(id(link)):
+            return
+        imp = link.impairments(injector.rng)
+        imp.blackout = not imp.blackout
+        self._schedule_toggle(link, injector)
+
+    def on_end(self, link: Link, injector: "ChaosInjector") -> None:
+        self._running[id(link)] = False
+        link.impairments(injector.rng).blackout = False
+
+
+class BandwidthOscillation(Fault):
+    """Rate square-wave between ``low_bps`` and ``high_bps`` with
+    period ``period_s`` (low first); the pre-fault rate is restored
+    when the window closes.  Models the paper's rate-varying wireless
+    channel at the WAN bottleneck."""
+
+    kind = "bw_osc"
+
+    def __init__(self, start_s: float, duration_s: float,
+                 low_bps: float, high_bps: float, period_s: float,
+                 direction: str = "forward"):
+        super().__init__(start_s, duration_s, direction)
+        if low_bps <= 0 or high_bps <= 0:
+            raise ValueError("oscillation rates must be positive")
+        if period_s <= 0:
+            raise ValueError(f"oscillation period must be > 0, got {period_s}")
+        self.low_bps = float(low_bps)
+        self.high_bps = float(high_bps)
+        self.period_s = float(period_s)
+        self._running: dict[int, bool] = {}
+        self._at_low: dict[int, bool] = {}
+
+    def on_start(self, link: Link, injector: "ChaosInjector") -> None:
+        self._saved[id(link)] = link.config.rate_bps
+        self._running[id(link)] = True
+        self._at_low[id(link)] = True
+        link.set_rate(self.low_bps)
+        self._schedule_toggle(link, injector)
+
+    def _schedule_toggle(self, link: Link, injector: "ChaosInjector") -> None:
+        injector.sim.call_in(
+            self.period_s / 2.0, lambda: self._toggle(link, injector))
+
+    def _toggle(self, link: Link, injector: "ChaosInjector") -> None:
+        if not self._running.get(id(link)):
+            return
+        at_low = not self._at_low[id(link)]
+        self._at_low[id(link)] = at_low
+        link.set_rate(self.low_bps if at_low else self.high_bps)
+        self._schedule_toggle(link, injector)
+
+    def on_end(self, link: Link, injector: "ChaosInjector") -> None:
+        self._running[id(link)] = False
+        link.set_rate(self._saved.pop(id(link)))
+
+
+class LossEpisode(Fault):
+    """Uniform random loss at ``rate`` for the window (Bernoulli);
+    the pre-fault loss model is restored afterwards."""
+
+    kind = "loss"
+
+    def __init__(self, start_s: float, duration_s: float, rate: float,
+                 direction: str = "forward"):
+        super().__init__(start_s, duration_s, direction)
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"loss rate must be in (0, 1], got {rate}")
+        self.rate = rate
+
+    def on_start(self, link: Link, injector: "ChaosInjector") -> None:
+        self._saved[id(link)] = link.set_loss(
+            BernoulliLoss(self.rate, injector.fork(f"{self.kind}-{link.name}")))
+
+    def on_end(self, link: Link, injector: "ChaosInjector") -> None:
+        link.set_loss(self._saved.pop(id(link)))
+
+
+class BurstLossEpisode(Fault):
+    """Bursty (Gilbert-Elliott) loss for the window: ``p_enter`` /
+    ``p_exit`` drive the bad-state Markov chain, ``bad_loss`` is the
+    drop probability while bad (paper S6's burst-loss impairment)."""
+
+    kind = "burst_loss"
+
+    def __init__(self, start_s: float, duration_s: float,
+                 p_enter: float = 0.02, p_exit: float = 0.25,
+                 bad_loss: float = 0.6, direction: str = "forward"):
+        super().__init__(start_s, duration_s, direction)
+        self.p_enter = p_enter
+        self.p_exit = p_exit
+        self.bad_loss = bad_loss
+
+    def on_start(self, link: Link, injector: "ChaosInjector") -> None:
+        model = GilbertElliottLoss(
+            p_gb=self.p_enter, p_bg=self.p_exit, bad_loss=self.bad_loss,
+            rng=injector.fork(f"{self.kind}-{link.name}"),
+        )
+        self._saved[id(link)] = link.set_loss(model)
+
+    def on_end(self, link: Link, injector: "ChaosInjector") -> None:
+        link.set_loss(self._saved.pop(id(link)))
+
+
+class Reordering(Fault):
+    """Each packet is independently held back ``extra_delay_s`` with
+    probability ``prob`` — later packets overtake it in propagation."""
+
+    kind = "reorder"
+
+    def __init__(self, start_s: float, duration_s: float,
+                 prob: float, extra_delay_s: float,
+                 direction: str = "forward"):
+        super().__init__(start_s, duration_s, direction)
+        if not 0.0 < prob <= 1.0:
+            raise ValueError(f"reorder prob must be in (0, 1], got {prob}")
+        if extra_delay_s <= 0:
+            raise ValueError("reorder extra delay must be > 0")
+        self.prob = prob
+        self.extra_delay_s = extra_delay_s
+
+    def on_start(self, link: Link, injector: "ChaosInjector") -> None:
+        imp = link.impairments(injector.rng)
+        imp.reorder_prob = self.prob
+        imp.reorder_extra_s = self.extra_delay_s
+
+    def on_end(self, link: Link, injector: "ChaosInjector") -> None:
+        imp = link.impairments(injector.rng)
+        imp.reorder_prob = 0.0
+        imp.reorder_extra_s = 0.0
+
+
+class Duplication(Fault):
+    """Each accepted packet is duplicated with probability ``prob``."""
+
+    kind = "duplicate"
+
+    def __init__(self, start_s: float, duration_s: float, prob: float,
+                 direction: str = "forward"):
+        super().__init__(start_s, duration_s, direction)
+        if not 0.0 < prob <= 1.0:
+            raise ValueError(f"duplicate prob must be in (0, 1], got {prob}")
+        self.prob = prob
+
+    def on_start(self, link: Link, injector: "ChaosInjector") -> None:
+        link.impairments(injector.rng).duplicate_prob = self.prob
+
+    def on_end(self, link: Link, injector: "ChaosInjector") -> None:
+        link.impairments(injector.rng).duplicate_prob = 0.0
+
+
+class Corruption(Fault):
+    """Each in-flight packet is corrupted away with probability
+    ``prob`` (dropped after consuming serialization airtime, unlike an
+    ingress loss model)."""
+
+    kind = "corrupt"
+
+    def __init__(self, start_s: float, duration_s: float, prob: float,
+                 direction: str = "forward"):
+        super().__init__(start_s, duration_s, direction)
+        if not 0.0 < prob <= 1.0:
+            raise ValueError(f"corrupt prob must be in (0, 1], got {prob}")
+        self.prob = prob
+
+    def on_start(self, link: Link, injector: "ChaosInjector") -> None:
+        link.impairments(injector.rng).corrupt_prob = self.prob
+
+    def on_end(self, link: Link, injector: "ChaosInjector") -> None:
+        link.impairments(injector.rng).corrupt_prob = 0.0
+
+
+class JitterSpike(Fault):
+    """Uniform ``[0, jitter_s)`` extra propagation delay per packet —
+    delay variance without reordering guarantees."""
+
+    kind = "jitter"
+
+    def __init__(self, start_s: float, duration_s: float, jitter_s: float,
+                 direction: str = "forward"):
+        super().__init__(start_s, duration_s, direction)
+        if jitter_s <= 0:
+            raise ValueError(f"jitter must be > 0, got {jitter_s}")
+        self.jitter_s = jitter_s
+
+    def on_start(self, link: Link, injector: "ChaosInjector") -> None:
+        link.impairments(injector.rng).jitter_s = self.jitter_s
+
+    def on_end(self, link: Link, injector: "ChaosInjector") -> None:
+        link.impairments(injector.rng).jitter_s = 0.0
+
+
+class DelayStep(Fault):
+    """Propagation delay steps up by ``extra_delay_s`` for the window
+    (a route change), then back."""
+
+    kind = "delay_step"
+
+    def __init__(self, start_s: float, duration_s: float,
+                 extra_delay_s: float, direction: str = "both"):
+        super().__init__(start_s, duration_s, direction)
+        if extra_delay_s <= 0:
+            raise ValueError("delay step must be > 0")
+        self.extra_delay_s = extra_delay_s
+
+    def on_start(self, link: Link, injector: "ChaosInjector") -> None:
+        self._saved[id(link)] = link.config.delay_s
+        link.set_delay(link.config.delay_s + self.extra_delay_s)
+
+    def on_end(self, link: Link, injector: "ChaosInjector") -> None:
+        link.set_delay(self._saved.pop(id(link)))
+
+
+class FaultSchedule:
+    """An ordered, validated collection of fault windows."""
+
+    def __init__(self, faults: Optional[list[Fault]] = None):
+        self.faults: list[Fault] = []
+        for fault in faults or []:
+            self.add(fault)
+
+    def add(self, fault: Fault) -> "FaultSchedule":
+        """Append a fault; chainable."""
+        if not isinstance(fault, Fault):
+            raise TypeError(f"expected a Fault, got {type(fault).__name__}")
+        self.faults.append(fault)
+        return self
+
+    def validate(self) -> None:
+        """Reject same-kind overlapping windows on a shared direction
+        (their revert steps would clobber each other's saved state)."""
+        by_kind: dict[str, list[Fault]] = {}
+        for fault in self.faults:
+            by_kind.setdefault(fault.kind, []).append(fault)
+        for kind, group in by_kind.items():
+            group = sorted(group, key=lambda f: f.start_s)
+            for a, b in zip(group, group[1:]):
+                shared = (a.direction == "both" or b.direction == "both"
+                          or a.direction == b.direction)
+                if shared and b.start_s < a.end_s:
+                    raise ValueError(
+                        f"overlapping {kind!r} faults on a shared link: "
+                        f"{a.describe()} vs {b.describe()}")
+
+    def window(self) -> tuple[float, float]:
+        """(earliest start, latest end) over all faults; (0, 0) when
+        empty."""
+        if not self.faults:
+            return (0.0, 0.0)
+        return (min(f.start_s for f in self.faults),
+                max(f.end_s for f in self.faults))
+
+    def describe(self) -> list[str]:
+        return [f.describe() for f in
+                sorted(self.faults, key=lambda f: f.start_s)]
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+
+class ChaosInjector:
+    """Arms a :class:`FaultSchedule` against one path.
+
+    Parameters
+    ----------
+    sim:
+        The simulation driver (timers + the seed-derived RNG tree).
+    path:
+        A :class:`~repro.netsim.paths.PathHandle` with a WAN segment;
+        pure-WLAN paths have no mutable wired links and are rejected.
+    schedule:
+        The fault windows to run.
+
+    The injector forks its RNG streams off ``sim`` (one for the shared
+    impairment stages, one per stochastic loss episode) so chaos
+    randomness never perturbs the protocol/workload streams.
+    """
+
+    def __init__(self, sim: Simulator, path, schedule: FaultSchedule):
+        self.sim = sim
+        self.path = path
+        self.schedule = schedule
+        self.rng = sim.fork_rng("chaos-impairments")
+        self.log: list[tuple[float, str, str]] = []
+        self._tel = sim.telemetry
+        self._armed = False
+
+    def fork(self, label: str):
+        """An independent chaos-RNG stream (loss-model episodes)."""
+        return self.sim.fork_rng(f"chaos-{label}")
+
+    def _links_for(self, direction: str) -> list[Link]:
+        links = []
+        if direction in ("forward", "both"):
+            links.append(self.path.forward_link)
+        if direction in ("reverse", "both"):
+            links.append(self.path.reverse_link)
+        if any(link is None for link in links):
+            raise ValueError(
+                "chaos injection needs a wired WAN segment on the path "
+                "(pure-WLAN PathHandles expose no mutable links)")
+        return links
+
+    def arm(self) -> "ChaosInjector":
+        """Schedule every fault's apply/revert pair; idempotent-safe
+        only once — arming twice would double-apply."""
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self.schedule.validate()
+        self._armed = True
+        for fault in self.schedule:
+            links = self._links_for(fault.direction)  # fail fast, pre-run
+            self.sim.call_at(
+                fault.start_s,
+                lambda f=fault, ls=links: self._fire(f, ls, start=True))
+            self.sim.call_at(
+                fault.end_s,
+                lambda f=fault, ls=links: self._fire(f, ls, start=False))
+        return self
+
+    def _fire(self, fault: Fault, links: list[Link], start: bool) -> None:
+        for link in links:
+            if start:
+                fault.on_start(link, self)
+            else:
+                fault.on_end(link, self)
+        action = "on" if start else "off"
+        self.log.append((self.sim.now(), fault.kind, action))
+        if self._tel is not None:
+            self._tel.emit("chaos", f"fault_{action}", 0,
+                           kind=fault.kind, direction=fault.direction,
+                           start_s=fault.start_s,
+                           duration_s=fault.duration_s)

@@ -1,0 +1,140 @@
+"""Run one chaos scenario against one protocol scheme and classify
+how it ended.
+
+The contract every run is checked against (and the chaos pytest suite
+asserts across the whole scenario x scheme matrix):
+
+1. the simulation *terminates* — the event loop drains or the time
+   limit is reached, never an unbounded event storm (``max_events``
+   backstop);
+2. the connection ends **observably**: all bytes delivered, or a
+   structured abort — a silent stall is classified ``"stalled"`` and
+   treated as a failure;
+3. with ``REPRO_SIMSAN=1`` (or ``simsan=True``) no runtime invariant
+   fires — violations raise straight through
+   (:class:`repro.sanitize.InvariantViolation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.chaos.faults import ChaosInjector
+from repro.chaos.scenarios import Scenario
+from repro.core.flavors import make_connection
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import wired_path
+from repro.transport.errors import abort_result
+
+#: Event-count backstop: generous for any sane scenario (tens of
+#: seconds of simulated transfer), small enough that a timer storm
+#: fails fast instead of spinning the host.
+MAX_EVENTS = 5_000_000
+
+
+@dataclass
+class ChaosResult:
+    """How one scenario x scheme run ended."""
+
+    scenario: str
+    scheme: str
+    seed: int
+    outcome: str                 # "delivered" | "aborted" | "stalled" | "runaway"
+    expect: str
+    sim_time_s: float
+    events_fired: int
+    bytes_delivered: int
+    transfer_bytes: int
+    abort: Optional[dict] = None
+    summary: dict = field(default_factory=dict)
+    fault_log: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Did the run end the way the scenario allows?"""
+        if self.outcome == "delivered":
+            return self.expect in ("deliver", "any")
+        if self.outcome == "aborted":
+            return self.expect in ("abort", "any")
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "outcome": self.outcome,
+            "expect": self.expect,
+            "ok": self.ok,
+            "sim_time_s": self.sim_time_s,
+            "events_fired": self.events_fired,
+            "bytes_delivered": self.bytes_delivered,
+            "transfer_bytes": self.transfer_bytes,
+            "abort": self.abort,
+            "summary": self.summary,
+            "faults": [
+                {"t": t, "kind": kind, "action": action}
+                for t, kind, action in self.fault_log
+            ],
+        }
+
+
+def run_scenario(
+    scenario: Scenario,
+    scheme: str = "tcp-tack",
+    seed: int = 1,
+    simsan: Optional[bool] = None,
+    telemetry=None,
+    max_events: int = MAX_EVENTS,
+) -> ChaosResult:
+    """Execute ``scenario`` under ``scheme`` and classify the ending.
+
+    Raises nothing for protocol-level failures (those become outcomes);
+    sanitizer violations and genuine bugs do raise.
+    """
+    sim = Simulator(seed=seed, simsan=simsan, telemetry=telemetry)
+    path = wired_path(sim, rate_bps=scenario.rate_bps, rtt_s=scenario.rtt_s)
+    conn = make_connection(sim, scheme=scheme,
+                           initial_rtt_s=scenario.rtt_s)
+    conn.wire(path.forward, path.reverse)
+    injector = ChaosInjector(sim, path, scenario.build()).arm()
+    conn.start_transfer(scenario.transfer_bytes)
+    sim.run(until=scenario.time_limit_s, max_events=max_events)
+    if conn.completed:
+        outcome = "delivered"
+    elif conn.aborted is not None:
+        outcome = "aborted"
+        # An aborted connection must leave no self-sustaining timers:
+        # drain what remains (bounded past the last fault revert) and
+        # insist the loop goes quiet.
+        drain_until = max(scenario.time_limit_s,
+                          injector.schedule.window()[1]) + 1.0
+        sim.run(until=drain_until, max_events=100_000)
+        if sim.pending() > 0:
+            outcome = "runaway"
+    elif sim.events_fired >= max_events:
+        outcome = "runaway"
+    else:
+        outcome = "stalled"
+    conn.close()
+    if conn.completed:
+        ended_at = conn.sender.completed_at
+    elif conn.aborted is not None:
+        ended_at = conn.aborted.at_s
+    else:
+        ended_at = sim.now()
+    return ChaosResult(
+        scenario=scenario.name,
+        scheme=scheme,
+        seed=seed,
+        outcome=outcome,
+        expect=scenario.expect,
+        sim_time_s=ended_at,
+        events_fired=sim.events_fired,
+        bytes_delivered=conn.receiver.stats.bytes_delivered,
+        transfer_bytes=scenario.transfer_bytes,
+        abort=abort_result(conn.aborted),
+        summary=conn.summary(),
+        fault_log=list(injector.log),
+    )

@@ -43,6 +43,14 @@ class TackParams:
         "advanced" = per-interval min-OWD reference (S5.2);
         "naive" = one sample per TACK from the latest packet (the
         biased legacy scheme of Fig. 6(a)).
+    degrade_ack_loss:
+        Synced ACK-path loss rate (rho', S5.4) above which a rich/
+        adaptive TACK receiver *degrades gracefully*: the periodic
+        clock densifies so enough feedback survives the impairment.
+        Poor mode never degrades — it is the Fig. 5(b) baseline.
+    max_degrade_factor:
+        Cap on the degraded-mode frequency multiplier (bounds feedback
+        overhead even under a near-dead ACK path).
     """
 
     def __init__(
@@ -59,6 +67,8 @@ class TackParams:
         holb_keepalive: bool = True,
         timing_mode: str = "advanced",
         mss: int = MSS,
+        degrade_ack_loss: float = 0.15,
+        max_degrade_factor: float = 4.0,
     ):
         if beta < 1:
             raise ValueError(f"beta must be >= 1, got {beta}")
@@ -70,6 +80,12 @@ class TackParams:
             raise ValueError(f"unknown timing mode: {timing_mode!r}")
         if not isinstance(rich, bool) and rich != "adaptive":
             raise ValueError(f"rich must be True, False, or 'adaptive', got {rich!r}")
+        if not 0.0 < degrade_ack_loss <= 1.0:
+            raise ValueError(
+                f"degrade_ack_loss must be in (0, 1], got {degrade_ack_loss}")
+        if max_degrade_factor < 1.0:
+            raise ValueError(
+                f"max_degrade_factor must be >= 1, got {max_degrade_factor}")
         self.beta = beta
         self.ack_count_l = ack_count_l
         self.primary_blocks_q = primary_blocks_q
@@ -86,6 +102,8 @@ class TackParams:
         self.holb_keepalive = holb_keepalive
         self.timing_mode = timing_mode
         self.mss = mss
+        self.degrade_ack_loss = degrade_ack_loss
+        self.max_degrade_factor = max_degrade_factor
 
     def tack_interval(self, bw_bps: float, rtt_min: float) -> float:
         """Interval between TACKs per Eq. (3): the *slower* of the
@@ -120,6 +138,8 @@ class TackParams:
             holb_keepalive=self.holb_keepalive,
             timing_mode=self.timing_mode,
             mss=self.mss,
+            degrade_ack_loss=self.degrade_ack_loss,
+            max_degrade_factor=self.max_degrade_factor,
         )
         kwargs.update(overrides)
         return TackParams(**kwargs)

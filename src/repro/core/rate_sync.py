@@ -4,9 +4,9 @@ The receiver computes the average delivery rate over each TACK
 interval (data delivered / time elapsed) and the data-path loss rate;
 ``bw`` — the input to the TACK frequency Eq. (3) and to the co-designed
 BBR — is the windowed max of those per-interval rates
-(theta_filter = 5~10 RTTs).  The sender mirrors the loss-rate
-calculation for the ACK path: expected TACKs (from the synced
-frequency) vs received TACKs.
+(theta_filter = 5~10 RTTs).  The sender measures the ACK-path loss
+rate (rho', S5.4) from gaps in the feedback sequence numbers the
+receiver stamps on every acknowledgment.
 """
 
 from __future__ import annotations
@@ -73,33 +73,62 @@ class ReceiverRateEstimator:
 
 
 class AckPathLossEstimator:
-    """Sender-side rho' (ACK-path loss) estimate.
+    """Sender-side rho' (ACK-path loss) estimate from feedback
+    sequence numbers.
 
-    The sender knows the negotiated TACK frequency, so over any
-    period it can compare the TACKs that *should* have arrived with
-    those that did (paper S5.4).
+    The receiver numbers every feedback packet it emits (one shared
+    counter across ACK/TACK/IACK); gaps in the sequence the sender
+    observes are feedback that died on the ACK path.  This measures
+    rho' (paper S5.4) *exactly* — the earlier design guessed the
+    expected TACK count from the negotiated frequency, which
+    overestimates badly for app-limited flows (few data packets in
+    flight means few TACK triggers, which the guess misread as loss).
+
+    Each time the covered span reaches ``window`` the loss fraction
+    over that span folds into ``loss_rate`` with EWMA ``ewma_gain``, so the
+    estimate tracks regime changes (a reverse-path blackout lifting)
+    within a few windows.  Reordered feedback arriving after its
+    window folded is ignored: the slight overestimate decays with the
+    next clean window.
     """
 
-    def __init__(self, min_expected: int = 8):
-        self.min_expected = min_expected
-        self._window_start: Optional[float] = None
-        self._received_in_window = 0
+    def __init__(self, window: int = 32, ewma_gain: float = 0.5):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if not 0.0 < ewma_gain <= 1.0:
+            raise ValueError(f"ewma_gain must be in (0, 1], got {ewma_gain}")
+        self.window = window
+        self.ewma_gain = ewma_gain
+        self._base: Optional[int] = None   # first seq of current window
+        self._highest: Optional[int] = None
+        self._received = 0
         self.loss_rate = 0.0
 
-    def on_tack(self, now: float) -> None:
-        if self._window_start is None:
-            self._window_start = now
-        self._received_in_window += 1
-
-    def on_rtt_min_update(self, now: float, tack_interval_s: float) -> None:
-        """Re-estimate rho' (the paper refreshes it on RTT_min
-        updates); resets the measurement window."""
-        if self._window_start is None or tack_interval_s <= 0:
+    def on_feedback(self, fb_seq: Optional[int]) -> None:
+        """Record one arrived feedback packet (any flavor)."""
+        if fb_seq is None:  # peer does not number its feedback
             return
-        elapsed = now - self._window_start
-        expected = elapsed / tack_interval_s
-        if expected >= self.min_expected:
-            missed = max(0.0, expected - self._received_in_window)
-            self.loss_rate = min(1.0, missed / expected)
-            self._window_start = now
-            self._received_in_window = 0
+        if self._base is None:
+            self._base = fb_seq
+            self._highest = fb_seq
+            self._received = 1
+            return
+        if fb_seq < self._base:  # straggler from a folded window
+            return
+        self._received += 1
+        if self._highest is None or fb_seq > self._highest:
+            self._highest = fb_seq
+        span = self._highest - self._base + 1
+        if span >= self.window:
+            lost = max(0, span - self._received)  # dups can exceed span
+            sample = lost / span
+            self.loss_rate += self.ewma_gain * (sample - self.loss_rate)
+            self._base = self._highest + 1
+            self._highest = None
+            self._received = 0
+
+    def reset(self) -> None:
+        self._base = None
+        self._highest = None
+        self._received = 0
+        self.loss_rate = 0.0

@@ -77,9 +77,11 @@ DEFAULT_TIME_SUFFIXES = ("_s", "_ms", "_us", "_ts", "_time", "_at", "_ns")
 #: lets them read the wall clock for file naming / progress display).
 DEFAULT_TELEMETRY_HOST_FILES = ("cli.py", "__main__.py")
 
-#: Simulation-side packages covered by REP007: they may hold the
-#: null-guard profiler hook but must not import ``repro.profile`` /
-#: ``repro.bench`` or touch a profiler reference unguarded.
+#: Simulation-side packages covered by REP007 (profiler isolation) and
+#: REP008 (no hard-coded RNG seeds): they may hold the null-guard
+#: profiler hook but must not import ``repro.profile`` /
+#: ``repro.bench``, touch a profiler reference unguarded, or bake a
+#: literal seed into an RNG.
 DEFAULT_SIM_PACKAGES = (
     "netsim",
     "transport",
@@ -87,6 +89,7 @@ DEFAULT_SIM_PACKAGES = (
     "cc",
     "core",
     "wlan",
+    "chaos",
 )
 
 

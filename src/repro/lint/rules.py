@@ -428,6 +428,41 @@ def rep007_profiler_isolation(tree: ast.AST, path: str, config: LintConfig) -> L
 
 
 # ----------------------------------------------------------------------
+# REP008 — no fixed-seed RNG construction in simulation code
+# ----------------------------------------------------------------------
+
+def rep008_no_fixed_seed(tree: ast.AST, path: str, config: LintConfig) -> List[Finding]:
+    """Sim code must not bake in ``random.Random(<literal>)``.
+
+    A hard-coded seed looks deterministic but is the *shared-stream*
+    footgun: every instance built from the same literal replays the
+    same draws, silently correlating loss across links/directions and
+    pinning results to a seed no experiment config controls.  (The
+    historical ``rng or random.Random(0)`` default in the loss models
+    is exactly what this rule now bans.)  Randomness must arrive from
+    outside: a caller-supplied ``rng``/seed or ``sim.fork_rng(label)``.
+    """
+    if not config.in_sim_scope(path):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name not in ("random.Random", "Random"):
+            continue
+        if node.args and _is_const(node.args[0], int, float, str, bytes):
+            findings.append(Finding(
+                "REP008",
+                f"`{name}({node.args[0].value!r})` hard-codes an RNG seed "
+                "in simulation code; take an explicit rng/seed parameter "
+                "or fork from `sim.fork_rng(label)`",
+                path, node.lineno, node.col_offset,
+            ))
+    return findings
+
+
+# ----------------------------------------------------------------------
 # registry
 # ----------------------------------------------------------------------
 
@@ -442,6 +477,7 @@ RULES: Dict[str, RuleFn] = {
     "REP005": rep005_no_mutable_defaults,
     "REP006": rep006_telemetry_sim_clock,
     "REP007": rep007_profiler_isolation,
+    "REP008": rep008_no_fixed_seed,
 }
 
 #: Rules suspended for host-side files matched by the ``exempt`` globs.
@@ -456,4 +492,6 @@ RULE_SUMMARIES: Dict[str, str] = {
     "REP006": "sim-side telemetry must stamp events from the sim clock",
     "REP007": "sim code must hold profilers behind `is not None` guards, "
               "never import repro.profile/repro.bench",
+    "REP008": "no hard-coded RNG seeds (`random.Random(<literal>)`) in "
+              "simulation code",
 }

@@ -4,6 +4,18 @@ This is the building block of the WAN emulator.  A link is
 unidirectional; bidirectional paths are a pair of links (possibly with
 different loss models, matching the paper's data-path vs ACK-path
 impairments).
+
+Two chaos-plane extensions live here (see :mod:`repro.chaos`):
+
+* a **mutation API** (:meth:`Link.set_rate`, :meth:`Link.set_delay`,
+  :meth:`Link.set_loss`) so scripted faults can retune a live link
+  instead of rebuilding the topology — rate changes apply from the
+  next serialization, delay changes from the next propagation;
+* an optional **impairment stage** (:class:`LinkImpairments`) applied
+  at ingress like a hardware impairment port: blackout, duplication,
+  corruption, reordering, and jitter.  The stage is null-guarded the
+  same way telemetry is (``if self._imp is not None``), so an
+  unimpaired link pays one attribute test per packet.
 """
 
 from __future__ import annotations
@@ -11,7 +23,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.netsim.engine import Simulator
-from repro.netsim.loss import LossModel, NoLoss
+from repro.netsim.loss import LossModel, NoLoss, RngLike, coerce_rng
 from repro.netsim.packet import Packet
 from repro.netsim.queue import DropTailQueue
 
@@ -46,6 +58,39 @@ class LinkConfig:
         )
 
 
+class LinkImpairments:
+    """Mutable impairment knobs a chaos schedule drives on one link.
+
+    All fields default to "no effect"; the injector flips them on for
+    the duration of a fault window and back off afterwards.  Random
+    decisions (duplicate/corrupt/reorder/jitter draws) come from the
+    explicit ``rng``, independent of the loss model's stream.
+    """
+
+    def __init__(self, rng: RngLike):
+        self.rng = coerce_rng(rng, "LinkImpairments")
+        self.blackout = False          # drop everything at ingress
+        self.duplicate_prob = 0.0      # enqueue an extra copy
+        self.corrupt_prob = 0.0        # deliver-side drop ("corrupt")
+        self.reorder_prob = 0.0        # hold one packet back ...
+        self.reorder_extra_s = 0.0     # ... by this much extra delay
+        self.jitter_s = 0.0            # uniform [0, jitter_s) per packet
+
+    def active(self) -> bool:
+        return (self.blackout or self.duplicate_prob > 0.0
+                or self.corrupt_prob > 0.0 or self.reorder_prob > 0.0
+                or self.jitter_s > 0.0)
+
+    def clear(self) -> None:
+        """Back to pass-through (fault window closed)."""
+        self.blackout = False
+        self.duplicate_prob = 0.0
+        self.corrupt_prob = 0.0
+        self.reorder_prob = 0.0
+        self.reorder_extra_s = 0.0
+        self.jitter_s = 0.0
+
+
 class Link:
     """Unidirectional link delivering packets to a sink callback.
 
@@ -73,22 +118,72 @@ class Link:
         self.packets_sent = 0
         self.packets_delivered = 0
         self.packets_lost = 0
+        self.packets_duplicated = 0
+        self.packets_corrupted = 0
+        self.packets_reordered = 0
         self.bytes_delivered = 0
         # telemetry: one None-check per packet event when disabled.
         self._tel = sim.telemetry
+        # chaos impairment stage: same null-guard pattern.
+        self._imp: Optional[LinkImpairments] = None
 
     # ------------------------------------------------------------------
     def connect(self, sink: Callable[[Packet], None]) -> None:
         """Attach the receive-side callback."""
         self.sink = sink
 
+    # ------------------------------------------------------------------
+    # chaos mutation API
+    # ------------------------------------------------------------------
+    def set_rate(self, rate_bps: float) -> None:
+        """Retune the serialization rate; applies from the next packet
+        clocked onto the wire (an in-flight serialization finishes at
+        the old rate, like a real shaper reconfiguration)."""
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        self.config.rate_bps = float(rate_bps)
+
+    def set_delay(self, delay_s: float) -> None:
+        """Retune the propagation delay; applies from the next packet
+        finishing serialization."""
+        if delay_s < 0:
+            raise ValueError(f"negative propagation delay: {delay_s}")
+        self.config.delay_s = float(delay_s)
+
+    def set_loss(self, model: Optional[LossModel]) -> LossModel:
+        """Swap the ingress loss model; returns the previous one so a
+        fault window can restore it when it closes."""
+        previous = self.config.loss
+        self.config.loss = model or NoLoss()
+        return previous
+
+    def impairments(self, rng: RngLike) -> LinkImpairments:
+        """Attach (or return the existing) impairment stage.
+
+        The first call installs the stage with ``rng``; later calls
+        return the same object so composed faults share one stage.
+        """
+        if self._imp is None:
+            self._imp = LinkImpairments(rng)
+        return self._imp
+
+    # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
         """Offer ``packet`` to the link.
 
-        Returns ``False`` if it was dropped at ingress (loss model or
-        full queue); the caller must not assume delivery either way.
+        Returns ``False`` if it was dropped at ingress (loss model,
+        blackout, or full queue); the caller must not assume delivery
+        either way.
         """
         self.packets_sent += 1
+        if self._imp is not None and self._imp.blackout:
+            self.packets_lost += 1
+            if self._tel is not None:
+                self._tel.emit("netsim", "drop", packet.flow_id,
+                               link=self.name, reason="blackout",
+                               kind=packet.kind.value, size=packet.size,
+                               pkt_seq=packet.pkt_seq)
+            return False
         if self.config.loss.should_drop(packet, self.sim.now()):
             self.packets_lost += 1
             if self._tel is not None:
@@ -110,6 +205,12 @@ class Link:
                            link=self.name, kind=packet.kind.value,
                            size=packet.size,
                            queued_bytes=self.queue.bytes_queued)
+        if (self._imp is not None and self._imp.duplicate_prob > 0.0
+                and self._imp.rng.random() < self._imp.duplicate_prob
+                and self.queue.try_enqueue(packet)):
+            # A duplicated packet consumes queue space and airtime like
+            # any other; overflow silently cancels the duplication.
+            self.packets_duplicated += 1
         if not self._busy:
             self._start_transmission()
         return True
@@ -131,8 +232,36 @@ class Link:
         self.sim.call_in(tx_time, lambda p=packet: self._finish_transmission(p))
 
     def _finish_transmission(self, packet: Packet) -> None:
-        self.sim.call_in(self.config.delay_s, lambda p=packet: self._deliver(p))
+        delay = self.config.delay_s
+        if self._imp is not None:
+            delay += self._propagation_impairment(packet)
+            if delay < 0:
+                # Corruption: the packet evaporates mid-flight.
+                self.packets_corrupted += 1
+                self.packets_lost += 1
+                if self._tel is not None:
+                    self._tel.emit("netsim", "drop", packet.flow_id,
+                                   link=self.name, reason="corrupt",
+                                   kind=packet.kind.value, size=packet.size,
+                                   pkt_seq=packet.pkt_seq)
+                self._start_transmission()
+                return
+        self.sim.call_in(delay, lambda p=packet: self._deliver(p))
         self._start_transmission()
+
+    def _propagation_impairment(self, packet: Packet) -> float:
+        """Extra propagation delay from the impairment stage, or a
+        negative sentinel when the packet is corrupted away."""
+        imp = self._imp
+        extra = 0.0
+        if imp.corrupt_prob > 0.0 and imp.rng.random() < imp.corrupt_prob:
+            return -1.0
+        if imp.jitter_s > 0.0:
+            extra += imp.rng.random() * imp.jitter_s
+        if imp.reorder_prob > 0.0 and imp.rng.random() < imp.reorder_prob:
+            self.packets_reordered += 1
+            extra += imp.reorder_extra_s
+        return extra
 
     def _deliver(self, packet: Packet) -> None:
         self.packets_delivered += 1

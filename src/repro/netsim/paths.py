@@ -75,6 +75,20 @@ class PathHandle:
         self.wan = wan
         self.stations = stations
 
+    # -- chaos-plane access --------------------------------------------
+    # The injector mutates *links* (rate/delay/loss/impairments), not
+    # ports; on wired and hybrid topologies those are the WAN pair.
+    @property
+    def forward_link(self):
+        """The mutable data-direction :class:`~repro.netsim.link.Link`,
+        or ``None`` on a pure-WLAN path."""
+        return self.wan.forward if self.wan is not None else None
+
+    @property
+    def reverse_link(self):
+        """The mutable ACK-direction link, or ``None`` (pure WLAN)."""
+        return self.wan.reverse if self.wan is not None else None
+
 
 def wired_path(
     sim: Simulator,

@@ -8,9 +8,9 @@ queueing discipline.
 from __future__ import annotations
 
 import collections
-import random
 from typing import Optional
 
+from repro.netsim.loss import RngLike, coerce_rng
 from repro.netsim.packet import Packet
 
 
@@ -83,7 +83,7 @@ class REDQueue(DropTailQueue):
         min_thresh: Optional[int] = None,
         max_thresh: Optional[int] = None,
         max_p: float = 0.1,
-        rng: Optional[random.Random] = None,
+        rng: Optional[RngLike] = None,
     ):
         super().__init__(capacity_bytes)
         self.min_thresh = min_thresh if min_thresh is not None else capacity_bytes // 4
@@ -93,7 +93,16 @@ class REDQueue(DropTailQueue):
         if self.max_thresh <= self.min_thresh:
             raise ValueError("max_thresh must exceed min_thresh")
         self.max_p = max_p
-        self.rng = rng or random.Random(0)
+        # An implicit shared seed would correlate RED's marking across
+        # every queue of an experiment (see REP008); the thresholds are
+        # validated first so configuration errors surface before the
+        # missing-rng error.
+        if rng is None:
+            raise TypeError(
+                "REDQueue requires an explicit rng: pass a seeded "
+                "random.Random or an int seed"
+            )
+        self.rng = coerce_rng(rng, "REDQueue")
 
     def try_enqueue(self, packet: Packet) -> bool:
         depth = self._bytes

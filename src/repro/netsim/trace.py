@@ -8,7 +8,6 @@ protocol code.
 from __future__ import annotations
 
 import collections
-import warnings
 from typing import Callable, Optional
 
 from repro.netsim.engine import Simulator
@@ -32,35 +31,27 @@ class TraceRecord:
         return f"TraceRecord(t={self.time:.6f}, {self.kind.value}, size={self.size})"
 
 
-class PacketTap:
+class Tap:
     """Wraps a sink callback and records every packet flowing through.
 
-    Use ``tap = PacketTap(sim, real_sink); link.connect(tap)``.
+    Construct through :func:`make_tap`:
+    ``tap = make_tap(sim, real_sink); link.connect(tap)``.
 
-    .. deprecated::
-        PacketTap predates :mod:`repro.telemetry` and is kept for the
-        existing count/rate helpers; constructing one now raises a
-        :class:`DeprecationWarning`.  New code should attach a
-        ``TraceCollector`` to the simulator and consume the ``netsim``
-        event category instead — it covers every link (enqueue, drop
-        with reason, transmit, deliver), not just one tapped sink.
-        When the simulator carries a collector, the tap forwards each
-        observed packet as a ``netsim``/``tap`` event so both worlds
-        see the same traffic.
+    A tap observes one sink; for whole-topology visibility attach a
+    ``repro.telemetry.TraceCollector`` to the simulator and consume the
+    ``netsim`` event category instead — it covers every link (enqueue,
+    drop with reason, transmit, deliver).  When the simulator carries a
+    collector, the tap also forwards each observed packet as a
+    ``netsim``/``tap`` event so both worlds see the same traffic.
 
     ``max_records`` bounds the in-memory record list (oldest records
-    are evicted first); the default ``None`` keeps the historical
-    unbounded behavior.
+    are evicted first); the default ``None`` keeps an unbounded list.
     """
 
     def __init__(self, sim: Simulator,
                  sink: Optional[Callable[[Packet], None]] = None,
                  max_records: Optional[int] = None,
                  telemetry=None):
-        warnings.warn(
-            "PacketTap is deprecated; attach a repro.telemetry."
-            "TraceCollector to the Simulator and consume the 'netsim' "
-            "event category instead", DeprecationWarning, stacklevel=2)
         self.sim = sim
         self.sink = sink
         self.max_records = max_records
@@ -150,3 +141,16 @@ class PacketTap:
             entry["packets"] += 1
             entry["bytes"] += r.size
         return out
+
+
+def make_tap(sim: Simulator,
+             sink: Optional[Callable[[Packet], None]] = None,
+             max_records: Optional[int] = None,
+             telemetry=None) -> Tap:
+    """Build a :class:`Tap` recording everything passed to ``sink``.
+
+    This factory is the supported constructor (the old ``PacketTap``
+    class was removed after its deprecation cycle); it exists so the
+    concrete tap type can evolve without touching call sites.
+    """
+    return Tap(sim, sink=sink, max_records=max_records, telemetry=telemetry)

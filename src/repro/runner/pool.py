@@ -46,11 +46,18 @@ def _seed_everything(seed: int) -> None:
 
 def _child_main(conn, fn: Callable, kwargs: dict, seed: Optional[int]) -> None:
     """Worker entry point: run one attempt, ship the outcome back."""
+    from repro.transport.errors import ConnectionAborted, abort_result
     try:
         if seed is not None:
             _seed_everything(seed)
         value = fn(**kwargs)
         conn.send(("ok", value, None))
+    except ConnectionAborted as exc:
+        # A structured transport abort is an *outcome*, not a crash:
+        # the simulation terminated deliberately (RTO exhaustion, dead
+        # path, ...).  Report it as a degraded result — deterministic,
+        # so retrying would only reproduce it.
+        conn.send(("aborted", abort_result(exc.info), exc.info.describe()))
     except BaseException:
         conn.send(("error", None, traceback.format_exc()))
     finally:
@@ -100,7 +107,8 @@ def execute_tasks(tasks: Sequence[Task], jobs: int = 1,
     def settle(run: _Running, kind: str, value, error) -> None:
         elapsed = time.monotonic() - run.started
         spent[run.index] = spent.get(run.index, 0.0) + elapsed
-        if kind != "ok" and run.attempt <= retries:
+        # "aborted" is deterministic — never retried.
+        if kind not in ("ok", "aborted") and run.attempt <= retries:
             pending.append((run.index, run.task, run.attempt + 1))
             return
         result = TaskResult(

@@ -96,7 +96,7 @@ class TaskResult:
     name: str
     status: str = "ok"              # "ok" | "failed"
     value: Any = None
-    failure: Optional[str] = None   # "error" | "timeout" | "crashed"
+    failure: Optional[str] = None   # "error" | "timeout" | "crashed" | "aborted"
     error: Optional[str] = None     # traceback / diagnostic text
     attempts: int = 0               # 0 means served from cache
     wall_time_s: float = 0.0

@@ -20,6 +20,7 @@ from repro.telemetry.collector import TraceCollector
 from repro.telemetry.events import (
     CAT_ACK,
     CAT_CC,
+    CAT_CHAOS,
     CAT_NETSIM,
     CAT_TIMING,
     CAT_TRANSPORT,
@@ -59,4 +60,5 @@ __all__ = [
     "CAT_ACK",
     "CAT_CC",
     "CAT_TIMING",
+    "CAT_CHAOS",
 ]

@@ -17,9 +17,10 @@ Categories (see DESIGN.md section 10 for the full event taxonomy):
 
 ``netsim``
     Link-level packet life cycle: ``enqueue``, ``drop`` (with a
-    ``reason`` of ``loss`` or ``queue``), ``tx_start``, ``delivered``,
-    ``idle``, plus ``tap`` events forwarded by a telemetry-connected
-    :class:`~repro.netsim.trace.PacketTap`.
+    ``reason`` of ``loss``, ``queue``, ``blackout``, or ``corrupt``),
+    ``tx_start``, ``delivered``, ``idle``, plus ``tap`` events
+    forwarded by a telemetry-connected tap (see
+    :func:`~repro.netsim.trace.make_tap`).
 ``transport``
     Endpoint events: ``send``/``retx`` (sender emission),
     ``recv``/``gap``/``deliver`` (receiver side), ``feedback``
@@ -37,6 +38,12 @@ Categories (see DESIGN.md section 10 for the full event taxonomy):
     RTT machinery: ``rtt_sample`` (raw sample + srtt + rtt_min) and
     ``rttmin_sync`` (sender-to-receiver RTT_min resync on data
     packets, paper S5.2).
+``chaos``
+    Fault-injection plane (:mod:`repro.chaos`): ``fault_on`` /
+    ``fault_off`` when a scheduled impairment window opens/closes;
+    the ``ack`` category's ``degrade`` event marks TACK's graceful
+    densification under heavy ACK-path loss, and ``transport`` gains
+    ``abort`` when an endpoint gives up.
 """
 
 from __future__ import annotations
@@ -54,9 +61,11 @@ CAT_TRANSPORT = "transport"
 CAT_ACK = "ack"
 CAT_CC = "cc"
 CAT_TIMING = "timing"
+CAT_CHAOS = "chaos"
 
 #: Every known category, in display order.
-CATEGORIES = (CAT_NETSIM, CAT_TRANSPORT, CAT_ACK, CAT_CC, CAT_TIMING)
+CATEGORIES = (CAT_NETSIM, CAT_TRANSPORT, CAT_ACK, CAT_CC, CAT_TIMING,
+              CAT_CHAOS)
 
 
 class TraceEvent:

@@ -14,6 +14,7 @@ from repro.ack.base import AckPolicy
 from repro.cc.base import CongestionController
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import MSS
+from repro.transport.errors import AbortInfo, ConnectionAborted, abort_result
 from repro.transport.receiver import TransportReceiver
 from repro.transport.sender import TransportSender
 
@@ -32,6 +33,9 @@ class ConnectionConfig:
         flow_id: int = 0,
         initial_rto_s: float = 1.0,
         simsan: Optional[bool] = None,
+        max_syn_retries: int = 6,
+        max_rto_retries: int = 10,
+        max_persist_retries: int = 16,
     ):
         self.mss = mss
         self.rcv_buffer_bytes = rcv_buffer_bytes
@@ -44,6 +48,12 @@ class ConnectionConfig:
         # Tri-state: None follows REPRO_SIMSAN / the simulator's own
         # setting; True force-enables invariant checks on the sim.
         self.simsan = simsan
+        # Give-up thresholds (see repro.transport.errors): how many
+        # consecutive unanswered retries of each kind before the sender
+        # records a structured abort instead of retrying forever.
+        self.max_syn_retries = max_syn_retries
+        self.max_rto_retries = max_rto_retries
+        self.max_persist_retries = max_persist_retries
 
 
 class Connection:
@@ -91,6 +101,9 @@ class Connection:
             use_receiver_rate=cfg.use_receiver_rate,
             flow_id=cfg.flow_id,
             initial_rto_s=cfg.initial_rto_s,
+            max_syn_retries=cfg.max_syn_retries,
+            max_rto_retries=cfg.max_rto_retries,
+            max_persist_retries=cfg.max_persist_retries,
         )
         self.receiver = TransportReceiver(
             sim,
@@ -102,8 +115,14 @@ class Connection:
         )
         if sim.san is not None:
             sim.san.register_pair(self.sender, self.receiver)
+        # When the sender gives up, tear down the receive side too so
+        # its ACK clock stops and the event loop can drain.
+        self.sender.on_abort(self._on_sender_abort)
         if forward_port is not None and reverse_port is not None:
             self.wire(forward_port, reverse_port)
+
+    def _on_sender_abort(self, info: AbortInfo) -> None:
+        self.receiver.close()
 
     def wire(self, forward_port, reverse_port) -> None:
         """Attach the two directions of the network path."""
@@ -128,6 +147,21 @@ class Connection:
     @property
     def completed(self) -> bool:
         return self.sender.completed_at is not None
+
+    @property
+    def aborted(self) -> Optional[AbortInfo]:
+        """The structured abort record, or ``None`` while healthy."""
+        return self.sender.aborted
+
+    def raise_if_aborted(self) -> None:
+        """Propagate a recorded abort as :class:`ConnectionAborted`.
+
+        Call this *after* ``sim.run(...)`` returns — never from inside
+        an event handler, where the exception would tear down every
+        flow in the simulation.
+        """
+        if self.sender.aborted is not None:
+            raise ConnectionAborted(self.sender.aborted)
 
     def goodput_bps(self, duration: Optional[float] = None) -> float:
         """Application goodput: bytes delivered in order at the
@@ -164,6 +198,7 @@ class Connection:
                              if s.data_packets_sent else 0.0),
             "rtt_min_s": self.sender.current_rtt_min(),
             "completed": self.completed,
+            "aborted": abort_result(self.sender.aborted),
         }
 
     def close(self) -> None:

@@ -73,6 +73,13 @@ class AckFeedback:
     reason:
         Trigger label for IACKs (``"loss"``, ``"window"``,
         ``"rttmin"``); diagnostic only.
+    fb_seq:
+        Feedback sequence number: the receiver numbers every feedback
+        packet it emits (all flavors share one counter).  Gaps in the
+        sequence observed by the sender measure ACK-path loss exactly,
+        the way QUIC infers loss from packet-number holes — no guess
+        about the expected feedback rate is needed, so the estimate
+        stays zero for app-limited flows.
     """
 
     __slots__ = (
@@ -88,6 +95,7 @@ class AckFeedback:
         "largest_pkt_seq",
         "packet_delays",
         "reason",
+        "fb_seq",
     )
 
     def __init__(
@@ -104,6 +112,7 @@ class AckFeedback:
         largest_pkt_seq: Optional[int] = None,
         packet_delays: Optional[list[tuple[float, float]]] = None,
         reason: Optional[str] = None,
+        fb_seq: Optional[int] = None,
     ):
         self.cum_ack = cum_ack
         self.awnd = awnd
@@ -117,6 +126,7 @@ class AckFeedback:
         self.largest_pkt_seq = largest_pkt_seq
         self.packet_delays = packet_delays or []
         self.reason = reason
+        self.fb_seq = fb_seq
 
     def block_count(self) -> int:
         return len(self.sack_blocks) + len(self.unacked_blocks)

@@ -39,6 +39,9 @@ class ReceiverStats:
         self.iacks_sent = 0
         self.gap_events = 0
         self.peak_buffered_bytes = 0
+        # Feedback the reverse port refused at ingress (blackout, loss
+        # model, full queue) — the receiver-side view of ACK starvation.
+        self.feedback_send_failures = 0
 
     def total_feedback(self) -> int:
         return self.acks_sent + self.tacks_sent + self.iacks_sent
@@ -92,6 +95,9 @@ class TransportReceiver:
         # sender-synced state
         self.peer_rtt_min: Optional[float] = None
         self.peer_ack_loss_rate: float = 0.0
+        # feedback sequence space (all ACK flavors share one counter);
+        # gaps seen by the sender measure ACK-path loss exactly.
+        self._fb_seq_next = 0
         # window-event hysteresis
         self._window_was_low = False
         # gap aging for the reorder settling allowance (paper S7)
@@ -352,6 +358,11 @@ class TransportReceiver:
         """Send ``fb`` as a ``kind`` packet through the reverse path."""
         if self._port is None:
             return
+        # Number every feedback, including ones the reverse port then
+        # refuses: from the sender's side, feedback that never made the
+        # wire *is* ACK-path loss.
+        fb.fb_seq = self._fb_seq_next
+        self._fb_seq_next += 1
         pkt = make_feedback_packet(kind, fb, flow_id=self.flow_id)
         pkt.sent_at = self.sim.now()
         if kind is PacketType.TACK:
@@ -365,7 +376,8 @@ class TransportReceiver:
                            reason=fb.reason, cum_ack=fb.cum_ack,
                            sack=len(fb.sack_blocks),
                            unacked=len(fb.unacked_blocks), size=pkt.size)
-        self._port.send(pkt)
+        if self._port.send(pkt) is False:
+            self.stats.feedback_send_failures += 1
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import bisect
 import collections
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.cc.base import CongestionController, RateSample
 from repro.cc.pacing import Pacer
@@ -35,6 +35,7 @@ from repro.netsim.packet import (
     Packet,
     PacketType,
 )
+from repro.transport.errors import AbortInfo
 from repro.transport.feedback import AckFeedback
 from repro.transport.rtt import MinRttTracker, RttEstimator
 
@@ -95,6 +96,8 @@ class SenderStats:
         self.rtos = 0
         self.fast_retransmits = 0
         self.rtt_samples = 0
+        self.handshake_retries = 0
+        self.persist_probes = 0
 
 
 class TransportSender:
@@ -111,6 +114,9 @@ class TransportSender:
         flow_id: int = 0,
         initial_rto_s: float = 1.0,
         min_rtt_window_s: float = 10.0,
+        max_syn_retries: int = 6,
+        max_rto_retries: int = 10,
+        max_persist_retries: int = 16,
     ):
         self.sim = sim
         self.cc = cc
@@ -158,6 +164,17 @@ class TransportSender:
         self._rto_timer = None
         self._persist_timer = None
         self._syn_sent_at: Optional[float] = None
+        # failure handling: every retry loop is capped, and exhausting
+        # a cap ends in a structured abort instead of an infinite stall
+        # (see repro.transport.errors for the reason vocabulary).
+        self.max_syn_retries = max_syn_retries
+        self.max_rto_retries = max_rto_retries
+        self.max_persist_retries = max_persist_retries
+        self.aborted: Optional[AbortInfo] = None
+        self._on_abort: Optional[Callable[[AbortInfo], None]] = None
+        self._syn_attempts = 0
+        self._consecutive_rtos = 0
+        self._persist_attempts = 0
         self.stats = SenderStats()
         # simsan: one None-check per hook site when disabled.
         self._san = sim.san
@@ -202,9 +219,47 @@ class TransportSender:
         self._rto_timer = self.sim.call_in(self.rtt.rto(), self._handshake_timeout)
 
     def _handshake_timeout(self) -> None:
-        if not self.established and not self.closed:
-            self.rtt.back_off()
-            self.start()
+        """Capped exponential SYN retry — same backoff discipline as
+        the data-path RTO, ending in a structured abort instead of
+        retrying forever at a fixed interval."""
+        if self.established or self.closed:
+            return
+        self._syn_attempts += 1
+        if self._syn_attempts > self.max_syn_retries:
+            self._abort("handshake_timeout", attempts=self._syn_attempts,
+                        detail=f"no SYN-ACK after {self.max_syn_retries} retries")
+            return
+        self.stats.handshake_retries += 1
+        self.rtt.back_off()
+        self.start()
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def on_abort(self, callback: Callable[[AbortInfo], None]) -> None:
+        """Register a callback fired once if the sender gives up."""
+        self._on_abort = callback
+
+    def _abort(self, reason: str, attempts: int = 0, detail: str = "") -> None:
+        """Give up: record why, tear down timers, notify observers.
+
+        Runs inside the event loop, so it must not raise — hosts pick
+        the record up via :attr:`aborted` (or
+        ``Connection.raise_if_aborted``) after the run.
+        """
+        if self.closed or self.aborted is not None:
+            return
+        self.aborted = AbortInfo(
+            reason=reason, at_s=self.sim.now(), flow_id=self.flow_id,
+            attempts=attempts, detail=detail,
+        )
+        if self._tel is not None:
+            self._tel.emit("transport", "abort", self.flow_id,
+                           reason=reason, attempts=attempts,
+                           cum_acked=self.cum_acked, in_flight=self.in_flight)
+        self.close()
+        if self._on_abort is not None:
+            self._on_abort(self.aborted)
 
     def write(self, nbytes: int) -> None:
         """Queue application data for transmission."""
@@ -266,9 +321,11 @@ class TransportSender:
             self.stats.iacks_received += 1
         elif kind is PacketType.TACK:
             self.stats.tacks_received += 1
-            self.ack_loss.on_tack(now)
         else:
             self.stats.acks_received += 1
+        # rho': every feedback flavor carries a shared sequence number;
+        # holes in it are exactly the feedback the ACK path dropped.
+        self.ack_loss.on_feedback(fb.fb_seq)
         self.awnd = fb.awnd
         newly_acked = 0
         newly_lost = 0
@@ -332,7 +389,6 @@ class TransportSender:
                 self.rtt.on_sample(sample)
                 self.stats.rtt_samples += 1
                 rtt_sample = sample
-                self.ack_loss.on_rtt_min_update(now, self._tack_interval_hint())
                 if self._san is not None:
                     self._san.on_rtt_sample(self, sample, now)
                 if self._tel is not None:
@@ -397,6 +453,12 @@ class TransportSender:
             and self.cum_acked >= self.total_bytes
         ):
             self.completed_at = now
+        if newly_acked > 0:
+            # Forward progress resets the give-up counters: abort only
+            # on *consecutive* unanswered timeouts/probes.
+            self._consecutive_rtos = 0
+        if fb.awnd > 0:
+            self._persist_attempts = 0
         self._rearm_rto(progress=newly_acked > 0)
         self._try_send()
 
@@ -435,14 +497,6 @@ class TransportSender:
         if elapsed <= 0:
             return None
         return (self.delivered - rec.delivered_snapshot) * 8.0 / elapsed
-
-    def _tack_interval_hint(self) -> float:
-        # Mirror of the receiver's Eq. (3) interval for rho' estimation.
-        rtt_min = self.current_rtt_min()
-        bw = self.cc.pacing_rate_bps()
-        if bw <= 0:
-            return rtt_min / 4.0
-        return max(2 * self.mss * 8.0 / bw, rtt_min / 4.0)
 
     # ------------------------------------------------------------------
     # loss detection
@@ -589,7 +643,15 @@ class TransportSender:
             if not has_retx and new_len <= 0:
                 break
             size = (self.records[self.retx_queue[0]].length if has_retx else new_len)
-            if not has_retx and self.in_flight + size > self.effective_window():
+            window_blocked = self.in_flight + size > self.effective_window()
+            # Pull/RACK repairs bypass cwnd (the hole itself is throttling
+            # the window), but RTO recovery does not: a timeout marks
+            # *everything* outstanding lost, so until the first post-RTO
+            # byte is acked, retransmissions are clocked by the collapsed
+            # window (as Linux's tcp_xmit_retransmit_queue does) — a
+            # spurious timeout then costs one retransmission, not a
+            # go-back-N storm of duplicates.
+            if window_blocked and (not has_retx or self._consecutive_rtos > 0):
                 self._maybe_arm_persist()
                 break
             if not self.pacer.can_send(now):
@@ -688,6 +750,8 @@ class TransportSender:
         self._try_send()
 
     def _rearm_rto(self, progress: bool = False) -> None:
+        if self.closed:
+            return
         if self._rto_timer is not None:
             if not progress and self.in_flight > 0:
                 return
@@ -701,34 +765,70 @@ class TransportSender:
         if self.closed or (self.in_flight == 0 and not self._has_retx()):
             return
         self.stats.rtos += 1
+        self._consecutive_rtos += 1
+        if self._consecutive_rtos > self.max_rto_retries:
+            # The exponential backoff (capped at rtt.max_rto_s) ran its
+            # course without a single byte acknowledged: the path is
+            # gone.  End observable rather than retry into the void.
+            self._abort("rto_exhausted", attempts=self._consecutive_rtos,
+                        detail=f"{self.max_rto_retries} consecutive RTOs "
+                               "without progress")
+            return
         if self._tel is not None:
             self._tel.emit("transport", "rto", self.flow_id,
                            rto_s=self.rtt.rto(), in_flight=self.in_flight)
         self.rtt.back_off()
         self.cc.on_rto(self.sim.now())
         self.pacer.set_rate(self.cc.pacing_rate_bps())
-        rec = self._first_unacked_record()
-        if rec is not None:
-            # Timeout overrides the once-per-RTT governor.
-            self.governor.on_acked(rec.seq)
-            self._mark_record_lost(rec, self.sim.now())
+        # A timeout declares *everything* outstanding lost (RFC 6298
+        # recovery; Linux tcp_timeout_mark_lost does the same).  Marking
+        # only the first segment livelocks after a burst outage: the
+        # window stays clogged with presumed-in-flight bytes, nothing
+        # new flows to trigger dupACK/RACK detection, and Karn's rule
+        # blocks fresh RTT samples — recovery crawls at one segment per
+        # backoff-capped RTO.
+        now = self.sim.now()
+        for i in range(self._head, len(self._order)):
+            rec = self.records.get(self._order[i])
+            if rec is not None and rec.in_flight():
+                # Timeout overrides the once-per-RTT governor.
+                self.governor.on_acked(rec.seq)
+                self._mark_record_lost(rec, now, certain=True)
         self._try_send()
         self._rearm_rto(progress=True)
+
+    def _persist_interval(self) -> float:
+        """Zero-window probe interval: exponential from 2*srtt, capped
+        so a long stall still probes at least every 10 s."""
+        base = max(2 * self.rtt.smoothed(), 0.2)
+        return min(base * (2.0 ** self._persist_attempts), 10.0)
 
     def _maybe_arm_persist(self) -> None:
         # Window-blocked with nothing in flight: without a probe the
         # connection would deadlock if the opening ACK is lost.
-        if self.in_flight > 0 or self._persist_timer is not None:
+        if self.closed or self.in_flight > 0 or self._persist_timer is not None:
             return
         self._persist_timer = self.sim.call_in(
-            max(2 * self.rtt.smoothed(), 0.2), self._on_persist
+            self._persist_interval(), self._on_persist
         )
 
     def _on_persist(self) -> None:
         self._persist_timer = None
-        if self.closed or self.awnd > 0:
+        if self.closed:
+            return
+        if self.awnd > 0:
+            self._persist_attempts = 0
             self._try_send()
             return
+        self._persist_attempts += 1
+        if self._persist_attempts > self.max_persist_retries:
+            # The receiver's window never reopened and every probe went
+            # unanswered; classic stacks abort here too.
+            self._abort("persist_exhausted", attempts=self._persist_attempts,
+                        detail=f"{self.max_persist_retries} zero-window "
+                               "probes unanswered")
+            return
+        self.stats.persist_probes += 1
         # Window probe: retransmit the first unacked segment (or send
         # one new segment) ignoring the zero window.
         now = self.sim.now()

@@ -259,16 +259,75 @@ class TestReceiverRateEstimator:
 
 
 class TestAckPathLossEstimator:
-    def test_loss_estimated_from_expected_count(self):
-        e = AckPathLossEstimator(min_expected=10)
-        # 20 expected (1 per 10 ms over 0.2 s), 10 received.
-        for i in range(10):
-            e.on_tack(now=i * 0.02)
-        e.on_rtt_min_update(now=0.2, tack_interval_s=0.01)
-        assert e.loss_rate == pytest.approx(0.5, abs=0.1)
-
-    def test_no_estimate_below_min_expected(self):
-        e = AckPathLossEstimator(min_expected=100)
-        e.on_tack(0.0)
-        e.on_rtt_min_update(0.1, 0.01)
+    def test_no_loss_keeps_estimate_zero(self):
+        e = AckPathLossEstimator(window=8)
+        for seq in range(100):
+            e.on_feedback(seq)
         assert e.loss_rate == 0.0
+
+    def test_gaps_measured_exactly(self):
+        # Every other feedback dropped: spans fold at 50% loss and the
+        # EWMA converges there.
+        e = AckPathLossEstimator(window=8, ewma_gain=1.0)
+        for seq in range(0, 64, 2):
+            e.on_feedback(seq)
+        assert e.loss_rate == pytest.approx(0.5, abs=0.07)
+
+    def test_app_limited_rate_does_not_fake_loss(self):
+        # The old expected-count estimator inferred loss from a low
+        # feedback *rate*; sequence gaps cannot make that mistake —
+        # arrival timing is invisible to the estimator by design.
+        e = AckPathLossEstimator(window=8)
+        for seq in range(40):  # contiguous, however slowly they came
+            e.on_feedback(seq)
+        assert e.loss_rate == 0.0
+
+    def test_no_estimate_before_first_window_folds(self):
+        e = AckPathLossEstimator(window=100)
+        for seq in range(0, 50, 2):
+            e.on_feedback(seq)
+        assert e.loss_rate == 0.0
+
+    def test_unnumbered_feedback_ignored(self):
+        e = AckPathLossEstimator(window=4)
+        for _ in range(20):
+            e.on_feedback(None)
+        assert e.loss_rate == 0.0
+
+    def test_recovers_after_blackout_lifts(self):
+        e = AckPathLossEstimator(window=8, ewma_gain=0.5)
+        for seq in range(0, 80, 4):  # 75% loss regime
+            e.on_feedback(seq)
+        assert e.loss_rate > 0.5
+        for seq in range(80, 400):   # clean regime
+            e.on_feedback(seq)
+        assert e.loss_rate < 0.01
+
+    def test_straggler_below_window_base_ignored(self):
+        e = AckPathLossEstimator(window=4, ewma_gain=1.0)
+        for seq in (0, 1, 2, 3):
+            e.on_feedback(seq)
+        assert e.loss_rate == 0.0
+        e.on_feedback(2)  # reordered duplicate from the folded window
+        for seq in (4, 5, 6, 7):
+            e.on_feedback(seq)
+        assert e.loss_rate == 0.0
+
+    def test_reset_clears_state(self):
+        e = AckPathLossEstimator(window=4, ewma_gain=1.0)
+        for seq in (0, 3):
+            e.on_feedback(seq)
+        assert e.loss_rate == pytest.approx(0.5)
+        e.reset()
+        assert e.loss_rate == 0.0
+        for seq in (100, 101, 102, 103):
+            e.on_feedback(seq)
+        assert e.loss_rate == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AckPathLossEstimator(window=1)
+        with pytest.raises(ValueError):
+            AckPathLossEstimator(ewma_gain=0.0)
+        with pytest.raises(ValueError):
+            AckPathLossEstimator(ewma_gain=1.5)

@@ -44,6 +44,25 @@ class TestDropTail:
         with pytest.raises(ValueError):
             DropTailQueue(capacity_bytes=0)
 
+    def test_overflow_accounting(self):
+        # A rejected packet must not perturb any occupancy accounting:
+        # not enqueued, not counted in bytes/peak, and the queue still
+        # accepts a later packet that fits.
+        q = DropTailQueue(capacity_bytes=3200)
+        assert q.try_enqueue(make_data_packet(0, 1))        # 1518B
+        assert q.try_enqueue(make_data_packet(1500, 2))     # 3036B
+        assert not q.try_enqueue(make_data_packet(3000, 3))  # would be 4554B
+        assert q.drops == 1
+        assert q.enqueued == 2
+        assert q.bytes_queued == 2 * 1518
+        assert q.peak_bytes == 2 * 1518
+        assert len(q) == 2
+        q.dequeue()
+        ack = make_ack_packet()  # small enough to fit now
+        assert q.try_enqueue(ack)
+        assert q.enqueued == 3
+        assert q.drops == 1
+
 
 class TestRed:
     def test_no_drops_below_min_thresh(self):
@@ -175,7 +194,7 @@ class TestEmulatedPath:
         path = EmulatedPath(
             sim,
             PathConfig(rate_bps=1e9, rtt_s=0.01),
-            forward_loss=BernoulliLoss(1.0),
+            forward_loss=BernoulliLoss(1.0, 1),
         )
         fwd = []
         path.connect(fwd.append, lambda p: None)

@@ -40,9 +40,31 @@ class TestBernoulli:
 
     def test_invalid_rate_rejected(self):
         with pytest.raises(ValueError):
-            BernoulliLoss(1.5)
+            BernoulliLoss(1.5, random.Random(1))
         with pytest.raises(ValueError):
-            BernoulliLoss(-0.1)
+            BernoulliLoss(-0.1, random.Random(1))
+
+    def test_rng_is_required(self):
+        with pytest.raises(TypeError):
+            BernoulliLoss(0.1)
+        with pytest.raises(TypeError):
+            BernoulliLoss(0.1, rng=None)
+
+    def test_int_seed_accepted(self):
+        a = BernoulliLoss(0.5, 42)
+        b = BernoulliLoss(0.5, random.Random(42))
+        seq_a = [a.should_drop(_pkt(), 0.0) for _ in range(200)]
+        seq_b = [b.should_drop(_pkt(), 0.0) for _ in range(200)]
+        assert seq_a == seq_b
+
+    def test_independent_rngs_diverge(self):
+        # The shared-module-seed footgun this API change removed: two
+        # models built from different seeds must not march in lockstep.
+        a = BernoulliLoss(0.5, random.Random(1))
+        b = BernoulliLoss(0.5, random.Random(2))
+        seq_a = [a.should_drop(_pkt(), 0.0) for _ in range(200)]
+        seq_b = [b.should_drop(_pkt(), 0.0) for _ in range(200)]
+        assert seq_a != seq_b
 
 
 class TestGilbertElliott:
@@ -77,6 +99,28 @@ class TestGilbertElliott:
         assert model.in_bad_state
         model.reset()
         assert not model.in_bad_state
+
+    def test_reset_replays_identical_sequence(self):
+        model = GilbertElliottLoss(p_gb=0.1, p_bg=0.3, rng=random.Random(9))
+        first = [model.should_drop(_pkt(), 0.0) for _ in range(500)]
+        model.reset()
+        second = [model.should_drop(_pkt(), 0.0) for _ in range(500)]
+        assert first == second
+
+    def test_rng_is_required(self):
+        with pytest.raises(TypeError):
+            GilbertElliottLoss(p_gb=0.1, p_bg=0.3)
+
+    def test_empirical_convergence_with_partial_loss_probs(self):
+        # good_loss/bad_loss < 1 scale the state loss rates; long-run
+        # loss is pi_bad*bad_loss + pi_good*good_loss.
+        model = GilbertElliottLoss(p_gb=0.1, p_bg=0.4, bad_loss=0.5,
+                                   good_loss=0.01, rng=random.Random(11))
+        pi_bad = 0.1 / (0.1 + 0.4)
+        expected = pi_bad * 0.5 + (1 - pi_bad) * 0.01
+        assert model.steady_state_loss() == pytest.approx(expected)
+        drops = sum(model.should_drop(_pkt(), 0.0) for _ in range(50_000))
+        assert abs(drops / 50_000 - expected) < 0.02
 
 
 class TestBurstLoss:

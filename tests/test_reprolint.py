@@ -48,7 +48,11 @@ class TestRuleFiring:
         assert codes("import random\nrng = random.Random()\n") == ["REP002"]
 
     def test_rep002_seeded_ok(self):
-        assert codes("import random\nrng = random.Random(42)\n") == []
+        # A *parameterized* seed satisfies both REP002 (instance is
+        # seeded) and REP008 (seed is not a baked-in literal).
+        assert codes("import random\n"
+                     "def f(seed):\n"
+                     "    return random.Random(seed)\n") == []
         assert codes("import numpy as np\nrng = np.random.default_rng(7)\n") == []
 
     def test_rep003_time_equality(self):
@@ -196,6 +200,36 @@ class TestRuleFiring:
                      if f.code == "REP007"]
             assert found == [], "\n".join(f.render() for f in found)
 
+    def test_rep008_fixed_seed_flagged(self):
+        assert codes("import random\nrng = random.Random(42)\n") == ["REP008"]
+        # from-import of random already trips REP002; REP008 adds the
+        # seed finding on the bare-name constructor too.
+        assert codes("from random import Random\nrng = Random(0)\n") == \
+            ["REP002", "REP008"]
+        assert codes("import random\nrng = random.Random('link-fwd')\n") == \
+            ["REP008"]
+
+    def test_rep008_parameterized_seed_ok(self):
+        assert codes("import random\n"
+                     "def f(seed):\n"
+                     "    return random.Random(seed)\n") == []
+        assert codes("rng = sim.fork_rng('chaos')\n") == []
+
+    def test_rep008_host_side_silent(self):
+        assert codes("import random\nrng = random.Random(42)\n",
+                     path=HOST) == []
+        assert codes("import random\nrng = random.Random(42)\n",
+                     path="src/repro/experiments/fixture.py") == []
+
+    def test_rep008_chaos_package_in_scope(self):
+        assert codes("import random\nrng = random.Random(7)\n",
+                     path="src/repro/chaos/fixture.py") == ["REP008"]
+
+    def test_rep008_pragma_suppresses(self):
+        src = ("import random\n"
+               "rng = random.Random(42)  # reprolint: disable=REP008\n")
+        assert codes(src) == []
+
     def test_syntax_error_is_reported(self):
         assert codes("def f(:\n") == ["REP000"]
 
@@ -247,7 +281,7 @@ class TestConfig:
 
     def test_rule_registry_is_stable(self):
         assert list(RULES) == ["REP001", "REP002", "REP003", "REP004",
-                               "REP005", "REP006", "REP007"]
+                               "REP005", "REP006", "REP007", "REP008"]
 
 
 class TestCli:

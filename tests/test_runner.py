@@ -40,6 +40,16 @@ def hard_crash():
     os._exit(3)  # bypasses exception handling, like a segfault
 
 
+def aborted_transfer(path):
+    """Raise a structured transport abort, recording each attempt."""
+    from repro.transport.errors import AbortInfo, ConnectionAborted
+    with open(path, "a") as f:
+        f.write("attempt\n")
+    raise ConnectionAborted(AbortInfo(
+        reason="rto_exhausted", at_s=12.5, flow_id=0, attempts=11,
+        detail="dead path"))
+
+
 def flaky(path):
     """Fail on the first attempt, succeed on the second."""
     if not os.path.exists(path):
@@ -116,6 +126,20 @@ class TestPool:
             [Task("flaky", flaky, kwargs={"path": "/nonexistent/nope/x"})])
         assert result.failure == "error"
         assert "FileNotFoundError" in result.error
+
+    def test_connection_abort_is_degraded_not_retried(self, tmp_path):
+        marker = str(tmp_path / "attempts")
+        (result,) = execute_tasks(
+            [Task("dead", aborted_transfer, kwargs={"path": marker})],
+            retries=2)
+        assert not result.ok
+        assert result.failure == "aborted"
+        assert result.value["reason"] == "rto_exhausted"
+        assert "rto_exhausted" in result.error
+        # Deterministic outcome: retrying would only reproduce it.
+        assert result.attempts == 1
+        with open(marker) as f:
+            assert len(f.readlines()) == 1
 
     def test_retry_recovers_flaky_task(self, tmp_path):
         marker = str(tmp_path / "marker")

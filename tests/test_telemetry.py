@@ -129,7 +129,20 @@ class TestLiveRun:
     def test_all_categories_fire_on_a_bulk_run(self):
         collector, _ = _traced_run()
         seen = {e.category for e in collector.events()}
-        assert seen == set(CATEGORIES)
+        # "chaos" only fires when a fault schedule is armed; an
+        # unimpaired bulk run exercises every other category.
+        assert seen == set(CATEGORIES) - {"chaos"}
+
+    def test_chaos_category_fires_when_armed(self):
+        from repro.chaos import Blackout, ChaosInjector, FaultSchedule
+        sim = Simulator(seed=5, telemetry=TraceCollector())
+        conn, path = build_wired_connection(sim, "tcp-tack")
+        schedule = FaultSchedule().add(
+            Blackout(start_s=0.5, duration_s=0.2))
+        ChaosInjector(sim, path, schedule).arm()
+        run_bulk(sim, conn, 2.0)
+        seen = {e.category for e in sim.telemetry.events()}
+        assert "chaos" in seen
 
     def test_telemetry_does_not_perturb_the_simulation(self):
         collector, traced = _traced_run()

@@ -4,23 +4,13 @@ import pytest
 
 from repro.netsim.packet import PacketType, make_ack_packet, make_data_packet
 from repro.netsim.pipe import Pipe
-from repro.netsim.trace import PacketTap
+from repro.netsim.trace import Tap, make_tap
 
 
-def make_tap(*args, **kwargs):
-    """Construct a PacketTap, asserting its deprecation warning."""
-    with pytest.warns(DeprecationWarning, match="PacketTap is deprecated"):
-        return PacketTap(*args, **kwargs)
+class TestTap:
+    def test_factory_returns_tap(self, sim):
+        assert isinstance(make_tap(sim), Tap)
 
-
-class TestDeprecation:
-    def test_construction_warns_and_points_at_telemetry(self, sim):
-        with pytest.warns(DeprecationWarning,
-                          match="repro.telemetry.*TraceCollector"):
-            PacketTap(sim)
-
-
-class TestPacketTap:
     def test_records_and_forwards(self, sim):
         got = []
         tap = make_tap(sim, sink=got.append)

@@ -5,15 +5,9 @@ import csv
 import pytest
 
 from repro.netsim.packet import PacketType, make_ack_packet, make_data_packet
-from repro.netsim.trace import PacketTap
+from repro.netsim.trace import make_tap
 
 from conftest import build_wired_connection
-
-
-def make_tap(*args, **kwargs):
-    """Construct a PacketTap, asserting its deprecation warning."""
-    with pytest.warns(DeprecationWarning, match="PacketTap is deprecated"):
-        return PacketTap(*args, **kwargs)
 
 
 class TestTraceExport:
