@@ -28,6 +28,7 @@ from repro.bench.history import (
     GateFinding,
     append_records,
     compare_series,
+    filter_history,
     gate_history,
     load_history,
 )
@@ -37,4 +38,5 @@ __all__ = [
     "BenchRecord", "machine_fingerprint", "git_revision", "file_sha256",
     "BenchHistory", "GateFinding",
     "append_records", "load_history", "compare_series", "gate_history",
+    "filter_history",
 ]

@@ -106,6 +106,24 @@ class BenchHistory:
         return out
 
 
+def filter_history(history: BenchHistory,
+                   only: Iterable[str]) -> BenchHistory:
+    """Subset *history* to benches whose name contains any pattern.
+
+    Lets CI enforce the gate per series tier — e.g. fail hard on
+    ``engine_micro`` regressions while newer series are still
+    accumulating baseline records under ``--warn-only``.  Empty
+    patterns leave the history untouched.
+    """
+    patterns = [p for p in only if p]
+    if not patterns:
+        return history
+    records = [r for r in history.records
+               if any(p in r.name for p in patterns)]
+    return BenchHistory(records=records, skipped=history.skipped,
+                        root=history.root)
+
+
 # ----------------------------------------------------------------------
 # comparison and gating
 # ----------------------------------------------------------------------

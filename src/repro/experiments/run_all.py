@@ -31,6 +31,7 @@ from repro.experiments import (
     ablations,
     eq06_threshold,
     ext_asymmetric,
+    ext_fleet,
     ext_multiflow,
     ext_tcp_splitting,
     fig01_goodput_wlan,
@@ -107,6 +108,8 @@ def experiment_plan(fast: bool):
         ("ext_tcp_splitting", p(ext_tcp_splitting.run, duration_s=d(8), warmup_s=d(8) / 4)),
         ("ext_multiflow", p(ext_multiflow.run, duration_s=d(5), warmup_s=d(5) * 0.3)),
         ("ext_asymmetric", p(ext_asymmetric.run, duration_s=d(8), warmup_s=d(8) / 4)),
+        ("ext_fleet", p(ext_fleet.run, duration_s=d(12),
+                        loads_hz=(10.0, 40.0) if fast else (10.0, 40.0, 80.0))),
     ]
 
 

@@ -1,0 +1,148 @@
+"""Append-only shard manifest: the campaign's durable progress log.
+
+Fleet campaigns run for a long time and die for boring reasons (ssh
+drop, OOM killer, ctrl-C).  Rather than checkpointing state, the
+campaign streams each finished shard's summary to a JSONL manifest —
+header line first, one ``shard`` line per result, each line flushed
+and fsync'd before the campaign acknowledges the shard.  Resume is
+then trivial: reload the manifest, skip every shard already present,
+run the rest.  Because shard summaries carry exactly-mergeable digests
+(:mod:`repro.stats.streaming`) and reports merge them in shard-id
+order, a resumed campaign's final aggregate is **byte-identical** to
+an uninterrupted run's — the CI ``fleet-smoke`` job asserts this.
+
+Crash tolerance: a kill mid-write leaves at most one truncated tail
+line, which :meth:`ShardManifest.load` drops (and the next append
+rewrites cleanly, because the writer re-opens in append mode after
+truncating the partial line).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+MANIFEST_VERSION = 1
+
+
+class ManifestMismatch(RuntimeError):
+    """The manifest on disk belongs to a different campaign config."""
+
+
+def canonical_json(obj: Any) -> str:
+    """The one JSON rendering used for fingerprints and digests."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class ShardManifest:
+    """Reader/writer for one campaign's append-only shard log."""
+
+    def __init__(self, path: "str | os.PathLike[str]"):
+        self.path = Path(path)
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def load(self) -> Tuple[Optional[Dict[str, Any]], Dict[int, Dict[str, Any]]]:
+        """Parse the manifest, returning ``(header, {shard_id: result})``.
+
+        Missing file -> ``(None, {})``.  A truncated final line (the
+        signature of a mid-write kill) is dropped; a malformed line
+        anywhere *else* raises, because that means corruption rather
+        than interruption.
+        """
+        if not self.path.exists():
+            return None, {}
+        header: Optional[Dict[str, Any]] = None
+        shards: Dict[int, Dict[str, Any]] = {}
+        raw = self.path.read_bytes().decode("utf-8", errors="replace")
+        lines = raw.split("\n")
+        # A well-formed file ends with "\n", so the final split element
+        # is empty; anything else is a partial tail write.
+        tail_partial = lines and lines[-1] != ""
+        body = lines[:-1]
+        for lineno, line in enumerate(body, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ManifestMismatch(
+                    f"{self.path}:{lineno}: corrupt manifest line: {exc}"
+                ) from None
+            kind = record.get("kind")
+            if kind == "header":
+                if header is not None:
+                    raise ManifestMismatch(
+                        f"{self.path}:{lineno}: duplicate header")
+                header = record
+            elif kind == "shard":
+                result = record["result"]
+                shards[int(result["shard_id"])] = result
+            # Unknown kinds are skipped so future versions can add
+            # annotation records without breaking old readers.
+        if tail_partial:
+            # Drop the partial line on disk so the next append starts
+            # at a line boundary.
+            keep = len(raw) - len(lines[-1])
+            with open(self.path, "r+", encoding="utf-8") as fh:
+                fh.truncate(keep)
+        return header, shards
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def _append_line(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(canonical_json(record) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def ensure_header(self, fingerprint: str,
+                      config: Dict[str, Any]) -> Dict[int, Dict[str, Any]]:
+        """Open (or adopt) the manifest for a campaign.
+
+        A fresh manifest gets a header line; an existing one must carry
+        the same config fingerprint — resuming under a different config
+        would merge incomparable digests, so that raises
+        :class:`ManifestMismatch` instead.  Returns the shard results
+        already on disk (the resume set).
+        """
+        header, shards = self.load()
+        if header is None:
+            if shards:
+                raise ManifestMismatch(
+                    f"{self.path}: shard records but no header")
+            self._append_line({
+                "kind": "header",
+                "version": MANIFEST_VERSION,
+                "fingerprint": fingerprint,
+                "config": config,
+            })
+            return {}
+        if header.get("fingerprint") != fingerprint:
+            raise ManifestMismatch(
+                f"{self.path}: manifest belongs to campaign "
+                f"{header.get('fingerprint')!r}, not {fingerprint!r}; "
+                "use a fresh --out directory or the original config")
+        return shards
+
+    def append_shard(self, result: Dict[str, Any]) -> None:
+        """Durably record one finished shard (flush + fsync)."""
+        self._append_line({"kind": "shard", "result": result})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ShardManifest":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,232 @@
+"""Campaign aggregation and reporting.
+
+Merges shard summaries out of a manifest into per-scheme aggregates.
+Two rules make the result *reproducible across interruptions*:
+
+* shards merge in **shard-id order**, never completion order, and
+* every mergeable quantity is either an integer counter, an
+  :class:`~repro.stats.streaming.ExactSum`, or a digest with exact
+  merge semantics (:class:`~repro.stats.streaming.LogHistogram`,
+  :class:`~repro.stats.streaming.BottomKReservoir`).
+
+So the aggregate — and therefore :func:`aggregate_digest`, the sha256
+over its canonical JSON — is a pure function of the *set* of shard
+results, and a resumed campaign reproduces the uninterrupted run's
+digest bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.experiments.table import Table
+from repro.fleet.campaign import FleetConfig, plan_shards
+from repro.fleet.manifest import ManifestMismatch, ShardManifest, canonical_json
+from repro.stats.streaming import BottomKReservoir, ExactSum, LogHistogram
+
+
+class SchemeAggregate:
+    """Everything the campaign knows about one scheme, merged."""
+
+    def __init__(self, scheme: str):
+        self.scheme = scheme
+        self.shards = 0
+        self.flows_started = 0
+        self.flows_completed = 0
+        self.flows_aborted = 0
+        self.flows_unfinished = 0
+        self.bytes_offered = 0
+        self.bytes_delivered = 0
+        self.data_packets = 0
+        self.retransmissions = 0
+        self.ack_packets = 0
+        self.up_bytes = 0
+        self.measure_s = ExactSum()
+        self.ack_airtime_s = ExactSum()
+        self.uplink_serialization_s = ExactSum()
+        self.fct_hist: Optional[LogHistogram] = None
+        self.goodput_hist: Optional[LogHistogram] = None
+        self.samples: Optional[BottomKReservoir] = None
+
+    def fold(self, shard: Dict[str, Any]) -> None:
+        """Merge one shard summary (call in shard-id order)."""
+        flows, by, pk = shard["flows"], shard["bytes"], shard["packets"]
+        self.shards += 1
+        self.flows_started += flows["started"]
+        self.flows_completed += flows["completed"]
+        self.flows_aborted += flows["aborted"]
+        self.flows_unfinished += flows["unfinished"]
+        self.bytes_offered += by["offered"]
+        self.bytes_delivered += by["delivered"]
+        self.data_packets += pk["data"]
+        self.retransmissions += pk["retransmissions"]
+        self.ack_packets += pk["acks"]
+        self.up_bytes += shard["links"]["up_delivered_bytes"]
+        self.measure_s.add(shard["elapsed_s"])
+        self.ack_airtime_s.add(shard["airtime"]["ack_airtime_s"])
+        self.uplink_serialization_s.add(
+            shard["airtime"]["uplink_serialization_s"])
+        digests = shard["digests"]
+        fct = LogHistogram.from_dict(digests["fct_s"])
+        goodput = LogHistogram.from_dict(digests["flow_goodput_bps"])
+        samples = BottomKReservoir.from_dict(digests["samples"])
+        if self.fct_hist is None:
+            self.fct_hist, self.goodput_hist, self.samples = fct, goodput, samples
+        else:
+            self.fct_hist.merge(fct)
+            self.goodput_hist.merge(goodput)
+            self.samples.merge(samples)
+
+    # ------------------------------------------------------------------
+    def goodput_bps(self) -> float:
+        """Aggregate goodput per AP: delivered bits over measured time."""
+        t = self.measure_s.value()
+        return self.bytes_delivered * 8.0 * self.shards / t if t > 0 else 0.0
+
+    def ack_per_data(self) -> float:
+        return self.ack_packets / self.data_packets if self.data_packets else 0.0
+
+    def ack_airtime_share(self) -> float:
+        """Fraction of measured airtime spent on uplink ACK exchanges."""
+        t = self.measure_s.value()
+        return self.ack_airtime_s.value() / t if t > 0 else 0.0
+
+    def fct_quantile_s(self, pct: float) -> Optional[float]:
+        if self.fct_hist is None or self.fct_hist.count == 0:
+            return None
+        return self.fct_hist.quantile(pct)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scheme": self.scheme,
+            "shards": self.shards,
+            "flows": {
+                "started": self.flows_started,
+                "completed": self.flows_completed,
+                "aborted": self.flows_aborted,
+                "unfinished": self.flows_unfinished,
+            },
+            "bytes": {
+                "offered": self.bytes_offered,
+                "delivered": self.bytes_delivered,
+            },
+            "packets": {
+                "data": self.data_packets,
+                "retransmissions": self.retransmissions,
+                "acks": self.ack_packets,
+            },
+            "uplink_bytes": self.up_bytes,
+            "measure_s_partials": list(self.measure_s._partials),
+            "ack_airtime_s_partials": list(self.ack_airtime_s._partials),
+            "uplink_serialization_s_partials":
+                list(self.uplink_serialization_s._partials),
+            "fct_s": self.fct_hist.to_dict() if self.fct_hist else None,
+            "flow_goodput_bps":
+                self.goodput_hist.to_dict() if self.goodput_hist else None,
+            "samples": self.samples.to_dict() if self.samples else None,
+        }
+
+
+def aggregate(shards: Iterable[Dict[str, Any]]) -> Dict[str, SchemeAggregate]:
+    """Fold shard summaries into per-scheme aggregates, shard-id order."""
+    by_scheme: Dict[str, SchemeAggregate] = {}
+    for shard in sorted(shards, key=lambda s: s["shard_id"]):
+        agg = by_scheme.setdefault(shard["scheme"],
+                                   SchemeAggregate(shard["scheme"]))
+        agg.fold(shard)
+    return by_scheme
+
+
+def aggregate_digest(by_scheme: Dict[str, SchemeAggregate]) -> str:
+    """Content hash of the merged campaign state.
+
+    Equal digests mean equal aggregates down to the last float — the
+    resume-correctness check in CI compares this between an
+    interrupted-and-resumed campaign and an uninterrupted one.
+    """
+    payload = {name: agg.to_dict() for name, agg in sorted(by_scheme.items())}
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# manifest-level entry points
+# ----------------------------------------------------------------------
+
+def load_campaign(manifest_path):
+    """Read a manifest back: ``(config, {shard_id: result})``."""
+    header, shards = ShardManifest(manifest_path).load()
+    if header is None:
+        raise ManifestMismatch(f"{manifest_path}: no manifest header found")
+    return FleetConfig.from_dict(header["config"]), shards
+
+
+def campaign_report(manifest_path) -> Dict[str, Any]:
+    """Aggregate a manifest into the report payload the CLI renders."""
+    config, shards = load_campaign(manifest_path)
+    planned = plan_shards(config)
+    missing = [s.shard_id for s in planned if s.shard_id not in shards]
+    by_scheme = aggregate(shards.values())
+    schemes = []
+    for name in config.schemes:
+        agg = by_scheme.get(name)
+        if agg is None:
+            continue
+        schemes.append({
+            "scheme": name,
+            "shards": agg.shards,
+            "flows_completed": agg.flows_completed,
+            "flows_started": agg.flows_started,
+            "flows_aborted": agg.flows_aborted,
+            "goodput_mbps": agg.goodput_bps() / 1e6,
+            "fct_p50_s": agg.fct_quantile_s(50),
+            "fct_p95_s": agg.fct_quantile_s(95),
+            "fct_p99_s": agg.fct_quantile_s(99),
+            "ack_per_data": agg.ack_per_data(),
+            "ack_airtime_share": agg.ack_airtime_share(),
+        })
+    return {
+        "fingerprint": config.fingerprint(),
+        "config": config.to_dict(),
+        "planned_shards": len(planned),
+        "completed_shards": len(shards),
+        "missing_shards": missing,
+        "aggregate_digest": aggregate_digest(by_scheme),
+        "schemes": schemes,
+    }
+
+
+def report_table(report: Dict[str, Any]) -> Table:
+    """Render a campaign report as the repo's standard table."""
+    table = Table(
+        title="Fleet campaign: TACK vs ACK schemes under churn",
+        columns=["scheme", "shards", "flows", "goodput_mbps",
+                 "fct_p50_ms", "fct_p99_ms", "ack_per_data",
+                 "ack_airtime_%"],
+        note=(f"digest {report['aggregate_digest'][:16]} | "
+              f"{report['completed_shards']}/{report['planned_shards']} "
+              "shards | airtime share is uplink ACK DCF exchanges per "
+              "measured second"),
+    )
+    for row in report["schemes"]:
+        table.add_row(
+            scheme=row["scheme"],
+            shards=row["shards"],
+            flows=row["flows_completed"],
+            goodput_mbps=row["goodput_mbps"],
+            fct_p50_ms=(row["fct_p50_s"] * 1e3
+                        if row["fct_p50_s"] is not None else None),
+            fct_p99_ms=(row["fct_p99_s"] * 1e3
+                        if row["fct_p99_s"] is not None else None),
+            ack_per_data=row["ack_per_data"],
+            **{"ack_airtime_%": row["ack_airtime_share"] * 100.0},
+        )
+    return table
+
+
+def merge_scheme_digest_order_check(shards: List[Dict[str, Any]]) -> bool:
+    """True when aggregation is order-insensitive for these shards
+    (sanity helper used by tests)."""
+    forward = aggregate_digest(aggregate(shards))
+    backward = aggregate_digest(aggregate(list(reversed(shards))))
+    return forward == backward

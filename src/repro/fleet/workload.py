@@ -1,0 +1,264 @@
+"""Workload generation for fleet-scale edge simulation.
+
+A busy access point does not serve a handful of infinite bulk flows —
+it serves a churning population of users whose flows arrive in bursts,
+whose sizes are heavy-tailed, and whose aggregate intensity follows the
+time of day.  This module generates that population as a lazy stream of
+:class:`FlowSpec` records so a shard never materializes its whole flow
+list.
+
+Determinism: every sampling decision draws from an explicitly supplied
+``random.Random`` (or per-user generators forked from it with labeled
+seeds, the same recipe as ``Simulator.fork_rng``) — reprolint's
+REP002/REP008 rules apply to this module, and simsan-reproducibility
+depends on it.
+
+Two arrival processes are provided:
+
+* ``poisson`` — a (possibly non-homogeneous) Poisson process.  The
+  diurnal load curve modulates the instantaneous rate; generation uses
+  Lewis-Shedler thinning against the peak rate so the sample path is
+  exact, not binned.
+* ``onoff`` — a fixed population of users, each alternating log-normal
+  ON and OFF periods; during ON periods a user launches flows at its
+  own Poisson rate.  This produces the session-burst correlation
+  structure a pure Poisson stream lacks.
+
+Flow sizes come from a log-normal (web/CDN-style) or bounded Pareto
+(archival/heavy-tail) distribution, clamped to ``[min_bytes,
+max_bytes]``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+
+class FlowSpec:
+    """One planned flow: when it starts and how many bytes it carries."""
+
+    __slots__ = ("index", "start_s", "size_bytes")
+
+    def __init__(self, index: int, start_s: float, size_bytes: int):
+        self.index = index
+        self.start_s = start_s
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:
+        return (f"FlowSpec(#{self.index}, t={self.start_s:.3f}s, "
+                f"{self.size_bytes}B)")
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of one shard's offered traffic.
+
+    ``mean_arrival_hz`` is the *time-averaged* flow arrival rate; the
+    diurnal curve redistributes it over the period without changing the
+    mean.  ``diurnal_amplitude`` of 0 disables modulation; 1.0 swings
+    the instantaneous rate between 0 and twice the mean over
+    ``diurnal_period_s`` (a compressed "day" — fleet campaigns default
+    to a short period so a few simulated minutes still sweep through
+    peak and trough).
+    """
+
+    arrival: str = "poisson"              # "poisson" | "onoff"
+    mean_arrival_hz: float = 50.0
+    duration_s: float = 30.0
+    # diurnal modulation (applies to both arrival processes)
+    diurnal_amplitude: float = 0.0        # 0..1
+    diurnal_period_s: float = 60.0
+    # flow sizes
+    size_dist: str = "lognormal"          # "lognormal" | "pareto"
+    size_median_bytes: int = 50_000
+    size_sigma: float = 1.2               # log-normal shape (natural log)
+    pareto_alpha: float = 1.3             # bounded-Pareto tail index
+    min_bytes: int = 1_500
+    max_bytes: int = 20_000_000
+    # on/off user population ("onoff" arrivals only)
+    n_users: int = 50
+    user_on_median_s: float = 8.0
+    user_off_median_s: float = 12.0
+    user_onoff_sigma: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ("poisson", "onoff"):
+            raise ValueError(f"unknown arrival process {self.arrival!r}")
+        if self.size_dist not in ("lognormal", "pareto"):
+            raise ValueError(f"unknown size distribution {self.size_dist!r}")
+        if self.mean_arrival_hz <= 0:
+            raise ValueError("mean_arrival_hz must be positive")
+        if not 0.0 <= self.diurnal_amplitude <= 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1]")
+        if self.min_bytes < 1 or self.max_bytes < self.min_bytes:
+            raise ValueError("need 1 <= min_bytes <= max_bytes")
+
+    # ------------------------------------------------------------------
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate at time ``t`` (diurnal curve).
+
+        A raised sinusoid starting at the trough, so short smoke runs
+        see the ramp-up rather than starting at peak load.
+        """
+        if self.diurnal_amplitude == 0.0:
+            return self.mean_arrival_hz
+        phase = 2.0 * math.pi * t / self.diurnal_period_s
+        return self.mean_arrival_hz * (
+            1.0 - self.diurnal_amplitude * math.cos(phase))
+
+    def mean_size_bytes(self) -> float:
+        """Expected flow size implied by the size distribution (used to
+        translate an offered-load target into an arrival rate)."""
+        if self.size_dist == "lognormal":
+            mu = math.log(self.size_median_bytes)
+            raw = math.exp(mu + self.size_sigma ** 2 / 2.0)
+        else:
+            a = self.pareto_alpha
+            lo, hi = float(self.size_median_bytes), float(self.max_bytes)
+            if a == 1.0:
+                raw = lo * math.log(hi / lo) / (1.0 - lo / hi)
+            else:
+                raw = (a * lo / (a - 1.0)) * (
+                    (1.0 - (lo / hi) ** (a - 1.0))
+                    / (1.0 - (lo / hi) ** a)) if hi > lo else lo
+        return min(max(raw, float(self.min_bytes)), float(self.max_bytes))
+
+    def offered_load_bps(self) -> float:
+        """Time-averaged offered load implied by rate x mean size."""
+        return self.mean_arrival_hz * self.mean_size_bytes() * 8.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadConfig":
+        known = {k: v for k, v in data.items() if k in cls.__dataclass_fields__}
+        return cls(**known)
+
+
+# ----------------------------------------------------------------------
+# flow sizes
+# ----------------------------------------------------------------------
+
+def sample_flow_size(cfg: WorkloadConfig, rng: random.Random) -> int:
+    """Draw one flow size in bytes from the configured distribution."""
+    if cfg.size_dist == "lognormal":
+        mu = math.log(cfg.size_median_bytes)
+        size = rng.lognormvariate(mu, cfg.size_sigma)
+    else:
+        # Bounded Pareto via inverse transform on [median, max].
+        a = cfg.pareto_alpha
+        lo, hi = float(cfg.size_median_bytes), float(cfg.max_bytes)
+        u = rng.random()
+        if hi <= lo:
+            size = lo
+        else:
+            ratio = (lo / hi) ** a
+            size = lo / (1.0 - u * (1.0 - ratio)) ** (1.0 / a)
+    return int(min(max(size, cfg.min_bytes), cfg.max_bytes))
+
+
+# ----------------------------------------------------------------------
+# arrival processes
+# ----------------------------------------------------------------------
+
+def _poisson_arrivals(cfg: WorkloadConfig,
+                      rng: random.Random) -> Iterator[float]:
+    """Non-homogeneous Poisson via Lewis-Shedler thinning."""
+    peak_hz = cfg.mean_arrival_hz * (1.0 + cfg.diurnal_amplitude)
+    t = 0.0
+    while True:
+        t += rng.expovariate(peak_hz)
+        if t >= cfg.duration_s:
+            return
+        if rng.random() * peak_hz <= cfg.rate_at(t):
+            yield t
+
+
+@dataclass(order=True)
+class _UserEvent:
+    time_s: float
+    user: int = field(compare=False)
+    kind: str = field(compare=False)      # "flow" | "toggle"
+
+
+def _onoff_arrivals(cfg: WorkloadConfig,
+                    rng: random.Random) -> Iterator[float]:
+    """Merged arrival stream of ``n_users`` independent on/off users.
+
+    Each user gets its own labeled RNG forked from ``rng`` so adding a
+    user never perturbs the others' sample paths.  The per-user flow
+    rate is scaled so the population's time-averaged rate matches
+    ``mean_arrival_hz`` (accounting for the expected ON duty cycle).
+    """
+    if cfg.n_users < 1:
+        raise ValueError("onoff arrivals need n_users >= 1")
+    mu_on = math.log(cfg.user_on_median_s)
+    mu_off = math.log(cfg.user_off_median_s)
+    sigma = cfg.user_onoff_sigma
+    mean_on = math.exp(mu_on + sigma ** 2 / 2.0)
+    mean_off = math.exp(mu_off + sigma ** 2 / 2.0)
+    duty = mean_on / (mean_on + mean_off)
+    # Over-drive the per-user rate by the diurnal peak factor, then
+    # thin each candidate by rate_at/peak below — the accepted stream
+    # keeps the target time-averaged rate while following the curve.
+    peak_factor = 1.0 + cfg.diurnal_amplitude
+    user_rate_hz = cfg.mean_arrival_hz * peak_factor / (cfg.n_users * duty)
+
+    rngs = [random.Random(f"{rng.random()}-user{i}")
+            for i in range(cfg.n_users)]
+    heap: list[_UserEvent] = []
+    # Stagger session starts uniformly over one OFF period so the
+    # population does not toggle in lockstep.
+    on_until: list[float] = [0.0] * cfg.n_users
+    for i, urng in enumerate(rngs):
+        first_on = urng.random() * mean_off
+        heapq.heappush(heap, _UserEvent(first_on, i, "toggle"))
+
+    while heap:
+        ev = heapq.heappop(heap)
+        if ev.time_s >= cfg.duration_s:
+            continue
+        urng = rngs[ev.user]
+        if ev.kind == "toggle":
+            # Session begins: draw its length, schedule first flow and
+            # the next session start.
+            on_s = urng.lognormvariate(mu_on, sigma)
+            off_s = urng.lognormvariate(mu_off, sigma)
+            on_until[ev.user] = ev.time_s + on_s
+            heapq.heappush(heap, _UserEvent(ev.time_s + on_s + off_s,
+                                            ev.user, "toggle"))
+            gap = urng.expovariate(user_rate_hz)
+            heapq.heappush(heap, _UserEvent(ev.time_s + gap, ev.user, "flow"))
+        else:
+            if ev.time_s < on_until[ev.user]:
+                # Diurnal thinning on top of the session process.
+                if (urng.random() * peak_factor * cfg.mean_arrival_hz
+                        <= cfg.rate_at(ev.time_s)):
+                    yield ev.time_s
+                gap = urng.expovariate(user_rate_hz)
+                heapq.heappush(heap, _UserEvent(ev.time_s + gap,
+                                                ev.user, "flow"))
+            # Flows scheduled past the session end are dropped; the
+            # next session's toggle restarts the per-user clock.
+
+
+def generate_flows(cfg: WorkloadConfig,
+                   rng: random.Random,
+                   start_index: int = 0) -> Iterator[FlowSpec]:
+    """Lazy stream of this shard's flows, in start-time order.
+
+    The generator holds O(n_users) state, never the whole flow list;
+    fleet shards pull one arrival at a time and schedule the next pull
+    as a simulator event, keeping memory flat at any campaign size.
+    """
+    arrivals = (_poisson_arrivals(cfg, rng) if cfg.arrival == "poisson"
+                else _onoff_arrivals(cfg, rng))
+    index = start_index
+    for t in arrivals:
+        yield FlowSpec(index, t, sample_flow_size(cfg, rng))
+        index += 1

@@ -27,6 +27,15 @@ DEFAULT_EXEMPT = (
     "*/repro/telemetry/__main__.py",
     "*/repro/profile/*",
     "*/repro/bench/*",
+    # fleet host plumbing: campaign orchestration, durable manifest
+    # I/O, aggregation, CLI.  The *generators* (workload.py, shard.py)
+    # are NOT here — they are simulation code and stay under the
+    # determinism rules.
+    "*/repro/fleet/cli.py",
+    "*/repro/fleet/__main__.py",
+    "*/repro/fleet/campaign.py",
+    "*/repro/fleet/manifest.py",
+    "*/repro/fleet/report.py",
 )
 
 #: Packages whose ``__init__`` constructors fall under the REP004
@@ -90,6 +99,20 @@ DEFAULT_SIM_PACKAGES = (
     "core",
     "wlan",
     "chaos",
+    "fleet",
+)
+
+#: Globs carved *out* of the sim scope: host-side files living inside
+#: a sim package.  ``repro.fleet`` is the motivating case — its
+#: workload/shard generators are simulation code (REP007/REP008 apply)
+#: while the campaign runner, manifest writer, aggregator, and CLI in
+#: the same package are host orchestration.
+DEFAULT_SIM_EXEMPT = (
+    "*/repro/fleet/cli.py",
+    "*/repro/fleet/__main__.py",
+    "*/repro/fleet/campaign.py",
+    "*/repro/fleet/manifest.py",
+    "*/repro/fleet/report.py",
 )
 
 
@@ -105,6 +128,7 @@ class LintConfig:
     time_suffixes: Sequence[str] = DEFAULT_TIME_SUFFIXES
     telemetry_host_files: Sequence[str] = DEFAULT_TELEMETRY_HOST_FILES
     sim_packages: Sequence[str] = DEFAULT_SIM_PACKAGES
+    sim_exempt: Sequence[str] = DEFAULT_SIM_EXEMPT
     disabled_rules: Sequence[str] = field(default_factory=tuple)
 
     # ------------------------------------------------------------------
@@ -125,9 +149,16 @@ class LintConfig:
         return norm.endswith("core/params.py")
 
     def in_sim_scope(self, path: str) -> bool:
-        """True when *path* is simulation-side code (REP007)."""
+        """True when *path* is simulation-side code (REP007/REP008).
+
+        A file is in scope when it lives under a sim package and does
+        not match a ``sim_exempt`` glob (host-side plumbing that ships
+        inside a sim package, like the fleet campaign CLI).
+        """
         norm = path.replace("\\", "/")
-        return any(f"/repro/{pkg}/" in norm for pkg in self.sim_packages)
+        if not any(f"/repro/{pkg}/" in norm for pkg in self.sim_packages):
+            return False
+        return not any(fnmatch.fnmatch(norm, pat) for pat in self.sim_exempt)
 
     def has_unit_suffix(self, name: str) -> bool:
         return (
@@ -194,9 +225,11 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
     config.telemetry_host_files = seq("telemetry-host-files",
                                       config.telemetry_host_files)
     config.sim_packages = seq("sim-packages", config.sim_packages)
+    config.sim_exempt = seq("sim-exempt", config.sim_exempt)
     config.disabled_rules = seq("disable", config.disabled_rules)
     for key, attr in (("extend-exempt", "exempt"),
-                      ("extend-allow-names", "allow_names")):
+                      ("extend-allow-names", "allow_names"),
+                      ("extend-sim-exempt", "sim_exempt")):
         extra = table.get(key)
         if isinstance(extra, list):
             setattr(config, attr,

@@ -17,12 +17,23 @@ from repro.netsim.packet import Packet
 class FlowDemux:
     """Routes delivered packets to per-flow sinks by ``flow_id``."""
 
+    __slots__ = ("_sinks", "unrouted")
+
     def __init__(self):
         self._sinks: dict[int, Callable[[Packet], None]] = {}
         self.unrouted = 0
 
     def register(self, flow_id: int, sink: Callable[[Packet], None]) -> None:
         self._sinks[flow_id] = sink
+
+    def unregister(self, flow_id: int) -> None:
+        """Drop a flow's sink; late packets count as ``unrouted``.
+
+        Fleet shards retire thousands of short flows per run — removing
+        the sink releases the connection object and keeps the routing
+        table bounded by the *active* population.
+        """
+        self._sinks.pop(flow_id, None)
 
     def __call__(self, packet: Packet) -> None:
         sink = self._sinks.get(packet.flow_id)
@@ -38,6 +49,8 @@ class SharedPort:
     ``send`` forwards into the shared link; ``connect`` registers the
     flow's sink with the demux sitting at the link's far end.
     """
+
+    __slots__ = ("link", "demux", "flow_id")
 
     def __init__(self, link, demux: FlowDemux, flow_id: int):
         self.link = link

@@ -31,6 +31,8 @@ from repro.netsim.queue import DropTailQueue
 class LinkConfig:
     """Static parameters of a wired link."""
 
+    __slots__ = ("rate_bps", "delay_s", "queue_bytes", "loss")
+
     def __init__(
         self,
         rate_bps: float,
@@ -67,6 +69,9 @@ class LinkImpairments:
     explicit ``rng``, independent of the loss model's stream.
     """
 
+    __slots__ = ("rng", "blackout", "duplicate_prob", "corrupt_prob",
+                 "reorder_prob", "reorder_extra_s", "jitter_s")
+
     def __init__(self, rng: RngLike):
         self.rng = coerce_rng(rng, "LinkImpairments")
         self.blackout = False          # drop everything at ingress
@@ -99,7 +104,16 @@ class Link:
     bottleneck.  Serialization is modeled exactly: the transmitter is
     busy for ``size * 8 / rate`` per packet, then the packet propagates
     for ``delay_s`` and is handed to ``sink``.
+
+    Fleet-scale shards construct and drive thousands of links'
+    packets through one process, so the class is slotted; new state
+    belongs in the slots tuple, not ad-hoc attributes.
     """
+
+    __slots__ = ("sim", "config", "sink", "name", "queue", "_busy",
+                 "packets_sent", "packets_delivered", "packets_lost",
+                 "packets_duplicated", "packets_corrupted",
+                 "packets_reordered", "bytes_delivered", "_tel", "_imp")
 
     def __init__(
         self,

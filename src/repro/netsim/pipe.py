@@ -20,6 +20,9 @@ class Pipe:
     drop patterns without configuring a full link.
     """
 
+    __slots__ = ("sim", "delay_s", "sink", "loss", "packets_sent",
+                 "packets_lost", "packets_delivered")
+
     def __init__(
         self,
         sim: Simulator,

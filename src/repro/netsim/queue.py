@@ -21,6 +21,9 @@ class DropTailQueue:
     links that are never the bottleneck).
     """
 
+    __slots__ = ("capacity_bytes", "_queue", "_bytes", "drops",
+                 "enqueued", "peak_bytes")
+
     def __init__(self, capacity_bytes: Optional[int] = None):
         if capacity_bytes is not None and capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
@@ -76,6 +79,8 @@ class REDQueue(DropTailQueue):
     behaves droptail above ``max_thresh``.  Present for the queueing
     ablation, not used by the headline experiments.
     """
+
+    __slots__ = ("min_thresh", "max_thresh", "max_p", "rng")
 
     def __init__(
         self,

@@ -31,6 +31,7 @@ from repro.bench import (
     BenchRecord,
     append_records,
     compare_series,
+    filter_history,
     gate_history,
     load_history,
 )
@@ -160,12 +161,18 @@ def cmd_record(args: argparse.Namespace) -> int:
 # compare / gate
 # ----------------------------------------------------------------------
 
+def _only_patterns(args: argparse.Namespace) -> List[str]:
+    return [p.strip() for p in (args.only or "").split(",") if p.strip()]
+
+
 def _load_findings(args: argparse.Namespace):
     history_dir = args.history or default_history_dir()
-    history = load_history(history_dir)
+    history = filter_history(load_history(history_dir),
+                             _only_patterns(args))
     if not history.records:
         raise _UsageError(
             f"error: no bench history under {history_dir} "
+            "matching the filters "
             "(run the micro-benches or `record` first)")
     findings = compare_series(
         history, window=args.window, min_records=args.min_records,
@@ -208,7 +215,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_gate(args: argparse.Namespace) -> int:
     history_dir = args.history or default_history_dir()
-    history = load_history(history_dir)
+    history = filter_history(load_history(history_dir),
+                             _only_patterns(args))
     if not history.records:
         # An empty trajectory is the bootstrap state, not an error:
         # the gate must be safe to wire into CI before any records
@@ -285,6 +293,9 @@ def _add_history_options(p: argparse.ArgumentParser) -> None:
                         "(default %(default)s)")
     p.add_argument("--any-machine", action="store_true",
                    help="compare across machine fingerprints (noisy)")
+    p.add_argument("--only", default=None, metavar="PAT[,PAT...]",
+                   help="restrict to bench series whose name contains "
+                        "any of the comma-separated substrings")
     p.add_argument("--json", action="store_true")
 
 

@@ -11,9 +11,13 @@ from repro.stats.percentile import percentile
 from repro.stats.power import kleinrock_power
 from repro.stats.collector import FlowCollector
 from repro.stats.ranking import rank_schemes, RankSummary
+from repro.stats.streaming import BottomKReservoir, ExactSum, LogHistogram
 
 __all__ = [
+    "BottomKReservoir",
+    "ExactSum",
     "FlowCollector",
+    "LogHistogram",
     "RankSummary",
     "TimeSeries",
     "kleinrock_power",

@@ -16,6 +16,8 @@ from typing import Iterable, Iterator
 class IntervalSet:
     """Set of non-negative integers stored as disjoint half-open ranges."""
 
+    __slots__ = ("_starts", "_ends")
+
     def __init__(self, ranges: Iterable[tuple[int, int]] = ()):
         self._starts: list[int] = []
         self._ends: list[int] = []

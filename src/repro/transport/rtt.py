@@ -20,6 +20,9 @@ from repro.cc.windowed_filter import WindowedMinFilter
 class RttEstimator:
     """RFC 6298 smoothed RTT and retransmission timeout."""
 
+    __slots__ = ("initial_rto_s", "min_rto_s", "max_rto_s", "alpha",
+                 "beta", "srtt", "rttvar", "latest_sample", "_backoff")
+
     def __init__(
         self,
         initial_rto_s: float = 1.0,
@@ -70,6 +73,8 @@ class RttEstimator:
 
 class MinRttTracker:
     """Windowed minimum RTT over ``tau_s`` seconds (route-change safe)."""
+
+    __slots__ = ("_filter",)
 
     def __init__(self, tau_s: float = 10.0):
         self._filter = WindowedMinFilter(window=tau_s)

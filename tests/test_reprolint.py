@@ -225,6 +225,21 @@ class TestRuleFiring:
         assert codes("import random\nrng = random.Random(7)\n",
                      path="src/repro/chaos/fixture.py") == ["REP008"]
 
+    def test_rep008_fleet_generators_in_scope(self):
+        # The fleet workload/shard generators are simulation code: a
+        # baked-in seed there would silently correlate every shard.
+        src = "import random\nrng = random.Random(42)\n"
+        assert codes(src, path="src/repro/fleet/workload.py") == ["REP008"]
+        assert codes(src, path="src/repro/fleet/shard.py") == ["REP008"]
+
+    def test_rep008_fleet_host_plumbing_exempt(self):
+        # ...while the campaign CLI / manifest / report host code in
+        # the same package is carved out by the sim-exempt globs.
+        src = "import random\nrng = random.Random(42)\n"
+        for host in ("cli.py", "__main__.py", "campaign.py",
+                     "manifest.py", "report.py"):
+            assert codes(src, path=f"src/repro/fleet/{host}") == [], host
+
     def test_rep008_pragma_suppresses(self):
         src = ("import random\n"
                "rng = random.Random(42)  # reprolint: disable=REP008\n")
@@ -278,6 +293,26 @@ class TestConfig:
     def test_disabled_rules(self):
         config = LintConfig(disabled_rules=("REP001",))
         assert codes("import time\nx = time.time()\n", config=config) == []
+
+    def test_sim_exempt_scope_split(self):
+        config = LintConfig()
+        assert config.in_sim_scope("src/repro/fleet/workload.py")
+        assert config.in_sim_scope("src/repro/fleet/shard.py")
+        assert not config.in_sim_scope("src/repro/fleet/campaign.py")
+        assert not config.in_sim_scope("src/repro/fleet/report.py")
+        # The fleet host files are also exempt from REP001-REP003.
+        assert config.is_exempt("src/repro/fleet/cli.py")
+        assert not config.is_exempt("src/repro/fleet/workload.py")
+
+    def test_extend_sim_exempt_appends(self, tmp_path):
+        pyproject = tmp_path / "pyproject.toml"
+        pyproject.write_text(
+            "[tool.reprolint]\n"
+            'extend-sim-exempt = ["*/repro/fleet/extra_host.py"]\n')
+        config = load_config(pyproject)
+        assert "*/repro/fleet/cli.py" in config.sim_exempt  # default kept
+        assert not config.in_sim_scope("src/repro/fleet/extra_host.py")
+        assert config.in_sim_scope("src/repro/fleet/workload.py")
 
     def test_rule_registry_is_stable(self):
         assert list(RULES) == ["REP001", "REP002", "REP003", "REP004",

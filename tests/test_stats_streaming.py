@@ -1,0 +1,246 @@
+"""Streaming digests: quantile accuracy, exact merge semantics.
+
+The fleet aggregation path (`repro.fleet`) depends on two properties
+checked here: (1) LogHistogram quantiles track the exact
+:func:`repro.stats.percentile` within the bin-width tolerance on
+realistic sample shapes, and (2) every digest merges associatively and
+order-independently — byte-identical serialized state no matter how
+samples were sharded — which is what makes resumed campaigns reproduce
+the exact aggregate digest.
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.stats import BottomKReservoir, ExactSum, LogHistogram, percentile
+
+
+def canon(obj):
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def sample_sets():
+    """Named (name, samples) pairs covering distinct distribution shapes."""
+    rng = random.Random("streaming-digest-tests")
+    uniform = [rng.uniform(0.01, 10.0) for _ in range(4000)]
+    lognormal = [rng.lognormvariate(math.log(0.05), 1.2) for _ in range(4000)]
+    # Uneven mode weights keep the tested quantiles inside a mode
+    # (a quantile landing in the inter-mode gap is ill-conditioned for
+    # any estimator: neighboring ranks differ by orders of magnitude).
+    bimodal = ([rng.lognormvariate(math.log(0.004), 0.3) for _ in range(1700)]
+               + [rng.lognormvariate(math.log(2.0), 0.4) for _ in range(2300)])
+    return [("uniform", uniform), ("lognormal", lognormal),
+            ("bimodal", bimodal)]
+
+
+# ----------------------------------------------------------------------
+# ExactSum
+# ----------------------------------------------------------------------
+
+class TestExactSum:
+    def test_matches_fsum_exactly(self):
+        rng = random.Random("exact-sum")
+        xs = [rng.uniform(-1e9, 1e9) * 10.0 ** rng.randint(-12, 12)
+              for _ in range(2000)]
+        acc = ExactSum()
+        for x in xs:
+            acc.add(x)
+        assert acc.value() == math.fsum(xs)
+
+    def test_merge_value_exact_in_any_order(self):
+        # The partials *representation* depends on fold order, but the
+        # represented value is exact, so value() is identical no matter
+        # how the inputs were sharded or in what order shards merged.
+        rng = random.Random("exact-sum-merge")
+        xs = [rng.uniform(-1.0, 1.0) * 10.0 ** rng.randint(-9, 9)
+              for _ in range(3000)]
+        chunks = [xs[i::7] for i in range(7)]
+
+        def value(order):
+            acc = ExactSum()
+            for i in order:
+                part = ExactSum()
+                for x in chunks[i]:
+                    part.add(x)
+                acc.merge(part)
+            return acc.value()
+
+        expected = math.fsum(xs)
+        assert value(range(7)) == expected
+        assert value(reversed(range(7))) == expected
+        assert value([3, 0, 6, 1, 5, 2, 4]) == expected
+
+    def test_fixed_fold_order_is_byte_stable(self):
+        # The fleet resume digest relies on this weaker property: the
+        # same shards folded in the same (shard_id) order serialize
+        # byte-identically on every run.
+        rng = random.Random("exact-sum-stable")
+        xs = [rng.uniform(-1e6, 1e6) for _ in range(500)]
+        chunks = [xs[i::3] for i in range(3)]
+
+        def digest():
+            acc = ExactSum()
+            for chunk in chunks:
+                part = ExactSum()
+                for x in chunk:
+                    part.add(x)
+                acc.merge(part)
+            return canon(acc.to_dict())
+
+        assert digest() == digest()
+
+    def test_round_trip(self):
+        acc = ExactSum()
+        for x in (1e16, 1.0, -1e16, 1e-8):
+            acc.add(x)
+        again = ExactSum.from_dict(json.loads(canon(acc.to_dict())))
+        assert again.value() == acc.value()
+        assert canon(again.to_dict()) == canon(acc.to_dict())
+
+
+# ----------------------------------------------------------------------
+# LogHistogram
+# ----------------------------------------------------------------------
+
+class TestLogHistogram:
+    @pytest.mark.parametrize("name,samples", sample_sets())
+    @pytest.mark.parametrize("pct", [1.0, 10.0, 50.0, 90.0, 99.0])
+    def test_quantile_tracks_exact_percentile(self, name, samples, pct):
+        hist = LogHistogram(1e-4, 1e4, bins_per_decade=64)
+        for s in samples:
+            hist.add(s)
+        exact = percentile(samples, pct)
+        approx = hist.quantile(pct)
+        # 64 bins/decade => ~3.7% relative bin width; allow a bit of
+        # slack for the rank convention difference at the tails.
+        assert approx == pytest.approx(exact, rel=0.06), (name, pct)
+
+    def test_quantiles_clamped_to_observed_range(self):
+        hist = LogHistogram(1e-3, 1e3)
+        for v in (0.5, 1.0, 2.0):
+            hist.add(v)
+        assert hist.quantile(0.0) == 0.5
+        assert hist.quantile(100.0) == 2.0
+
+    def test_underflow_overflow_bins(self):
+        hist = LogHistogram(1.0, 10.0)
+        hist.add(0.0)     # below lo_bound -> underflow
+        hist.add(100.0)   # at/above hi_bound -> overflow
+        assert hist.count == 2
+        assert hist.quantile(0.0) == 0.0
+        assert hist.quantile(100.0) == 100.0
+
+    def test_merge_associative_and_shard_invariant(self):
+        _, samples = sample_sets()[1]
+        shards = [samples[i::5] for i in range(5)]
+
+        def build(part):
+            h = LogHistogram(1e-4, 1e4, bins_per_decade=64)
+            for s in part:
+                h.add(s)
+            return h
+
+        def stats(h):
+            # Everything except the sum partials (whose layout is
+            # fold-order dependent; the *value* is exact either way).
+            d = h.to_dict()
+            d.pop("sum_partials")
+            return canon(d), h.sum, [h.quantile(p) for p in
+                                     (1.0, 25.0, 50.0, 75.0, 99.0)]
+
+        whole = build(samples)
+
+        merged = build(shards[0])
+        for part in shards[1:]:
+            merged.merge(build(part))
+        assert stats(merged) == stats(whole)
+
+        # Reversed merge order — counts, extrema, exact sum, and every
+        # quantile identical.
+        reordered = build(shards[4])
+        for part in reversed(shards[:4]):
+            reordered.merge(build(part))
+        assert stats(reordered) == stats(whole)
+
+        # Same fold order twice -> byte-identical including partials.
+        again = build(shards[0])
+        for part in shards[1:]:
+            again.merge(build(part))
+        assert canon(again.to_dict()) == canon(merged.to_dict())
+
+    def test_merge_rejects_mismatched_config(self):
+        a = LogHistogram(1e-3, 1e3, bins_per_decade=64)
+        b = LogHistogram(1e-3, 1e3, bins_per_decade=32)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_mean_and_sum_are_exact(self):
+        xs = [0.1, 0.2, 0.3, 1e7, 1e-7]
+        hist = LogHistogram(1e-9, 1e9)
+        for x in xs:
+            hist.add(x)
+        assert hist.sum == math.fsum(xs)
+        assert hist.mean == math.fsum(xs) / len(xs)
+
+    def test_round_trip(self):
+        hist = LogHistogram(1e-4, 1e4)
+        for s in sample_sets()[0][1][:500]:
+            hist.add(s)
+        again = LogHistogram.from_dict(json.loads(canon(hist.to_dict())))
+        assert canon(again.to_dict()) == canon(hist.to_dict())
+        assert again.quantile(50.0) == hist.quantile(50.0)
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError):
+            LogHistogram().quantile(50.0)
+
+
+# ----------------------------------------------------------------------
+# BottomKReservoir
+# ----------------------------------------------------------------------
+
+class TestBottomKReservoir:
+    def test_union_equals_reservoir_of_union(self):
+        keys = [f"shard{i % 13}/flow{i}" for i in range(1000)]
+        whole = BottomKReservoir(k=64)
+        for key in keys:
+            whole.add(key, key)
+
+        left = BottomKReservoir(k=64)
+        right = BottomKReservoir(k=64)
+        for i, key in enumerate(keys):
+            (left if i % 2 else right).add(key, key)
+        left.merge(right)
+        assert canon(left.to_dict()) == canon(whole.to_dict())
+
+        # Merge in the other direction too.
+        left2 = BottomKReservoir(k=64)
+        right2 = BottomKReservoir(k=64)
+        for i, key in enumerate(keys):
+            (left2 if i % 2 else right2).add(key, key)
+        right2.merge(left2)
+        assert canon(right2.to_dict()) == canon(whole.to_dict())
+
+    def test_membership_is_pure_function_of_keys(self):
+        res_fwd = BottomKReservoir(k=16)
+        res_rev = BottomKReservoir(k=16)
+        keys = [f"k{i}" for i in range(200)]
+        for key in keys:
+            res_fwd.add(key, key)
+        for key in reversed(keys):
+            res_rev.add(key, key)
+        assert res_fwd.values() == res_rev.values()
+
+    def test_merge_rejects_mismatched_params(self):
+        with pytest.raises(ValueError):
+            BottomKReservoir(k=8).merge(BottomKReservoir(k=16))
+
+    def test_round_trip(self):
+        res = BottomKReservoir(k=8, salt="fct")
+        for i in range(50):
+            res.add(f"flow{i}", {"fct_s": i / 10.0})
+        again = BottomKReservoir.from_dict(json.loads(canon(res.to_dict())))
+        assert canon(again.to_dict()) == canon(res.to_dict())
