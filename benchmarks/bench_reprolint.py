@@ -1,0 +1,37 @@
+"""Wall-clock microbenchmark of the reprolint engine itself.
+
+The unit checker runs in CI on every push, so its cost is part of the
+development loop: this bench times a full ``--units`` pass over
+``src/repro`` (summaries, the cross-module inference round, and the
+emitting round) and appends the wall time to
+``benchmarks/results/history/`` so ``python -m repro.profile gate``
+catches the analyzer getting slow the same way it catches the
+simulator getting slow.
+"""
+
+from pathlib import Path
+
+from repro.lint import LintConfig, lint_paths, load_config
+
+from conftest import record_bench_history
+
+_ROOT = Path(__file__).resolve().parents[1]
+_SRC = _ROOT / "src" / "repro"
+
+
+def _units_pass(config: LintConfig) -> int:
+    result = lint_paths([_SRC], config, units=True)
+    return result.files_checked
+
+
+def test_reprolint_units_pass(benchmark):
+    config = load_config(_ROOT / "pyproject.toml")
+    files_checked = benchmark.pedantic(_units_pass, args=(config,),
+                                       rounds=1, iterations=1)
+    assert files_checked > 100  # the walk really covered the tree
+    wall_s = benchmark.stats.stats.min
+    record_bench_history(
+        "reprolint.units_pass",
+        {"wall_s": wall_s, "files_per_s": files_checked / wall_s},
+        config={"paths": "src/repro", "units": True, "jobs": 1},
+    )

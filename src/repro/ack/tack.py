@@ -254,7 +254,7 @@ class TackPolicy(AckPolicy):
             include_timing=True,
             include_rate=True,
             reason=reason,
-            min_gap_age=self.params.iack_reorder_delay_factor * self.rtt_min(),
+            min_gap_age_s=self.params.iack_reorder_delay_factor * self.rtt_min(),
         )
         self.receiver.emit_feedback(PacketType.TACK, fb)
 

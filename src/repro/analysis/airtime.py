@@ -70,5 +70,5 @@ def tack_equivalent_l(goodput_bps: float, rtt_min_s: float,
                       beta: float = 4.0, payload_bytes: int = MSS) -> float:
     """The effective L of TACK in the periodic regime: one ACK per
     ``packet_rate * RTT_min / beta`` data packets."""
-    pkt_rate = goodput_bps / (payload_bytes * 8.0)
-    return max(1.0, pkt_rate * rtt_min_s / beta)
+    pkt_rate_hz = goodput_bps / (payload_bytes * 8.0)
+    return max(1.0, pkt_rate_hz * rtt_min_s / beta)

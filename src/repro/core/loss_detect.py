@@ -103,9 +103,10 @@ class RetransmitGovernor:
     def __init__(self):
         self._last_retx: dict[int, float] = {}
 
-    def may_retransmit(self, seq_start: int, now: float, srtt: float) -> bool:
+    def may_retransmit(self, seq_start: int, now: float,
+                       srtt_s: float) -> bool:
         last = self._last_retx.get(seq_start)
-        return last is None or now - last >= srtt
+        return last is None or now - last >= srtt_s
 
     def on_retransmit(self, seq_start: int, now: float) -> None:
         self._last_retx[seq_start] = now

@@ -134,7 +134,7 @@ class SenderRttMinEstimator:
 
     def on_tack(
         self,
-        tack_arrival: float,
+        tack_arrival_ts: float,
         echo_departure_ts: Optional[float],
         tack_delay: Optional[float],
     ) -> Optional[float]:
@@ -146,10 +146,10 @@ class SenderRttMinEstimator:
         if echo_departure_ts is None:
             return None
         delay = tack_delay or 0.0
-        rtt = tack_arrival - echo_departure_ts - delay
+        rtt = tack_arrival_ts - echo_departure_ts - delay
         if rtt <= 0:
             return None
-        self._filter.update(rtt, tack_arrival)
+        self._filter.update(rtt, tack_arrival_ts)
         self.last_sample = rtt
         self.samples += 1
         return rtt

@@ -105,19 +105,19 @@ class TackParams:
         self.degrade_ack_loss = degrade_ack_loss
         self.max_degrade_factor = max_degrade_factor
 
-    def tack_interval(self, bw_bps: float, rtt_min: float) -> float:
+    def tack_interval(self, bw_bps: float, rtt_min_s: float) -> float:
         """Interval between TACKs per Eq. (3): the *slower* of the
         byte-counting and periodic clocks wins (min frequency)."""
-        periodic = rtt_min / self.beta
+        periodic_s = rtt_min_s / self.beta
         if bw_bps <= 0:
-            return periodic if periodic > 0 else 0.01
-        byte_counting = self.ack_count_l * self.mss * 8.0 / bw_bps
-        return max(byte_counting, periodic)
+            return periodic_s if periodic_s > 0 else 0.01
+        byte_counting_s = self.ack_count_l * self.mss * 8.0 / bw_bps
+        return max(byte_counting_s, periodic_s)
 
-    def tack_frequency(self, bw_bps: float, rtt_min: float) -> float:
+    def tack_frequency(self, bw_bps: float, rtt_min_s: float) -> float:
         """f_tack per Eq. (3) in Hz."""
-        interval = self.tack_interval(bw_bps, rtt_min)
-        return 1.0 / interval if interval > 0 else float("inf")
+        interval_s = self.tack_interval(bw_bps, rtt_min_s)
+        return 1.0 / interval_s if interval_s > 0 else float("inf")
 
     def is_periodic_regime(self, bdp_bytes: float) -> bool:
         """True when bdp >= beta * L * MSS (paper S4.1)."""

@@ -22,13 +22,13 @@ from repro.netsim.engine import Simulator
 from repro.netsim.paths import hybrid_path, wired_path, wlan_path
 
 
-def _end_to_end(scheme: str, phy: str, wan_rate: float, wan_rtt: float,
+def _end_to_end(scheme: str, phy: str, wan_rate_bps: float, wan_rtt_s: float,
                 loss: float, duration_s: float, warmup_s: float,
                 seed: int) -> dict:
     sim = Simulator(seed=seed)
-    path = hybrid_path(sim, phy, wan_rate_bps=wan_rate, wan_rtt_s=wan_rtt,
+    path = hybrid_path(sim, phy, wan_rate_bps=wan_rate_bps, wan_rtt_s=wan_rtt_s,
                        data_loss=loss, ack_loss=loss)
-    flow = BulkFlow(sim, path, scheme, initial_rtt_s=wan_rtt + 0.005)
+    flow = BulkFlow(sim, path, scheme, initial_rtt_s=wan_rtt_s + 0.005)
     flow.start()
     sim.run(until=duration_s)
     return {
@@ -38,14 +38,14 @@ def _end_to_end(scheme: str, phy: str, wan_rate: float, wan_rtt: float,
     }
 
 
-def _split(phy: str, wan_rate: float, wan_rtt: float, loss: float,
+def _split(phy: str, wan_rate_bps: float, wan_rtt_s: float, loss: float,
            duration_s: float, warmup_s: float, seed: int) -> dict:
     sim = Simulator(seed=seed)
-    wan = wired_path(sim, wan_rate, wan_rtt, data_loss=loss, ack_loss=loss)
+    wan = wired_path(sim, wan_rate_bps, wan_rtt_s, data_loss=loss, ack_loss=loss)
     wlan = wlan_path(sim, phy, extra_rtt_s=0.004)
     split = SplitTransfer(sim, wan, wlan, wan_scheme="tcp-bbr",
                           wlan_scheme="tcp-tack",
-                          wan_rtt_hint=wan_rtt, wlan_rtt_hint=0.01)
+                          wan_rtt_hint=wan_rtt_s, wlan_rtt_hint=0.01)
     split.start_bulk()
     sim.run(until=duration_s)
     span = duration_s - warmup_s
@@ -58,26 +58,26 @@ def _split(phy: str, wan_rate: float, wan_rtt: float, loss: float,
     }
 
 
-def run(phy: str = "802.11g", wan_rate: float = 100e6, wan_rtt: float = 0.2,
+def run(phy: str = "802.11g", wan_rate_bps: float = 100e6, wan_rtt_s: float = 0.2,
         loss: float = 0.01, duration_s: float = 10.0, warmup_s: float = 3.0,
         seed: int = 11) -> Table:
     table = Table(
         "Extension (paper S7): TCP splitting at the access point",
         ["deployment", "goodput_mbps", "acks", "proxy_held_kb"],
-        note=(f"{phy} last hop, WAN {wan_rate/1e6:.0f} Mbps / "
-              f"{wan_rtt*1e3:.0f} ms, {loss:.0%} bidirectional loss.  "
+        note=(f"{phy} last hop, WAN {wan_rate_bps/1e6:.0f} Mbps / "
+              f"{wan_rtt_s*1e3:.0f} ms, {loss:.0%} bidirectional loss.  "
               "proxy_held = bytes acked to the server but not yet at "
               "the client (splitting's reliability gap)."),
     )
     for label, runner in (
         ("end-to-end TCP BBR",
-         lambda: _end_to_end("tcp-bbr", phy, wan_rate, wan_rtt, loss,
+         lambda: _end_to_end("tcp-bbr", phy, wan_rate_bps, wan_rtt_s, loss,
                              duration_s, warmup_s, seed)),
         ("end-to-end TCP-TACK",
-         lambda: _end_to_end("tcp-tack", phy, wan_rate, wan_rtt, loss,
+         lambda: _end_to_end("tcp-tack", phy, wan_rate_bps, wan_rtt_s, loss,
                              duration_s, warmup_s, seed)),
         ("split: BBR (WAN) + TACK (WLAN)",
-         lambda: _split(phy, wan_rate, wan_rtt, loss,
+         lambda: _split(phy, wan_rate_bps, wan_rtt_s, loss,
                         duration_s, warmup_s, seed)),
     ):
         result = runner()

@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.lint.units.catalog import UnitsConfig, load_units_table
+
 #: Globs (matched against ``/``-normalized paths) excluded from the
 #: determinism rules REP001-REP003.  REP005 still applies: a mutable
 #: default argument is a bug in host code too.
@@ -116,10 +118,16 @@ DEFAULT_SIM_EXEMPT = (
 )
 
 
+#: Globs of files skipped by *every* rule — intentionally-broken lint
+#: fixtures must not fail the tree-wide run.
+DEFAULT_EXCLUDE = ("*/tests/fixtures/*",)
+
+
 @dataclass
 class LintConfig:
     """Effective rule configuration for one lint run."""
 
+    exclude: Sequence[str] = DEFAULT_EXCLUDE
     exempt: Sequence[str] = DEFAULT_EXEMPT
     rep004_packages: Sequence[str] = DEFAULT_REP004_PACKAGES
     unit_suffixes: Sequence[str] = DEFAULT_UNIT_SUFFIXES
@@ -130,8 +138,18 @@ class LintConfig:
     sim_packages: Sequence[str] = DEFAULT_SIM_PACKAGES
     sim_exempt: Sequence[str] = DEFAULT_SIM_EXEMPT
     disabled_rules: Sequence[str] = field(default_factory=tuple)
+    #: unitcheck (REP101-REP105) configuration; see
+    #: :mod:`repro.lint.units.catalog` and ``[tool.reprolint.units]``.
+    units: UnitsConfig = field(default_factory=UnitsConfig)
 
     # ------------------------------------------------------------------
+    def is_excluded(self, path: str) -> bool:
+        """True when *path* is skipped by every rule (lint fixtures)."""
+        # Leading "/" so "*/tests/fixtures/*" also matches paths given
+        # relative to the repo root ("tests/fixtures/...").
+        norm = "/" + path.replace("\\", "/").lstrip("/")
+        return any(fnmatch.fnmatch(norm, pat) for pat in self.exclude)
+
     def is_exempt(self, path: str) -> bool:
         """True when *path* is host-side code outside REP001-REP003."""
         norm = path.replace("\\", "/")
@@ -218,6 +236,7 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
             return tuple(str(v) for v in value)
         return current
 
+    config.exclude = seq("exclude", config.exclude)
     config.exempt = seq("exempt", config.exempt)
     config.rep004_packages = seq("rep004-packages", config.rep004_packages)
     config.unit_suffixes = seq("unit-suffixes", config.unit_suffixes)
@@ -227,6 +246,9 @@ def load_config(pyproject: Optional[Path] = None) -> LintConfig:
     config.sim_packages = seq("sim-packages", config.sim_packages)
     config.sim_exempt = seq("sim-exempt", config.sim_exempt)
     config.disabled_rules = seq("disable", config.disabled_rules)
+    units_table = table.get("units")
+    if isinstance(units_table, dict):
+        config.units = load_units_table(units_table)
     for key, attr in (("extend-exempt", "exempt"),
                       ("extend-allow-names", "allow_names"),
                       ("extend-sim-exempt", "sim_exempt")):

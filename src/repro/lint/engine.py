@@ -1,8 +1,8 @@
-"""reprolint driver: file discovery, pragmas, rule dispatch.
+"""reprolint driver: file discovery, pragmas, rule dispatch, parallelism.
 
 Pragmas
 -------
-Line-level, suppressing specific codes (or every code) on that line::
+Line-level, suppressing specific codes (or every code)::
 
     started = time.time()  # reprolint: disable=REP001
     x = foo()              # reprolint: disable
@@ -11,19 +11,45 @@ File-level, anywhere in the file (conventionally near the top)::
 
     # reprolint: disable-file=REP002,REP003
 
-Suppression is by source line of the *finding*, matching how flake8 /
-ruff ``noqa`` behaves.
+Pragmas are extracted from **tokenizer comment positions**, never from
+raw line text, so pragma-shaped text inside a string literal is inert.
+A trailing pragma covers its whole *logical* line (flake8 ``noqa``
+semantics): on a statement spanning several physical lines the pragma
+suppresses findings reported anywhere in that span, wherever the
+comment sits.  A pragma on a line of its own covers only that line.
+
+Unused pragmas rot as rules and code evolve; ``--report-unused-pragmas``
+(ruff ``RUF100``-style) reports every pragma code that suppressed
+nothing as REP009.
+
+Parallelism
+-----------
+``lint_paths(..., jobs=N)`` fans the per-file phases out over a
+``multiprocessing`` pool.  Ordering stays deterministic: results are
+merged in input order and sorted, so ``--jobs`` never changes output.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.config import LintConfig
 from repro.lint.rules import DETERMINISM_RULES, RULES, Finding
+from repro.lint.units.baseline import Baseline, BaselineEntry
+from repro.lint.units.checker import (
+    UNIT_RULE_SUMMARIES,
+    build_summary,
+    check_module,
+    infer_returns,
+    resolve_index,
+)
+from repro.lint.units.model import ModuleSummary, UnitIndex
 
 _PRAGMA_RE = re.compile(
     r"#\s*reprolint:\s*(disable(?:-file)?)\s*(?:=\s*([A-Z0-9,\s]+))?"
@@ -33,32 +59,190 @@ _PRAGMA_RE = re.compile(
 _ALL = "ALL"
 
 
+# ----------------------------------------------------------------------
+# pragmas
+# ----------------------------------------------------------------------
+
+@dataclass
+class Pragma:
+    """One ``# reprolint: ...`` comment and the line span it covers."""
+
+    line: int                      # physical line of the comment
+    kind: str                      # "disable" | "disable-file"
+    codes: Tuple[str, ...]         # (_ALL,) for a bare disable
+    span: Tuple[int, int]          # inclusive logical-line extent
+    hits: Dict[str, int] = field(default_factory=dict)
+
+    def covers(self, lineno: int) -> bool:
+        return self.span[0] <= lineno <= self.span[1]
+
+    def matches(self, code: str) -> Optional[str]:
+        """The pragma code that suppresses *code*, if any."""
+        if _ALL in self.codes:
+            return _ALL
+        return code if code in self.codes else None
+
+
+def _extract_pragmas(source: str) -> List[Pragma]:
+    """Tokenize *source* and return its pragmas with logical spans."""
+    pragmas: List[Pragma] = []
+    comments: List[Tuple[int, bool, str]] = []   # (line, trailing, text)
+    code_lines: Set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Unparseable source is REP000's problem; no pragmas here.
+        return []
+    logical_start: Optional[int] = None
+    pending: List[Tuple[int, bool, str]] = []
+    for tok in tokens:
+        kind, text, (line, _col), (end_line, _ecol), _ = tok
+        if kind == tokenize.COMMENT:
+            pending.append((line, line in code_lines, text))
+        elif kind == tokenize.NEWLINE:
+            span = (logical_start if logical_start is not None else line,
+                    end_line)
+            for c_line, trailing, text in pending:
+                comments.append((c_line, trailing, text))
+                pragma = _parse_pragma(text, c_line)
+                if pragma is not None:
+                    pragma.span = span if trailing else (c_line, c_line)
+                    pragmas.append(pragma)
+            pending.clear()
+            logical_start = None
+        elif kind == tokenize.NL:
+            # blank or comment-only physical line: flush standalone
+            # pragmas accumulated outside any logical line.
+            if logical_start is None:
+                for c_line, trailing, text in pending:
+                    pragma = _parse_pragma(text, c_line)
+                    if pragma is not None:
+                        pragma.span = (c_line, c_line)
+                        pragmas.append(pragma)
+                pending.clear()
+        elif kind in (tokenize.INDENT, tokenize.DEDENT, tokenize.ENDMARKER,
+                      tokenize.ENCODING):
+            continue
+        else:
+            code_lines.add(line)
+            if logical_start is None:
+                logical_start = line
+    for c_line, _trailing, text in pending:     # EOF without NEWLINE
+        pragma = _parse_pragma(text, c_line)
+        if pragma is not None:
+            pragma.span = (c_line, c_line)
+            pragmas.append(pragma)
+    return pragmas
+
+
+def _parse_pragma(comment: str, line: int) -> Optional[Pragma]:
+    match = _PRAGMA_RE.search(comment)
+    if match is None:
+        return None
+    kind, codes_raw = match.groups()
+    codes = tuple(sorted({c.strip() for c in codes_raw.split(",")
+                          if c.strip()})) if codes_raw else (_ALL,)
+    return Pragma(line=line, kind=kind, codes=codes, span=(line, line))
+
+
+class PragmaSet:
+    """All pragmas of one file, with hit bookkeeping for REP009."""
+
+    def __init__(self, source: str) -> None:
+        self.pragmas = _extract_pragmas(source)
+        self.line_pragmas = [p for p in self.pragmas if p.kind == "disable"]
+        self.file_pragmas = [p for p in self.pragmas
+                             if p.kind == "disable-file"]
+
+    def suppresses(self, finding: Finding) -> bool:
+        hit = False
+        for pragma in self.file_pragmas:
+            code = pragma.matches(finding.code)
+            if code is not None:
+                pragma.hits[code] = pragma.hits.get(code, 0) + 1
+                hit = True
+        if hit:
+            return True
+        for pragma in self.line_pragmas:
+            if not pragma.covers(finding.line):
+                continue
+            code = pragma.matches(finding.code)
+            if code is not None:
+                pragma.hits[code] = pragma.hits.get(code, 0) + 1
+                hit = True
+        return hit
+
+    def unused(self, path: str, active_codes: Set[str]) -> List[Finding]:
+        """REP009 findings for pragma codes that suppressed nothing.
+
+        A code the run did not check (disabled rule, units off) is not
+        reported — the pragma may be load-bearing for other runs.
+        """
+        findings: List[Finding] = []
+        for pragma in self.pragmas:
+            scope = "file" if pragma.kind == "disable-file" else "line"
+            if _ALL in pragma.codes:
+                if not pragma.hits:
+                    findings.append(Finding(
+                        "REP009",
+                        f"unused blanket `reprolint: {pragma.kind}` pragma "
+                        f"(suppresses nothing on this {scope})",
+                        path, pragma.line, 0))
+                continue
+            dead = [c for c in pragma.codes
+                    if c in active_codes and pragma.hits.get(c, 0) == 0]
+            if dead:
+                findings.append(Finding(
+                    "REP009",
+                    f"unused suppression for {', '.join(dead)} "
+                    f"(no such finding on this {scope})",
+                    path, pragma.line, 0))
+        return findings
+
+
 def parse_pragmas(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
-    """Extract (line -> suppressed codes, file-wide suppressed codes)."""
+    """Extract (line -> suppressed codes, file-wide suppressed codes).
+
+    Kept for back-compat; line pragmas are expanded over the physical
+    lines of the logical line they annotate.
+    """
     per_line: Dict[int, Set[str]] = {}
     file_wide: Set[str] = set()
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA_RE.search(line)
-        if match is None:
-            continue
-        kind, codes_raw = match.groups()
-        codes = (
-            {c.strip() for c in codes_raw.split(",") if c.strip()}
-            if codes_raw else {_ALL}
-        )
-        if kind == "disable-file":
+    for pragma in _extract_pragmas(source):
+        codes = set(pragma.codes)
+        if pragma.kind == "disable-file":
             file_wide |= codes
         else:
-            per_line.setdefault(lineno, set()).update(codes)
+            for lineno in range(pragma.span[0], pragma.span[1] + 1):
+                per_line.setdefault(lineno, set()).update(codes)
     return per_line, file_wide
 
 
-def _suppressed(finding: Finding, per_line: Dict[int, Set[str]],
-                file_wide: Set[str]) -> bool:
-    if _ALL in file_wide or finding.code in file_wide:
-        return True
-    codes = per_line.get(finding.line)
-    return codes is not None and (_ALL in codes or finding.code in codes)
+# ----------------------------------------------------------------------
+# per-file rule pass
+# ----------------------------------------------------------------------
+
+def _rule_findings(tree: ast.AST, path: str,
+                   config: LintConfig) -> List[Finding]:
+    """Raw (unsuppressed) findings of the per-file rules."""
+    exempt = config.is_exempt(path)
+    findings: List[Finding] = []
+    for code, rule in RULES.items():
+        if code in config.disabled_rules:
+            continue
+        if exempt and code in DETERMINISM_RULES:
+            continue
+        findings.extend(rule(tree, path, config))
+    return findings
+
+
+def active_rule_codes(config: LintConfig, units: bool) -> Set[str]:
+    """Codes the current run actually checks (drives REP009)."""
+    codes = {c for c in RULES if c not in config.disabled_rules}
+    if units:
+        codes |= {c for c in UNIT_RULE_SUMMARIES
+                  if c not in config.units.disabled}
+    return codes
 
 
 def lint_source(source: str, path: str = "<string>",
@@ -70,17 +254,9 @@ def lint_source(source: str, path: str = "<string>",
     except SyntaxError as exc:
         return [Finding("REP000", f"syntax error: {exc.msg}", path,
                         exc.lineno or 1, (exc.offset or 1) - 1)]
-    per_line, file_wide = parse_pragmas(source)
-    exempt = config.is_exempt(path)
-    findings: List[Finding] = []
-    for code, rule in RULES.items():
-        if code in config.disabled_rules:
-            continue
-        if exempt and code in DETERMINISM_RULES:
-            continue
-        findings.extend(rule(tree, path, config))
-    findings = [f for f in findings
-                if not _suppressed(f, per_line, file_wide)]
+    pragmas = PragmaSet(source)
+    findings = [f for f in _rule_findings(tree, path, config)
+                if not pragmas.suppresses(f)]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
     return findings
 
@@ -107,13 +283,223 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
                 yield candidate
 
 
+# ----------------------------------------------------------------------
+# multi-file driver (optionally parallel, optionally units-checking)
+# ----------------------------------------------------------------------
+
+@dataclass
+class LintResult:
+    """Outcome of one ``lint_paths`` run.
+
+    Iterates as ``(findings, files_checked)`` so existing callers that
+    tuple-unpack keep working.
+    """
+
+    findings: List[Finding]
+    files_checked: int
+    baselined: int = 0
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter((self.findings, self.files_checked))
+
+
+def _phase_rules(task: Tuple[str, bool]) -> Tuple[str, List[dict], Optional[ModuleSummary]]:
+    """Worker: parse one file, run per-file rules (+ summary when units on)."""
+    path, units = task
+    config = _WORKER["config"]
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        finding = Finding("REP000", f"syntax error: {exc.msg}", path,
+                          exc.lineno or 1, (exc.offset or 1) - 1)
+        return path, [finding.to_dict()], None
+    except OSError as exc:
+        finding = Finding("REP000", f"unreadable file: {exc}", path, 1, 0)
+        return path, [finding.to_dict()], None
+    findings = _rule_findings(tree, path, config)
+    summary = build_summary(tree, path, config.units) if units else None
+    return path, [f.to_dict() for f in findings], summary
+
+
+def _phase_infer(path: str) -> List[Tuple[str, Optional[str], str, tuple]]:
+    """Worker: silent inference round; returns learned return units."""
+    config = _WORKER["config"]
+    index = _WORKER["index"]
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, OSError):
+        return []
+    infer_returns(tree, path, index, config.units)
+    summary = index.modules.get(_module_of(index, path))
+    if summary is None:
+        return []
+    learned = []
+    for name, fn in summary.functions.items():
+        if fn.inferred_return is not None:
+            learned.append((summary.module, None, name,
+                            fn.inferred_return.dims))
+    for cls_name, cls in summary.classes.items():
+        for name, fn in cls.methods.items():
+            if fn.inferred_return is not None:
+                learned.append((summary.module, cls_name, name,
+                                fn.inferred_return.dims))
+    return learned
+
+
+def _phase_check(path: str) -> List[dict]:
+    """Worker: emitting units round for one file."""
+    config = _WORKER["config"]
+    index = _WORKER["index"]
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=path)
+    except (SyntaxError, OSError):
+        return []
+    return [f.to_dict() for f in check_module(tree, path, index,
+                                              config.units)]
+
+
+def _module_of(index: UnitIndex, path: str) -> str:
+    from repro.lint.units.model import module_name_for
+    return module_name_for(path)
+
+
+#: Per-process state for pool workers (set by the initializer).
+_WORKER: dict = {}
+
+
+def _init_worker(config: LintConfig, index: Optional[UnitIndex]) -> None:
+    _WORKER["config"] = config
+    _WORKER["index"] = index
+
+
+def _apply_learned(index: UnitIndex,
+                   learned: Iterable[Tuple[str, Optional[str], str, tuple]]) -> None:
+    from repro.lint.units.algebra import Unit
+    for module, cls_name, fn_name, dims in learned:
+        summary = index.modules.get(module)
+        if summary is None:
+            continue
+        if cls_name is None:
+            fn = summary.functions.get(fn_name)
+        else:
+            cls = summary.classes.get(cls_name)
+            fn = cls.methods.get(fn_name) if cls else None
+        if fn is not None and fn.declared_return is None:
+            fn.inferred_return = Unit(tuple(dims))
+
+
+def _pool_map(pool, fn, tasks):
+    if pool is None:
+        return [fn(task) for task in tasks]
+    return pool.map(fn, tasks, chunksize=max(1, len(tasks) // 32 or 1))
+
+
 def lint_paths(paths: Iterable[Path],
-               config: Optional[LintConfig] = None) -> Tuple[List[Finding], int]:
-    """Lint every ``.py`` under *paths*; returns (findings, files seen)."""
+               config: Optional[LintConfig] = None,
+               *,
+               jobs: int = 1,
+               units: bool = False,
+               report_unused_pragmas: bool = False,
+               baseline: Optional[Baseline] = None) -> LintResult:
+    """Lint every ``.py`` under *paths*.
+
+    Phases: (1) per-file rules [parallel]; with ``units=True`` also
+    module summaries, then (2) a silent cross-module inference round
+    [parallel] and (3) the emitting units round [parallel].  Pragma
+    suppression, baseline filtering, and unused-pragma reporting run in
+    the parent so bookkeeping stays exact.  Output is independent of
+    ``jobs``.
+    """
     config = config or LintConfig()
+    files = [str(p) for p in iter_python_files(paths)
+             if not config.is_excluded(str(p))]
+    pool = None
+    try:
+        if jobs > 1 and len(files) > 1:
+            import multiprocessing
+            pool = multiprocessing.Pool(
+                min(jobs, len(files)), initializer=_init_worker,
+                initargs=(config, None))
+        _init_worker(config, None)
+
+        tasks = [(path, units) for path in files]
+        phase1 = _pool_map(pool, _phase_rules, tasks)
+
+        per_file: Dict[str, List[Finding]] = {
+            path: [Finding(**raw) for raw in raw_findings]
+            for path, raw_findings, _summary in phase1
+        }
+
+        if units:
+            summaries = [s for _p, _f, s in phase1 if s is not None]
+            index = resolve_index(summaries)
+            if pool is not None:
+                # Re-seed workers with the built index (fresh pool so the
+                # initializer runs again with the real index).
+                pool.close()
+                pool.join()
+                import multiprocessing
+                pool = multiprocessing.Pool(
+                    min(jobs, len(files)), initializer=_init_worker,
+                    initargs=(config, index))
+            _init_worker(config, index)
+            learned = _pool_map(pool, _phase_infer, files)
+            for batch in learned:
+                _apply_learned(index, batch)
+            if pool is not None:
+                pool.close()
+                pool.join()
+                import multiprocessing
+                pool = multiprocessing.Pool(
+                    min(jobs, len(files)), initializer=_init_worker,
+                    initargs=(config, index))
+            _init_worker(config, index)
+            unit_findings = _pool_map(pool, _phase_check, files)
+            for path, raw_findings in zip(files, unit_findings):
+                per_file.setdefault(path, []).extend(
+                    Finding(**raw) for raw in raw_findings)
+    finally:
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    active = active_rule_codes(config, units)
     findings: List[Finding] = []
-    checked = 0
-    for file in iter_python_files(paths):
-        checked += 1
-        findings.extend(lint_file(file, config))
-    return findings, checked
+    baselined = 0
+    for path in files:
+        raw = per_file.get(path, [])
+        if not raw and not report_unused_pragmas:
+            continue
+        try:
+            source = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            source = ""
+        pragmas = PragmaSet(source)
+        kept = [f for f in raw if not pragmas.suppresses(f)]
+        if report_unused_pragmas:
+            kept.extend(pragmas.unused(path, active))
+        if baseline is not None:
+            surviving = []
+            for f in sorted(kept, key=lambda f: (f.line, f.col, f.code)):
+                if baseline.suppresses(f):
+                    baselined += 1
+                else:
+                    surviving.append(f)
+            kept = surviving
+        findings.extend(kept)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    # A baseline entry is only "stale" when its rule actually ran this
+    # pass — a plain run must not flag the units baseline as rotten.
+    stale = [entry for entry in baseline.stale_entries()
+             if entry.code in active] if baseline is not None else []
+    return LintResult(
+        findings=findings,
+        files_checked=len(files),
+        baselined=baselined,
+        stale_baseline=stale,
+    )

@@ -9,33 +9,12 @@ meaning; retired rules leave a hole rather than being renumbered, so a
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass
 from typing import Callable, Dict, List
 
 from repro.lint.config import LintConfig
+from repro.lint.findings import Finding
 
-
-@dataclass(frozen=True)
-class Finding:
-    """One rule violation at a source location."""
-
-    code: str
-    message: str
-    path: str
-    line: int
-    col: int
-
-    def to_dict(self) -> dict:
-        return {
-            "code": self.code,
-            "message": self.message,
-            "path": self.path,
-            "line": self.line,
-            "col": self.col,
-        }
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+__all__ = ["DETERMINISM_RULES", "RULES", "RULE_SUMMARIES", "Finding"]
 
 
 # ----------------------------------------------------------------------

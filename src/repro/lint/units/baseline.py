@@ -1,0 +1,125 @@
+"""The ratchet baseline: pre-existing findings that may only shrink.
+
+Turning the unit checker on against a grown tree yields findings that
+predate it.  Rather than blocking the gate (or watering the rules
+down), those land in a committed JSON baseline: a baselined finding is
+reported as suppressed, a *new* finding still fails, and a baselined
+finding that no longer occurs makes its entry **stale** — the ratchet.
+CI fails on stale entries until the baseline is regenerated
+(``--write-baseline``), so the count monotonically decreases.
+
+Entries are keyed ``(path, code, message)`` with a multiplicity count,
+*not* by line number: unrelated edits move lines constantly, and a
+line-keyed baseline would churn on every refactor.  Paths are stored
+``/``-normalized and relative to the baseline file's directory so the
+file is portable across checkouts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted pre-existing finding (with multiplicity)."""
+
+    path: str
+    code: str
+    message: str
+    count: int = 1
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.path, self.code, self.message)
+
+
+def _normalize(path: str, root: Path) -> str:
+    """Finding path -> baseline key: relative to *root*, forward slashes."""
+    norm = path.replace("\\", "/")
+    try:
+        rel = os.path.relpath(norm, str(root))
+    except ValueError:              # different drive on Windows
+        return norm
+    rel = rel.replace("\\", "/")
+    return norm if rel.startswith("..") else rel
+
+
+@dataclass
+class Baseline:
+    """A loaded baseline plus match bookkeeping for one lint run."""
+
+    root: Path
+    entries: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+    matched: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file (missing file -> empty baseline)."""
+        baseline = cls(root=path.resolve().parent)
+        if not path.is_file():
+            return baseline
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        for raw in payload.get("entries", []):
+            entry = BaselineEntry(raw["path"], raw["code"], raw["message"],
+                                  int(raw.get("count", 1)))
+            baseline.entries[entry.key()] = entry.count
+        return baseline
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding],
+                      root: Path) -> "Baseline":
+        baseline = cls(root=root.resolve())
+        for finding in findings:
+            key = (_normalize(finding.path, baseline.root), finding.code,
+                   finding.message)
+            baseline.entries[key] = baseline.entries.get(key, 0) + 1
+        return baseline
+
+    # ------------------------------------------------------------------
+    def suppresses(self, finding: Finding) -> bool:
+        """True when *finding* is covered (and consume one count)."""
+        key = (_normalize(finding.path, self.root), finding.code,
+               finding.message)
+        allowed = self.entries.get(key, 0)
+        used = self.matched.get(key, 0)
+        if used < allowed:
+            self.matched[key] = used + 1
+            return True
+        return False
+
+    def stale_entries(self) -> List[BaselineEntry]:
+        """Entries (or residual counts) nothing matched this run."""
+        stale: List[BaselineEntry] = []
+        for key in sorted(self.entries):
+            residual = self.entries[key] - self.matched.get(key, 0)
+            if residual > 0:
+                path, code, message = key
+                stale.append(BaselineEntry(path, code, message, residual))
+        return stale
+
+    @property
+    def size(self) -> int:
+        return sum(self.entries.values())
+
+    # ------------------------------------------------------------------
+    def save(self, path: Path) -> None:
+        entries = [
+            {"path": p, "code": c, "message": m, "count": n}
+            for (p, c, m), n in sorted(self.entries.items())
+        ]
+        payload = {
+            "schema": "reprolint-baseline",
+            "version": SCHEMA_VERSION,
+            "entries": entries,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n",
+                        encoding="utf-8")

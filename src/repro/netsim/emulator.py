@@ -93,15 +93,16 @@ class EmulatedPath:
             ),
             name=f"{name}-fwd",
         )
-        rev_rate = (config.reverse_rate_bps
-                    if config.reverse_rate_bps is not None else config.rate_bps)
+        rev_rate_bps = (config.reverse_rate_bps
+                        if config.reverse_rate_bps is not None
+                        else config.rate_bps)
         rev_queue = (config.reverse_queue_bytes
                      if config.reverse_queue_bytes is not None
                      else config.queue_bytes)
         self.reverse = Link(
             sim,
             LinkConfig(
-                rev_rate,
+                rev_rate_bps,
                 config.one_way_delay_s,
                 rev_queue,
                 rev_loss,

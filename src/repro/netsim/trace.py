@@ -92,19 +92,19 @@ class Tap:
         return sum(r.size for r in self.records if r.kind is kind)
 
     def rate_bps(self, kind: Optional[PacketType] = None,
-                 start: float = 0.0, end: Optional[float] = None) -> float:
-        """Average bit rate of matching packets over ``[start, end]``."""
-        if end is None:
-            end = self.sim.now()
-        duration = end - start
-        if duration <= 0:
+                 start_s: float = 0.0, end_s: Optional[float] = None) -> float:
+        """Average bit rate of matching packets over ``[start_s, end_s]``."""
+        if end_s is None:
+            end_s = self.sim.now()
+        duration_s = end_s - start_s
+        if duration_s <= 0:
             return 0.0
         total = sum(
             r.size
             for r in self.records
-            if start <= r.time <= end and (kind is None or r.kind is kind)
+            if start_s <= r.time <= end_s and (kind is None or r.kind is kind)
         )
-        return total * 8.0 / duration
+        return total * 8.0 / duration_s
 
     def clear(self) -> None:
         self.records.clear()

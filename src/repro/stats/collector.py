@@ -58,9 +58,10 @@ class FlowCollector:
         base = before[-1] if before else 0.0
         return (window[-1] - base) * 8.0 / (end - start)
 
-    def owd_pct(self, p: float = 95.0) -> float:
+    def owd_percentile_s(self, p: float = 95.0) -> float:
         return percentile(self.owd_samples, p)
 
     def power(self, start: float = 0.0, end: Optional[float] = None) -> float:
         """Kleinrock power over the window (paper Fig. 14 utility)."""
-        return kleinrock_power(self.goodput_bps(start, end), self.owd_pct(95.0))
+        return kleinrock_power(self.goodput_bps(start, end),
+                               self.owd_percentile_s(95.0))

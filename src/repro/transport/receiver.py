@@ -281,7 +281,7 @@ class TransportReceiver:
         include_rate: bool = False,
         pull_pkt_range: Optional[tuple[int, int]] = None,
         reason: Optional[str] = None,
-        min_gap_age: float = 0.0,
+        min_gap_age_s: float = 0.0,
     ) -> AckFeedback:
         """Snapshot reassembly state into feedback fields.
 
@@ -301,7 +301,7 @@ class TransportReceiver:
             # Clip gaps to [cum_ack, ...): everything below cum_ack was
             # consumed (removed from the interval set), not lost.  A
             # settling allowance (paper S7) suppresses gaps younger
-            # than ``min_gap_age`` so mild reordering is not reported
+            # than ``min_gap_age_s`` so mild reordering is not reported
             # as loss.
             current: set[int] = set()
             for start, end in self.intervals.gaps(self.intervals.max_end()):
@@ -310,7 +310,7 @@ class TransportReceiver:
                 gap = (max(start, cum_ack), end)
                 current.add(gap[0])
                 first_seen = self._gap_first_seen.setdefault(gap[0], now)
-                if now - first_seen < min_gap_age:
+                if now - first_seen < min_gap_age_s:
                     continue
                 if len(unacked) < max_unacked_blocks:
                     unacked.append(gap)
@@ -332,12 +332,12 @@ class TransportReceiver:
                 # S4.3's high-overhead alternative: one (t0, delta-t)
                 # entry per packet of the interval.
                 packet_delays = self.owd.take_all_samples(now)
-        delivery_rate = None
+        delivery_rate_bps = None
         loss_rate = None
         if include_rate:
             self.rate.close_interval(now)
-            bw = self.rate.bw_bps(now)
-            delivery_rate = bw if bw > 0 else None
+            bw_bps = self.rate.bw_bps(now)
+            delivery_rate_bps = bw_bps if bw_bps > 0 else None
             loss_rate = self.pkt_tracker.loss_rate()
         return AckFeedback(
             cum_ack=cum_ack,
@@ -347,7 +347,7 @@ class TransportReceiver:
             pull_pkt_range=pull_pkt_range,
             tack_delay=tack_delay,
             echo_departure_ts=echo_ts,
-            delivery_rate_bps=delivery_rate,
+            delivery_rate_bps=delivery_rate_bps,
             rx_loss_rate=loss_rate,
             largest_pkt_seq=self.pkt_tracker.largest_seen,
             packet_delays=packet_delays,

@@ -663,21 +663,21 @@ class TransportSender:
                 self._transmit_new(new_len, now)
         self._rearm_rto()
 
-    def _transmit_new(self, length: int, now: float) -> None:
+    def _transmit_new(self, length_bytes: int, now: float) -> None:
         seq = self.next_seq
         pkt_seq = self.next_pkt_seq
-        self.next_seq += length
+        self.next_seq += length_bytes
         self.next_pkt_seq += 1
         if not self.unlimited:
-            self.pending_bytes -= length
+            self.pending_bytes -= length_bytes
         rec = SendRecord(
-            seq, length, pkt_seq, now, self.delivered,
+            seq, length_bytes, pkt_seq, now, self.delivered,
             app_limited=(not self.unlimited and self.pending_bytes <= 0),
         )
         self.records[seq] = rec
         self._order.append(seq)
         self.pkt_map[pkt_seq] = seq
-        self.in_flight += length
+        self.in_flight += length_bytes
         self._emit(rec, now)
 
     def _transmit_retx(self, seq: int, now: float) -> None:
@@ -740,10 +740,11 @@ class TransportSender:
     # ------------------------------------------------------------------
     # timers
     # ------------------------------------------------------------------
-    def _arm_send_timer(self, at: float) -> None:
+    def _arm_send_timer(self, at_s: float) -> None:
         if self._send_timer is not None:
             self._send_timer.cancel()
-        self._send_timer = self.sim.call_at(max(at, self.sim.now()), self._on_send_timer)
+        self._send_timer = self.sim.call_at(max(at_s, self.sim.now()),
+                                            self._on_send_timer)
 
     def _on_send_timer(self) -> None:
         self._send_timer = None

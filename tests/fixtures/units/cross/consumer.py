@@ -1,0 +1,25 @@
+"""Inter-procedural fixture, caller side: units learned from
+``producer`` flow through the import and get checked at the call."""
+
+from cross.producer import sampled_rtt, sampled_window
+
+
+def record_bytes(size_bytes):
+    return size_bytes
+
+
+def record_delay(delay_s):
+    return delay_s
+
+
+def misroute_time_into_bytes():
+    return record_bytes(sampled_rtt())  # expect: REP102
+
+
+def misroute_bytes_into_time():
+    return record_delay(sampled_window())  # expect: REP102
+
+
+def fine_routed():
+    record_delay(sampled_rtt())
+    return record_bytes(sampled_window())

@@ -1,0 +1,13 @@
+"""Inter-procedural fixture, callee side: the return unit of
+``sampled_rtt`` is *inferred* (no annotation, no suffix on the
+function name) from its body."""
+
+
+def sampled_rtt():
+    rtt_s = 0.042
+    return rtt_s
+
+
+def sampled_window():
+    window_bytes = 65536
+    return window_bytes

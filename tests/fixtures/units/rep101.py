@@ -1,0 +1,44 @@
+"""REP101 golden fixture: mixed-unit arithmetic and comparisons.
+
+Lines tagged ``# expect: CODE`` must produce exactly that finding;
+untagged lines must stay silent.
+"""
+
+
+def add_time_to_bytes(rtt_s, size_bytes):
+    return rtt_s + size_bytes  # expect: REP101
+
+
+def subtract_rate_from_time(timeout_s, rate_bps):
+    return timeout_s - rate_bps  # expect: REP101
+
+
+def compare_time_to_bytes(deadline_s, queue_bytes):
+    return deadline_s < queue_bytes  # expect: REP101
+
+
+def min_of_time_and_rate(interval_s, rate_bps):
+    return min(interval_s, rate_bps)  # expect: REP101
+
+
+def max_of_bytes_and_pkts(queue_bytes, backlog_pkts):
+    return max(queue_bytes, backlog_pkts)  # expect: REP101
+
+
+def seconds_vs_hertz(interval_s, freq_hz):
+    return interval_s + freq_hz  # expect: REP101
+
+
+def fine_same_dimension(rtt_s, owd_ms):
+    # ms and s share the time dimension (scale, not dimension).
+    return rtt_s + owd_ms
+
+
+def fine_literal_wildcard(rtt_s):
+    return rtt_s + 0.01
+
+
+def fine_quotient(size_bytes, rate_bps):
+    # bytes / bps -> s; comparing to seconds is consistent.
+    delay_s = size_bytes * 8.0 / rate_bps
+    return delay_s < 1.0

@@ -1,0 +1,49 @@
+"""REP102 golden fixture: call-argument unit mismatches."""
+
+
+def set_timeout(timeout_s):
+    return timeout_s
+
+
+def enqueue(size_bytes):
+    return size_bytes
+
+
+class Shaper:
+    def __init__(self, rate_bps):
+        self.rate_bps = rate_bps
+
+    def pace(self, gap_s):
+        return gap_s
+
+
+def positional_mismatch(queue_bytes):
+    return set_timeout(queue_bytes)  # expect: REP102
+
+
+def keyword_mismatch(rtt_s):
+    return enqueue(size_bytes=rtt_s)  # expect: REP102
+
+
+def constructor_mismatch(interval_s):
+    return Shaper(interval_s)  # expect: REP102
+
+
+def method_mismatch(shaper_rate_bps, size_bytes):
+    shaper = Shaper(shaper_rate_bps)
+    return shaper.pace(size_bytes)  # expect: REP102
+
+
+def derived_unit_mismatch(rate_bps):
+    # bps where bytes is declared: dimensions data/time vs data.
+    return enqueue(rate_bps)  # expect: REP102
+
+
+def fine_matching_units(rtt_s, mtu_bytes):
+    set_timeout(rtt_s)
+    enqueue(mtu_bytes)
+    return Shaper(1e6).pace(rtt_s)
+
+
+def fine_literal_argument():
+    return set_timeout(0.25)

@@ -1,0 +1,39 @@
+"""REP103 golden fixture: return-value unit mismatches.
+
+A unit-suffixed function name declares its return unit; returning a
+value of a conflicting inferred unit is the bug.
+"""
+
+
+def backoff_s(queue_bytes):
+    return queue_bytes  # expect: REP103
+
+
+def window_bytes(rtt_s):
+    return rtt_s * 2.0  # expect: REP103
+
+
+def poll_hz(interval_s):
+    return interval_s  # expect: REP103
+
+
+def budget_pkts(rate_bps):
+    return rate_bps  # expect: REP103
+
+
+def drain_rate_bps(backlog_pkts):
+    return backlog_pkts  # expect: REP103
+
+
+def fine_declared_return(size_bytes, rate_bps):
+    def serialization_s():
+        return size_bytes * 8.0 / rate_bps
+
+    return serialization_s()
+
+
+def fine_unsuffixed_mixed_returns(flag, rtt_s):
+    # No declared unit: a unitless early-out does not conflict.
+    if flag:
+        return 0.0
+    return rtt_s

@@ -1,0 +1,38 @@
+"""REP104 golden fixture: unit-suffixed names bound to conflicting
+values."""
+
+
+def bad_timeout(queue_bytes):
+    timeout_s = queue_bytes  # expect: REP104
+    return timeout_s
+
+
+def bad_window(rate_bps):
+    window_bytes = rate_bps  # expect: REP104
+    return window_bytes
+
+
+def bad_pacing(rtt_s):
+    pacing_bps = rtt_s  # expect: REP104
+    return pacing_bps
+
+
+def bad_tick(mtu_bytes):
+    tick_hz = mtu_bytes  # expect: REP104
+    return tick_hz
+
+
+class Tracker:
+    def __init__(self, rtt_s, size_bytes):
+        self.srtt_s = size_bytes  # expect: REP104
+        self.mtu_bytes = size_bytes
+
+
+def fine_quotient_assignment(size_bytes, rate_bps):
+    delay_s = size_bytes * 8.0 / rate_bps
+    return delay_s
+
+
+def fine_inverse_assignment(interval_s):
+    freq_hz = 1.0 / interval_s
+    return freq_hz

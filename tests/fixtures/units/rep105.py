@@ -1,0 +1,32 @@
+"""REP105 golden fixture: unsuffixed parameters meeting units in
+unit-sensitive arithmetic (strict scope only)."""
+
+
+def elapsed_since(start, now_s):
+    return now_s - start  # expect: REP105
+
+
+def remaining_window(budget, used_bytes):
+    return budget - used_bytes  # expect: REP105
+
+
+def overdue(deadline, rtt_s):
+    return deadline < rtt_s  # expect: REP105
+
+
+def clamp_gap(gap, interval_s):
+    return min(gap, interval_s)  # expect: REP105
+
+
+def advance(timeout, backoff_s):
+    return timeout + backoff_s  # expect: REP105
+
+
+def fine_dimensionless_name(beta, rtt_s):
+    # `beta` is catalogued dimensionless: scaling a unit is fine.
+    return rtt_s * beta
+
+
+def fine_division(count, window_bytes):
+    # Dividing by a bare count is idiomatic; only +/-/compare fire.
+    return window_bytes / count

@@ -76,11 +76,11 @@ class TestCubic:
         # grow, lose, then recover
         for i in range(20):
             cc.on_feedback(fb(0.1 + i * 0.02, acked=10 * MSS))
-        w_before_loss = cc.cwnd_bytes()
+        cwnd_before_loss_bytes = cc.cwnd_bytes()
         cc.on_feedback(fb(1.0, acked=0, lost=MSS))
         for i in range(200):
             cc.on_feedback(fb(1.1 + i * 0.05, acked=10 * MSS))
-        assert cc.cwnd_bytes() > 0.9 * w_before_loss
+        assert cc.cwnd_bytes() > 0.9 * cwnd_before_loss_bytes
 
     def test_rto_resets(self):
         cc = Cubic()

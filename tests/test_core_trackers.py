@@ -19,13 +19,13 @@ class TestTackParams:
     def test_eq3_periodic_regime(self):
         """Large bdp: f = beta / RTT_min."""
         p = TackParams()
-        f = p.tack_frequency(bw_bps=100e6, rtt_min=0.1)
+        f = p.tack_frequency(bw_bps=100e6, rtt_min_s=0.1)
         assert f == pytest.approx(4.0 / 0.1)
 
     def test_eq3_byte_counting_regime(self):
         """Small bw: f = bw / (L * MSS)."""
         p = TackParams()
-        f = p.tack_frequency(bw_bps=0.5e6, rtt_min=0.1)
+        f = p.tack_frequency(bw_bps=0.5e6, rtt_min_s=0.1)
         assert f == pytest.approx(0.5e6 / (2 * MSS * 8))
 
     def test_regime_boundary(self):
@@ -117,20 +117,20 @@ class TestPktSeqTracker:
 class TestRetransmitGovernor:
     def test_first_retransmit_allowed(self):
         g = RetransmitGovernor()
-        assert g.may_retransmit(0, now=1.0, srtt=0.1)
+        assert g.may_retransmit(0, now=1.0, srtt_s=0.1)
 
     def test_suppressed_within_srtt(self):
         g = RetransmitGovernor()
         g.on_retransmit(0, now=1.0)
-        assert not g.may_retransmit(0, now=1.05, srtt=0.1)
-        assert g.may_retransmit(0, now=1.1, srtt=0.1)
+        assert not g.may_retransmit(0, now=1.05, srtt_s=0.1)
+        assert g.may_retransmit(0, now=1.1, srtt_s=0.1)
 
     def test_ack_clears_state(self):
         g = RetransmitGovernor()
         g.on_retransmit(0, now=1.0)
         g.on_acked(0)
         assert len(g) == 0
-        assert g.may_retransmit(0, now=1.01, srtt=0.1)
+        assert g.may_retransmit(0, now=1.01, srtt_s=0.1)
 
 
 class TestReceiverOwdTracker:
@@ -179,7 +179,7 @@ class TestSenderRttMinEstimator:
     def test_rtt_sample_corrects_for_tack_delay(self):
         """Paper Fig. 4(b): RTT = t1 - t0 - delta_t."""
         e = SenderRttMinEstimator()
-        sample = e.on_tack(tack_arrival=1.0, echo_departure_ts=0.7, tack_delay=0.1)
+        sample = e.on_tack(tack_arrival_ts=1.0, echo_departure_ts=0.7, tack_delay=0.1)
         assert sample == pytest.approx(0.2)
         assert e.rtt_min() == pytest.approx(0.2)
 

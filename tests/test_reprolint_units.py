@@ -1,0 +1,356 @@
+"""Tests for the unit/dimension checker (REP101-REP105): the unit
+algebra, the catalog, golden-file fixtures, the inter-procedural call
+graph, the ratchet baseline, and the parallel engine."""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths, load_config
+from repro.lint.engine import PragmaSet, _extract_pragmas, parse_pragmas
+from repro.lint.findings import Finding
+from repro.lint.units import (
+    BPS,
+    BYTES,
+    DIMENSIONLESS,
+    HZ,
+    PKTS,
+    SECONDS,
+    Baseline,
+    UnitError,
+    UnitsConfig,
+    analyze_units,
+    parse_unit,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "units"
+
+#: Strict-scope-everywhere config so REP105 applies to fixture paths.
+STRICT = UnitsConfig(strict_paths=("*",))
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(REP\d{3})")
+
+
+def expected_findings(path: Path):
+    """``(line, code)`` pairs from ``# expect: REPxxx`` markers."""
+    out = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for code in _EXPECT_RE.findall(line):
+            out.append((lineno, code))
+    return sorted(out)
+
+
+def actual_findings(findings, path: Path):
+    return sorted((f.line, f.code) for f in findings
+                  if f.path == str(path))
+
+
+# ----------------------------------------------------------------------
+# unit algebra
+# ----------------------------------------------------------------------
+class TestAlgebra:
+    def test_parse_named_units(self):
+        assert parse_unit("s") == SECONDS
+        assert parse_unit("bytes") == BYTES
+        assert parse_unit("bps") == BPS
+        assert parse_unit("hz") == HZ
+        assert parse_unit("pkts") == PKTS
+
+    def test_scale_aliases_share_dimension(self):
+        assert parse_unit("ms") == SECONDS
+        assert parse_unit("us") == SECONDS
+        assert parse_unit("bits") == BYTES
+        assert parse_unit("mbps") == BPS
+
+    def test_quotient_simplification(self):
+        assert parse_unit("bytes/s") == BPS
+        assert parse_unit("bytes") .div(SECONDS) == BPS
+        assert BPS.mul(SECONDS) == BYTES
+
+    def test_hz_is_inverse_seconds(self):
+        assert parse_unit("1/s") == HZ
+        assert SECONDS.invert() == HZ
+        assert SECONDS.mul(HZ).is_dimensionless
+
+    def test_commutativity(self):
+        assert SECONDS.mul(BPS) == BPS.mul(SECONDS)
+        assert BYTES.mul(HZ) == HZ.mul(BYTES)
+
+    def test_self_division_is_dimensionless(self):
+        assert SECONDS.div(SECONDS).is_dimensionless
+        assert BPS.div(BPS).is_dimensionless
+
+    def test_pow(self):
+        assert SECONDS.pow(2).div(SECONDS) == SECONDS
+        assert SECONDS.pow(0).is_dimensionless
+
+    def test_compatible(self):
+        assert SECONDS.compatible(SECONDS)
+        assert not SECONDS.compatible(BYTES)
+        assert DIMENSIONLESS.compatible(DIMENSIONLESS)
+
+    def test_display(self):
+        assert str(SECONDS) == "s"
+        assert str(BYTES.div(SECONDS)) == "bps"
+        assert str(SECONDS.invert()) == "hz"
+
+    def test_bad_spelling_raises(self):
+        with pytest.raises(UnitError):
+            parse_unit("furlongs")
+
+
+# ----------------------------------------------------------------------
+# catalog
+# ----------------------------------------------------------------------
+class TestCatalog:
+    def test_suffix_lookup(self):
+        uc = UnitsConfig()
+        assert uc.name_unit("rtt_s") == SECONDS
+        assert uc.name_unit("queue_bytes") == BYTES
+        assert uc.name_unit("rate_bps") == BPS
+        assert uc.name_unit("loss_fraction") == DIMENSIONLESS
+
+    def test_prefix_counter_idiom(self):
+        uc = UnitsConfig()
+        assert uc.name_unit("bytes_delivered") == BYTES
+        assert uc.name_unit("packets_lost") == PKTS
+
+    def test_exact_names(self):
+        uc = UnitsConfig()
+        assert uc.name_unit("MSS") == BYTES
+        assert uc.name_unit("now") == SECONDS
+        assert uc.name_unit("nbytes") == BYTES
+
+    def test_dimensionless_names_win(self):
+        uc = UnitsConfig()
+        assert uc.name_unit("beta") == DIMENSIONLESS
+        assert uc.name_unit("seed") == DIMENSIONLESS
+
+    def test_bare_name_says_nothing(self):
+        assert UnitsConfig().name_unit("value") is None
+
+    def test_signature_leaf_fallback(self):
+        uc = UnitsConfig()
+        params, returns = uc.signature("Simulator.now")
+        assert returns == SECONDS
+        assert uc.signature("no.such.thing") is None
+
+
+# ----------------------------------------------------------------------
+# golden fixtures, one file per rule
+# ----------------------------------------------------------------------
+class TestGoldenFixtures:
+    @pytest.mark.parametrize("name", ["rep101", "rep102", "rep103",
+                                      "rep104", "rep105"])
+    def test_fixture_matches_markers(self, name):
+        path = FIXTURES / f"{name}.py"
+        findings = analyze_units([path], STRICT)
+        assert actual_findings(findings, path) == expected_findings(path)
+        own_code = name.upper()
+        assert sum(1 for f in findings if f.code == own_code) >= 5
+
+    def test_cross_module_inference(self):
+        """A unit learned from a callee in one module is enforced at a
+        call site in another module (the REP102 acceptance demo)."""
+        producer = FIXTURES / "cross" / "producer.py"
+        consumer = FIXTURES / "cross" / "consumer.py"
+        findings = analyze_units([producer, consumer], STRICT)
+        assert actual_findings(findings, producer) == []
+        assert actual_findings(findings, consumer) == \
+            expected_findings(consumer)
+        assert all(f.code == "REP102" for f in findings)
+
+
+# ----------------------------------------------------------------------
+# baseline ratchet
+# ----------------------------------------------------------------------
+class TestBaseline:
+    def _finding(self, path="src/mod.py", code="REP104", msg="m",
+                 line=3):
+        return Finding(code=code, message=msg, path=path, line=line,
+                       col=0)
+
+    def test_suppresses_with_multiplicity(self, tmp_path):
+        base = Baseline.from_findings(
+            [self._finding(line=1), self._finding(line=9)], tmp_path)
+        fresh = Baseline.load(tmp_path / "missing.json")
+        assert fresh.size == 0
+        assert base.suppresses(self._finding(line=4))
+        assert base.suppresses(self._finding(line=8))
+        # Multiplicity exhausted: a third identical finding is new.
+        assert not base.suppresses(self._finding(line=12))
+
+    def test_line_moves_do_not_invalidate(self, tmp_path):
+        base = Baseline.from_findings([self._finding(line=10)], tmp_path)
+        assert base.suppresses(self._finding(line=999))
+        assert base.stale_entries() == []
+
+    def test_stale_entries_ratchet(self, tmp_path):
+        base = Baseline.from_findings(
+            [self._finding(), self._finding(msg="other")], tmp_path)
+        base.suppresses(self._finding())
+        stale = base.stale_entries()
+        assert len(stale) == 1
+        assert stale[0].message == "other"
+
+    def test_save_load_roundtrip(self, tmp_path):
+        out = tmp_path / "units.baseline.json"
+        base = Baseline.from_findings(
+            [self._finding(), self._finding(), self._finding(msg="b")],
+            tmp_path)
+        base.save(out)
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "reprolint-baseline"
+        loaded = Baseline.load(out)
+        assert loaded.entries == base.entries
+        assert loaded.size == 3
+
+    def test_paths_relative_to_baseline_dir(self, tmp_path):
+        f = self._finding(path=str(tmp_path / "pkg" / "mod.py"))
+        base = Baseline.from_findings([f], tmp_path)
+        (key,) = base.entries
+        assert key[0] == "pkg/mod.py"
+
+
+# ----------------------------------------------------------------------
+# pragma engine rework
+# ----------------------------------------------------------------------
+class TestPragmaEngine:
+    def test_pragma_inside_string_is_inert(self):
+        source = (
+            "x = 1\n"
+            "note = '# reprolint: disable=REP104'\n"
+            "y = 2\n"
+        )
+        assert _extract_pragmas(source) == []
+
+    def test_trailing_pragma_covers_logical_line(self):
+        source = (
+            "value = compute(\n"
+            "    first,\n"
+            "    second,\n"
+            ")  # reprolint: disable=REP104\n"
+        )
+        per_line, file_wide = parse_pragmas(source)
+        assert file_wide == set()
+        assert set(per_line) == {1, 2, 3, 4}
+        assert per_line[1] == {"REP104"}
+
+    def test_standalone_pragma_covers_only_its_line(self):
+        source = (
+            "# reprolint: disable=REP104\n"
+            "x = 1\n"
+        )
+        per_line, _ = parse_pragmas(source)
+        assert set(per_line) == {1}
+
+    def test_pragma_suppresses_units_finding(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "def f(queue_bytes):\n"
+            "    timeout_s = queue_bytes  # reprolint: disable=REP104\n"
+            "    return timeout_s\n"
+        )
+        result = lint_paths([mod], LintConfig(), units=True)
+        assert result.findings == []
+
+    def test_unused_pragma_reported(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("x = 1  # reprolint: disable=REP104\n")
+        result = lint_paths([mod], LintConfig(), units=True,
+                            report_unused_pragmas=True)
+        assert [f.code for f in result.findings] == ["REP009"]
+
+    def test_used_pragma_not_reported(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "def f(queue_bytes):\n"
+            "    timeout_s = queue_bytes  # reprolint: disable=REP104\n"
+            "    return timeout_s\n"
+        )
+        result = lint_paths([mod], LintConfig(), units=True,
+                            report_unused_pragmas=True)
+        assert result.findings == []
+
+    def test_unused_code_on_blanket_pragma(self, tmp_path):
+        # A coded pragma whose rule never ran (not in the active set)
+        # must not be called unused.
+        mod = tmp_path / "mod.py"
+        mod.write_text("x = 1  # reprolint: disable=REP104\n")
+        result = lint_paths([mod], LintConfig(), units=False,
+                            report_unused_pragmas=True)
+        assert result.findings == []
+
+    def test_suppresses_per_file_rules_still(self):
+        source = "import random\nr = random.random()  # reprolint: disable=REP002\n"
+        pragmas = PragmaSet(source)
+        finding = Finding(code="REP002", message="m", path="x.py",
+                          line=2, col=4)
+        assert pragmas.suppresses(finding)
+
+
+# ----------------------------------------------------------------------
+# engine integration: parallelism, exclusion, the tree itself
+# ----------------------------------------------------------------------
+class TestEngineIntegration:
+    def test_jobs_output_identical(self, tmp_path):
+        for i in range(6):
+            (tmp_path / f"m{i}.py").write_text(
+                "def f(queue_bytes):\n"
+                f"    timeout_s = queue_bytes  # site {i}\n"
+                "    return timeout_s\n"
+            )
+        serial = lint_paths([tmp_path], LintConfig(), units=True, jobs=1)
+        parallel = lint_paths([tmp_path], LintConfig(), units=True, jobs=3)
+        assert [f.to_dict() for f in serial.findings] == \
+            [f.to_dict() for f in parallel.findings]
+        assert len(serial.findings) == 6
+
+    def test_exclude_globs_skip_files(self, tmp_path):
+        fixtures = tmp_path / "tests" / "fixtures" / "units"
+        fixtures.mkdir(parents=True)
+        (fixtures / "bad.py").write_text(
+            "def f(queue_bytes):\n    timeout_s = queue_bytes\n")
+        result = lint_paths([tmp_path], LintConfig(), units=True)
+        assert result.findings == []
+        assert result.files_checked == 0
+
+    def test_baseline_consumed_through_lint_paths(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "def f(queue_bytes):\n"
+            "    timeout_s = queue_bytes\n"
+            "    return timeout_s\n"
+        )
+        first = lint_paths([mod], LintConfig(), units=True)
+        assert len(first.findings) == 1
+        baseline = Baseline.from_findings(first.findings, tmp_path)
+        second = lint_paths([mod], LintConfig(), units=True,
+                            baseline=baseline)
+        assert second.findings == []
+        assert second.baselined == 1
+        assert second.stale_baseline == []
+
+    def test_stale_baseline_surfaces(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("x = 1\n")
+        ghost = Finding(code="REP104", message="gone", path=str(mod),
+                        line=1, col=0)
+        baseline = Baseline.from_findings([ghost], tmp_path)
+        result = lint_paths([mod], LintConfig(), units=True,
+                            baseline=baseline)
+        assert result.findings == []
+        assert len(result.stale_baseline) == 1
+
+    def test_tree_clean_modulo_baseline(self):
+        """The whole simulator passes the unit checker with only the
+        committed baseline's entries suppressed."""
+        root = Path(__file__).resolve().parents[1]
+        config = load_config(root / "pyproject.toml")
+        baseline = Baseline.load(root / "reprolint-units.baseline.json")
+        result = lint_paths([root / "src"], config, units=True,
+                            jobs=2, baseline=baseline)
+        assert result.findings == []
+        assert result.stale_baseline == []

@@ -5,10 +5,10 @@ from repro.netsim.packet import MSS
 from repro.netsim.paths import wired_path, wlan_path
 
 
-def build_split(sim, wan_rate=50e6, wan_rtt=0.1, loss=0.0, **kwargs):
-    wan = wired_path(sim, wan_rate, wan_rtt, data_loss=loss, ack_loss=loss)
+def build_split(sim, wan_rate_bps=50e6, wan_rtt_s=0.1, loss=0.0, **kwargs):
+    wan = wired_path(sim, wan_rate_bps, wan_rtt_s, data_loss=loss, ack_loss=loss)
     wlan = wlan_path(sim, "802.11g", extra_rtt_s=0.004)
-    return SplitTransfer(sim, wan, wlan, wan_rtt_hint=wan_rtt,
+    return SplitTransfer(sim, wan, wlan, wan_rtt_hint=wan_rtt_s,
                          wlan_rtt_hint=0.01, **kwargs)
 
 
@@ -31,7 +31,7 @@ class TestSplitTransfer:
     def test_backpressure_bounds_proxy_memory(self, sim):
         """A fast WAN into a slow WLAN must not accumulate unbounded
         proxy state."""
-        split = build_split(sim, wan_rate=200e6, wan_rtt=0.02)
+        split = build_split(sim, wan_rate_bps=200e6, wan_rtt_s=0.02)
         split.start_bulk()
         sim.run(until=8.0)
         held = (split.wlan_conn.sender.pending_bytes
@@ -41,7 +41,7 @@ class TestSplitTransfer:
     def test_reliability_gap_exists_for_bulk(self, sim):
         """The server's cum-ack runs ahead of client delivery — the
         semantic cost of splitting the connection."""
-        split = build_split(sim, wan_rate=200e6, wan_rtt=0.02)
+        split = build_split(sim, wan_rate_bps=200e6, wan_rtt_s=0.02)
         split.start_bulk()
         sim.run(until=5.0)
         assert split.proxy_held_bytes > 0

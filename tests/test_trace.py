@@ -37,19 +37,19 @@ class TestTap:
         sim.run()
         assert tap.bytes_seen() == 1518
         assert tap.bytes_seen(PacketType.ACK) == 0
-        assert tap.rate_bps(start=0.0, end=2.0) == pytest.approx(1518 * 8 / 2.0)
+        assert tap.rate_bps(start_s=0.0, end_s=2.0) == pytest.approx(1518 * 8 / 2.0)
 
     def test_rate_window_filters(self, sim):
         tap = make_tap(sim)
         sim.call_in(1.0, lambda: tap(make_data_packet(0, 1)))
         sim.call_in(5.0, lambda: tap(make_data_packet(1500, 2)))
         sim.run()
-        only_first = tap.rate_bps(start=0.0, end=2.0)
+        only_first = tap.rate_bps(start_s=0.0, end_s=2.0)
         assert only_first == pytest.approx(1518 * 8 / 2.0)
 
     def test_zero_duration_rate(self, sim):
         tap = make_tap(sim)
-        assert tap.rate_bps(start=1.0, end=1.0) == 0.0
+        assert tap.rate_bps(start_s=1.0, end_s=1.0) == 0.0
 
     def test_clear(self, sim):
         tap = make_tap(sim)
