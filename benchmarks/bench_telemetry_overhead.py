@@ -2,16 +2,26 @@
 
 Measures the cost of the null-guard hook pattern: the same bulk
 TCP-TACK connection-second is simulated with telemetry disabled,
-enabled into a memory sink, and enabled into a JSONL file.  The
-disabled run is the number that matters — ISSUE acceptance requires
-the hooks to cost <= ~3% when no collector is attached, which is why
-every hook site is a single ``if self._tel is not None`` test.
+enabled into a memory sink, enabled into a JSONL file, and enabled
+into the binary sinks (ring, file, and the always-on sampled ring).
+The disabled run is the number that matters — ISSUE acceptance
+requires the hooks to cost <= ~3% when no collector is attached,
+which is why every hook site is a single ``if self._tel is not None``
+test.  The always-on binary ring is the mode meant to stay enabled in
+every run, so it carries the one hard gate: < 10% memory-path
+overhead versus disabled.
 
 Results land in ``benchmarks/results/BENCH_telemetry.json`` with the
 repo's bench schema ``{bench, config, metrics, timestamp}``.  Timing
-assertions are deliberately absent (CI machines are noisy); the JSON
-is for trend tracking, the assertions here only check the runs did
-real work and the traced runs captured events.
+is a *paired* design: one round runs every mode back-to-back (in
+rotating order, so no mode owns the cold-start slot) and each mode's
+overhead is computed against the ``off`` run of the *same* round —
+CPU-frequency drift between rounds then cancels out of the ratio.
+The reported overhead is the second-smallest per-round ratio, robust
+to rounds where the frequency swung mid-round.  The only timing
+assertion is the always-on gate;
+everything else only checks the runs did real work and the traced
+runs captured events.
 """
 
 from __future__ import annotations
@@ -26,12 +36,19 @@ from conftest import RESULTS_DIR, record_bench_history
 from repro.core.flavors import make_connection
 from repro.netsim.engine import Simulator
 from repro.netsim.paths import wired_path
-from repro.telemetry import JsonlSink, MemorySink, TraceCollector
+from repro.telemetry import (
+    BinaryFileSink,
+    BinaryRingSink,
+    JsonlSink,
+    MemorySink,
+    TraceCollector,
+    always_on_collector,
+)
 
 _RATE_BPS = 50e6
 _RTT_S = 0.04
 _DURATION_S = 1.0
-_ROUNDS = 3
+_ROUNDS = 7
 
 
 def _connection_second(telemetry=None) -> int:
@@ -44,33 +61,85 @@ def _connection_second(telemetry=None) -> int:
     return conn.receiver.stats.bytes_delivered
 
 
-def _timed(make_collector) -> tuple[float, int, int]:
-    """(best wall seconds, bytes delivered, events captured)."""
-    best = float("inf")
-    delivered = 0
-    events = 0
-    for _ in range(_ROUNDS):
-        collector = make_collector()
-        started = time.perf_counter()  # reprolint: disable=REP001
-        delivered = _connection_second(collector)
-        elapsed = time.perf_counter() - started  # reprolint: disable=REP001
-        best = min(best, elapsed)
-        if collector is not None:
-            events = collector.events_emitted
-            collector.close()
-    return best, delivered, events
+def _run_modes(modes: dict) -> dict:
+    """``{mode: (per-round wall seconds, bytes delivered, events)}``.
+
+    One round runs every mode once; the order rotates each round so
+    no mode always occupies the cold-start slot.  Per-round times are
+    returned (not reduced) so overheads can be computed *paired*
+    against the same round's ``off`` run.
+    """
+    results = {k: [[], 0, 0] for k in modes}
+    keys = list(modes)
+    for rnd in range(_ROUNDS):
+        shift = rnd % len(keys)
+        for key in keys[shift:] + keys[:shift]:
+            collector = modes[key]()
+            started = time.perf_counter()  # reprolint: disable=REP001
+            delivered = _connection_second(collector)
+            elapsed = time.perf_counter() - started  # reprolint: disable=REP001
+            entry = results[key]
+            entry[0].append(elapsed)
+            entry[1] = delivered
+            if collector is not None:
+                entry[2] = collector.events_emitted
+                collector.close()
+    return {k: tuple(v) for k, v in results.items()}
+
+
+def _paired_overhead_pct(off_times: list, mode_times: list) -> float:
+    """Low-quantile paired overhead of *mode* vs the same round's off
+    run: the second-smallest per-round ratio.
+
+    Pairing within a round cancels the between-round CPU-frequency
+    drift that makes independent best-of-N comparisons lie at the
+    ~10% granularity this bench gates on.  Per-round ratios are still
+    one-sided-noisy — a frequency swing *mid*-round inflates whichever
+    mode drew the slow slot (observed spreads on busy hosts exceed the
+    whole overhead budget) — so take the second-smallest ratio: on a
+    quiet host it reads the true cost like best-of-N does, and it
+    survives all but one polluted round.
+
+    Clamped at zero: telemetry can only add work, so a negative
+    reading is the noise floor, not a speedup.
+    """
+    ratios = sorted(m / o for o, m in zip(off_times, mode_times))
+    return max(0.0, 100.0 * ratios[1] - 100.0)
 
 
 def test_telemetry_overhead(tmp_path):
-    off_s, off_bytes, _ = _timed(lambda: None)
-    mem_s, mem_bytes, mem_events = _timed(lambda: TraceCollector(MemorySink()))
-    jsonl_s, jsonl_bytes, jsonl_events = _timed(
-        lambda: TraceCollector(JsonlSink(str(tmp_path / "bench.jsonl"))))
+    timings = _run_modes({
+        "off": lambda: None,
+        "memory": lambda: TraceCollector(MemorySink()),
+        "jsonl": lambda: TraceCollector(
+            JsonlSink(str(tmp_path / "bench.jsonl"))),
+        "binary_ring": lambda: TraceCollector(BinaryRingSink()),
+        "binary_file": lambda: TraceCollector(
+            BinaryFileSink(str(tmp_path / "bench.rtb"))),
+        "always_on": always_on_collector,
+    })
+    off_times, off_bytes, _ = timings["off"]
+    mem_times, mem_bytes, mem_events = timings["memory"]
+    jsonl_times, jsonl_bytes, jsonl_events = timings["jsonl"]
+    ring_times, ring_bytes, ring_events = timings["binary_ring"]
+    binfile_times, binfile_bytes, binfile_events = timings["binary_file"]
+    always_times, always_bytes, always_events = timings["always_on"]
+    off_s = min(off_times)
 
     # Same simulation either way: telemetry must not perturb results.
     assert off_bytes == mem_bytes == jsonl_bytes
+    assert off_bytes == ring_bytes == binfile_bytes == always_bytes
     assert off_bytes > 2e6
     assert mem_events == jsonl_events > 1000
+    assert ring_events == binfile_events == mem_events
+    assert 0 < always_events < mem_events  # sampled, not silent
+
+    always_on_overhead_pct = _paired_overhead_pct(off_times, always_times)
+    # The always-on ring is meant to ship enabled: hard gate on its
+    # memory-path overhead (paired rounds tame CI noise).
+    assert always_on_overhead_pct < 10.0, (
+        f"always-on binary ring costs {always_on_overhead_pct:.1f}% "
+        ">= 10% over disabled telemetry")
 
     doc = {
         "bench": "telemetry_overhead",
@@ -83,11 +152,20 @@ def test_telemetry_overhead(tmp_path):
         },
         "metrics": {
             "off_s": off_s,
-            "memory_s": mem_s,
-            "jsonl_s": jsonl_s,
-            "memory_overhead_pct": 100.0 * (mem_s - off_s) / off_s,
-            "jsonl_overhead_pct": 100.0 * (jsonl_s - off_s) / off_s,
+            "memory_s": min(mem_times),
+            "jsonl_s": min(jsonl_times),
+            "binary_ring_s": min(ring_times),
+            "binary_file_s": min(binfile_times),
+            "always_on_s": min(always_times),
+            "memory_overhead_pct": _paired_overhead_pct(off_times, mem_times),
+            "jsonl_overhead_pct": _paired_overhead_pct(off_times, jsonl_times),
+            "binary_ring_overhead_pct": _paired_overhead_pct(
+                off_times, ring_times),
+            "binary_file_overhead_pct": _paired_overhead_pct(
+                off_times, binfile_times),
+            "always_on_overhead_pct": always_on_overhead_pct,
             "events_per_connection_second": mem_events,
+            "always_on_events": always_events,
             "bytes_delivered": off_bytes,
         },
         "timestamp": time.time(),  # reprolint: disable=REP001
@@ -97,11 +175,26 @@ def test_telemetry_overhead(tmp_path):
     with open(out, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
+    # Only the always-on overhead carries a budget; everything else
+    # (raw per-mode wall times, the heavyweight modes' overheads)
+    # swings with host load and rides along ungated as context.
     record_bench_history("telemetry_overhead", doc["metrics"],
-                         config=doc["config"])
+                         config=doc["config"],
+                         ungated=("off_s", "memory_s", "jsonl_s",
+                                  "binary_ring_s", "binary_file_s",
+                                  "always_on_s",
+                                  "memory_overhead_pct",
+                                  "jsonl_overhead_pct",
+                                  "binary_ring_overhead_pct",
+                                  "binary_file_overhead_pct",
+                                  "events_per_connection_second"))
+    m = doc["metrics"]
     print(f"\ntelemetry overhead: off={off_s:.3f}s "
-          f"mem={mem_s:.3f}s (+{doc['metrics']['memory_overhead_pct']:.1f}%) "
-          f"jsonl={jsonl_s:.3f}s (+{doc['metrics']['jsonl_overhead_pct']:.1f}%)")
+          f"mem=+{m['memory_overhead_pct']:.1f}% "
+          f"jsonl=+{m['jsonl_overhead_pct']:.1f}% "
+          f"ring=+{m['binary_ring_overhead_pct']:.1f}% "
+          f"file=+{m['binary_file_overhead_pct']:.1f}% "
+          f"always_on=+{always_on_overhead_pct:.1f}%")
 
 
 def test_disabled_hooks_do_not_register_anywhere():

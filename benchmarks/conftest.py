@@ -42,12 +42,16 @@ def cached_experiment(name: str, fn, **kwargs):
     return cached_call(CACHE_DIR, name, fn, **kwargs)
 
 
-def record_bench_history(bench: str, metrics: dict, config=None) -> None:
+def record_bench_history(bench: str, metrics: dict, config=None,
+                         ungated=()) -> None:
     """Append every numeric metric of a bench run as a BenchRecord.
 
     Wall-clock metrics land in ``benchmarks/results/history/`` where
     ``python -m repro.profile gate`` compares them against the trailing
-    window (see :mod:`repro.bench`).
+    window (see :mod:`repro.bench`).  Metrics named in *ungated* are
+    recorded with no improvement direction — kept as context, exempt
+    from the regression gate (e.g. raw per-mode wall times whose
+    paired-ratio counterparts are the real signal).
     """
     from repro.bench import BenchRecord, append_records
     from repro.profile.cli import infer_better
@@ -58,7 +62,9 @@ def record_bench_history(bench: str, metrics: dict, config=None) -> None:
                          "1/s" if metric.endswith("_per_s") else
                          ("s" if metric.endswith("_s") else
                           ("pct" if metric.endswith("_pct") else "")),
-                         better=infer_better(metric), meta=meta)
+                         better=(None if metric in ungated
+                                 else infer_better(metric)),
+                         meta=meta)
         for metric, value in sorted(metrics.items())
         if isinstance(value, (int, float)) and not isinstance(value, bool)
     ]

@@ -202,7 +202,14 @@ def compare_series(history: BenchHistory, window: int = DEFAULT_WINDOW,
             finding.status = "no-direction"
             findings.append(finding)
             continue
-        band = abs(baseline) * noise_pct / 100.0
+        if latest.unit == "pct":
+            # The metric is already a relative quantity (often near
+            # zero, e.g. an overhead percentage): a band proportional
+            # to |baseline| would collapse to nothing and gate on pure
+            # noise.  Use noise_pct as absolute percentage points.
+            band = noise_pct
+        else:
+            band = abs(baseline) * noise_pct / 100.0
         if latest.better == "lower":
             if latest.value > baseline + band:
                 finding.status = "regressed"

@@ -1,0 +1,34 @@
+"""repro.energy: per-flow radio energy and airtime accounting.
+
+Quickstart::
+
+    from repro.energy import EnergyLedger
+
+    ledger = EnergyLedger(phy="802.11n", power="wavelan")
+    sim = Simulator(seed=7, energy=ledger)   # before endpoints/links!
+    ... build connection, run ...
+    print(ledger.summary()["ack_energy_j"])
+
+The ledger is fed by null-guarded hooks next to the telemetry hooks
+in the link layer and transport endpoints; a simulation without a
+ledger pays one ``is not None`` test per hook, the same contract as
+``sim.telemetry``.  See DESIGN.md §15 for the energy model.
+"""
+
+from repro.energy.ledger import (
+    COUNT_KEYS,
+    TOTAL_KEYS,
+    EnergyLedger,
+    FlowEnergy,
+)
+from repro.energy.model import POWER_MODELS, RadioPowerModel, get_power_model
+
+__all__ = [
+    "EnergyLedger",
+    "FlowEnergy",
+    "TOTAL_KEYS",
+    "COUNT_KEYS",
+    "RadioPowerModel",
+    "POWER_MODELS",
+    "get_power_model",
+]

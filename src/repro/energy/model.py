@@ -1,0 +1,56 @@
+"""Radio power-state models for the per-flow energy ledger.
+
+The three-state model (transmit / receive / idle draw in watts)
+follows the classic WaveLAN measurements by Feeney & Nilsson used by
+"An Analysis of Energy Consumption on ACK+Rate Packet in Rate Based
+Transport Protocol" (see PAPERS.md): per-packet energy is the
+exchange airtime multiplied by the state's power draw, and whatever
+lifetime is not spent on the air is billed at the idle draw.
+
+Simulation-side module: pure constants and arithmetic, no clock, no
+RNG.
+"""
+
+from __future__ import annotations
+
+
+class RadioPowerModel:
+    """Power drawn by one radio in each of its three states."""
+
+    __slots__ = ("name", "tx_w", "rx_w", "idle_w")
+
+    def __init__(self, name: str, tx_w: float = 1.327,
+                 rx_w: float = 0.967, idle_w: float = 0.843):
+        if tx_w <= 0 or rx_w <= 0 or idle_w < 0:
+            raise ValueError(
+                f"power draws must be positive (idle >= 0), got "
+                f"tx={tx_w} rx={rx_w} idle={idle_w}")
+        self.name = name
+        self.tx_w = tx_w
+        self.rx_w = rx_w
+        self.idle_w = idle_w
+
+    def __repr__(self) -> str:
+        return (f"RadioPowerModel({self.name}, tx={self.tx_w}W, "
+                f"rx={self.rx_w}W, idle={self.idle_w}W)")
+
+
+#: Named models.  ``wavelan`` is the Feeney–Nilsson 2.4 GHz WaveLAN
+#: card (1.327 / 0.967 / 0.843 W), the reference point of the ACK
+#: energy paper; ``wavelan-psm`` models the same card with power-save
+#: idling (sleep-dominated idle draw, ~66 mW) for sensitivity sweeps.
+POWER_MODELS = {
+    "wavelan": RadioPowerModel("wavelan", tx_w=1.327, rx_w=0.967,
+                               idle_w=0.843),
+    "wavelan-psm": RadioPowerModel("wavelan-psm", tx_w=1.327, rx_w=0.967,
+                                   idle_w=0.066),
+}
+
+
+def get_power_model(name: str) -> RadioPowerModel:
+    """Look up a named power model."""
+    try:
+        return POWER_MODELS[name]
+    except KeyError:
+        raise KeyError(f"unknown power model: {name!r} "
+                       f"(have {sorted(POWER_MODELS)})") from None

@@ -36,12 +36,15 @@ def run(loads_hz=(10.0, 40.0, 80.0), duration_s: float = 12.0,
         "Extension: fleet shard under offered-load sweep "
         "(TACK vs delayed vs per-packet ACK)",
         ["load_hz", "offered_mbps", "scheme", "flows", "goodput_mbps",
-         "fct_p50_ms", "fct_p99_ms", "ack_per_data", "ack_airtime_%"],
+         "fct_p50_ms", "fct_p99_ms", "ack_per_data", "ack_airtime_%",
+         "ack_energy_j", "ack_airtime_share"],
         note=(f"one AP shard per cell: {rate_bps/1e6:.0f} Mbps down / "
               f"{uplink_bps/1e6:.0f} Mbps up, RTT {rtt_s*1e3:.0f} ms, "
               f"log-normal flows (median {size_median_bytes//1000} kB), "
               f"{duration_s:.0f} s Poisson arrival window; airtime is "
-              "uplink ACK DCF exchanges per measured second"),
+              "uplink ACK DCF exchanges per measured second; "
+              "ack_energy_j / ack_airtime_share from the radio energy "
+              "ledger (WaveLAN draw model)"),
     )
     for load_hz in loads_hz:
         workload = WorkloadConfig(
@@ -74,6 +77,8 @@ def run(loads_hz=(10.0, 40.0, 80.0), duration_s: float = 12.0,
                 fct_p99_ms=(fct.quantile(99) * 1e3 if fct.count else None),
                 ack_per_data=(result["packets"]["acks"] / data
                               if data else 0.0),
+                ack_energy_j=result["energy"]["ack_energy_j"],
+                ack_airtime_share=result["energy"]["ack_airtime_share"],
                 **{"ack_airtime_%":
                    result["airtime"]["ack_airtime_s"] / elapsed * 100.0},
             )

@@ -46,6 +46,7 @@ class FleetConfig:
     drain_s: float = 10.0
     max_active: int = 2048
     phy: str = "802.11n"
+    power: str = "wavelan"
 
     def __post_init__(self) -> None:
         self.schemes = tuple(self.schemes)
@@ -98,6 +99,7 @@ def plan_shards(config: FleetConfig) -> List[ShardSpec]:
                 drain_s=config.drain_s,
                 max_active=config.max_active,
                 phy=config.phy,
+                power=config.power,
             ))
             shard_id += 1
     return specs

@@ -91,6 +91,7 @@ def _config_from_args(args: argparse.Namespace) -> FleetConfig:
         drain_s=args.drain,
         max_active=args.max_active,
         phy=args.phy,
+        power=args.power,
     )
 
 
@@ -263,6 +264,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--max-active", type=int, default=2048)
     run.add_argument("--phy", default="802.11n",
                      help="PHY profile for the ACK airtime ledger")
+    run.add_argument("--power", default="wavelan",
+                     help="radio power model for the energy ledger "
+                          "(wavelan, wavelan-psm)")
     run.set_defaults(fn=cmd_run)
 
     resume = sub.add_parser(

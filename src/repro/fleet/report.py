@@ -20,10 +20,14 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.energy import TOTAL_KEYS as ENERGY_TOTAL_KEYS
 from repro.experiments.table import Table
 from repro.fleet.campaign import FleetConfig, plan_shards
 from repro.fleet.manifest import ManifestMismatch, ShardManifest, canonical_json
 from repro.stats.streaming import BottomKReservoir, ExactSum, LogHistogram
+
+#: Integer energy counters folded across shards (plain int sums).
+ENERGY_COUNT_KEYS = ("data_pkts", "ack_pkts", "feedback_bytes")
 
 
 class SchemeAggregate:
@@ -45,6 +49,12 @@ class SchemeAggregate:
         self.measure_s = ExactSum()
         self.ack_airtime_s = ExactSum()
         self.uplink_serialization_s = ExactSum()
+        # energy ledger totals: ExactSum partials merge so the fold is
+        # order-insensitive in value; shards lacking an "energy" block
+        # (pre-ledger manifests) simply don't contribute.
+        self.energy = {k: ExactSum() for k in ENERGY_TOTAL_KEYS}
+        self.energy_counts = {k: 0 for k in ENERGY_COUNT_KEYS}
+        self.energy_shards = 0
         self.fct_hist: Optional[LogHistogram] = None
         self.goodput_hist: Optional[LogHistogram] = None
         self.samples: Optional[BottomKReservoir] = None
@@ -67,6 +77,18 @@ class SchemeAggregate:
         self.ack_airtime_s.add(shard["airtime"]["ack_airtime_s"])
         self.uplink_serialization_s.add(
             shard["airtime"]["uplink_serialization_s"])
+        energy = shard.get("energy")
+        if energy is not None:
+            self.energy_shards += 1
+            partials = energy.get("partials", {})
+            for key in ENERGY_TOTAL_KEYS:
+                part = partials.get(key)
+                if part is not None:
+                    self.energy[key].merge(ExactSum(part["partials"]))
+                else:
+                    self.energy[key].add(energy.get(key, 0.0))
+            for key in ENERGY_COUNT_KEYS:
+                self.energy_counts[key] += energy.get(key, 0)
         digests = shard["digests"]
         fct = LogHistogram.from_dict(digests["fct_s"])
         goodput = LogHistogram.from_dict(digests["flow_goodput_bps"])
@@ -91,6 +113,16 @@ class SchemeAggregate:
         """Fraction of measured airtime spent on uplink ACK exchanges."""
         t = self.measure_s.value()
         return self.ack_airtime_s.value() / t if t > 0 else 0.0
+
+    def ack_energy_j(self) -> float:
+        """Total joules spent on ACK-like packets (ledger-exact)."""
+        return self.energy["ack_energy_j"].value()
+
+    def energy_ack_airtime_share(self) -> float:
+        """ACK share of busy airtime as billed by the energy ledger."""
+        ack = self.energy["ack_airtime_s"].value()
+        busy = ack + self.energy["data_airtime_s"].value()
+        return ack / busy if busy > 0 else 0.0
 
     def fct_quantile_s(self, pct: float) -> Optional[float]:
         if self.fct_hist is None or self.fct_hist.count == 0:
@@ -121,6 +153,12 @@ class SchemeAggregate:
             "ack_airtime_s_partials": list(self.ack_airtime_s._partials),
             "uplink_serialization_s_partials":
                 list(self.uplink_serialization_s._partials),
+            "energy": {
+                "shards": self.energy_shards,
+                "partials": {k: list(self.energy[k]._partials)
+                             for k in ENERGY_TOTAL_KEYS},
+                "counts": dict(self.energy_counts),
+            },
             "fct_s": self.fct_hist.to_dict() if self.fct_hist else None,
             "flow_goodput_bps":
                 self.goodput_hist.to_dict() if self.goodput_hist else None,
@@ -184,6 +222,8 @@ def campaign_report(manifest_path) -> Dict[str, Any]:
             "fct_p99_s": agg.fct_quantile_s(99),
             "ack_per_data": agg.ack_per_data(),
             "ack_airtime_share": agg.ack_airtime_share(),
+            "ack_energy_j": agg.ack_energy_j(),
+            "energy_ack_airtime_share": agg.energy_ack_airtime_share(),
         })
     return {
         "fingerprint": config.fingerprint(),
@@ -202,11 +242,12 @@ def report_table(report: Dict[str, Any]) -> Table:
         title="Fleet campaign: TACK vs ACK schemes under churn",
         columns=["scheme", "shards", "flows", "goodput_mbps",
                  "fct_p50_ms", "fct_p99_ms", "ack_per_data",
-                 "ack_airtime_%"],
+                 "ack_airtime_%", "ack_energy_j", "ack_airtime_share"],
         note=(f"digest {report['aggregate_digest'][:16]} | "
               f"{report['completed_shards']}/{report['planned_shards']} "
-              "shards | airtime share is uplink ACK DCF exchanges per "
-              "measured second"),
+              "shards | airtime % is uplink ACK DCF exchanges per "
+              "measured second; ack_energy_j / ack_airtime_share come "
+              "from the per-flow radio energy ledger"),
     )
     for row in report["schemes"]:
         table.add_row(
@@ -219,6 +260,8 @@ def report_table(report: Dict[str, Any]) -> Table:
             fct_p99_ms=(row["fct_p99_s"] * 1e3
                         if row["fct_p99_s"] is not None else None),
             ack_per_data=row["ack_per_data"],
+            ack_energy_j=row["ack_energy_j"],
+            ack_airtime_share=row["energy_ack_airtime_share"],
             **{"ack_airtime_%": row["ack_airtime_share"] * 100.0},
         )
     return table

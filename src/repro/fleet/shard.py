@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.core.flavors import make_connection
+from repro.energy import EnergyLedger
 from repro.fleet.workload import FlowSpec, WorkloadConfig, generate_flows
 from repro.netsim.demux import FlowDemux, SharedPort
 from repro.netsim.emulator import EmulatedPath, PathConfig
@@ -69,7 +70,8 @@ class ShardSpec:
     reap_interval_s: float = 0.25
     max_active: int = 2048
     rcv_buffer_bytes: int = 1024 * 1024
-    phy: str = "802.11n"                # airtime-ledger PHY profile
+    phy: str = "802.11n"                # airtime/energy-ledger PHY profile
+    power: str = "wavelan"              # radio power model (repro.energy)
 
     @property
     def name(self) -> str:
@@ -92,7 +94,13 @@ class _ShardRun:
 
     def __init__(self, spec: ShardSpec, simsan: Optional[bool] = None):
         self.spec = spec
-        self.sim = Simulator(seed=spec.seed, simsan=simsan)
+        # Per-flow energy/airtime ledger: attached before links and
+        # endpoints so they cache sim.energy at construction.  Retired
+        # flows fold into ExactSum partials, so the summary merges
+        # bit-identically in any shard order.
+        self.energy = EnergyLedger(phy=spec.phy, power=spec.power)
+        self.sim = Simulator(seed=spec.seed, simsan=simsan,
+                             energy=self.energy)
         queue_bytes = (spec.queue_bytes if spec.queue_bytes is not None
                        else max(int(spec.rate_bps * spec.rtt_s / 8.0),
                                 128 * 1024))
@@ -188,6 +196,11 @@ class _ShardRun:
         conn.close()
         self.fwd_demux.unregister(index)
         self.rev_demux.unregister(index)
+        # Retire the flow's energy account too: ledger memory stays
+        # flat no matter how many flows churn through the shard.  (A
+        # packet still in flight after retirement re-opens a stub
+        # record; summary() folds those in, so totals stay exact.)
+        self.energy.pop_flow(index)
 
     def _reap(self, final: bool = False) -> None:
         for index in list(self.active):
@@ -218,17 +231,19 @@ class _ShardRun:
         self._reap(final=True)
         elapsed_s = self.sim.now()
 
-        # WLAN airtime ledger: cost each uplink ACK at one DCF exchange
-        # of the configured PHY (no aggregation for 64-byte TCP ACKs),
-        # the paper's Fig. 3 accounting applied analytically.
+        # WLAN airtime/energy: the per-packet ledger costs every
+        # transmission at one DCF exchange (DIFS + mean backoff + PPDU
+        # + SIFS + link ACK) of the configured PHY — the paper's
+        # Fig. 3 accounting, now exact per packet size instead of the
+        # old mean-ACK-size analytic estimate.
         phy = get_profile(spec.phy)
         rev = self.wan.reverse
-        mean_ack_bytes = (rev.bytes_delivered / rev.packets_delivered
-                          if rev.packets_delivered else 0.0)
+        en = self.energy.summary()
+        ack_airtime_s = en["ack_airtime_s"]
         per_ack_airtime_s = (
-            phy.difs_s + phy.mean_backoff_s()
-            + phy.exchange_airtime(phy.mpdu_bytes(int(mean_ack_bytes) or 64)))
-        ack_airtime_s = rev.packets_delivered * per_ack_airtime_s
+            ack_airtime_s / en["ack_pkts"] if en["ack_pkts"]
+            else phy.difs_s + phy.mean_backoff_s()
+            + phy.exchange_airtime(phy.mpdu_bytes(64)))
 
         return {
             "shard_id": spec.shard_id,
@@ -265,6 +280,22 @@ class _ShardRun:
                 "per_ack_airtime_s": per_ack_airtime_s,
                 "uplink_serialization_s":
                     rev.bytes_delivered * 8.0 / spec.uplink_rate_bps,
+            },
+            "energy": {
+                "phy": en["phy"],
+                "power": en["power"],
+                "data_energy_j": en["data_energy_j"],
+                "ack_energy_j": en["ack_energy_j"],
+                "idle_energy_j": en["idle_energy_j"],
+                "total_energy_j": en["total_energy_j"],
+                "ack_energy_share": en["ack_energy_share"],
+                "ack_airtime_share": en["ack_airtime_share"],
+                "data_airtime_s": en["data_airtime_s"],
+                "ack_airtime_s": en["ack_airtime_s"],
+                "data_pkts": en["data_pkts"],
+                "ack_pkts": en["ack_pkts"],
+                "feedback_bytes": en["feedback_bytes"],
+                "partials": en["partials"],
             },
             "digests": {
                 "fct_s": self.fct_hist.to_dict(),

@@ -49,6 +49,7 @@ DEFAULT_REP004_PACKAGES = (
     "cc",
     "core",
     "wlan",
+    "energy",
 )
 
 #: Suffixes that state a unit (or an explicit dimensionless kind).
@@ -74,6 +75,8 @@ DEFAULT_UNIT_SUFFIXES = (
     "_loss",
     "_pct",
     "_db",
+    "_w",
+    "_j",
 )
 
 #: Parameter names that are genuinely dimensionless or contextual and
@@ -86,7 +89,7 @@ DEFAULT_TIME_SUFFIXES = ("_s", "_ms", "_us", "_ts", "_time", "_at", "_ns")
 
 #: Basenames under ``repro/telemetry/`` that run host-side (REP006
 #: lets them read the wall clock for file naming / progress display).
-DEFAULT_TELEMETRY_HOST_FILES = ("cli.py", "__main__.py")
+DEFAULT_TELEMETRY_HOST_FILES = ("cli.py", "__main__.py", "convert.py")
 
 #: Simulation-side packages covered by REP007 (profiler isolation) and
 #: REP008 (no hard-coded RNG seeds): they may hold the null-guard
@@ -102,6 +105,7 @@ DEFAULT_SIM_PACKAGES = (
     "wlan",
     "chaos",
     "fleet",
+    "energy",
 )
 
 #: Globs carved *out* of the sim scope: host-side files living inside

@@ -74,10 +74,15 @@ class Simulator:
         time per handler class and subsystem.  Same construction-order
         rule as telemetry: attach before endpoints are built so they
         can bind profiled spans at construction time.
+    energy:
+        Optional :class:`repro.energy.EnergyLedger` folding per-packet
+        airtime and radio power states into per-flow joule accounts.
+        Same construction-order rule: links/endpoints cache
+        ``sim.energy`` at build time.
     """
 
     def __init__(self, seed: int = 1, simsan: Optional[bool] = None,
-                 telemetry=None, profiler=None):
+                 telemetry=None, profiler=None, energy=None):
         self.clock = Clock()
         self.rng = random.Random(seed)
         self._queue: list[Event] = []
@@ -91,6 +96,9 @@ class Simulator:
         self.profiler = None
         if profiler is not None:
             self.attach_profiler(profiler)
+        self.energy = None
+        if energy is not None:
+            self.attach_energy(energy)
 
     def enable_sanitizer(self) -> "sanitize.SimSanitizer":
         """Attach (or return the already-attached) invariant sanitizer.
@@ -111,6 +119,17 @@ class Simulator:
         """
         self.telemetry = collector.attach(self)
         return self.telemetry
+
+    def attach_energy(self, ledger):
+        """Attach a per-flow energy/airtime ledger (``repro.energy``).
+
+        Binds the ledger to this simulator's virtual clock (it bounds
+        each flow's idle-energy window).  Must be called before links
+        and endpoints are constructed — they cache ``sim.energy`` at
+        build time (same rule as telemetry).
+        """
+        self.energy = ledger.attach(self)
+        return self.energy
 
     def attach_profiler(self, profiler):
         """Attach a host-side profiler (``repro.profile``).

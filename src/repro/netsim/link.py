@@ -113,7 +113,8 @@ class Link:
     __slots__ = ("sim", "config", "sink", "name", "queue", "_busy",
                  "packets_sent", "packets_delivered", "packets_lost",
                  "packets_duplicated", "packets_corrupted",
-                 "packets_reordered", "bytes_delivered", "_tel", "_imp")
+                 "packets_reordered", "bytes_delivered", "_tel",
+                 "_tel_stride", "_tel_n", "_imp", "_en")
 
     def __init__(
         self,
@@ -137,7 +138,14 @@ class Link:
         self.packets_reordered = 0
         self.bytes_delivered = 0
         # telemetry: one None-check per packet event when disabled.
+        # Per-packet events sample through a site-local stride counter
+        # (see TraceCollector.sampling_stride): stride 0 = never emit.
         self._tel = sim.telemetry
+        self._tel_stride = (self._tel.sampling_stride("netsim")
+                            if self._tel is not None else 0)
+        self._tel_n = 0
+        # energy/airtime ledger: same null-guard pattern.
+        self._en = sim.energy
         # chaos impairment stage: same null-guard pattern.
         self._imp: Optional[LinkImpairments] = None
 
@@ -190,35 +198,47 @@ class Link:
         either way.
         """
         self.packets_sent += 1
+        # Hot path: the site-local stride counter decides keep/drop
+        # with plain attribute arithmetic, so a sampled-out event
+        # costs neither a collector call nor its field dict (see
+        # TraceCollector.sampling_stride).
         if self._imp is not None and self._imp.blackout:
             self.packets_lost += 1
-            if self._tel is not None:
-                self._tel.emit("netsim", "drop", packet.flow_id,
-                               link=self.name, reason="blackout",
-                               kind=packet.kind.value, size=packet.size,
-                               pkt_seq=packet.pkt_seq)
+            if self._tel_stride and self._tick():
+                self._tel.emit_kept("netsim", "drop", packet.flow_id,
+                                    link=self.name, reason="blackout",
+                                    kind=packet.kind.value,
+                                    size=packet.size,
+                                    pkt_seq=packet.pkt_seq)
             return False
         if self.config.loss.should_drop(packet, self.sim.now()):
             self.packets_lost += 1
-            if self._tel is not None:
-                self._tel.emit("netsim", "drop", packet.flow_id,
-                               link=self.name, reason="loss",
-                               kind=packet.kind.value, size=packet.size,
-                               pkt_seq=packet.pkt_seq)
+            if self._tel_stride and self._tick():
+                self._tel.emit_kept("netsim", "drop", packet.flow_id,
+                                    link=self.name, reason="loss",
+                                    kind=packet.kind.value,
+                                    size=packet.size,
+                                    pkt_seq=packet.pkt_seq)
             return False
         if not self.queue.try_enqueue(packet):
             self.packets_lost += 1
-            if self._tel is not None:
-                self._tel.emit("netsim", "drop", packet.flow_id,
-                               link=self.name, reason="queue",
-                               kind=packet.kind.value, size=packet.size,
-                               pkt_seq=packet.pkt_seq)
+            if self._tel_stride and self._tick():
+                self._tel.emit_kept("netsim", "drop", packet.flow_id,
+                                    link=self.name, reason="queue",
+                                    kind=packet.kind.value,
+                                    size=packet.size,
+                                    pkt_seq=packet.pkt_seq)
             return False
-        if self._tel is not None:
-            self._tel.emit("netsim", "enqueue", packet.flow_id,
-                           link=self.name, kind=packet.kind.value,
-                           size=packet.size,
-                           queued_bytes=self.queue.bytes_queued)
+        if self._tel_stride:
+            n = self._tel_n + 1
+            if n >= self._tel_stride:
+                self._tel_n = 0
+                self._tel.emit_kept("netsim", "enqueue", packet.flow_id,
+                                    link=self.name, kind=packet.kind.value,
+                                    size=packet.size,
+                                    queued_bytes=self.queue.bytes_queued)
+            else:
+                self._tel_n = n
         if (self._imp is not None and self._imp.duplicate_prob > 0.0
                 and self._imp.rng.random() < self._imp.duplicate_prob
                 and self.queue.try_enqueue(packet)):
@@ -229,19 +249,36 @@ class Link:
             self._start_transmission()
         return True
 
+    def _tick(self) -> bool:
+        """Advance the netsim stride counter; ``True`` = keep.  Only
+        call when ``self._tel_stride`` is non-zero."""
+        n = self._tel_n + 1
+        if n >= self._tel_stride:
+            self._tel_n = 0
+            return True
+        self._tel_n = n
+        return False
+
     # ------------------------------------------------------------------
     def _start_transmission(self) -> None:
         packet = self.queue.dequeue()
         if packet is None:
-            if self._busy and self._tel is not None:
-                self._tel.emit("netsim", "idle", 0, link=self.name)
+            if self._busy and self._tel_stride and self._tick():
+                self._tel.emit_kept("netsim", "idle", 0, link=self.name)
             self._busy = False
             return
         self._busy = True
-        if self._tel is not None:
-            self._tel.emit("netsim", "tx_start", packet.flow_id,
-                           link=self.name, kind=packet.kind.value,
-                           size=packet.size)
+        if self._tel_stride:
+            n = self._tel_n + 1
+            if n >= self._tel_stride:
+                self._tel_n = 0
+                self._tel.emit_kept("netsim", "tx_start", packet.flow_id,
+                                    link=self.name, kind=packet.kind.value,
+                                    size=packet.size)
+            else:
+                self._tel_n = n
+        if self._en is not None:
+            self._en.on_tx(packet)
         tx_time = self.config.serialization_delay(packet.size)
         self.sim.call_in(tx_time, lambda p=packet: self._finish_transmission(p))
 
@@ -253,11 +290,12 @@ class Link:
                 # Corruption: the packet evaporates mid-flight.
                 self.packets_corrupted += 1
                 self.packets_lost += 1
-                if self._tel is not None:
-                    self._tel.emit("netsim", "drop", packet.flow_id,
-                                   link=self.name, reason="corrupt",
-                                   kind=packet.kind.value, size=packet.size,
-                                   pkt_seq=packet.pkt_seq)
+                if self._tel_stride and self._tick():
+                    self._tel.emit_kept("netsim", "drop", packet.flow_id,
+                                        link=self.name, reason="corrupt",
+                                        kind=packet.kind.value,
+                                        size=packet.size,
+                                        pkt_seq=packet.pkt_seq)
                 self._start_transmission()
                 return
         self.sim.call_in(delay, lambda p=packet: self._deliver(p))
@@ -281,10 +319,17 @@ class Link:
         self.packets_delivered += 1
         self.bytes_delivered += packet.size
         packet.hops += 1
-        if self._tel is not None:
-            self._tel.emit("netsim", "delivered", packet.flow_id,
-                           link=self.name, kind=packet.kind.value,
-                           size=packet.size)
+        if self._tel_stride:
+            n = self._tel_n + 1
+            if n >= self._tel_stride:
+                self._tel_n = 0
+                self._tel.emit_kept("netsim", "delivered", packet.flow_id,
+                                    link=self.name, kind=packet.kind.value,
+                                    size=packet.size)
+            else:
+                self._tel_n = n
+        if self._en is not None:
+            self._en.on_rx(packet)
         if self.sink is not None:
             self.sink(packet)
 

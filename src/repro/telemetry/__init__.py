@@ -16,6 +16,15 @@ Then inspect the trace::
     python -m repro.telemetry diff tack.jsonl per-packet-ack.jsonl
 """
 
+from repro.telemetry.binlog import (
+    ALWAYS_ON_SAMPLING,
+    BinaryFileSink,
+    BinaryFormatError,
+    BinaryRingSink,
+    always_on_collector,
+    convert_binary_trace,
+    read_binary_trace,
+)
 from repro.telemetry.collector import TraceCollector
 from repro.telemetry.events import (
     CAT_ACK,
@@ -45,6 +54,13 @@ __all__ = [
     "TraceSink",
     "MemorySink",
     "JsonlSink",
+    "BinaryRingSink",
+    "BinaryFileSink",
+    "BinaryFormatError",
+    "ALWAYS_ON_SAMPLING",
+    "always_on_collector",
+    "convert_binary_trace",
+    "read_binary_trace",
     "MetricsRegistry",
     "METRICS",
     "TraceFormatError",

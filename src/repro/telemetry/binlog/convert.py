@@ -1,0 +1,152 @@
+"""Offline binary → schema-v1 JSONL trace conversion.
+
+``convert_binary_trace`` replays a binary trace through the ordinary
+:class:`~repro.telemetry.sinks.JsonlSink` — literally the same digest
+machinery the live writer uses — so the output file is byte-for-byte
+identical (digest-equal) to what a ``JsonlSink`` would have written
+for the same event stream.  That invariant is what lets the existing
+``summarize``/``filter``/``diff`` CLI, ``MetricsRegistry``, and the
+fig08 acceptance test run unchanged on converted traces.
+
+Host-side module: it owns file I/O for the CLI ``convert`` subcommand
+(registered in ``telemetry-host-files`` for reprolint).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.telemetry.binlog.format import (
+    BinaryFormatError,
+    StringTable,
+    _Cursor,
+    decode_header_line,
+    decode_preamble,
+    decode_record,
+    format_header_line,
+)
+from repro.telemetry.events import SCHEMA_NAME, SCHEMA_VERSION, TraceEvent
+from repro.telemetry.sinks import JsonlSink
+
+#: Decoder-side interning bound: must only exceed the largest id the
+#: writer assigned, and writer tables are bounded, so "very large".
+_DECODE_MAX_INTERNED = 1 << 31
+
+
+def _parse_binary_header(raw: bytes) -> Tuple[Optional[Dict[str, Any]], bytes]:
+    """Validate the embedded schema-v1 header line; return (meta, line)."""
+    try:
+        obj = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise BinaryFormatError(f"embedded header is not JSON: {exc}") from exc
+    if not isinstance(obj, dict) or obj.get("schema") != SCHEMA_NAME:
+        raise BinaryFormatError("embedded header missing schema marker")
+    if obj.get("version") != SCHEMA_VERSION:
+        raise BinaryFormatError(
+            f"embedded header has schema version {obj.get('version')!r}, "
+            f"expected {SCHEMA_VERSION}")
+    meta = obj.get("meta")
+    reencoded = format_header_line(meta).encode("utf-8")
+    if reencoded != raw:
+        raise BinaryFormatError(
+            "embedded header does not re-serialize canonically; "
+            "cannot guarantee byte-identical conversion")
+    return meta, raw
+
+
+def iter_binary_trace(
+    path: str, require_trailer: bool = True,
+) -> Iterator[Tuple[str, Any]]:
+    """Yield ``("meta", meta_or_None)`` then ``("event", TraceEvent)``
+    per event, decoding and verifying *path* as it goes.
+
+    Raises :class:`BinaryFormatError` on malformed input — including a
+    missing or wrong digest trailer (truncated / corrupted file),
+    unless ``require_trailer`` is False (best-effort salvage of a
+    crashed writer's output: yields the events that survived).
+    """
+    with open(path, "rb") as fh:
+        data = fh.read()
+    cur = _Cursor(data)
+    decode_preamble(cur)
+    meta, _header = _parse_binary_header(decode_header_line(cur))
+    yield ("meta", meta)
+    table = StringTable(max_interned=_DECODE_MAX_INTERNED)
+    saw_end = False
+    while not cur.done():
+        record_start = cur.pos
+        try:
+            decoded = decode_record(cur, table)
+        except BinaryFormatError:
+            if require_trailer:
+                raise
+            break  # salvage: partial trailing record (writer crashed mid-write)
+        if decoded is None:
+            continue
+        kind, payload = decoded
+        if kind == "event":
+            yield ("event", payload)
+        elif kind == "json":
+            try:
+                obj = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise BinaryFormatError(
+                    f"bad JSON fallback record at byte {record_start}: {exc}"
+                ) from exc
+            yield ("event", TraceEvent.from_dict(obj))
+        elif kind == "end":
+            expect = hashlib.sha256(data[:record_start]).digest()
+            if payload != expect:
+                raise BinaryFormatError(
+                    "digest trailer mismatch: file bytes were altered "
+                    "after writing")
+            if not cur.done():
+                raise BinaryFormatError(
+                    f"{len(data) - cur.pos} trailing bytes after the "
+                    "digest trailer")
+            saw_end = True
+    if require_trailer and not saw_end:
+        raise BinaryFormatError(
+            "missing digest trailer: the file is truncated "
+            "(writer crashed before close?)")
+
+
+def read_binary_trace(
+    path: str, require_trailer: bool = True,
+) -> Tuple[Optional[Dict[str, Any]], List[TraceEvent]]:
+    """Decode a whole binary trace into ``(meta, events)``."""
+    meta: Optional[Dict[str, Any]] = None
+    events: List[TraceEvent] = []
+    for kind, payload in iter_binary_trace(path, require_trailer):
+        if kind == "meta":
+            meta = payload
+        else:
+            events.append(payload)
+    return meta, events
+
+
+def convert_binary_trace(
+    in_path: str, out_path: str, require_trailer: bool = True,
+) -> Dict[str, Any]:
+    """Convert a binary trace at *in_path* to schema-v1 JSONL.
+
+    Returns ``{"events": n, "digest": sha256hex, "out": out_path}``
+    where ``digest`` is the JSONL file's digest — equal to what a live
+    :class:`JsonlSink` would have reported for the same run.
+    """
+    sink: Optional[JsonlSink] = None
+    try:
+        for kind, payload in iter_binary_trace(in_path, require_trailer):
+            if kind == "meta":
+                sink = JsonlSink(out_path, meta=payload)
+            else:
+                assert sink is not None
+                sink.append(payload)
+        assert sink is not None  # iter always yields meta first
+        return {"events": sink.events_written, "digest": sink.digest(),
+                "out": out_path}
+    finally:
+        if sink is not None:
+            sink.close()

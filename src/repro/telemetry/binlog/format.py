@@ -1,0 +1,355 @@
+"""Binary trace wire format (struct-packed schema-v1 carrier).
+
+A binary trace carries exactly the information of a schema-v1 JSONL
+trace (:mod:`repro.telemetry.events`) in a form that is cheap to
+append on the simulation hot path: fixed-width little-endian records,
+with every repeated string (category, name, field key, string field
+value) *interned* once into a string table.  The offline converter
+(:mod:`repro.telemetry.binlog.convert`) replays a binary trace
+through the ordinary :class:`~repro.telemetry.sinks.JsonlSink`, so
+the JSONL it produces — and therefore its SHA-256 digest — is
+byte-for-byte identical to what a live ``JsonlSink`` would have
+written for the same event stream.
+
+File layout::
+
+    MAGIC (8 bytes)  BIN_VERSION (u16)
+    u32 len, <len> bytes     # the schema-v1 JSONL header line, verbatim
+    record*                  # see below
+    RT_END sha256            # digest trailer written on close
+
+Record types (first byte):
+
+``RT_STRING``
+    ``u32 id, u32 len, <len> utf-8 bytes`` — interning-table entry.
+    Ids are assigned densely from 0 in first-seen order; a definition
+    always precedes the first record that references it.
+``RT_EVENT``
+    ``f64 t, i32 flow, u32 cat_id, u32 name_id, u16 nfields`` then
+    ``nfields`` fixed 13-byte entries ``u32 key_id, u8 tag, 8 value
+    bytes``.  Value encoding by tag: none/false/true carry zero
+    bytes, ``TAG_INT`` an i64, ``TAG_FLOAT`` an f64 (bit-exact, so
+    ``repr`` round-trips), ``TAG_STR`` a u64 string-table id.
+``RT_EVENT_JSON``
+    ``u32 len, <len> bytes`` — one event as its compact JSON line
+    (without newline).  Fallback used when a field value is not a
+    JSON scalar (list, dict, out-of-i64-range int) or when the
+    interning table hit its ``max_interned`` bound; the converter
+    passes the stored line through unchanged.
+``RT_END``
+    32-byte SHA-256 of every file byte before this record.  Its
+    absence means the file was truncated (e.g. a crashed writer).
+
+Everything here is simulation-side code: no wall clock, no RNG.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.telemetry.events import TraceEvent, format_header_line
+
+__all__ = [
+    "MAGIC", "BIN_VERSION", "DEFAULT_MAX_INTERNED", "BinaryFormatError",
+    "StringTable", "format_header_line", "event_json_line",
+    "encoded_size", "encode_event", "encode_event_into",
+    "encode_event_json", "encode_preamble",
+    "encode_header", "encode_end", "is_binary_preamble",
+    "decode_preamble", "decode_header_line", "decode_record",
+]
+
+#: File magic: binary-sniffable (high bit set) with CR/LF/EOF canaries
+#: so text-mode mangling is detected immediately, PNG-style.
+MAGIC = b"\x93RTB\r\n\x1a\n"
+
+#: Version of the binary container (independent of the JSONL schema
+#: version it carries, which is stamped in the embedded header line).
+BIN_VERSION = 1
+
+#: Interning-table bound: one definition per *distinct* string, so
+#: real traces use a few dozen entries; the bound only exists so a
+#: pathological high-cardinality field degrades to JSON-fallback
+#: records instead of growing the table without limit.
+DEFAULT_MAX_INTERNED = 1 << 16
+
+RT_STRING = 0x01
+RT_EVENT = 0x02
+RT_EVENT_JSON = 0x03
+RT_END = 0x7F
+
+TAG_NONE = 0
+TAG_FALSE = 1
+TAG_TRUE = 2
+TAG_INT = 3
+TAG_FLOAT = 4
+TAG_STR = 5
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+_PREAMBLE = struct.Struct("<8sH")
+_U32 = struct.Struct("<I")
+_STRING_HEAD = struct.Struct("<BII")
+_EVENT_HEAD = struct.Struct("<BdiIIH")
+_FIELD_PAD = struct.Struct("<IBQ")    # none/false/true (value ignored)
+_FIELD_INT = struct.Struct("<IBq")
+_FIELD_FLOAT = struct.Struct("<IBd")
+_FIELD_STR = struct.Struct("<IBQ")
+_END = struct.Struct("<B32s")
+
+
+class BinaryFormatError(ValueError):
+    """The bytes are not a valid repro-telemetry binary trace."""
+
+
+def event_json_line(event: TraceEvent) -> str:
+    """One event's compact JSON line (no newline) — the exact bytes
+    :class:`JsonlSink` would write for it, minus the terminator."""
+    return json.dumps(event.to_dict(), separators=(",", ":"))
+
+
+class StringTable:
+    """First-seen-order string interning with a hard entry bound.
+
+    :meth:`intern` returns the string's dense id, recording a pending
+    ``RT_STRING`` definition on first sight; ``None`` means the table
+    is full and the caller must fall back to a JSON record.  File
+    sinks drain definitions with :meth:`take_pending` before writing
+    the record that references them; ring sinks decode in-process via
+    :meth:`lookup` and never serialize the table.
+    """
+
+    __slots__ = ("max_interned", "_ids", "_by_id", "_pending")
+
+    def __init__(self, max_interned: int = DEFAULT_MAX_INTERNED):
+        if max_interned < 1:
+            raise ValueError(f"max_interned must be >= 1, got {max_interned}")
+        self.max_interned = max_interned
+        self._ids: Dict[str, int] = {}
+        self._by_id: List[str] = []
+        self._pending: List[bytes] = []
+
+    def intern(self, s: str) -> Optional[int]:
+        sid = self._ids.get(s)
+        if sid is not None:
+            return sid
+        if len(self._by_id) >= self.max_interned:
+            return None
+        sid = len(self._by_id)
+        self._ids[s] = sid
+        self._by_id.append(s)
+        raw = s.encode("utf-8")
+        self._pending.append(
+            _STRING_HEAD.pack(RT_STRING, sid, len(raw)) + raw)
+        return sid
+
+    def take_pending(self) -> bytes:
+        """Serialized ``RT_STRING`` records interned since last call."""
+        if not self._pending:
+            return b""
+        out = b"".join(self._pending)
+        self._pending.clear()
+        return out
+
+    def lookup(self, sid: int) -> str:
+        return self._by_id[sid]
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+
+def encoded_size(event: TraceEvent) -> int:
+    """Upper bound (exact, in fact) on the ``RT_EVENT`` record size."""
+    return _EVENT_HEAD.size + _FIELD_PAD.size * len(event.fields)
+
+
+def encode_event_into(event: TraceEvent, table: StringTable,
+                      buf: bytearray, pos: int = 0) -> Optional[int]:
+    """Pack one ``RT_EVENT`` record into *buf* at *pos*.
+
+    Returns the end offset, or ``None`` when the event needs the JSON
+    fallback (non-scalar field value or interning overflow) — the
+    buffer contents past *pos* are then undefined.  The caller must
+    reserve :func:`encoded_size` bytes.  This is the hot-path encoder:
+    no intermediate ``bytes`` objects, one ``pack_into`` per part.
+    """
+    # The fixed header packs t as f64 and flow as i32; anything else
+    # (an int-typed timestamp would re-serialize as "0.0" not "0")
+    # must take the JSON fallback to stay byte-identical on convert.
+    if type(event.time) is not float or type(event.flow_id) is not int:
+        return None
+    if not -(1 << 31) <= event.flow_id <= (1 << 31) - 1:
+        return None
+    intern = table.intern
+    cat_id = intern(event.category)
+    name_id = intern(event.name)
+    if cat_id is None or name_id is None:
+        return None
+    fields = event.fields
+    _EVENT_HEAD.pack_into(buf, pos, RT_EVENT, event.time, event.flow_id,
+                          cat_id, name_id, len(fields))
+    pos += _EVENT_HEAD.size
+    for key, value in fields.items():
+        key_id = intern(key)
+        if key_id is None:
+            return None
+        # bool first: it is an int subclass.
+        if value is None:
+            _FIELD_PAD.pack_into(buf, pos, key_id, TAG_NONE, 0)
+        elif value is True:
+            _FIELD_PAD.pack_into(buf, pos, key_id, TAG_TRUE, 0)
+        elif value is False:
+            _FIELD_PAD.pack_into(buf, pos, key_id, TAG_FALSE, 0)
+        elif type(value) is int:
+            if not _I64_MIN <= value <= _I64_MAX:
+                return None
+            _FIELD_INT.pack_into(buf, pos, key_id, TAG_INT, value)
+        elif type(value) is float:
+            _FIELD_FLOAT.pack_into(buf, pos, key_id, TAG_FLOAT, value)
+        elif type(value) is str:
+            sid = intern(value)
+            if sid is None:
+                return None
+            _FIELD_STR.pack_into(buf, pos, key_id, TAG_STR, sid)
+        else:
+            return None
+        pos += _FIELD_PAD.size
+    return pos
+
+
+_SCRATCH = bytearray(4096)
+
+
+def encode_event(event: TraceEvent, table: StringTable) -> Optional[bytes]:
+    """One ``RT_EVENT`` record as bytes, or ``None`` when the event
+    needs the JSON fallback (see :func:`encode_event_into`)."""
+    need = encoded_size(event)
+    buf = _SCRATCH if need <= len(_SCRATCH) else bytearray(need)
+    end = encode_event_into(event, table, buf, 0)
+    if end is None:
+        return None
+    return bytes(buf[:end])
+
+
+def encode_event_json(event: TraceEvent) -> bytes:
+    """One ``RT_EVENT_JSON`` fallback record."""
+    raw = event_json_line(event).encode("utf-8")
+    return struct.pack("<BI", RT_EVENT_JSON, len(raw)) + raw
+
+
+def encode_preamble() -> bytes:
+    return _PREAMBLE.pack(MAGIC, BIN_VERSION)
+
+
+def encode_header(meta: Optional[Dict[str, Any]] = None) -> Tuple[bytes, bytes]:
+    """``(preamble + length-prefixed header line, header line bytes)``."""
+    line = format_header_line(meta).encode("utf-8")
+    return encode_preamble() + _U32.pack(len(line)) + line, line
+
+
+def encode_end(digest32: bytes) -> bytes:
+    return _END.pack(RT_END, digest32)
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+
+class _Cursor:
+    """Bounds-checked reader over one in-memory buffer."""
+
+    __slots__ = ("buf", "pos")
+
+    def __init__(self, buf: bytes, pos: int = 0):
+        self.buf = buf
+        self.pos = pos
+
+    def take(self, n: int, what: str) -> bytes:
+        end = self.pos + n
+        if end > len(self.buf):
+            raise BinaryFormatError(
+                f"truncated {what} at byte {self.pos} "
+                f"(need {n}, have {len(self.buf) - self.pos})")
+        out = self.buf[self.pos:end]
+        self.pos = end
+        return out
+
+    def done(self) -> bool:
+        return self.pos >= len(self.buf)
+
+
+def is_binary_preamble(head: bytes) -> bool:
+    """True when *head* starts with the binary-trace magic."""
+    return head[:len(MAGIC)] == MAGIC
+
+
+def decode_preamble(cur: _Cursor) -> int:
+    magic, version = _PREAMBLE.unpack(cur.take(_PREAMBLE.size, "preamble"))
+    if magic != MAGIC:
+        raise BinaryFormatError("missing binary-trace magic")
+    if version != BIN_VERSION:
+        raise BinaryFormatError(
+            f"unsupported binary-trace version {version} "
+            f"(this reader handles {BIN_VERSION})")
+    return version
+
+
+def decode_header_line(cur: _Cursor) -> bytes:
+    (n,) = _U32.unpack(cur.take(_U32.size, "header length"))
+    return cur.take(n, "header line")
+
+
+def decode_record(cur: _Cursor, table: StringTable):
+    """Decode the record at the cursor.
+
+    Returns ``("event", TraceEvent)``, ``("json", line_bytes)``,
+    ``("end", digest32)``, or ``None`` for an interning record (the
+    table is updated in place).
+    """
+    (rtype,) = cur.take(1, "record type")
+    if rtype == RT_STRING:
+        _, sid, n = _STRING_HEAD.unpack(
+            bytes([rtype]) + cur.take(_STRING_HEAD.size - 1, "string record"))
+        raw = cur.take(n, "string bytes")
+        if sid != len(table):
+            raise BinaryFormatError(
+                f"out-of-order string id {sid} (expected {len(table)})")
+        got = table.intern(raw.decode("utf-8"))
+        if got != sid:
+            raise BinaryFormatError(
+                f"string id {sid} re-interned as {got}")
+        table.take_pending()
+        return None
+    if rtype == RT_EVENT:
+        _, t, flow, cat_id, name_id, nfields = _EVENT_HEAD.unpack(
+            bytes([rtype]) + cur.take(_EVENT_HEAD.size - 1, "event record"))
+        fields: Dict[str, Any] = {}
+        for _ in range(nfields):
+            entry = cur.take(_FIELD_PAD.size, "field entry")
+            key_id, tag, _pad = _FIELD_PAD.unpack(entry)
+            key = table.lookup(key_id)
+            if tag == TAG_NONE:
+                fields[key] = None
+            elif tag == TAG_TRUE:
+                fields[key] = True
+            elif tag == TAG_FALSE:
+                fields[key] = False
+            elif tag == TAG_INT:
+                fields[key] = _FIELD_INT.unpack(entry)[2]
+            elif tag == TAG_FLOAT:
+                fields[key] = _FIELD_FLOAT.unpack(entry)[2]
+            elif tag == TAG_STR:
+                fields[key] = table.lookup(_FIELD_STR.unpack(entry)[2])
+            else:
+                raise BinaryFormatError(f"unknown field tag {tag}")
+        return ("event",
+                TraceEvent(t, table.lookup(cat_id), table.lookup(name_id),
+                           flow, fields))
+    if rtype == RT_EVENT_JSON:
+        (n,) = _U32.unpack(cur.take(_U32.size, "json record length"))
+        return ("json", cur.take(n, "json record"))
+    if rtype == RT_END:
+        return ("end", cur.take(32, "digest trailer"))
+    raise BinaryFormatError(f"unknown record type 0x{rtype:02x}")

@@ -1,0 +1,233 @@
+"""Binary event sinks: the always-on hot-path counterparts of
+:class:`~repro.telemetry.sinks.MemorySink` / ``JsonlSink``.
+
+* :class:`BinaryRingSink` — a **preallocated** circular byte buffer of
+  struct-packed records.  Bounded by ``capacity_bytes`` (and
+  optionally ``max_events``): when space runs out the *oldest whole
+  records* are evicted first, mirroring ``MemorySink``'s ring-bound
+  semantics — ``appended`` counts every event ever offered,
+  ``evicted == appended - len(sink)``, and ``events()`` returns the
+  retained tail in order.  Manifest/runner code written against the
+  ``appended``/``evicted``/``events()`` surface is therefore
+  sink-agnostic.
+* :class:`BinaryFileSink` — streaming binary writer with the schema
+  header embedded verbatim, a running SHA-256 digest, a digest
+  trailer record, and fsync-on-close.  Convert the file to schema-v1
+  JSONL with ``python -m repro.telemetry convert``.
+
+Both sinks degrade gracefully: an event whose fields are not JSON
+scalars (or that arrives after the interning table filled up) is
+stored as a compact-JSON fallback record, never dropped.
+
+No wall clock and no RNG anywhere here: timestamps arrive stamped on
+the events, and record layout is a pure function of the event stream.
+"""
+
+from __future__ import annotations
+
+import collections
+import hashlib
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.binlog.format import (
+    DEFAULT_MAX_INTERNED,
+    StringTable,
+    _Cursor,
+    decode_record,
+    encode_end,
+    encode_event,
+    encode_event_into,
+    encode_event_json,
+    encode_header,
+    encoded_size,
+)
+from repro.telemetry.events import TraceEvent
+from repro.telemetry.sinks import TraceSink
+
+
+class BinaryRingSink(TraceSink):
+    """Bounded in-memory ring of struct-packed event records.
+
+    The buffer is allocated once up front (``capacity_bytes``); the
+    steady-state append path packs into it without growing any
+    container, which is what makes always-on tracing affordable at
+    fleet scale.  The interning table lives outside the ring and is
+    never evicted — it is bounded by ``max_interned`` distinct
+    strings, after which events fall back to JSON records.
+    """
+
+    def __init__(self, capacity_bytes: int = 1 << 20,
+                 max_events: Optional[int] = None,
+                 max_interned: int = DEFAULT_MAX_INTERNED):
+        if capacity_bytes < 64:
+            raise ValueError(
+                f"capacity_bytes must be >= 64, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.max_events = max_events
+        self._buf = bytearray(capacity_bytes)
+        self._head = 0            # offset of the oldest retained byte
+        self._used = 0            # bytes currently retained
+        self._lens: collections.deque[int] = collections.deque()
+        self._table = StringTable(max_interned=max_interned)
+        self._scratch = bytearray(4096)
+        self.appended = 0
+        self.fallback_events = 0
+
+    # ------------------------------------------------------------------
+    def append(self, event: TraceEvent) -> None:
+        table = self._table
+        record = self._scratch
+        need = encoded_size(event)
+        if need > len(record):
+            record = self._scratch = bytearray(need)
+        n = encode_event_into(event, table, record, 0)
+        if n is None:
+            record = encode_event_json(event)
+            self.fallback_events += 1
+            n = len(record)
+        if table._pending:            # table is in-process; no defs stored
+            table._pending.clear()
+        cap = self.capacity_bytes
+        if n > cap:
+            raise ValueError(
+                f"record of {n} bytes exceeds ring capacity {cap}")
+        used = self._used
+        lens = self._lens
+        max_events = self.max_events
+        if (cap - used < n
+                or (max_events is not None and len(lens) >= max_events)):
+            while (cap - used < n
+                   or (max_events is not None and len(lens) >= max_events)):
+                dropped = lens.popleft()
+                self._head = (self._head + dropped) % cap
+                used -= dropped
+        tail = self._head + used
+        if tail >= cap:
+            tail -= cap
+        if tail + n <= cap:
+            self._buf[tail:tail + n] = record[:n]
+        else:
+            first = cap - tail
+            self._buf[tail:] = record[:first]
+            self._buf[:n - first] = record[first:n]
+        self._used = used + n
+        lens.append(n)
+        self.appended += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def evicted(self) -> int:
+        """Events pushed out of the ring by the capacity bound (same
+        contract as :attr:`MemorySink.evicted`)."""
+        return self.appended - len(self._lens)
+
+    @property
+    def used_bytes(self) -> int:
+        """Record bytes currently retained in the ring."""
+        return self._used
+
+    def __len__(self) -> int:
+        return len(self._lens)
+
+    def clear(self) -> None:
+        """Drop retained records (counters and interning table keep
+        their history, as ``MemorySink.clear`` keeps ``appended``)."""
+        self._head = (self._head + self._used) % self.capacity_bytes
+        self._used = 0
+        self._lens.clear()
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[TraceEvent]:
+        """Decode the retained tail of the event stream, oldest first."""
+        if self._used == 0:
+            return []
+        head, cap = self._head, self.capacity_bytes
+        if head + self._used <= cap:
+            raw = bytes(self._buf[head:head + self._used])
+        else:
+            raw = bytes(self._buf[head:]) + bytes(
+                self._buf[:(head + self._used) - cap])
+        cur = _Cursor(raw)
+        out: List[TraceEvent] = []
+        while not cur.done():
+            decoded = decode_record(cur, self._table)
+            if decoded is None:
+                continue
+            kind, payload = decoded
+            if kind == "event":
+                out.append(payload)
+            elif kind == "json":
+                import json
+                out.append(TraceEvent.from_dict(
+                    json.loads(payload.decode("utf-8"))))
+        return out
+
+    def __repr__(self) -> str:
+        return (f"BinaryRingSink(events={len(self)}, "
+                f"bytes={self._used}/{self.capacity_bytes}, "
+                f"appended={self.appended}, evicted={self.evicted})")
+
+
+class BinaryFileSink(TraceSink):
+    """Streaming binary trace writer.
+
+    The file begins with the magic preamble and the *verbatim*
+    schema-v1 JSONL header line, so the offline converter reproduces
+    a live ``JsonlSink`` file byte-for-byte.  ``digest()`` is the
+    SHA-256 of every byte written so far (equal to the digest of the
+    file once closed, same contract as ``JsonlSink``); closing also
+    writes an ``RT_END`` trailer carrying the digest of the preceding
+    bytes — a reader that does not find the trailer knows the file
+    was truncated — and fsyncs before closing the descriptor.
+    """
+
+    def __init__(self, path: str, meta: Optional[Dict[str, Any]] = None,
+                 max_interned: int = DEFAULT_MAX_INTERNED):
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._fh = open(path, "wb")
+        self._hash = hashlib.sha256()
+        self._table = StringTable(max_interned=max_interned)
+        self.events_written = 0
+        self.fallback_events = 0
+        prefix, self.header_line = encode_header(meta)
+        self._write(prefix)
+
+    def _write(self, raw: bytes) -> None:
+        self._fh.write(raw)
+        self._hash.update(raw)
+
+    def append(self, event: TraceEvent) -> None:
+        if self._fh is None:
+            raise ValueError(f"BinaryFileSink({self.path!r}) is closed")
+        record = encode_event(event, self._table)
+        if record is None:
+            record = encode_event_json(event)
+            self.fallback_events += 1
+        pending = self._table.take_pending()
+        if pending:
+            self._write(pending)
+        self._write(record)
+        self.events_written += 1
+
+    def digest(self) -> str:
+        """SHA-256 hex digest of the bytes written so far."""
+        return self._hash.hexdigest()
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        self._write(encode_end(self._hash.digest()))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._fh = None
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -59,7 +59,11 @@ class TraceCollector:
         self._categories = (frozenset(categories)
                             if categories is not None else None)
         self._sampling = dict(sampling) if sampling else {}
-        self._sample_counts: Dict[str, int] = {}
+        # per-category [count, step] cells: one dict probe per gate
+        # decision on the hot path instead of three.
+        self._gate_state: Dict[str, List[int]] = {
+            cat: [0, step] for cat, step in self._sampling.items()
+            if step is not None and step > 1}
         self._now: Optional[Callable[[], float]] = None
         self._listeners: List[Callable[[TraceEvent], None]] = []
         self.events_emitted = 0
@@ -75,31 +79,88 @@ class TraceCollector:
         """True when events of *category* would not be filtered out."""
         return self._categories is None or category in self._categories
 
+    def sampling_stride(self, category: str) -> int:
+        """Keep-1-in-N stride a hot site should apply *locally*.
+
+        Returns 0 when the category is filtered out entirely (the
+        site must not emit at all), 1 for full fidelity, or the
+        configured stride.  Per-packet hook sites cache this at
+        construction and run their own counter::
+
+            self._tel_stride = (tel.sampling_stride("netsim")
+                                if tel is not None else 0)
+            self._tel_n = 0
+            ...
+            if tel is not None and self._tel_stride:
+                n = self._tel_n + 1
+                if n >= self._tel_stride:
+                    self._tel_n = 0
+                    tel.emit_kept("netsim", ...)
+                else:
+                    self._tel_n = n
+
+        A dropped event then costs integer arithmetic on the
+        component, not a collector call — the difference between the
+        always-on ring fitting its <10% budget and not.  Site-local
+        counters keep the same 1-in-N density as collector-side
+        sampling and stay fully deterministic; they just phase the
+        kept set per site instead of per category.
+        """
+        if self._categories is not None and category not in self._categories:
+            return 0
+        step = self._sampling.get(category)
+        return step if step is not None and step > 1 else 1
+
     def add_listener(self, fn: Callable[[TraceEvent], None]) -> None:
         """Register a live consumer called for every kept event."""
         self._listeners.append(fn)
 
     # ------------------------------------------------------------------
-    def emit(self, category: str, name: str, flow_id: int = 0,
-             **fields) -> Optional[TraceEvent]:
-        """Record one event; returns it, or ``None`` if filtered."""
+    def gate(self, category: str) -> bool:
+        """Keep/drop decision for the next *category* event.
+
+        Advances the same deterministic sampling counters as
+        :meth:`emit`, so ``gate() + emit_kept()`` keeps exactly the
+        events a plain ``emit()`` would.  Hot hook sites pair the two
+        so *dropped* events never pay for building their field dict::
+
+            if tel is not None and tel.gate("netsim"):
+                tel.emit_kept("netsim", "delivered", fid, nbytes=...)
+
+        That kwargs-construction skip is what brings always-on binary
+        tracing under its overhead budget (see
+        ``bench_telemetry_overhead``).
+        """
         if self._categories is not None and category not in self._categories:
             self.events_dropped += 1
-            return None
-        step = self._sampling.get(category)
-        if step is not None and step > 1:
-            n = self._sample_counts.get(category, 0)
-            self._sample_counts[category] = n + 1
-            if n % step:
+            return False
+        cell = self._gate_state.get(category)
+        if cell is not None:
+            n = cell[0]
+            cell[0] = n + 1
+            if n % cell[1]:
                 self.events_dropped += 1
-                return None
+                return False
+        return True
+
+    def emit_kept(self, category: str, name: str, flow_id: int = 0,
+                  **fields) -> TraceEvent:
+        """Record one event that already passed :meth:`gate`."""
         t = self._now() if self._now is not None else 0.0
         event = TraceEvent(t, category, name, flow_id, fields)
         self.events_emitted += 1
         self.sink.append(event)
-        for fn in self._listeners:
-            fn(event)
+        if self._listeners:
+            for fn in self._listeners:
+                fn(event)
         return event
+
+    def emit(self, category: str, name: str, flow_id: int = 0,
+             **fields) -> Optional[TraceEvent]:
+        """Record one event; returns it, or ``None`` if filtered."""
+        if not self.gate(category):
+            return None
+        return self.emit_kept(category, name, flow_id, **fields)
 
     # ------------------------------------------------------------------
     def events(self) -> List[TraceEvent]:

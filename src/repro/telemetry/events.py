@@ -48,6 +48,7 @@ Categories (see DESIGN.md section 10 for the full event taxonomy):
 
 from __future__ import annotations
 
+import json
 from typing import Any, Dict, Optional
 
 #: Version stamped into every trace-file header.
@@ -55,6 +56,20 @@ SCHEMA_VERSION = 1
 
 #: Magic string identifying a trace file's header line.
 SCHEMA_NAME = "repro-telemetry"
+
+
+def format_header_line(meta: Optional[Dict[str, Any]] = None) -> str:
+    """The schema-v1 JSONL header line (with trailing newline).
+
+    Single source of truth shared by :class:`~repro.telemetry.sinks.
+    JsonlSink` and the binary sinks/converter, so a converted binary
+    trace reproduces the live JSONL header byte-for-byte.
+    """
+    header: Dict[str, Any] = {"schema": SCHEMA_NAME,
+                              "version": SCHEMA_VERSION}
+    if meta is not None:
+        header["meta"] = meta
+    return json.dumps(header, separators=(",", ":")) + "\n"
 
 CAT_NETSIM = "netsim"
 CAT_TRANSPORT = "transport"

@@ -24,7 +24,7 @@ import json
 import os
 from typing import Any, Dict, List, Optional
 
-from repro.telemetry.events import SCHEMA_NAME, SCHEMA_VERSION, TraceEvent
+from repro.telemetry.events import TraceEvent, format_header_line
 
 
 class TraceSink:
@@ -38,7 +38,20 @@ class TraceSink:
 
 
 class MemorySink(TraceSink):
-    """Bounded (or unbounded) in-memory ring buffer of events."""
+    """Bounded (or unbounded) in-memory ring buffer of events.
+
+    Ring-bound contract (shared with
+    :class:`~repro.telemetry.binlog.BinaryRingSink`, so manifest /
+    runner code is sink-agnostic):
+
+    * ``appended`` counts every event ever offered to the sink, even
+      those since pushed out — it never decreases.
+    * When the bound is hit, the *oldest* retained event is evicted
+      first; ``evicted == appended - len(sink)`` always holds.
+    * ``events()`` returns the retained tail, oldest first.
+    * ``clear()`` drops the retained events but keeps ``appended``
+      (and therefore folds the dropped events into ``evicted``).
+    """
 
     def __init__(self, max_events: Optional[int] = None):
         self.max_events = max_events
@@ -83,16 +96,14 @@ class JsonlSink(TraceSink):
         self._fh = open(path, "w")
         self._hash = hashlib.sha256()
         self.events_written = 0
-        header: Dict[str, Any] = {"schema": SCHEMA_NAME,
-                                  "version": SCHEMA_VERSION}
-        if meta is not None:
-            header["meta"] = meta
-        self._write_line(header)
+        self._write_raw(format_header_line(meta))
 
-    def _write_line(self, obj: Dict[str, Any]) -> None:
-        line = json.dumps(obj, separators=(",", ":")) + "\n"
+    def _write_raw(self, line: str) -> None:
         self._fh.write(line)
         self._hash.update(line.encode("utf-8"))
+
+    def _write_line(self, obj: Dict[str, Any]) -> None:
+        self._write_raw(json.dumps(obj, separators=(",", ":")) + "\n")
 
     def append(self, event: TraceEvent) -> None:
         if self._fh is None:

@@ -14,6 +14,36 @@ class TraceFormatError(ValueError):
     """The file is not a valid repro-telemetry trace."""
 
 
+def _check_readable_text(path: str) -> None:
+    """Reject binary input up front with an actionable message.
+
+    The JSONL readers must never dump a traceback on a binary trace:
+    a file starting with the binlog magic gets a "run convert first"
+    error, and any other non-UTF-8 junk a clear format error.
+    """
+    from repro.telemetry.binlog.format import is_binary_preamble
+
+    with open(path, "rb") as fh:
+        head = fh.read(64)
+    if is_binary_preamble(head):
+        raise TraceFormatError(
+            f"{path}: this is a binary trace; run "
+            f"`python -m repro.telemetry convert {path}` first, then "
+            "point this command at the converted .jsonl file")
+    try:
+        head.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        # A decode error within 4 bytes of the sample's end may just
+        # be a multi-byte character split by the 64-byte sample; real
+        # garbage fails earlier (or again in the line reader below).
+        if exc.start < len(head) - 4:
+            raise TraceFormatError(
+                f"{path}: not a text trace (binary garbage at byte "
+                f"{exc.start}); if this was meant to be a binary trace "
+                "it is corrupt — otherwise run `python -m "
+                "repro.telemetry convert` on the original") from exc
+
+
 def _parse_header(line: str, path: str) -> Dict[str, Any]:
     try:
         header = json.loads(line)
@@ -27,8 +57,13 @@ def _parse_header(line: str, path: str) -> Dict[str, Any]:
 
 def read_header(path: str) -> Dict[str, Any]:
     """Parse and validate just the header line of a trace file."""
+    _check_readable_text(path)
     with open(path) as fh:
-        first = fh.readline()
+        try:
+            first = fh.readline()
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(
+                f"{path}: not a text trace ({exc})") from exc
     if not first:
         raise TraceFormatError(f"{path}: empty file")
     return _parse_header(first, path)
@@ -36,20 +71,25 @@ def read_header(path: str) -> Dict[str, Any]:
 
 def iter_events(path: str) -> Iterator[TraceEvent]:
     """Stream events from a trace file (header skipped/validated)."""
+    _check_readable_text(path)
     with open(path) as fh:
-        first = fh.readline()
-        if not first:
-            raise TraceFormatError(f"{path}: empty file")
-        _parse_header(first, path)
-        for lineno, line in enumerate(fh, start=2):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                yield TraceEvent.from_dict(json.loads(line))
-            except (json.JSONDecodeError, KeyError) as exc:
-                raise TraceFormatError(
-                    f"{path}:{lineno}: bad event line: {exc}") from exc
+        try:
+            first = fh.readline()
+            if not first:
+                raise TraceFormatError(f"{path}: empty file")
+            _parse_header(first, path)
+            for lineno, line in enumerate(fh, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield TraceEvent.from_dict(json.loads(line))
+                except (json.JSONDecodeError, KeyError) as exc:
+                    raise TraceFormatError(
+                        f"{path}:{lineno}: bad event line: {exc}") from exc
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(
+                f"{path}: not a text trace ({exc})") from exc
 
 
 def read_trace(path: str) -> Tuple[Dict[str, Any], List[TraceEvent]]:

@@ -112,6 +112,14 @@ class TransportReceiver:
         # telemetry: same null-guard pattern (recv/gap/deliver + one
         # `ack`-category event per feedback emission).
         self._tel = sim.telemetry
+        # site-local sampling stride for the per-packet recv/deliver
+        # sites (see TraceCollector.sampling_stride).
+        self._tel_stride = (self._tel.sampling_stride("transport")
+                            if self._tel is not None else 0)
+        self._tel_n = 0
+        # energy ledger: counts offered feedback bytes per flow (the
+        # feedback packets' airtime/energy is billed at the link).
+        self._en = getattr(sim, "energy", None)
         policy.attach(self)
         # profiling: construction-time re-binding (see the sender); the
         # ACK policy binds its own spans through attach_profiler.
@@ -192,10 +200,18 @@ class TransportReceiver:
             if self.auto_drain:
                 self._drain()
         self._track_buffer_peak()
-        if self._tel is not None:
-            self._tel.emit("transport", "recv", self.flow_id,
-                           seq=packet.seq, pkt_seq=packet.pkt_seq,
-                           added=added)
+        # Site-local stride counter: one event per data packet makes
+        # this the receiver's hottest telemetry site, so dropped
+        # events must not pay for a collector call.
+        if self._tel_stride:
+            n = self._tel_n + 1
+            if n >= self._tel_stride:
+                self._tel_n = 0
+                self._tel.emit_kept("transport", "recv", self.flow_id,
+                                    seq=packet.seq, pkt_seq=packet.pkt_seq,
+                                    added=added)
+            else:
+                self._tel_n = n
         if gap is not None:
             self.stats.gap_events += 1
             if self._tel is not None:
@@ -233,9 +249,14 @@ class TransportReceiver:
         self.delivered_ptr += nbytes
         self.intervals.remove_below(self.delivered_ptr)
         self.stats.bytes_delivered += nbytes
-        if self._tel is not None:
-            self._tel.emit("transport", "deliver", self.flow_id,
-                           nbytes=nbytes)
+        if self._tel_stride:
+            n = self._tel_n + 1
+            if n >= self._tel_stride:
+                self._tel_n = 0
+                self._tel.emit_kept("transport", "deliver", self.flow_id,
+                                    nbytes=nbytes)
+            else:
+                self._tel_n = n
         if self._on_deliver is not None:
             self._on_deliver(nbytes, self.sim.now())
 
@@ -376,6 +397,8 @@ class TransportReceiver:
                            reason=fb.reason, cum_ack=fb.cum_ack,
                            sack=len(fb.sack_blocks),
                            unacked=len(fb.unacked_blocks), size=pkt.size)
+        if self._en is not None:
+            self._en.on_feedback_emitted(self.flow_id, pkt.size)
         if self._port.send(pkt) is False:
             self.stats.feedback_send_failures += 1
 

@@ -184,8 +184,19 @@ class TransportSender:
         # shares the collector so cwnd/state events carry this flow id.
         self._tel = sim.telemetry
         self._tel_last_rtt_min: Optional[float] = None
+        # site-local sampling stride for the per-packet send site (see
+        # TraceCollector.sampling_stride): dropped events cost integer
+        # arithmetic here instead of a collector call.
+        self._tel_stride = (self._tel.sampling_stride("transport")
+                            if self._tel is not None else 0)
+        self._tel_n = 0
         if self._tel is not None:
             cc.attach_telemetry(self._tel, flow_id)
+        # energy ledger: same null-guard pattern; the open/close pair
+        # bounds this flow's idle-energy window.
+        self._en = getattr(sim, "energy", None)
+        if self._en is not None:
+            self._en.flow_opened(flow_id)
         # profiling: construction-time re-binding keeps the hot paths
         # free of profiling branches when no profiler is attached.
         prof = getattr(sim, "profiler", None)
@@ -727,11 +738,20 @@ class TransportSender:
                 self._tel_last_rtt_min = rtt_min
                 self._tel.emit("timing", "rttmin_sync", self.flow_id,
                                rtt_min_s=rtt_min)
-        if self._tel is not None:
-            self._tel.emit("transport",
-                           "retx" if rec.retx_count else "send",
-                           self.flow_id, seq=rec.seq, pkt_seq=rec.pkt_seq,
-                           length=rec.length, in_flight=self.in_flight)
+        # Site-local stride counter: this is the sender's hottest
+        # telemetry site (one event per data packet), so dropped
+        # events must not pay for a collector call.
+        if self._tel_stride:
+            n = self._tel_n + 1
+            if n >= self._tel_stride:
+                self._tel_n = 0
+                self._tel.emit_kept("transport",
+                                    "retx" if rec.retx_count else "send",
+                                    self.flow_id, seq=rec.seq,
+                                    pkt_seq=rec.pkt_seq, length=rec.length,
+                                    in_flight=self.in_flight)
+            else:
+                self._tel_n = n
         self.stats.data_packets_sent += 1
         self.stats.bytes_sent += rec.length
         self.pacer.on_sent(pkt.size, now)
@@ -850,6 +870,8 @@ class TransportSender:
             if timer is not None:
                 timer.cancel()
         self._send_timer = self._rto_timer = self._persist_timer = None
+        if self._en is not None:
+            self._en.flow_closed(self.flow_id)
 
     def goodput_bps(self, duration: Optional[float] = None) -> float:
         """Cumulatively acknowledged bytes over ``duration`` (defaults

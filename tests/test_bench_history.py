@@ -149,6 +149,21 @@ class TestGate:
         assert passed
         assert findings[0].status == "insufficient-history"
 
+    def test_pct_unit_band_is_absolute_points(self, tmp_path):
+        # Overhead-style metrics live near zero, where a relative band
+        # collapses to nothing; pct-unit series use noise_pct as
+        # absolute percentage points instead.  Baseline median 1.5:
+        # +7.5 points stays inside a 10-point band, +11.5 regresses.
+        history = history_of(
+            [1.0, 2.0, 1.5, 9.0], tmp_path, metric="ok_pct", unit="pct")
+        findings, passed = gate_history(history, noise_pct=10.0)
+        assert passed and findings[0].status == "ok"
+        history = history_of(
+            [1.0, 2.0, 1.5, 13.0], tmp_path, metric="bad_pct", unit="pct")
+        findings, passed = gate_history(history, noise_pct=10.0)
+        bad = [f for f in findings if f.metric == "bad_pct"]
+        assert not passed and bad[0].status == "regressed"
+
     def test_no_direction_metric_never_fails(self, tmp_path):
         history = history_of([1.0, 1.0, 1.0, 99.0], tmp_path, better=None)
         findings, passed = gate_history(history)
