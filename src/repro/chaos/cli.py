@@ -87,7 +87,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                     else trace_path
                 trace_path = f"{stem}.{name}.{scheme}.jsonl"
             results.append(_run_one(name, scheme, args, trace_path))
-    failures = [r for r in results if not r.ok]
+    failures = [r for r in results if not (r.ok and r.diagnosis_ok())]
     if args.json:
         print(json.dumps({
             "ok": not failures,
@@ -95,11 +95,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         }, indent=2))
     else:
         for r in results:
-            mark = "ok " if r.ok else "FAIL"
+            mark = "ok " if r.ok and r.diagnosis_ok() else "FAIL"
             detail = (f"{r.bytes_delivered}/{r.transfer_bytes}B "
                       f"in {r.sim_time_s:.2f}s")
             if r.abort is not None:
                 detail += f"  abort={r.abort['reason']}"
+            dominant = r.dominant_diagnosis()
+            if dominant is not None:
+                detail += f"  dx={dominant}"
+                anomalies = r.anomaly_kinds()
+                if anomalies:
+                    detail += f"+{','.join(anomalies)}"
+                if not r.diagnosis_ok():
+                    detail += f" (expect {r.expect_diagnosis})"
             print(f"{mark}  {r.scenario:<16} {r.scheme:<18} "
                   f"{r.outcome:<9} (expect {r.expect})  {detail}")
         if failures:

@@ -23,6 +23,7 @@ from typing import Optional
 from repro.chaos.faults import ChaosInjector
 from repro.chaos.scenarios import Scenario
 from repro.core.flavors import make_connection
+from repro.diagnose.live import FlowDoctor
 from repro.netsim.engine import Simulator
 from repro.netsim.paths import wired_path
 from repro.transport.errors import abort_result
@@ -49,6 +50,8 @@ class ChaosResult:
     abort: Optional[dict] = None
     summary: dict = field(default_factory=dict)
     fault_log: list = field(default_factory=list)
+    expect_diagnosis: str = ""
+    diagnosis: Optional[dict] = None     # full flow-doctor report
 
     @property
     def ok(self) -> bool:
@@ -58,6 +61,36 @@ class ChaosResult:
         if self.outcome == "aborted":
             return self.expect in ("abort", "any")
         return False
+
+    def dominant_diagnosis(self) -> Optional[str]:
+        """Dominant send-limit state of the (single) flow, if diagnosed."""
+        if not self.diagnosis:
+            return None
+        flows = self.diagnosis.get("flows", {})
+        flow = flows.get("0") or next(iter(flows.values()), None)
+        return flow["dominant"] if flow else None
+
+    def anomaly_kinds(self) -> list:
+        if not self.diagnosis:
+            return []
+        kinds = set()
+        for flow in self.diagnosis.get("flows", {}).values():
+            kinds.update(f["kind"] for f in flow["anomalies"])
+        return sorted(kinds)
+
+    def diagnosis_ok(self) -> bool:
+        """Does the flow doctor's verdict match the scenario's declared
+        expectation?  A ``|``-separated declaration accepts any listed
+        token, each matching either the dominant state or a present
+        anomaly kind."""
+        if not self.expect_diagnosis:
+            return True
+        if not self.diagnosis:
+            return False
+        dominant = self.dominant_diagnosis()
+        kinds = set(self.anomaly_kinds())
+        return any(tok == dominant or tok in kinds
+                   for tok in self.expect_diagnosis.split("|"))
 
     def to_dict(self) -> dict:
         return {
@@ -77,6 +110,11 @@ class ChaosResult:
                 {"t": t, "kind": kind, "action": action}
                 for t, kind, action in self.fault_log
             ],
+            "expect_diagnosis": self.expect_diagnosis,
+            "diagnosis_ok": self.diagnosis_ok(),
+            "dominant_diagnosis": self.dominant_diagnosis(),
+            "anomalies": self.anomaly_kinds(),
+            "diagnosis_digest": (self.diagnosis or {}).get("digest"),
         }
 
 
@@ -87,13 +125,16 @@ def run_scenario(
     simsan: Optional[bool] = None,
     telemetry=None,
     max_events: int = MAX_EVENTS,
+    diagnose: bool = True,
 ) -> ChaosResult:
     """Execute ``scenario`` under ``scheme`` and classify the ending.
 
     Raises nothing for protocol-level failures (those become outcomes);
     sanitizer violations and genuine bugs do raise.
     """
-    sim = Simulator(seed=seed, simsan=simsan, telemetry=telemetry)
+    doctor = FlowDoctor() if diagnose else None
+    sim = Simulator(seed=seed, simsan=simsan, telemetry=telemetry,
+                    diagnosis=doctor)
     path = wired_path(sim, rate_bps=scenario.rate_bps, rtt_s=scenario.rtt_s)
     conn = make_connection(sim, scheme=scheme,
                            initial_rtt_s=scenario.rtt_s)
@@ -118,6 +159,10 @@ def run_scenario(
     else:
         outcome = "stalled"
     conn.close()
+    if doctor is not None:
+        # conn.close() emitted the transport/close event, so the flow
+        # is already finalized; this only covers defensive cases.
+        doctor.finalize()
     if conn.completed:
         ended_at = conn.sender.completed_at
     elif conn.aborted is not None:
@@ -137,4 +182,6 @@ def run_scenario(
         abort=abort_result(conn.aborted),
         summary=conn.summary(),
         fault_log=list(injector.log),
+        expect_diagnosis=scenario.diagnosis,
+        diagnosis=doctor.report() if doctor is not None else None,
     )

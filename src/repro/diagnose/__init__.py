@@ -1,0 +1,37 @@
+"""Flow doctor: per-connection send-limit diagnosis (PR 9).
+
+The package classifies every instant of a flow's lifetime into one of
+the exclusive send-limit states of :mod:`repro.diagnose.states`, either
+**live** (a :class:`FlowDoctor` attached to the simulator, fed by
+null-guarded hooks sitting next to the existing telemetry hooks) or
+**offline** (replaying any schema-v1 trace, JSONL or binary, through
+the same reducer).  The two paths observe the same event vocabulary
+with the same values and the same clock, so their reports — and the
+report digests — are byte-identical.
+
+Layering:
+
+* :mod:`repro.diagnose.states` — state vocabulary and priority.
+* :mod:`repro.diagnose.engine` — the pure stream reducer
+  (:class:`DiagnosisEngine`) plus anomaly detection.
+* :mod:`repro.diagnose.live` — :class:`FlowDoctor`, the simulation-side
+  adapter (holds the bound sim clock; everything else is host code).
+* :mod:`repro.diagnose.offline` — trace replay (`diagnose_trace`).
+* :mod:`repro.diagnose.explain` — two-run goodput-delta attribution.
+* :mod:`repro.diagnose.cli` — ``python -m repro.diagnose``.
+"""
+
+from repro.diagnose.engine import DiagnosisConfig, DiagnosisEngine
+from repro.diagnose.explain import explain_reports
+from repro.diagnose.live import FlowDoctor
+from repro.diagnose.offline import diagnose_trace
+from repro.diagnose.states import ALL_STATES
+
+__all__ = [
+    "ALL_STATES",
+    "DiagnosisConfig",
+    "DiagnosisEngine",
+    "FlowDoctor",
+    "diagnose_trace",
+    "explain_reports",
+]

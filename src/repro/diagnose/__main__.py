@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.diagnose``."""
+
+import sys
+
+from repro.diagnose.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""Run-diff explainer: attribute a goodput delta between two runs.
+
+Two diagnosis reports of the *same experiment* (same transfer, same
+scheme, different conditions or code) differ in goodput because the
+slower run spent extra wall-clock somewhere.  Since per-flow state
+times partition each flow's lifetime exactly, the per-state time
+deltas partition the duration delta exactly — so ranking positive
+state-time deltas *is* the attribution, no model needed.  Anomaly
+count deltas ride along as corroborating findings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+__all__ = ["explain_reports", "summarize_report"]
+
+
+def summarize_report(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Collapse a diagnosis report across flows into run totals."""
+    duration = 0.0
+    bytes_acked = 0
+    state_time: Dict[str, float] = {}
+    anomalies: Dict[str, int] = {}
+    outcomes: Dict[str, int] = {}
+    active = 0.0
+    for _fid, flow in sorted(report.get("flows", {}).items()):
+        duration += flow["duration_s"]
+        # "active_s" excludes the post-completion closing tail; fall
+        # back to full duration for reports predating the field.
+        active += flow.get("active_s", flow["duration_s"])
+        bytes_acked += flow["bytes_acked"]
+        for state, secs in flow["state_time_s"].items():
+            state_time[state] = state_time.get(state, 0.0) + secs
+        for finding in flow["anomalies"]:
+            kind = finding["kind"]
+            anomalies[kind] = anomalies.get(kind, 0) + finding.get("count", 1)
+        outcome = flow["outcome"]
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+    goodput = bytes_acked * 8.0 / active if active > 0 else 0.0
+    return {
+        "flows": len(report.get("flows", {})),
+        "duration_s": duration,
+        "active_s": active,
+        "bytes_acked": bytes_acked,
+        "goodput_bps": goodput,
+        "state_time_s": dict(sorted(state_time.items())),
+        "anomalies": dict(sorted(anomalies.items())),
+        "outcomes": dict(sorted(outcomes.items())),
+    }
+
+
+def explain_reports(report_a: Dict[str, Any], report_b: Dict[str, Any],
+                    label_a: str = "A", label_b: str = "B",
+                    min_delta_s: float = 1e-6) -> Dict[str, Any]:
+    """Explain why run B's goodput differs from run A's.
+
+    Returns a dict with per-run summaries, the per-state time deltas
+    (B minus A) ranked by contribution, anomaly count deltas, and a
+    one-line human ``headline``.
+    """
+    a = summarize_report(report_a)
+    b = summarize_report(report_b)
+    states = sorted(set(a["state_time_s"]) | set(b["state_time_s"]))
+    deltas = []
+    for state in states:
+        delta = (b["state_time_s"].get(state, 0.0)
+                 - a["state_time_s"].get(state, 0.0))
+        if abs(delta) > min_delta_s:
+            deltas.append({"state": state, "delta_s": delta})
+    deltas.sort(key=lambda d: (-d["delta_s"], d["state"]))
+    gained = sum(d["delta_s"] for d in deltas if d["delta_s"] > 0)
+    for d in deltas:
+        d["share"] = d["delta_s"] / gained if gained > 0 else 0.0
+
+    kinds = sorted(set(a["anomalies"]) | set(b["anomalies"]))
+    anomaly_delta = {}
+    for kind in kinds:
+        diff = b["anomalies"].get(kind, 0) - a["anomalies"].get(kind, 0)
+        if diff != 0:
+            anomaly_delta[kind] = diff
+
+    if a["goodput_bps"] > 0:
+        goodput_frac = b["goodput_bps"] / a["goodput_bps"] - 1.0
+    else:
+        goodput_frac = 0.0
+    headline = _headline(label_a, label_b, goodput_frac, deltas,
+                         anomaly_delta, b)
+    return {
+        "a": {"label": label_a, **a},
+        "b": {"label": label_b, **b},
+        "goodput_delta_frac": goodput_frac,
+        "duration_delta_s": b["duration_s"] - a["duration_s"],
+        "active_delta_s": b["active_s"] - a["active_s"],
+        "attribution": deltas,
+        "anomaly_delta": anomaly_delta,
+        "headline": headline,
+    }
+
+
+def _headline(label_a: str, label_b: str, goodput_frac: float,
+              deltas: List[Dict[str, Any]], anomaly_delta: Dict[str, int],
+              b: Dict[str, Any]) -> str:
+    if goodput_frac < -0.005:
+        verdict = f"{label_b} lost {-goodput_frac:.1%} goodput vs {label_a}"
+    elif goodput_frac > 0.005:
+        verdict = f"{label_b} gained {goodput_frac:.1%} goodput vs {label_a}"
+    else:
+        verdict = f"{label_b} matches {label_a} (goodput within 0.5%)"
+    parts = [verdict]
+    top = [d for d in deltas if d["delta_s"] > 0][:3]
+    if top:
+        parts.append(", ".join(
+            f"+{d['delta_s']:.2f} s in {d['state']}" for d in top))
+    worst = sorted(anomaly_delta.items(), key=lambda kv: (-kv[1], kv[0]))
+    worst = [(kind, diff) for kind, diff in worst if diff > 0][:3]
+    if worst:
+        parts.append(", ".join(
+            f"{diff} extra {kind} finding{'s' if diff != 1 else ''}"
+            for kind, diff in worst))
+    aborted = b["outcomes"].get("aborted", 0)
+    if aborted:
+        parts.append(f"{aborted} flow(s) aborted in {label_b}")
+    return "; ".join(parts)

@@ -1,0 +1,67 @@
+"""Live diagnosis plane: the simulator-attached flow doctor.
+
+:class:`FlowDoctor` is the only simulation-side piece of the package:
+it holds the bound simulation clock and forwards hook calls into the
+pure :class:`~repro.diagnose.engine.DiagnosisEngine`.  Components
+reach it through the ``sim.diagnosis`` slot with the same null-guard
+discipline as telemetry/energy/simsan hooks — one ``is not None``
+check per site when diagnosis is off.
+
+The hooks sit *next to* the telemetry emits and pass the *same field
+values*, and the doctor stamps time from the same simulation clock the
+trace collector binds, so replaying the recorded trace offline through
+the same engine reproduces this doctor's report byte-for-byte
+(provided the collector did not sample away diagnosis-vocabulary
+categories — the default configuration does not).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.diagnose.engine import DiagnosisConfig, DiagnosisEngine
+
+__all__ = ["FlowDoctor"]
+
+
+class FlowDoctor:
+    """Per-simulation diagnosis collector.
+
+    Create it before the endpoints, attach with
+    ``sim.attach_diagnosis(doctor)`` (or the ``diagnosis=`` constructor
+    argument of :class:`~repro.netsim.engine.Simulator`), and read the
+    report after the run::
+
+        doctor = FlowDoctor()
+        sim = Simulator(seed=1, diagnosis=doctor)
+        ...  # build path + connection, run
+        doctor.finalize()
+        report = doctor.report()
+    """
+
+    def __init__(self, config: Optional[DiagnosisConfig] = None):
+        self.engine = DiagnosisEngine(config)
+        self._now = None
+
+    def attach(self, sim) -> "FlowDoctor":
+        """Bind the simulation clock; called by ``attach_diagnosis``."""
+        self._now = sim.clock.now
+        return self
+
+    # -- hook entry point (hot-ish path; one call per diagnosis event)
+    def observe(self, category: str, name: str, flow_id: int = 0,
+                **fields: Any) -> None:
+        self.engine.observe(self._now(), category, name, flow_id, fields)
+
+    # -- extraction ---------------------------------------------------
+    def finalize(self, end_s: Optional[float] = None) -> None:
+        self.engine.finalize(end_s)
+
+    def pop_flow(self, flow_id: int) -> Optional[Dict[str, Any]]:
+        return self.engine.pop_flow(flow_id)
+
+    def flows(self) -> Dict[str, Dict[str, Any]]:
+        return self.engine.flows()
+
+    def report(self) -> Dict[str, Any]:
+        return self.engine.report()

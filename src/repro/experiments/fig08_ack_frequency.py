@@ -7,10 +7,12 @@
 
 from __future__ import annotations
 
+import json
 from typing import Optional
 
 from repro.analysis.ack_frequency import byte_counting_frequency, tack_frequency
 from repro.app.bulk import BulkFlow
+from repro.diagnose.live import FlowDoctor
 from repro.experiments.table import Table
 from repro.netsim.engine import Simulator
 from repro.netsim.paths import wired_path, wlan_path
@@ -84,6 +86,11 @@ def run_traced(trace_path: Optional[str] = None, rate_bps: float = 20e6,
     live ``JsonlSink`` would have produced.  Returns the same
     analytic-vs-measured table as :func:`run_measured` for the one
     link.
+
+    A live flow doctor rides along: when a trace is written, the
+    diagnosis report lands next to it at ``<trace_path>.diagnosis.json``
+    with the same digest ``python -m repro.diagnose report <trace>``
+    computes offline from the trace.
     """
     meta = {
         "experiment": "fig08_traced", "rate_bps": rate_bps,
@@ -97,7 +104,8 @@ def run_traced(trace_path: Optional[str] = None, rate_bps: float = 20e6,
     else:
         sink = JsonlSink(trace_path, meta=meta)
     collector = TraceCollector(sink=sink)
-    sim = Simulator(seed=seed, telemetry=collector)
+    doctor = FlowDoctor()
+    sim = Simulator(seed=seed, telemetry=collector, diagnosis=doctor)
     path = wired_path(sim, rate_bps, rtt_s)
     flow = BulkFlow(sim, path, "tcp-tack", initial_rtt_s=rtt_s)
     flow.start()
@@ -107,6 +115,10 @@ def run_traced(trace_path: Optional[str] = None, rate_bps: float = 20e6,
     measured = ((flow.conn.receiver.stats.tacks_sent - tacks_at_warmup)
                 / (duration_s - warmup_s))
     collector.close()
+    doctor.finalize()
+    if trace_path is not None:
+        with open(f"{trace_path}.diagnosis.json", "w") as fh:
+            json.dump(doctor.report(), fh, indent=2, sort_keys=True)
     table = Table(
         "Fig. 8 traced validation: analytic vs measured TACK frequency (Hz)",
         ["link", "analytic_hz", "measured_hz"],

@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 from typing import Any, Dict, Iterable, List, Optional
 
+from repro.diagnose import ALL_STATES as DIAG_STATES
 from repro.energy import TOTAL_KEYS as ENERGY_TOTAL_KEYS
 from repro.experiments.table import Table
 from repro.fleet.campaign import FleetConfig, plan_shards
@@ -55,6 +56,14 @@ class SchemeAggregate:
         self.energy = {k: ExactSum() for k in ENERGY_TOTAL_KEYS}
         self.energy_counts = {k: 0 for k in ENERGY_COUNT_KEYS}
         self.energy_shards = 0
+        # flow-doctor attribution: per-state time folds as ExactSum
+        # partials (order-insensitive in value); shards predating the
+        # doctor simply lack the "diagnosis" block and don't contribute.
+        self.diag_state_time = {s: ExactSum() for s in DIAG_STATES}
+        self.diag_state_bytes = {s: 0 for s in DIAG_STATES}
+        self.diag_anomalies: Dict[str, int] = {}
+        self.diag_flows = 0
+        self.diag_shards = 0
         self.fct_hist: Optional[LogHistogram] = None
         self.goodput_hist: Optional[LogHistogram] = None
         self.samples: Optional[BottomKReservoir] = None
@@ -89,6 +98,20 @@ class SchemeAggregate:
                     self.energy[key].add(energy.get(key, 0.0))
             for key in ENERGY_COUNT_KEYS:
                 self.energy_counts[key] += energy.get(key, 0)
+        diagnosis = shard.get("diagnosis")
+        if diagnosis is not None:
+            self.diag_shards += 1
+            self.diag_flows += diagnosis.get("flows", 0)
+            partials = diagnosis.get("state_time_partials", {})
+            for state in DIAG_STATES:
+                part = partials.get(state)
+                if part is not None:
+                    self.diag_state_time[state].merge(ExactSum(part))
+                self.diag_state_bytes[state] += \
+                    diagnosis.get("state_bytes", {}).get(state, 0)
+            for kind, count in diagnosis.get("anomalies", {}).items():
+                self.diag_anomalies[kind] = (
+                    self.diag_anomalies.get(kind, 0) + count)
         digests = shard["digests"]
         fct = LogHistogram.from_dict(digests["fct_s"])
         goodput = LogHistogram.from_dict(digests["flow_goodput_bps"])
@@ -124,6 +147,23 @@ class SchemeAggregate:
         busy = ack + self.energy["data_airtime_s"].value()
         return ack / busy if busy > 0 else 0.0
 
+    def state_time_fractions(self) -> Dict[str, float]:
+        """Fraction of diagnosed flow-lifetime spent in each state."""
+        totals = {s: self.diag_state_time[s].value() for s in DIAG_STATES}
+        whole = sum(totals.values())
+        if whole <= 0:
+            return {}
+        return {s: totals[s] / whole for s in DIAG_STATES if totals[s] > 0}
+
+    def top_state(self) -> Optional[str]:
+        """Dominant send-limit state across the scheme's flows, by time
+        (excluding the post-completion ``closing`` tail)."""
+        fractions = {s: f for s, f in self.state_time_fractions().items()
+                     if s != "closing"}
+        if not fractions:
+            return None
+        return max(fractions, key=lambda s: (fractions[s], s))
+
     def fct_quantile_s(self, pct: float) -> Optional[float]:
         if self.fct_hist is None or self.fct_hist.count == 0:
             return None
@@ -158,6 +198,16 @@ class SchemeAggregate:
                 "partials": {k: list(self.energy[k]._partials)
                              for k in ENERGY_TOTAL_KEYS},
                 "counts": dict(self.energy_counts),
+            },
+            "diagnosis": {
+                "shards": self.diag_shards,
+                "flows": self.diag_flows,
+                "state_time_partials": {
+                    s: list(self.diag_state_time[s]._partials)
+                    for s in DIAG_STATES},
+                "state_bytes": dict(self.diag_state_bytes),
+                "anomalies": {k: self.diag_anomalies[k]
+                              for k in sorted(self.diag_anomalies)},
             },
             "fct_s": self.fct_hist.to_dict() if self.fct_hist else None,
             "flow_goodput_bps":
@@ -224,6 +274,10 @@ def campaign_report(manifest_path) -> Dict[str, Any]:
             "ack_airtime_share": agg.ack_airtime_share(),
             "ack_energy_j": agg.ack_energy_j(),
             "energy_ack_airtime_share": agg.energy_ack_airtime_share(),
+            "top_state": agg.top_state(),
+            "state_time_frac": agg.state_time_fractions(),
+            "anomalies": {k: agg.diag_anomalies[k]
+                          for k in sorted(agg.diag_anomalies)},
         })
     return {
         "fingerprint": config.fingerprint(),
@@ -242,12 +296,14 @@ def report_table(report: Dict[str, Any]) -> Table:
         title="Fleet campaign: TACK vs ACK schemes under churn",
         columns=["scheme", "shards", "flows", "goodput_mbps",
                  "fct_p50_ms", "fct_p99_ms", "ack_per_data",
-                 "ack_airtime_%", "ack_energy_j", "ack_airtime_share"],
+                 "ack_airtime_%", "ack_energy_j", "ack_airtime_share",
+                 "top_state"],
         note=(f"digest {report['aggregate_digest'][:16]} | "
               f"{report['completed_shards']}/{report['planned_shards']} "
               "shards | airtime % is uplink ACK DCF exchanges per "
               "measured second; ack_energy_j / ack_airtime_share come "
-              "from the per-flow radio energy ledger"),
+              "from the per-flow radio energy ledger; top_state is the "
+              "flow doctor's dominant send-limit state by time"),
     )
     for row in report["schemes"]:
         table.add_row(
@@ -262,6 +318,7 @@ def report_table(report: Dict[str, Any]) -> Table:
             ack_per_data=row["ack_per_data"],
             ack_energy_j=row["ack_energy_j"],
             ack_airtime_share=row["energy_ack_airtime_share"],
+            top_state=row.get("top_state"),
             **{"ack_airtime_%": row["ack_airtime_share"] * 100.0},
         )
     return table

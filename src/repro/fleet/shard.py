@@ -34,12 +34,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.core.flavors import make_connection
+from repro.diagnose import ALL_STATES
+from repro.diagnose.live import FlowDoctor
 from repro.energy import EnergyLedger
 from repro.fleet.workload import FlowSpec, WorkloadConfig, generate_flows
 from repro.netsim.demux import FlowDemux, SharedPort
 from repro.netsim.emulator import EmulatedPath, PathConfig
 from repro.netsim.engine import Simulator
-from repro.stats.streaming import BottomKReservoir, LogHistogram
+from repro.stats.streaming import BottomKReservoir, ExactSum, LogHistogram
 from repro.wlan.phy import get_profile
 
 #: LogHistogram bounds shared by every shard of a campaign.  These are
@@ -99,8 +101,13 @@ class _ShardRun:
         # flows fold into ExactSum partials, so the summary merges
         # bit-identically in any shard order.
         self.energy = EnergyLedger(phy=spec.phy, power=spec.power)
+        # Flow doctor rides the same pattern: attached before endpoints
+        # (they cache sim.diagnosis at construction), retired flows
+        # fold into ExactSum state-time partials at _retire so doctor
+        # memory stays flat under churn.
+        self.doctor = FlowDoctor()
         self.sim = Simulator(seed=spec.seed, simsan=simsan,
-                             energy=self.energy)
+                             energy=self.energy, diagnosis=self.doctor)
         queue_bytes = (spec.queue_bytes if spec.queue_bytes is not None
                        else max(int(spec.rate_bps * spec.rtt_s / 8.0),
                                 128 * 1024))
@@ -131,6 +138,11 @@ class _ShardRun:
         self.goodput_hist = LogHistogram(*GOODPUT_HIST_BOUNDS,
                                          bins_per_decade=HIST_BINS_PER_DECADE)
         self.samples = BottomKReservoir(RESERVOIR_K, salt="fleet-flows")
+
+        self.diag_flows = 0
+        self.diag_state_time = {s: ExactSum() for s in ALL_STATES}
+        self.diag_state_bytes = {s: 0 for s in ALL_STATES}
+        self.diag_anomalies: Dict[str, int] = {}
 
         self.started = 0
         self.completed = 0
@@ -196,6 +208,24 @@ class _ShardRun:
         conn.close()
         self.fwd_demux.unregister(index)
         self.rev_demux.unregister(index)
+        # Fold the flow's diagnosis and drop the per-flow record.  The
+        # transport/close event just emitted by conn.close() finalized
+        # it inside the engine; states fold in the fixed ALL_STATES
+        # order so the partials layout is shard-deterministic.
+        diag = self.doctor.pop_flow(index)
+        if diag is not None:
+            self.diag_flows += 1
+            for state in ALL_STATES:
+                secs = diag["state_time_s"].get(state)
+                if secs:
+                    self.diag_state_time[state].add(secs)
+                self.diag_state_bytes[state] += \
+                    diag["state_bytes"].get(state, 0)
+            for anomaly in diag["anomalies"]:
+                kind = anomaly["kind"]
+                self.diag_anomalies[kind] = (
+                    self.diag_anomalies.get(kind, 0)
+                    + anomaly.get("count", 1))
         # Retire the flow's energy account too: ledger memory stays
         # flat no matter how many flows churn through the shard.  (A
         # packet still in flight after retirement re-opens a stub
@@ -301,6 +331,15 @@ class _ShardRun:
                 "fct_s": self.fct_hist.to_dict(),
                 "flow_goodput_bps": self.goodput_hist.to_dict(),
                 "samples": self.samples.to_dict(),
+            },
+            "diagnosis": {
+                "flows": self.diag_flows,
+                "state_time_partials": {
+                    s: list(self.diag_state_time[s]._partials)
+                    for s in ALL_STATES},
+                "state_bytes": dict(self.diag_state_bytes),
+                "anomalies": {k: self.diag_anomalies[k]
+                              for k in sorted(self.diag_anomalies)},
             },
             "engine": {
                 "events_fired": self.sim.events_fired,

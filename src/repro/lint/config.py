@@ -106,6 +106,7 @@ DEFAULT_SIM_PACKAGES = (
     "chaos",
     "fleet",
     "energy",
+    "diagnose",
 )
 
 #: Globs carved *out* of the sim scope: host-side files living inside
@@ -119,6 +120,12 @@ DEFAULT_SIM_EXEMPT = (
     "*/repro/fleet/campaign.py",
     "*/repro/fleet/manifest.py",
     "*/repro/fleet/report.py",
+    # diagnose: the engine and the live doctor are simulation-side;
+    # the trace replayer, explainer, and CLI are host tooling.
+    "*/repro/diagnose/cli.py",
+    "*/repro/diagnose/__main__.py",
+    "*/repro/diagnose/offline.py",
+    "*/repro/diagnose/explain.py",
 )
 
 

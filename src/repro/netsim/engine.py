@@ -82,7 +82,7 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 1, simsan: Optional[bool] = None,
-                 telemetry=None, profiler=None, energy=None):
+                 telemetry=None, profiler=None, energy=None, diagnosis=None):
         self.clock = Clock()
         self.rng = random.Random(seed)
         self._queue: list[Event] = []
@@ -99,6 +99,9 @@ class Simulator:
         self.energy = None
         if energy is not None:
             self.attach_energy(energy)
+        self.diagnosis = None
+        if diagnosis is not None:
+            self.attach_diagnosis(diagnosis)
 
     def enable_sanitizer(self) -> "sanitize.SimSanitizer":
         """Attach (or return the already-attached) invariant sanitizer.
@@ -130,6 +133,17 @@ class Simulator:
         """
         self.energy = ledger.attach(self)
         return self.energy
+
+    def attach_diagnosis(self, doctor):
+        """Attach a live flow doctor (``repro.diagnose``).
+
+        Binds the doctor to this simulator's virtual clock so its
+        observations are stamped identically to trace events.  Must be
+        called before endpoints are constructed — they cache
+        ``sim.diagnosis`` at build time (same rule as telemetry).
+        """
+        self.diagnosis = doctor.attach(self)
+        return self.diagnosis
 
     def attach_profiler(self, profiler):
         """Attach a host-side profiler (``repro.profile``).

@@ -154,7 +154,15 @@ class StringTable:
         return out
 
     def lookup(self, sid: int) -> str:
-        return self._by_id[sid]
+        # A corrupt record can carry any u32 here; surface it as a
+        # format error so truncation salvage (--allow-truncated) can
+        # stop cleanly instead of dying on a bare IndexError.
+        try:
+            return self._by_id[sid]
+        except IndexError:
+            raise BinaryFormatError(
+                f"unknown string id {sid} (table has {len(self._by_id)})"
+            ) from None
 
     def __len__(self) -> int:
         return len(self._by_id)
@@ -316,7 +324,14 @@ def decode_record(cur: _Cursor, table: StringTable):
         if sid != len(table):
             raise BinaryFormatError(
                 f"out-of-order string id {sid} (expected {len(table)})")
-        got = table.intern(raw.decode("utf-8"))
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            # Same contract as lookup(): corrupt payload bytes are a
+            # format error, not an uncaught codec exception.
+            raise BinaryFormatError(f"undecodable string record: {exc}") \
+                from None
+        got = table.intern(text)
         if got != sid:
             raise BinaryFormatError(
                 f"string id {sid} re-interned as {got}")

@@ -60,9 +60,16 @@ def _summarize(path: str, events: List[TraceEvent],
     t1 = end if end is not None else (events[-1].time if events else 0.0)
     duration = max(t1 - t0, 0.0)
     categories: Dict[str, int] = {}
+    # Per-category wire cost: bytes each category would occupy as
+    # schema-v1 JSONL lines (the JsonlSink encoding, newline included),
+    # so the table answers "what is filling this trace?".
+    category_bytes: Dict[str, int] = {}
     flows: Dict[int, Dict[str, Any]] = {}
     for e in events:
         categories[e.category] = categories.get(e.category, 0) + 1
+        wire = len(json.dumps(e.to_dict(), separators=(",", ":"))) + 1
+        category_bytes[e.category] = (
+            category_bytes.get(e.category, 0) + wire)
         flow = flows.get(e.flow_id)
         if flow is None:
             flow = flows[e.flow_id] = {
@@ -108,6 +115,7 @@ def _summarize(path: str, events: List[TraceEvent],
         "events": len(events),
         "window": {"start": t0, "end": t1, "duration_s": duration},
         "categories": categories,
+        "category_bytes": category_bytes,
         "flows": {str(fid): flows[fid] for fid in sorted(flows)},
     }
 
@@ -118,8 +126,18 @@ def _print_summary(s: Dict[str, Any]) -> None:
     print(f"events: {s['events']}  window: [{w['start']:.3f}, "
           f"{w['end']:.3f}] s  ({w['duration_s']:.3f} s)")
     if s["categories"]:
-        cats = "  ".join(f"{k}={v}" for k, v in sorted(s["categories"].items()))
-        print(f"by category: {cats}")
+        nbytes = s.get("category_bytes", {})
+        total = s["events"]
+        total_bytes = sum(nbytes.values())
+        print("by category:")
+        print(f"  {'category':<12} {'events':>9} {'bytes':>11} "
+              f"{'ev%':>6} {'byte%':>6}")
+        for cat in sorted(s["categories"]):
+            count = s["categories"][cat]
+            size = nbytes.get(cat, 0)
+            print(f"  {cat:<12} {count:>9} {size:>11} "
+                  f"{100.0 * count / total:>5.1f} "
+                  f"{100.0 * size / total_bytes if total_bytes else 0.0:>5.1f}")
     for fid, flow in s["flows"].items():
         acks, data, timing = flow["acks"], flow["data"], flow["timing"]
         print(f"flow {fid}: {flow['events']} events")

@@ -24,7 +24,17 @@ Categories (see DESIGN.md section 10 for the full event taxonomy):
 ``transport``
     Endpoint events: ``send``/``retx`` (sender emission),
     ``recv``/``gap``/``deliver`` (receiver side), ``feedback``
-    (processed acknowledgment), ``rto``.
+    (processed acknowledgment), ``rto``.  The connection *lifecycle
+    vocabulary* consumed by the flow doctor (:mod:`repro.diagnose`,
+    DESIGN.md section 16) is the ten names ``open``, ``established``,
+    ``limited`` (send-limit changes: ``limit`` of ``cwnd``/``pacing``/
+    ``rwnd``/``app``), ``recovery`` (``mode`` of ``rto``/``pull``/
+    ``none``), ``persist``, ``rto`` (carries the armed ``rto_s``),
+    ``feedback`` (carries ``fb_seq``, the receiver's feedback sequence
+    number, and ``rho_est``, its loss-rate estimate), ``complete``,
+    ``abort``, and ``close`` — additions to this set must stay
+    backward-decodable because live and offline diagnosis reports are
+    required to be byte-identical.
 ``ack``
     One event per acknowledgment the receiver emits, named by packet
     kind (``tack``/``iack``/``ack``) and carrying the emission

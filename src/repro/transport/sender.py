@@ -192,6 +192,20 @@ class TransportSender:
         self._tel_n = 0
         if self._tel is not None:
             cc.attach_telemetry(self._tel, flow_id)
+        # diagnosis: the live flow doctor observes the same event
+        # vocabulary the telemetry trace records, with the same values
+        # and the same clock, so the offline replay of a trace is
+        # byte-identical to the live report.  Null-guarded like every
+        # other hook; the change-tracking state below is maintained
+        # unconditionally (it is a handful of comparisons) so the two
+        # planes never disagree about *when* an event fires.
+        self._diag = getattr(sim, "diagnosis", None)
+        if self._diag is not None:
+            cc.attach_diagnosis(self._diag, flow_id)
+        self._limit: Optional[str] = None       # last emitted send-limit
+        self._recovery_mode = "none"            # none | rto | pull
+        self._recovery_high = 0                 # recovery point (next_seq)
+        self._open_emitted = False
         # energy ledger: same null-guard pattern; the open/close pair
         # bounds this flow's idle-energy window.
         self._en = getattr(sim, "energy", None)
@@ -204,6 +218,21 @@ class TransportSender:
             self._on_feedback = prof.wrap("sender.feedback", self._on_feedback)
             self._try_send = prof.wrap("sender.try_send", self._try_send)
             cc.attach_profiler(prof)
+
+    def _obs(self, name: str, **fields) -> None:
+        """One diagnosis-vocabulary ``transport`` event, mirrored to
+        the telemetry trace and the live flow doctor with identical
+        values (the identity that makes offline replay byte-equal)."""
+        if self._tel is not None:
+            self._tel.emit("transport", name, self.flow_id, **fields)
+        if self._diag is not None:
+            self._diag.observe("transport", name, self.flow_id, **fields)
+
+    def _note_recovery(self, mode: str) -> None:
+        """Track the loss-recovery mode; emits only on change."""
+        if mode != self._recovery_mode:
+            self._recovery_mode = mode
+            self._obs("recovery", mode=mode)
 
     @staticmethod
     def _safe_rate(cc: CongestionController) -> bool:
@@ -221,6 +250,9 @@ class TransportSender:
 
     def start(self) -> None:
         """Initiate the handshake."""
+        if not self._open_emitted:
+            self._open_emitted = True
+            self._obs("open", total_bytes=self.total_bytes)
         syn = Packet(PacketType.SYN, size=64, flow_id=self.flow_id)
         syn.sent_at = self.sim.now()
         self._syn_sent_at = self.sim.now()
@@ -264,10 +296,8 @@ class TransportSender:
             reason=reason, at_s=self.sim.now(), flow_id=self.flow_id,
             attempts=attempts, detail=detail,
         )
-        if self._tel is not None:
-            self._tel.emit("transport", "abort", self.flow_id,
-                           reason=reason, attempts=attempts,
-                           cum_acked=self.cum_acked, in_flight=self.in_flight)
+        self._obs("abort", reason=reason, attempts=attempts,
+                  cum_acked=self.cum_acked, in_flight=self.in_flight)
         self.close()
         if self._on_abort is not None:
             self._on_abort(self.aborted)
@@ -310,11 +340,13 @@ class TransportSender:
         self.established = True
         now = self.sim.now()
         sent_at = packet.meta.get("syn_sent_at", self._syn_sent_at)
+        rtt0: Optional[float] = None
         if sent_at is not None:
             rtt0 = now - sent_at
             self.rtt.on_sample(rtt0)
             self.min_rtt_legacy.on_sample(rtt0, now)
             self.rtt_min_est.on_handshake(rtt0, now)
+        self._obs("established", rtt_s=rtt0)
         if self._rto_timer is not None:
             self._rto_timer.cancel()
             self._rto_timer = None
@@ -402,8 +434,7 @@ class TransportSender:
                 rtt_sample = sample
                 if self._san is not None:
                     self._san.on_rtt_sample(self, sample, now)
-                if self._tel is not None:
-                    self._tel_rtt(sample)
+                self._obs_rtt(sample)
             for departure_ts, delay in fb.packet_delays:
                 # Per-packet delay entries (S4.3 alternative): one RTT
                 # sample each.
@@ -412,8 +443,7 @@ class TransportSender:
                     self.stats.rtt_samples += 1
                     if self._san is not None:
                         self._san.on_rtt_sample(self, extra, now)
-                    if self._tel is not None:
-                        self._tel_rtt(extra)
+                    self._obs_rtt(extra)
 
         # --- loss notifications -------------------------------------
         if fb.pull_pkt_range is not None:
@@ -422,6 +452,19 @@ class TransportSender:
             newly_lost += self._mark_range_lost(start, end, now)
         if not self.receiver_driven:
             newly_lost += self._legacy_loss_detection(fb, now)
+
+        # --- recovery-mode tracking (NewReno recovery-point rule) ---
+        # Exit before enter: fresh losses in the same feedback re-open
+        # recovery with a new recovery point.  Only feedback-signalled
+        # losses enter "pull" — persist probes and timeouts have their
+        # own states.
+        if (self._recovery_mode != "none"
+                and self.cum_acked >= self._recovery_high
+                and not self._has_retx()):
+            self._note_recovery("none")
+        if newly_lost > 0 and self._recovery_mode == "none":
+            self._recovery_high = self.next_seq
+            self._note_recovery("pull")
 
         # --- rate sample to the controller --------------------------
         if self.use_receiver_rate and fb.delivery_rate_bps is not None:
@@ -448,11 +491,16 @@ class TransportSender:
         self.pacer.set_rate(self.cc.pacing_rate_bps())
         if self._san is not None:
             self._san.on_sender_feedback(self, fb)
+        # fb_seq and the sender's rho' estimate ride the feedback
+        # event so the offline anomaly detector can compare the
+        # estimate against fb_seq ground truth from sender-side
+        # events alone.
+        self._obs("feedback",
+                  kind=kind.value, cum_ack=self.cum_acked,
+                  acked_bytes=newly_acked, lost_bytes=newly_lost,
+                  in_flight=self.in_flight, awnd=fb.awnd,
+                  fb_seq=fb.fb_seq, rho_est=self.ack_loss.loss_rate)
         if self._tel is not None:
-            self._tel.emit("transport", "feedback", self.flow_id,
-                           kind=kind.value, cum_ack=self.cum_acked,
-                           acked_bytes=newly_acked, lost_bytes=newly_lost,
-                           in_flight=self.in_flight, awnd=fb.awnd)
             self._tel.emit("cc", "update", self.flow_id,
                            cwnd_bytes=self.cc.cwnd_bytes(),
                            pacing_bps=self.cc.pacing_rate_bps())
@@ -464,6 +512,7 @@ class TransportSender:
             and self.cum_acked >= self.total_bytes
         ):
             self.completed_at = now
+            self._obs("complete", total_bytes=self.total_bytes)
         if newly_acked > 0:
             # Forward progress resets the give-up counters: abort only
             # on *consecutive* unanswered timeouts/probes.
@@ -491,14 +540,21 @@ class TransportSender:
         self.stats.rtt_samples += 1
         if self._san is not None:
             self._san.on_rtt_sample(self, sample, now)
-        if self._tel is not None:
-            self._tel_rtt(sample)
+        self._obs_rtt(sample)
 
-    def _tel_rtt(self, sample: float) -> None:
-        """Emit one ``timing``/``rtt_sample`` telemetry event."""
-        self._tel.emit("timing", "rtt_sample", self.flow_id,
-                       rtt_s=sample, srtt_s=self.rtt.smoothed(),
-                       rtt_min_s=self.current_rtt_min())
+    def _obs_rtt(self, sample: float) -> None:
+        """Emit one ``timing``/``rtt_sample`` event to the telemetry
+        trace and the live flow doctor (null-guarded internally)."""
+        if self._tel is None and self._diag is None:
+            return
+        srtt = self.rtt.smoothed()
+        rtt_min = self.current_rtt_min()
+        if self._tel is not None:
+            self._tel.emit("timing", "rtt_sample", self.flow_id,
+                           rtt_s=sample, srtt_s=srtt, rtt_min_s=rtt_min)
+        if self._diag is not None:
+            self._diag.observe("timing", "rtt_sample", self.flow_id,
+                               rtt_s=sample, srtt_s=srtt, rtt_min_s=rtt_min)
 
     def _legacy_rate_sample(self, rec: SendRecord, now: float) -> Optional[float]:
         """BBR-style delivery-rate sample from a newly acked record."""
@@ -648,10 +704,12 @@ class TransportSender:
         if not self.established or self.closed or self._port is None:
             return
         now = self.sim.now()
+        limit: Optional[str] = None
         while True:
             has_retx = self._has_retx()
             new_len = self._next_new_length()
             if not has_retx and new_len <= 0:
+                limit = "app"
                 break
             size = (self.records[self.retx_queue[0]].length if has_retx else new_len)
             window_blocked = self.in_flight + size > self.effective_window()
@@ -663,15 +721,24 @@ class TransportSender:
             # spurious timeout then costs one retransmission, not a
             # go-back-N storm of duplicates.
             if window_blocked and (not has_retx or self._consecutive_rtos > 0):
+                limit = ("rwnd" if self.awnd < self.cc.cwnd_bytes()
+                         else "cwnd")
                 self._maybe_arm_persist()
                 break
             if not self.pacer.can_send(now):
+                limit = "pacing"
                 self._arm_send_timer(self.pacer.next_send_time(now))
                 break
             if has_retx:
                 self._transmit_retx(self.retx_queue.popleft(), now)
             else:
                 self._transmit_new(new_len, now)
+        # Send-limit classification for the flow doctor: every break
+        # above names what throttled the flow; only changes are worth
+        # an event.
+        if limit != self._limit:
+            self._limit = limit
+            self._obs("limited", limit=limit)
         self._rearm_rto()
 
     def _transmit_new(self, length_bytes: int, now: float) -> None:
@@ -795,9 +862,11 @@ class TransportSender:
                         detail=f"{self.max_rto_retries} consecutive RTOs "
                                "without progress")
             return
-        if self._tel is not None:
-            self._tel.emit("transport", "rto", self.flow_id,
-                           rto_s=self.rtt.rto(), in_flight=self.in_flight)
+        self._obs("rto", rto_s=self.rtt.rto(), in_flight=self.in_flight)
+        # RTO recovery shadows pull recovery until the recovery point
+        # (everything outstanding at the timeout) is acknowledged.
+        self._recovery_high = self.next_seq
+        self._note_recovery("rto")
         self.rtt.back_off()
         self.cc.on_rto(self.sim.now())
         self.pacer.set_rate(self.cc.pacing_rate_bps())
@@ -850,6 +919,7 @@ class TransportSender:
                                "probes unanswered")
             return
         self.stats.persist_probes += 1
+        self._obs("persist", attempts=self._persist_attempts)
         # Window probe: retransmit the first unacked segment (or send
         # one new segment) ignoring the zero window.
         now = self.sim.now()
@@ -865,6 +935,12 @@ class TransportSender:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        if self.closed:
+            return
+        # The close event is emitted before the flag flips so the flow
+        # doctor finalizes the flow exactly once, at this timestamp,
+        # in both the live and the replayed-trace plane.
+        self._obs("close", cum_acked=self.cum_acked)
         self.closed = True
         for timer in (self._send_timer, self._rto_timer, self._persist_timer):
             if timer is not None:

@@ -9,6 +9,7 @@ unchanged on converted traces.
 
 import hashlib
 import random
+import struct
 
 import pytest
 
@@ -27,7 +28,7 @@ from repro.telemetry import (
     convert_binary_trace,
     read_trace,
 )
-from repro.telemetry.binlog import BinaryFormatError
+from repro.telemetry.binlog import BinaryFormatError, StringTable
 from repro.telemetry.cli import main as telemetry_cli
 
 
@@ -283,3 +284,54 @@ class TestTruncationAndCli:
         # identical but for the trace path line
         assert (conv_out.replace(cp, "X")
                 == live_out.replace(jp, "X"))
+
+class TestCorruptRecords:
+    """Corrupt payload bytes must surface as ``BinaryFormatError`` —
+    never as a bare ``IndexError`` / ``UnicodeDecodeError`` escaping
+    the decoder's guts into the CLI."""
+
+    def _raw_trace(self, tmp_path):
+        bp = str(tmp_path / "t.rtb")
+        col = TraceCollector(BinaryFileSink(bp))
+        _seeded_run(col, until_s=0.2)
+        col.close()
+        with open(bp, "rb") as fh:
+            return fh.read()
+
+    @staticmethod
+    def _first_record_offset(raw):
+        # preamble (magic + version, 10 bytes), u32 header length, line
+        (hdr_len,) = struct.unpack_from("<I", raw, 10)
+        return 10 + 4 + hdr_len
+
+    def test_unknown_string_id_is_format_error(self):
+        table = StringTable()
+        table.intern("only-entry")
+        with pytest.raises(BinaryFormatError, match="unknown string id"):
+            table.lookup(99)
+
+    def test_undecodable_string_bytes_are_format_error(self, tmp_path):
+        raw = bytearray(self._raw_trace(tmp_path))
+        first = self._first_record_offset(raw)
+        assert raw[first] == 0x01  # RT_STRING interning record
+        # clobber the payload's first byte with an invalid UTF-8 start
+        raw[first + 9] = 0xFF
+        cp = str(tmp_path / "corrupt.rtb")
+        with open(cp, "wb") as fh:
+            fh.write(bytes(raw))
+        with pytest.raises(BinaryFormatError, match="undecodable string"):
+            convert_binary_trace(cp, str(tmp_path / "out.jsonl"))
+
+    def test_header_only_salvage_is_empty_valid_trace(self, tmp_path,
+                                                      capsys):
+        raw = self._raw_trace(tmp_path)
+        hp = str(tmp_path / "header-only.rtb")
+        with open(hp, "wb") as fh:
+            fh.write(raw[:self._first_record_offset(raw)])
+        out = str(tmp_path / "empty.jsonl")
+        assert telemetry_cli(["convert", hp, out,
+                              "--allow-truncated"]) == 0
+        capsys.readouterr()
+        header, events = read_trace(out)
+        assert events == []
+        assert header["schema"] == "repro-telemetry"

@@ -33,6 +33,15 @@ def assert_clean_ending(result):
     else:
         assert result.abort is not None
         assert result.abort["reason"]
+    # Flow-doctor contract: every scenario declares the diagnosis it
+    # expects (dominant send-limit state or anomaly kind); the live
+    # doctor's verdict must match one of the declared alternatives.
+    assert result.expect_diagnosis, "scenario must declare a diagnosis"
+    assert result.diagnosis_ok(), {
+        "expected": result.expect_diagnosis,
+        "dominant": result.dominant_diagnosis(),
+        "anomalies": result.anomaly_kinds(),
+    }
 
 
 class TestSmoke:

@@ -1,0 +1,352 @@
+"""Flow doctor: send-limit state machine, anomaly detection, run-diff
+explanation, and the live == offline identity contract.
+
+The engine is a pure stream reducer, so the synthetic tests drive it
+directly with hand-built event streams; the identity tests run real
+chaos scenarios with both planes attached and compare digests.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.chaos import get_scenario, run_scenario
+from repro.diagnose import (
+    ALL_STATES,
+    DiagnosisConfig,
+    DiagnosisEngine,
+    diagnose_trace,
+    explain_reports,
+)
+from repro.diagnose.cli import main as diagnose_main
+from repro.telemetry import BinaryFileSink, JsonlSink, TraceCollector
+from repro.telemetry.cli import main as telemetry_main
+
+MSS = 1448
+
+
+def drive(engine, events):
+    """Feed (t, cat, name, fields) tuples for flow 0."""
+    for t, cat, name, fields in events:
+        engine.observe(t, cat, name, 0, fields)
+
+
+def basic_lifetime(extra=(), close_t=10.0):
+    """open -> established -> a little traffic -> close."""
+    return [
+        (0.0, "transport", "open", {"total_bytes": 100 * MSS}),
+        (0.1, "transport", "established", {"rtt_s": 0.1}),
+        (0.2, "transport", "limited", {"limit": "pacing"}),
+        *extra,
+        (close_t, "transport", "close", {"cum_acked": 100 * MSS}),
+    ]
+
+
+class TestStateMachine:
+    def test_states_partition_lifetime_exactly(self):
+        engine = DiagnosisEngine()
+        drive(engine, basic_lifetime(extra=[
+            (1.0, "transport", "limited", {"limit": "app"}),
+            (4.0, "transport", "rto", {"rto_s": 0.4, "in_flight": MSS}),
+            (6.0, "transport", "recovery", {"mode": "none"}),
+        ]))
+        flow = engine.flows()["0"]
+        assert flow["duration_s"] == pytest.approx(10.0)
+        assert math.fsum(flow["state_time_s"].values()) == pytest.approx(
+            flow["duration_s"])
+        for state in flow["state_time_s"]:
+            assert state in ALL_STATES
+
+    def test_handshake_then_pacing_then_close(self):
+        engine = DiagnosisEngine()
+        drive(engine, basic_lifetime())
+        flow = engine.flows()["0"]
+        times = flow["state_time_s"]
+        assert times["handshake"] == pytest.approx(0.1)
+        # cwnd-limited default between established and the limited event
+        assert times["cwnd-limited"] == pytest.approx(0.1)
+        assert times["pacing-limited"] == pytest.approx(9.8)
+        assert flow["dominant"] == "pacing-limited"
+
+    def test_rto_recovery_shadows_pull(self):
+        engine = DiagnosisEngine()
+        drive(engine, basic_lifetime(extra=[
+            (1.0, "transport", "recovery", {"mode": "pull"}),
+            (2.0, "transport", "rto", {"rto_s": 0.4, "in_flight": MSS}),
+            (2.0, "transport", "recovery", {"mode": "rto"}),
+            (5.0, "transport", "recovery", {"mode": "none"}),
+        ]))
+        times = engine.flows()["0"]["state_time_s"]
+        assert times["pull-recovery"] == pytest.approx(1.0)
+        assert times["rto-recovery"] == pytest.approx(3.0)
+
+    def test_dominant_excludes_closing_tail(self):
+        engine = DiagnosisEngine()
+        drive(engine, basic_lifetime(extra=[
+            (0.5, "transport", "complete", {"total_bytes": 100 * MSS}),
+        ], close_t=120.0))
+        flow = engine.flows()["0"]
+        assert flow["state_time_s"]["closing"] > 100.0
+        assert flow["dominant"] == "pacing-limited"
+        assert flow["outcome"] == "completed"
+
+    def test_rwnd_limited_and_persist_stall_anomaly(self):
+        engine = DiagnosisEngine(DiagnosisConfig(persist_stall_s=1.0))
+        drive(engine, basic_lifetime(extra=[
+            (1.0, "transport", "limited", {"limit": "rwnd"}),
+            (1.5, "transport", "persist", {"attempts": 1}),
+            (4.0, "transport", "limited", {"limit": "cwnd"}),
+        ]))
+        flow = engine.flows()["0"]
+        assert flow["state_time_s"]["rwnd-limited"] == pytest.approx(3.0)
+        kinds = [a["kind"] for a in flow["anomalies"]]
+        assert "persist-stall" in kinds
+
+    def test_abort_outcome(self):
+        engine = DiagnosisEngine()
+        drive(engine, [
+            (0.0, "transport", "open", {"total_bytes": 10 * MSS}),
+            (0.1, "transport", "established", {"rtt_s": 0.1}),
+            (3.0, "transport", "abort",
+             {"reason": "rto_exhausted", "attempts": 7}),
+            (3.0, "transport", "close", {"cum_acked": 0}),
+        ])
+        flow = engine.flows()["0"]
+        assert flow["outcome"] == "aborted"
+        assert flow["abort_reason"] == "rto_exhausted"
+
+    def test_unknown_event_names_do_not_change_the_report(self):
+        """The vocabulary gate: sampled/high-rate trace events (send,
+        recv, cc/update...) must not perturb evidence offsets, so a
+        sampled trace and the live plane agree."""
+        events = basic_lifetime()
+        noisy = list(events)
+        noisy.insert(3, (0.3, "transport", "send", {"nbytes": MSS}))
+        noisy.insert(3, (0.3, "cc", "update", {"cwnd": 10}))
+        noisy.insert(3, (0.3, "netsim", "deliver", {"nbytes": MSS}))
+        a, b = DiagnosisEngine(), DiagnosisEngine()
+        drive(a, events)
+        drive(b, noisy)
+        assert a.report()["digest"] == b.report()["digest"]
+
+
+class TestAnomalies:
+    def test_ack_starvation_episode_split(self):
+        cfg = DiagnosisConfig()
+        rtt = 0.1
+        threshold = cfg.starve_threshold_s(rtt)
+        events = basic_lifetime(extra=[
+            (0.3, "transport", "feedback",
+             {"kind": "tack", "cum_ack": MSS, "acked_bytes": MSS,
+              "lost_bytes": 0, "in_flight": 4 * MSS, "awnd": 1 << 20,
+              "fb_seq": 0, "rho_est": 0.0}),
+            # silence until 5.0 — far beyond the starvation threshold;
+            # in_flight drains to 0 so no further episode can open
+            (5.0, "transport", "feedback",
+             {"kind": "tack", "cum_ack": 2 * MSS, "acked_bytes": MSS,
+              "lost_bytes": 0, "in_flight": 0, "awnd": 1 << 20,
+              "fb_seq": 1, "rho_est": 0.0}),
+        ])
+        engine = DiagnosisEngine(cfg)
+        drive(engine, events)
+        flow = engine.flows()["0"]
+        starved = [a for a in flow["anomalies"]
+                   if a["kind"] == "ack-starvation"]
+        assert starved and starved[0]["count"] == 1
+        assert flow["state_time_s"]["ack-starved"] == pytest.approx(
+            5.0 - (0.3 + threshold))
+
+    def test_spurious_rto_fast_feedback_rule(self):
+        engine = DiagnosisEngine()
+        drive(engine, basic_lifetime(extra=[
+            (2.0, "transport", "rto", {"rto_s": 0.4, "in_flight": 4 * MSS}),
+            # progress only 10 ms after the timeout << rtt_min
+            (2.01, "transport", "feedback",
+             {"kind": "tack", "cum_ack": MSS, "acked_bytes": MSS,
+              "lost_bytes": 0, "in_flight": 0, "awnd": 1 << 20,
+              "fb_seq": 0, "rho_est": 0.0}),
+        ]))
+        kinds = [a["kind"] for a in engine.flows()["0"]["anomalies"]]
+        assert "spurious-rto" in kinds
+
+    def test_spurious_rto_rtt_overshoot_rule(self):
+        """Eifel-lite: a valid RTT sample larger than the timer that
+        fired proves the flight was delayed, not lost."""
+        engine = DiagnosisEngine()
+        drive(engine, basic_lifetime(extra=[
+            (2.0, "transport", "rto", {"rto_s": 0.4, "in_flight": 4 * MSS}),
+            (2.6, "timing", "rtt_sample",
+             {"rtt_s": 0.55, "srtt_s": 0.2, "rtt_min_s": 0.1}),
+        ]))
+        kinds = [a["kind"] for a in engine.flows()["0"]["anomalies"]]
+        assert "spurious-rto" in kinds
+
+    def test_genuine_rto_not_flagged(self):
+        engine = DiagnosisEngine()
+        drive(engine, basic_lifetime(extra=[
+            (2.0, "transport", "rto", {"rto_s": 0.4, "in_flight": 4 * MSS}),
+            # recovery completes a full RTT later with normal samples
+            (2.5, "timing", "rtt_sample",
+             {"rtt_s": 0.1, "srtt_s": 0.1, "rtt_min_s": 0.1}),
+            (2.5, "transport", "feedback",
+             {"kind": "tack", "cum_ack": MSS, "acked_bytes": MSS,
+              "lost_bytes": 0, "in_flight": 0, "awnd": 1 << 20,
+              "fb_seq": 0, "rho_est": 0.0}),
+        ]))
+        kinds = [a["kind"] for a in engine.flows()["0"]["anomalies"]]
+        assert "spurious-rto" not in kinds
+
+    def test_rho_mismatch_between_estimate_and_fb_seq_truth(self):
+        cfg = DiagnosisConfig(rho_min_feedbacks=10)
+        extra = []
+        # 10 feedbacks received out of fb_seq 0..19 -> truth 0.5,
+        # while the sender's estimate stays 0.
+        for i in range(10):
+            extra.append((0.3 + 0.1 * i, "transport", "feedback",
+                          {"kind": "tack", "cum_ack": (i + 1) * MSS,
+                           "acked_bytes": MSS, "lost_bytes": 0,
+                           "in_flight": MSS, "awnd": 1 << 20,
+                           "fb_seq": 2 * i + 1, "rho_est": 0.0}))
+        engine = DiagnosisEngine(cfg)
+        drive(engine, basic_lifetime(extra=extra))
+        flow = engine.flows()["0"]
+        assert flow["rho"]["truth"] == pytest.approx(0.5)
+        kinds = [a["kind"] for a in flow["anomalies"]]
+        assert "rho-mismatch" in kinds
+
+
+class TestByteAttribution:
+    def test_bytes_attributed_to_state_in_force(self):
+        engine = DiagnosisEngine()
+        drive(engine, basic_lifetime(extra=[
+            (1.0, "transport", "feedback",
+             {"kind": "tack", "cum_ack": 10 * MSS, "acked_bytes": 10 * MSS,
+              "lost_bytes": 0, "in_flight": MSS, "awnd": 1 << 20,
+              "fb_seq": 0, "rho_est": 0.0}),
+        ]))
+        flow = engine.flows()["0"]
+        assert flow["state_bytes"]["pacing-limited"] == 10 * MSS
+        assert flow["bytes_acked"] == 10 * MSS
+
+    def test_goodput_over_active_lifetime(self):
+        engine = DiagnosisEngine()
+        drive(engine, basic_lifetime(extra=[
+            (1.0, "transport", "feedback",
+             {"kind": "tack", "cum_ack": 100 * MSS,
+              "acked_bytes": 100 * MSS, "lost_bytes": 0, "in_flight": 0,
+              "awnd": 1 << 20, "fb_seq": 0, "rho_est": 0.0}),
+            (1.0, "transport", "complete", {"total_bytes": 100 * MSS}),
+        ], close_t=100.0))
+        flow = engine.flows()["0"]
+        # 99 s of closing tail must not dilute the rate
+        assert flow["active_s"] == pytest.approx(1.0)
+        assert flow["goodput_bps"] == pytest.approx(100 * MSS * 8.0 / 1.0)
+
+
+def run_traced_scenario(tmp_path, scheme, binary=False, name="blackout"):
+    path = tmp_path / ("t.rtb" if binary else "t.jsonl")
+    sink = BinaryFileSink(str(path)) if binary else JsonlSink(str(path))
+    collector = TraceCollector(sink)
+    result = run_scenario(get_scenario(name), scheme=scheme, seed=1,
+                          simsan=True, telemetry=collector)
+    collector.close()
+    return result, path
+
+
+class TestLiveOfflineIdentity:
+    """Satellite: the live doctor and the offline trace replay must
+    produce byte-identical reports across every scheme, for JSONL,
+    converted-binlog, and directly-read binary traces."""
+
+    @pytest.mark.parametrize(
+        "scheme", ("tcp-tack", "tcp-bbr-perpacket", "tcp-bbr", "tcp-cubic"))
+    def test_jsonl_replay_matches_live(self, tmp_path, scheme):
+        result, path = run_traced_scenario(tmp_path, scheme)
+        offline = diagnose_trace(str(path))
+        assert offline["digest"] == result.diagnosis["digest"]
+        assert offline["flows"] == result.diagnosis["flows"]
+
+    def test_binary_direct_and_converted_match_live(self, tmp_path):
+        result, rtb = run_traced_scenario(tmp_path, "tcp-tack", binary=True)
+        # direct .rtb read
+        direct = diagnose_trace(str(rtb))
+        assert direct["digest"] == result.diagnosis["digest"]
+        # via telemetry convert
+        out = tmp_path / "converted.jsonl"
+        assert telemetry_main(["convert", str(rtb), str(out)]) == 0
+        converted = diagnose_trace(str(out))
+        assert converted["digest"] == result.diagnosis["digest"]
+
+
+class TestExplain:
+    def make_reports(self):
+        fast = DiagnosisEngine()
+        drive(fast, basic_lifetime(extra=[
+            (1.0, "transport", "feedback",
+             {"kind": "tack", "cum_ack": 100 * MSS,
+              "acked_bytes": 100 * MSS, "lost_bytes": 0, "in_flight": 0,
+              "awnd": 1 << 20, "fb_seq": 0, "rho_est": 0.0}),
+            (1.0, "transport", "complete", {"total_bytes": 100 * MSS}),
+        ], close_t=1.5))
+        slow = DiagnosisEngine()
+        drive(slow, basic_lifetime(extra=[
+            (1.0, "transport", "rto", {"rto_s": 0.4, "in_flight": 4 * MSS}),
+            (1.0, "transport", "recovery", {"mode": "rto"}),
+            (4.0, "transport", "recovery", {"mode": "none"}),
+            (5.0, "transport", "feedback",
+             {"kind": "tack", "cum_ack": 100 * MSS,
+              "acked_bytes": 100 * MSS, "lost_bytes": 0, "in_flight": 0,
+              "awnd": 1 << 20, "fb_seq": 0, "rho_est": 0.0}),
+            (5.0, "transport", "complete", {"total_bytes": 100 * MSS}),
+        ], close_t=5.5))
+        return fast.report(), slow.report()
+
+    def test_attribution_names_recovery_time(self):
+        fast, slow = self.make_reports()
+        explanation = explain_reports(fast, slow, "fast", "slow")
+        assert explanation["goodput_delta_frac"] < -0.5
+        top = explanation["attribution"][0]
+        assert top["state"] == "rto-recovery"
+        assert top["delta_s"] == pytest.approx(3.0)
+        assert "slow lost" in explanation["headline"]
+        assert "rto-recovery" in explanation["headline"]
+
+    def test_identical_reports_match(self):
+        fast, _ = self.make_reports()
+        explanation = explain_reports(fast, fast)
+        assert explanation["goodput_delta_frac"] == pytest.approx(0.0)
+        assert explanation["attribution"] == []
+        assert "matches" in explanation["headline"]
+
+
+class TestCli:
+    def test_report_and_check_and_explain(self, tmp_path, capsys):
+        _, clean = run_traced_scenario(tmp_path, "tcp-tack",
+                                       name="jitter-reorder")
+        _, impaired = run_traced_scenario(tmp_path, "tcp-cubic",
+                                          name="blackout")
+        assert diagnose_main(["report", str(clean)]) == 0
+        capsys.readouterr()
+        assert diagnose_main(["report", str(clean), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-diagnosis"
+        assert "0" in doc["flows"]
+
+        # check: matching expectation -> 0, wrong expectation -> 1
+        assert diagnose_main(
+            ["check", str(impaired), "--expect", "rto-recovery"]) == 0
+        capsys.readouterr()
+        assert diagnose_main(
+            ["check", str(impaired), "--expect", "handshake"]) == 1
+        capsys.readouterr()
+
+        out = tmp_path / "explain.json"
+        assert diagnose_main(["explain", str(clean), str(impaired),
+                              "--save", str(out)]) == 0
+        saved = json.loads(out.read_text())
+        assert "headline" in saved and "attribution" in saved
+
+    def test_missing_trace_is_usage_error(self, capsys):
+        assert diagnose_main(["report", "/nonexistent/trace.jsonl"]) == 2
+        assert "error" in capsys.readouterr().err

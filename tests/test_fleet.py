@@ -245,3 +245,41 @@ class TestCampaign:
         assert sorted(by_scheme) == ["tcp-bbr", "tcp-tack"]
         assert by_scheme["tcp-tack"].shards == 2
         assert len(aggregate_digest(by_scheme)) == 64
+
+# ----------------------------------------------------------------------
+# flow-doctor fold
+# ----------------------------------------------------------------------
+
+class TestDiagnosisFold:
+    def test_shard_summary_carries_diagnosis_block(self):
+        summary = run_shard(tiny_spec().to_dict())
+        diag = summary["diagnosis"]
+        assert diag["flows"] == summary["flows"]["started"]
+        total = sum(sum(p) for p in diag["state_time_partials"].values())
+        assert total > 0
+        assert all(v >= 0 for v in diag["state_bytes"].values())
+
+    def test_aggregate_exposes_top_state(self):
+        shards = [run_shard(tiny_spec(shard_id=i, seed=7 + i).to_dict())
+                  for i in range(2)]
+        agg = aggregate(shards)["tcp-tack"]
+        assert agg.diag_flows == sum(s["diagnosis"]["flows"]
+                                     for s in shards)
+        top = agg.top_state()
+        assert top is not None and top != "closing"
+        fractions = agg.state_time_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        doc = agg.to_dict()["diagnosis"]
+        assert doc["flows"] == agg.diag_flows
+        assert sum(doc["state_time_partials"][top]) > 0
+
+    def test_fold_tolerates_missing_diagnosis_block(self):
+        # Forward-compat: summaries written before the doctor existed
+        # (or by a stripped-down shard) must still aggregate.
+        shards = [run_shard(tiny_spec(shard_id=i, seed=7 + i).to_dict())
+                  for i in range(2)]
+        shards[1] = dict(shards[1])
+        shards[1].pop("diagnosis")
+        agg = aggregate(shards)["tcp-tack"]
+        assert agg.diag_flows == shards[0]["diagnosis"]["flows"]
+        assert len(aggregate_digest(aggregate(shards))) == 64

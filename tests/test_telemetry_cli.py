@@ -70,6 +70,27 @@ class TestSummarize:
         assert doc["flows"]["0"]["acks"]["hz"] == pytest.approx(
             doc["flows"]["0"]["acks"]["total"] / 0.15)
 
+    def test_category_bytes_accounting(self, trace, capsys):
+        assert main(["summarize", trace, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        cb = doc["category_bytes"]
+        assert set(cb) == set(doc["categories"])
+        # wire cost = compact-JSON line length incl. the newline, the
+        # exact bytes a JsonlSink would have written for the event
+        _, events = read_trace(trace)
+        expect = {}
+        for e in events:
+            wire = len(json.dumps(e.to_dict(), separators=(",", ":"))) + 1
+            expect[e.category] = expect.get(e.category, 0) + wire
+        assert cb == expect
+
+    def test_category_table_in_text_output(self, trace, capsys):
+        assert main(["summarize", trace]) == 0
+        out = capsys.readouterr().out
+        assert "byte%" in out
+        for cat in ("ack", "timing", "transport"):
+            assert cat in out
+
     def test_missing_file_exits_2(self, tmp_path, capsys):
         assert main(["summarize", str(tmp_path / "nope.jsonl")]) == 2
         assert "no such trace" in capsys.readouterr().err
