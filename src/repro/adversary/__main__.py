@@ -1,0 +1,8 @@
+"""``python -m repro.adversary`` entry point."""
+
+import sys
+
+from repro.adversary.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

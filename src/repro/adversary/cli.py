@@ -1,0 +1,119 @@
+"""CLI for the adversary plane: ``python -m repro.adversary``.
+
+Subcommands::
+
+    list                    registered models and fuzz schemes
+    run --model NAME        one adversarial transfer, JSON verdict
+    fuzz --seeds A:B        seeded mutation corpus, JSON report
+
+``fuzz`` is what CI's adversary-smoke job calls: it exits non-zero if
+any run violates the full-delivery-or-clean-abort property and, with
+``--repro-dir``, writes one JSON artifact per failing run carrying the
+exact (scheme, seed, mutation_rate) triple needed to replay it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional
+
+from repro.adversary.fuzz import FUZZ_SCHEMES, fuzz_corpus, fuzz_run
+from repro.adversary.models import ADVERSARIES
+
+
+def _parse_seeds(spec: str) -> list[int]:
+    """``A:B`` (half-open range) or a comma list of ints."""
+    if ":" in spec:
+        lo, hi = spec.split(":", 1)
+        return list(range(int(lo), int(hi)))
+    return [int(s) for s in spec.split(",") if s]
+
+
+def _cmd_list(_args) -> int:
+    print(json.dumps({
+        "adversaries": sorted(ADVERSARIES),
+        "fuzz_schemes": list(FUZZ_SCHEMES),
+    }, indent=2))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    # Imported lazily: the chaos runner imports the adversary models,
+    # so the models module must never import chaos at the top level.
+    from repro.chaos.runner import run_scenario
+    from repro.chaos.scenarios import adversary_scenario
+
+    scenario = adversary_scenario(args.model)
+    result = run_scenario(scenario, scheme=args.scheme, seed=args.seed,
+                          simsan=True)
+    print(json.dumps(result.to_dict(), indent=2))
+    return 0 if result.ok else 1
+
+
+def _cmd_fuzz(args) -> int:
+    seeds = _parse_seeds(args.seeds)
+    schemes = tuple(args.schemes.split(",")) if args.schemes else FUZZ_SCHEMES
+    report = fuzz_corpus(
+        seeds,
+        schemes=schemes,
+        frames_target=args.frames_target,
+        mutation_rate=args.mutation_rate,
+        transfer_bytes=args.transfer_bytes,
+        simsan=True,
+    )
+    doc = report.to_dict()
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+    if args.repro_dir and report.failures:
+        os.makedirs(args.repro_dir, exist_ok=True)
+        for fail in report.failures:
+            path = os.path.join(
+                args.repro_dir, f"fuzz-{fail.scheme}-seed{fail.seed}.json")
+            with open(path, "w") as fh:
+                json.dump(fail.to_dict(), fh, indent=2)
+    print(json.dumps(doc, indent=2))
+    return 0 if report.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.adversary",
+        description="misbehaving-peer models and the feedback fuzzer",
+    )
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    sub.add_parser("list", help="registered models and schemes")
+
+    run = sub.add_parser("run", help="one adversarial transfer")
+    run.add_argument("--model", required=True, choices=sorted(ADVERSARIES))
+    run.add_argument("--scheme", default="tcp-tack")
+    run.add_argument("--seed", type=int, default=1)
+
+    fz = sub.add_parser("fuzz", help="seeded mutation corpus")
+    fz.add_argument("--seeds", default="1:9",
+                    help="A:B half-open range or comma list (default 1:9)")
+    fz.add_argument("--schemes", default="",
+                    help="comma list (default: all fuzz schemes)")
+    fz.add_argument("--frames-target", type=int, default=None,
+                    help="stop after this many mutated frames")
+    fz.add_argument("--mutation-rate", type=float, default=0.4)
+    fz.add_argument("--transfer-bytes", type=int, default=600_000)
+    fz.add_argument("--out", default="", help="write the report JSON here")
+    fz.add_argument("--repro-dir", default="",
+                    help="write per-failure repro artifacts here")
+
+    return p
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"list": _cmd_list, "run": _cmd_run, "fuzz": _cmd_fuzz}[args.cmd]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

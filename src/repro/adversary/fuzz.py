@@ -1,0 +1,275 @@
+"""Deterministic feedback fuzzer: full-delivery-or-clean-abort.
+
+The fuzzer is a port wrapper (like the :mod:`repro.adversary.models`)
+that mutates the acknowledgment stream with a labeled RNG: frames are
+dropped, duplicated, delayed, replayed from history, or get one field
+replaced with typed garbage.  One seed fully determines one run.
+
+The property every fuzzed run is checked against (the tentpole's
+*full-delivery-or-clean-abort* contract, enforced under
+``REPRO_SIMSAN=1`` in CI):
+
+1. the run terminates within the wall bound (no hang, no event storm);
+2. it ends **observably** — every byte delivered, or a structured
+   abort with a documented reason — never a silent stall;
+3. no uncaught exception and no sanitizer invariant fires;
+4. no delivered-byte corruption: the sender never *completes* a
+   transfer the receiver did not fully receive (the guard resets
+   out-of-window cumulative ACKs instead of clamping them forward).
+
+The mutation palette deliberately contains no value that could land
+inside the sender's valid window: an in-window lie is statistically
+indistinguishable from a fast receiver without payload checksums, and
+is covered by the ``optimistic-acker`` chaos scenario with a declared
+escalation instead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.adversary.models import GARBAGE, MUTABLE_FIELDS, AdversaryPort
+from repro.core.flavors import make_connection
+from repro.diagnose.live import FlowDoctor
+from repro.netsim.engine import Simulator
+from repro.netsim.paths import wired_path
+from repro.transport.errors import abort_result
+from repro.transport.feedback import clone_feedback, make_feedback_packet
+
+#: The acceptance matrix: every scheme the fuzzer property must hold
+#: for (kept local — importing the chaos plane here would cycle, since
+#: the chaos runner imports the adversary models).
+FUZZ_SCHEMES = ("tcp-tack", "tcp-bbr-perpacket", "tcp-bbr", "tcp-cubic")
+
+#: Event backstop per run (mirrors the chaos runner's contract).
+MAX_EVENTS = 5_000_000
+
+#: Documented abort reasons a clean-abort may carry.
+CLEAN_ABORT_REASONS = frozenset(
+    {"handshake_timeout", "rto_exhausted", "persist_exhausted",
+     "misbehaving_peer"}
+)
+
+
+class FeedbackFuzzer(AdversaryPort):
+    """Seeded mutation of the feedback stream (see module docstring).
+
+    Operator mix per touched frame: drop, duplicate, delay (up to
+    ``max_delay_s``), replay of a stored historical frame, or a single
+    random field replaced with typed garbage.
+    """
+
+    name = "fuzzer"
+
+    def __init__(self, sim, inner, rng: random.Random,
+                 rate: float = 0.4, max_delay_s: float = 0.25,
+                 history: int = 64):
+        super().__init__(sim, inner, rng)
+        self.rate = rate
+        self.max_delay_s = max_delay_s
+        self._history: list = []
+        self._history_cap = history
+        self.ops: dict[str, int] = {}
+
+    def _remember(self, packet, fb) -> None:
+        entry = (packet.kind, clone_feedback(fb), packet.flow_id)
+        if len(self._history) < self._history_cap:
+            self._history.append(entry)
+        else:
+            self._history[self.frames_seen % self._history_cap] = entry
+
+    def _op(self, name: str) -> None:
+        self.frames_touched += 1
+        self.ops[name] = self.ops.get(name, 0) + 1
+
+    def on_feedback(self, packet, fb):
+        self._remember(packet, fb)
+        if self.rng.random() >= self.rate:
+            return self.inner.send(packet)
+        roll = self.rng.random()
+        if roll < 0.25:
+            self._op("drop")
+            return False
+        if roll < 0.40:
+            self._op("dup")
+            self.inner.send(packet)
+            dup = make_feedback_packet(packet.kind, clone_feedback(fb),
+                                       flow_id=packet.flow_id)
+            return self.inner.send(dup)
+        if roll < 0.55:
+            self._op("delay")
+            held = packet
+            self.sim.call_in(self.rng.random() * self.max_delay_s,
+                             lambda: self.inner.send(held))
+            return True
+        if roll < 0.70:
+            self._op("replay")
+            self.inner.send(packet)
+            kind, old_fb, flow_id = self.rng.choice(self._history)
+            replay = make_feedback_packet(kind, clone_feedback(old_fb),
+                                          flow_id=flow_id)
+            return self.inner.send(replay)
+        self._op("mangle")
+        out = clone_feedback(fb)
+        fld = self.rng.choice(MUTABLE_FIELDS)
+        setattr(out, fld, self.rng.choice(GARBAGE))
+        return self._forward_mutated(packet, out)
+
+
+@dataclass
+class FuzzResult:
+    """How one fuzzed run ended, plus everything needed to replay it."""
+
+    scheme: str
+    seed: int
+    mutation_rate: float
+    outcome: str          # delivered | aborted | corrupted | stalled | runaway
+    sim_time_s: float
+    events_fired: int
+    frames_seen: int
+    frames_mutated: int
+    ops: dict
+    bytes_delivered: int
+    transfer_bytes: int
+    abort: Optional[dict] = None
+    guard: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        """The full-delivery-or-clean-abort property for this run."""
+        if self.outcome == "delivered":
+            return True
+        if self.outcome == "aborted":
+            return (self.abort or {}).get("reason") in CLEAN_ABORT_REASONS
+        return False
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "mutation_rate": self.mutation_rate,
+            "outcome": self.outcome,
+            "ok": self.ok,
+            "sim_time_s": self.sim_time_s,
+            "events_fired": self.events_fired,
+            "frames_seen": self.frames_seen,
+            "frames_mutated": self.frames_mutated,
+            "ops": dict(sorted(self.ops.items())),
+            "bytes_delivered": self.bytes_delivered,
+            "transfer_bytes": self.transfer_bytes,
+            "abort": self.abort,
+            "guard": self.guard,
+        }
+
+
+def fuzz_run(
+    scheme: str = "tcp-tack",
+    seed: int = 1,
+    mutation_rate: float = 0.4,
+    transfer_bytes: int = 600_000,
+    rate_bps: float = 20e6,
+    rtt_s: float = 0.04,
+    time_limit_s: float = 60.0,
+    simsan: Optional[bool] = None,
+    max_events: int = MAX_EVENTS,
+) -> FuzzResult:
+    """One seeded fuzzed transfer; raises only for genuine bugs (and
+    sanitizer violations) — protocol failures become outcomes."""
+    sim = Simulator(seed=seed, simsan=simsan, diagnosis=FlowDoctor())
+    path = wired_path(sim, rate_bps=rate_bps, rtt_s=rtt_s)
+    conn = make_connection(sim, scheme=scheme, initial_rtt_s=rtt_s)
+    fuzzer = FeedbackFuzzer(
+        sim, path.reverse,
+        rng=sim.fork_rng(f"fuzz:{scheme}:{seed}"),
+        rate=mutation_rate,
+    )
+    conn.wire(path.forward, fuzzer)
+    conn.start_transfer(transfer_bytes)
+    sim.run(until=time_limit_s, max_events=max_events)
+    delivered = conn.receiver.stats.bytes_delivered
+    if conn.completed and delivered < transfer_bytes:
+        # The sender believed a transfer the receiver never got: the
+        # one outcome the guard exists to make impossible.
+        outcome = "corrupted"
+    elif conn.completed:
+        outcome = "delivered"
+    elif conn.aborted is not None:
+        outcome = "aborted"
+        sim.run(until=time_limit_s + 1.0, max_events=100_000)
+        if sim.pending() > 0:
+            outcome = "runaway"
+    elif sim.events_fired >= max_events:
+        outcome = "runaway"
+    else:
+        outcome = "stalled"
+    conn.close()
+    guard = conn.sender.guard
+    return FuzzResult(
+        scheme=scheme,
+        seed=seed,
+        mutation_rate=mutation_rate,
+        outcome=outcome,
+        sim_time_s=sim.now(),
+        events_fired=sim.events_fired,
+        frames_seen=fuzzer.frames_seen,
+        frames_mutated=fuzzer.frames_touched,
+        ops=fuzzer.ops,
+        bytes_delivered=delivered,
+        transfer_bytes=transfer_bytes,
+        abort=abort_result(conn.aborted),
+        guard=({"violations": dict(guard.counts), "total": guard.total}
+               if guard is not None else None),
+    )
+
+
+@dataclass
+class CorpusReport:
+    """Aggregate of a seed corpus across schemes."""
+
+    runs: list = field(default_factory=list)
+    frames_mutated: int = 0
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def outcomes(self) -> dict:
+        tally: dict[str, int] = {}
+        for r in self.runs:
+            tally[r.outcome] = tally.get(r.outcome, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def to_dict(self) -> dict:
+        return {
+            "runs": len(self.runs),
+            "ok": self.ok,
+            "frames_mutated": self.frames_mutated,
+            "outcomes": self.outcomes(),
+            "failures": [r.to_dict() for r in self.failures],
+        }
+
+
+def fuzz_corpus(
+    seeds,
+    schemes=FUZZ_SCHEMES,
+    frames_target: Optional[int] = None,
+    **kwargs,
+) -> CorpusReport:
+    """Replay ``seeds`` x ``schemes``; optionally stop once
+    ``frames_target`` mutated frames have been exercised.  Failing
+    runs (property violated) are collected, never raised — the caller
+    decides how to report them."""
+    report = CorpusReport()
+    for seed in seeds:
+        for scheme in schemes:
+            result = fuzz_run(scheme=scheme, seed=seed, **kwargs)
+            report.runs.append(result)
+            report.frames_mutated += result.frames_mutated
+            if not result.ok:
+                report.failures.append(result)
+        if frames_target is not None and report.frames_mutated >= frames_target:
+            break
+    return report

@@ -1,0 +1,252 @@
+"""Misbehaving-peer models: adversaries on the feedback path.
+
+Each model is a *port wrapper* sitting between the receiver and the
+reverse (ACK-direction) link, so the receiver itself stays honest —
+the adversary rewrites, withholds, or injects feedback frames in
+flight, exactly the threat model of the sender's feedback guard
+(:mod:`repro.transport.guard`): a compromised peer or middlebox that
+owns the acknowledgment stream but not the data stream.
+
+Models (registry :data:`ADVERSARIES`):
+
+``optimistic-acker``
+    Compounds ``cum_ack`` far past anything in flight — the classic
+    optimistic-ACK attack (faking delivery to inflate the sender's
+    rate or complete a transfer that never happened).
+``ack-withholder``
+    Forwards feedback until ``after_bytes`` are acknowledged, then
+    drops *every* frame — the T-RACKs failure mode: data keeps
+    flowing and being accepted, all acknowledgment stops.
+``pull-flooder``
+    Rewrites IACK pull ranges into huge or out-of-range demands, the
+    receiver-driven analogue of a retransmission-storm attack.
+``fbseq-replayer``
+    Freezes ``fb_seq`` at an early value, masking real ACK-path loss
+    from the sender's rho' estimate (and with it the Eq. (6) adaptive
+    block budget).
+``rtt-poisoner``
+    During a bounded window, corrupts the echoed timing reference /
+    hold delay on a fraction of TACKs to fake a near-zero RTT_min.
+    Bounded on purpose: the guard should *clamp through* it and the
+    flow still deliver — the tolerate half of tolerate->escalate.
+``field-mangler``
+    Labeled-RNG random mutation: each frame may get one random field
+    replaced with typed garbage (wrong type, NaN, absurd magnitude).
+
+All randomness comes from an explicitly passed ``random.Random``
+(fork one with ``sim.fork_rng("adversary:<name>")``), so runs are
+deterministic and REP002/REP008-clean.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.netsim.engine import Simulator
+from repro.netsim.packet import Packet
+from repro.transport.feedback import AckFeedback, clone_feedback
+
+#: Typed garbage for field mutation: wrong types, non-finite floats,
+#: absurd magnitudes — everything a broken serializer or a hostile
+#: peer could put on the wire.  Deliberately *no* values that could
+#: land inside the sender's valid window (an in-window lie is
+#: indistinguishable from a fast receiver without payload checksums;
+#: that attack is ``optimistic-acker``'s, with a declared escalation).
+GARBAGE = (
+    None, -1, -(1 << 40), 1 << 62, float("nan"), float("inf"),
+    -float("inf"), 3.5, "junk", b"\x00", (), (1,), (-5, 1 << 60),
+    [(-1,)], [("a", "b")], {"k": 1}, True,
+)
+
+#: Feedback fields eligible for random mutation.
+MUTABLE_FIELDS = (
+    "cum_ack", "awnd", "sack_blocks", "unacked_blocks", "pull_pkt_range",
+    "tack_delay", "echo_departure_ts", "delivery_rate_bps", "rx_loss_rate",
+    "largest_pkt_seq", "packet_delays", "fb_seq",
+)
+
+
+class AdversaryPort:
+    """Base port wrapper: forwards everything, letting subclasses hook
+    feedback-bearing frames via :meth:`on_feedback`.
+
+    The wrapper keeps the inner port's ``send`` verdict (a dropped
+    frame returns ``False`` like a link-ingress refusal, so receiver
+    send-failure counters stay meaningful).
+    """
+
+    name = "base"
+
+    def __init__(self, sim: Simulator, inner, rng: random.Random):
+        self.sim = sim
+        self.inner = inner
+        self.rng = rng
+        self.frames_seen = 0
+        self.frames_touched = 0
+
+    # -- port protocol -------------------------------------------------
+    def send(self, packet: Packet):
+        fb = packet.meta.get("fb")
+        if fb is None:
+            return self.inner.send(packet)
+        self.frames_seen += 1
+        return self.on_feedback(packet, fb)
+
+    def connect(self, sink) -> None:
+        self.inner.connect(sink)
+
+    # -- subclass hook -------------------------------------------------
+    def on_feedback(self, packet: Packet, fb: AckFeedback):
+        return self.inner.send(packet)
+
+    # -- helpers -------------------------------------------------------
+    def _forward_mutated(self, packet: Packet, fb: AckFeedback):
+        """Reattach a mutated clone and forward."""
+        self.frames_touched += 1
+        packet.meta["fb"] = fb
+        return self.inner.send(packet)
+
+
+class OptimisticAcker(AdversaryPort):
+    """Acks data far beyond anything in flight, compounding."""
+
+    name = "optimistic-acker"
+
+    def __init__(self, sim, inner, rng, lead_bytes: int = 512 * 1024,
+                 growth: float = 1.02):
+        super().__init__(sim, inner, rng)
+        self.lead = float(lead_bytes)
+        self.growth = growth
+
+    def on_feedback(self, packet, fb):
+        out = clone_feedback(fb)
+        out.cum_ack = fb.cum_ack + int(self.lead)
+        self.lead *= self.growth
+        return self._forward_mutated(packet, out)
+
+
+class AckWithholder(AdversaryPort):
+    """Forwards until ``after_bytes`` are acked, then total silence."""
+
+    name = "ack-withholder"
+
+    def __init__(self, sim, inner, rng, after_bytes: int = 200_000):
+        super().__init__(sim, inner, rng)
+        self.after_bytes = after_bytes
+        self._silent = False
+
+    def on_feedback(self, packet, fb):
+        if not self._silent and fb.cum_ack >= self.after_bytes:
+            self._silent = True
+        if self._silent:
+            self.frames_touched += 1
+            return False  # withheld: like an ingress drop
+        return self.inner.send(packet)
+
+
+class PullFlooder(AdversaryPort):
+    """Turns every feedback into a retransmission demand: alternates
+    out-of-range pulls with in-range whole-horizon pulls (the latter
+    exercise the per-RTT pull budget rather than the range check)."""
+
+    name = "pull-flooder"
+
+    def on_feedback(self, packet, fb):
+        out = clone_feedback(fb)
+        horizon = fb.largest_pkt_seq if fb.largest_pkt_seq is not None else 0
+        if self.rng.random() < 0.5:
+            out.pull_pkt_range = (0, horizon + 1_000_000)  # never sent
+        else:
+            out.pull_pkt_range = (0, max(horizon, 1))      # everything ever
+        return self._forward_mutated(packet, out)
+
+
+class FbSeqReplayer(AdversaryPort):
+    """Freezes ``fb_seq`` at the first value it sees (after a short
+    passthrough warmup), replaying it on every later frame."""
+
+    name = "fbseq-replayer"
+
+    def __init__(self, sim, inner, rng, warmup_frames: int = 12):
+        super().__init__(sim, inner, rng)
+        self.warmup_frames = warmup_frames
+        self._frozen: Optional[int] = None
+
+    def on_feedback(self, packet, fb):
+        if self.frames_seen <= self.warmup_frames or fb.fb_seq is None:
+            if self._frozen is None and fb.fb_seq is not None:
+                self._frozen = fb.fb_seq
+            return self.inner.send(packet)
+        out = clone_feedback(fb)
+        out.fb_seq = self._frozen if self._frozen is not None else 0
+        return self._forward_mutated(packet, out)
+
+
+class RttPoisoner(AdversaryPort):
+    """Poisons the TACK timing reference on a fraction of frames
+    inside ``[start_s, end_s)``: the echoed stamp is offset (never
+    stamped by the sender) and the hold delay inflated, which
+    unguarded would fake a near-zero RTT sample.  A no-op on legacy
+    schemes, whose feedback carries no timing fields."""
+
+    name = "rtt-poisoner"
+
+    def __init__(self, sim, inner, rng, start_s: float = 0.2,
+                 end_s: float = 1.2, every: int = 4):
+        super().__init__(sim, inner, rng)
+        self.start_s = start_s
+        self.end_s = end_s
+        self.every = every
+
+    def on_feedback(self, packet, fb):
+        now = self.sim.now()
+        if (fb.echo_departure_ts is None
+                or not (self.start_s <= now < self.end_s)
+                or self.frames_seen % self.every):
+            return self.inner.send(packet)
+        out = clone_feedback(fb)
+        out.echo_departure_ts = fb.echo_departure_ts - 1e-4
+        out.tack_delay = (fb.tack_delay or 0.0) + 30.0
+        return self._forward_mutated(packet, out)
+
+
+class FieldMangler(AdversaryPort):
+    """Random typed-garbage mutation of one field per touched frame."""
+
+    name = "field-mangler"
+
+    def __init__(self, sim, inner, rng, rate: float = 0.5):
+        super().__init__(sim, inner, rng)
+        self.rate = rate
+
+    def on_feedback(self, packet, fb):
+        if self.rng.random() >= self.rate:
+            return self.inner.send(packet)
+        out = clone_feedback(fb)
+        field = self.rng.choice(MUTABLE_FIELDS)
+        setattr(out, field, self.rng.choice(GARBAGE))
+        return self._forward_mutated(packet, out)
+
+
+#: name -> factory(sim, inner_port, rng) for every model.
+ADVERSARIES: dict[str, Callable[..., AdversaryPort]] = {
+    cls.name: cls
+    for cls in (OptimisticAcker, AckWithholder, PullFlooder,
+                FbSeqReplayer, RttPoisoner, FieldMangler)
+}
+
+
+def make_adversary(name: str, sim: Simulator, inner,
+                   rng: Optional[random.Random] = None,
+                   **kwargs) -> AdversaryPort:
+    """Instantiate a registered model wrapping ``inner``; the RNG
+    defaults to a fork labeled by the model name."""
+    try:
+        cls = ADVERSARIES[name]
+    except KeyError:
+        known = ", ".join(sorted(ADVERSARIES))
+        raise KeyError(f"unknown adversary {name!r} (known: {known})") from None
+    if rng is None:
+        rng = sim.fork_rng(f"adversary:{name}")
+    return cls(sim, inner, rng, **kwargs)

@@ -38,9 +38,11 @@ from repro.chaos.faults import (
 )
 from repro.chaos.runner import ChaosResult, run_scenario
 from repro.chaos.scenarios import (
+    ADVERSARY_SCENARIOS,
     DEFAULT_SCHEMES,
     SCENARIOS,
     Scenario,
+    adversary_scenario,
     get_scenario,
 )
 
@@ -61,8 +63,10 @@ __all__ = [
     "DIRECTIONS",
     "Scenario",
     "SCENARIOS",
+    "ADVERSARY_SCENARIOS",
     "DEFAULT_SCHEMES",
     "get_scenario",
+    "adversary_scenario",
     "ChaosResult",
     "run_scenario",
 ]

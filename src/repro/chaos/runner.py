@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.adversary.models import make_adversary
 from repro.chaos.faults import ChaosInjector
 from repro.chaos.scenarios import Scenario
 from repro.core.flavors import make_connection
@@ -52,6 +53,8 @@ class ChaosResult:
     fault_log: list = field(default_factory=list)
     expect_diagnosis: str = ""
     diagnosis: Optional[dict] = None     # full flow-doctor report
+    adversary: str = ""
+    expect_abort: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -59,7 +62,15 @@ class ChaosResult:
         if self.outcome == "delivered":
             return self.expect in ("deliver", "any")
         if self.outcome == "aborted":
-            return self.expect in ("abort", "any")
+            if self.expect not in ("abort", "any"):
+                return False
+            # A declared abort vocabulary pins the *reason*, not just
+            # the ending: an adversary scenario that happens to die of
+            # rto_exhausted did not demonstrate the guard.
+            if self.expect_abort:
+                reason = (self.abort or {}).get("reason")
+                return reason in self.expect_abort
+            return True
         return False
 
     def dominant_diagnosis(self) -> Optional[str]:
@@ -110,6 +121,8 @@ class ChaosResult:
                 {"t": t, "kind": kind, "action": action}
                 for t, kind, action in self.fault_log
             ],
+            "adversary": self.adversary,
+            "expect_abort": list(self.expect_abort),
             "expect_diagnosis": self.expect_diagnosis,
             "diagnosis_ok": self.diagnosis_ok(),
             "dominant_diagnosis": self.dominant_diagnosis(),
@@ -138,7 +151,13 @@ def run_scenario(
     path = wired_path(sim, rate_bps=scenario.rate_bps, rtt_s=scenario.rtt_s)
     conn = make_connection(sim, scheme=scheme,
                            initial_rtt_s=scenario.rtt_s)
-    conn.wire(path.forward, path.reverse)
+    reverse = path.reverse
+    if scenario.adversary:
+        # The misbehaving peer owns the feedback path: the wrapper sits
+        # between the receiver and the reverse link (the receiver stays
+        # honest; its frames are rewritten/withheld in flight).
+        reverse = make_adversary(scenario.adversary, sim, reverse)
+    conn.wire(path.forward, reverse)
     injector = ChaosInjector(sim, path, scenario.build()).arm()
     conn.start_transfer(scenario.transfer_bytes)
     sim.run(until=scenario.time_limit_s, max_events=max_events)
@@ -184,4 +203,6 @@ def run_scenario(
         fault_log=list(injector.log),
         expect_diagnosis=scenario.diagnosis,
         diagnosis=doctor.report() if doctor is not None else None,
+        adversary=scenario.adversary,
+        expect_abort=scenario.expect_abort,
     )

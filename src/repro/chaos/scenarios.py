@@ -64,6 +64,14 @@ class Scenario:
     #: anomaly kind (see ``ChaosResult.diagnosis_ok``).  The chaos
     #: pytest suite asserts this across the scenario x scheme matrix.
     diagnosis: str = ""
+    #: Misbehaving-peer model (a :data:`repro.adversary.models.
+    #: ADVERSARIES` name) wrapped around the feedback path, or ``""``
+    #: for a network-faults-only scenario.
+    adversary: str = ""
+    #: When non-empty and the run aborts, the structured abort reason
+    #: must be one of these (e.g. the guard's ``misbehaving_peer``
+    #: rather than a coincidental ``rto_exhausted``).
+    expect_abort: tuple = ()
 
     def __post_init__(self):
         if self.expect not in ("deliver", "abort", "any"):
@@ -209,9 +217,93 @@ SCENARIOS: dict[str, Scenario] = {
 }
 
 
+def _no_faults() -> FaultSchedule:
+    # Adversary scenarios impair the feedback *content*, not the
+    # network: the path itself stays clean so every ending is
+    # attributable to the peer model alone.
+    return FaultSchedule([])
+
+
+#: Misbehaving-peer scenarios, swept across the same scheme matrix but
+#: kept OUT of :data:`SCENARIOS` on purpose: the legitimate-network
+#: matrix doubles as the guard's false-positive suite (strict mode must
+#: see zero violations there), while every scenario here must end in
+#: its declared guard verdict.
+ADVERSARY_SCENARIOS: dict[str, Scenario] = {
+    s.name: s for s in [
+        Scenario("adv-optimistic-acker",
+                 "peer acks data far beyond anything sent, compounding",
+                 _no_faults, expect="abort",
+                 adversary="optimistic-acker",
+                 expect_abort=("misbehaving_peer",),
+                 transfer_bytes=4_000_000,
+                 diagnosis="misbehaving-peer"),
+        Scenario("adv-ack-withholder",
+                 "peer goes silent after 200 kB while the path keeps "
+                 "accepting data (T-RACKs failure mode)",
+                 _no_faults, expect="abort",
+                 adversary="ack-withholder",
+                 expect_abort=("misbehaving_peer",),
+                 transfer_bytes=4_000_000,
+                 diagnosis="misbehaving-peer"),
+        Scenario("adv-pull-flooder",
+                 "every feedback demands out-of-range or whole-horizon "
+                 "retransmission pulls",
+                 _no_faults, expect="abort",
+                 adversary="pull-flooder",
+                 expect_abort=("misbehaving_peer",),
+                 transfer_bytes=4_000_000,
+                 diagnosis="misbehaving-peer"),
+        Scenario("adv-fbseq-replayer",
+                 "peer freezes fb_seq, masking ACK-path loss from rho'",
+                 _no_faults, expect="abort",
+                 adversary="fbseq-replayer",
+                 expect_abort=("misbehaving_peer",),
+                 transfer_bytes=4_000_000,
+                 diagnosis="misbehaving-peer"),
+        # The tolerate half of tolerate->escalate: a *bounded* timing
+        # poisoning window is clamped through and the flow delivers.
+        # Legacy schemes carry no timing fields, so the model is a
+        # no-op there and the doctor sees an ordinary clean run.
+        Scenario("adv-rtt-poisoner",
+                 "bounded window of poisoned TACK timing echoes; guard "
+                 "clamps through, flow still delivers",
+                 _no_faults, expect="deliver",
+                 adversary="rtt-poisoner",
+                 transfer_bytes=4_000_000,
+                 diagnosis="misbehaving-peer|cwnd-limited|pacing-limited"
+                           "|app-limited"),
+        Scenario("adv-field-mangler",
+                 "random typed-garbage mutation of one feedback field "
+                 "per frame",
+                 _no_faults, expect="abort",
+                 adversary="field-mangler",
+                 expect_abort=("misbehaving_peer",),
+                 transfer_bytes=4_000_000,
+                 diagnosis="misbehaving-peer"),
+    ]
+}
+
+
 def get_scenario(name: str) -> Scenario:
     try:
         return SCENARIOS[name]
     except KeyError:
+        pass
+    try:
+        return ADVERSARY_SCENARIOS[name]
+    except KeyError:
+        known = sorted(SCENARIOS) + sorted(ADVERSARY_SCENARIOS)
         raise KeyError(
-            f"unknown scenario {name!r}; have {sorted(SCENARIOS)}") from None
+            f"unknown scenario {name!r}; have {known}") from None
+
+
+def adversary_scenario(model: str) -> Scenario:
+    """The ``adv-*`` scenario exercising one adversary model."""
+    name = f"adv-{model}"
+    try:
+        return ADVERSARY_SCENARIOS[name]
+    except KeyError:
+        known = sorted(s.adversary for s in ADVERSARY_SCENARIOS.values())
+        raise KeyError(
+            f"no scenario for adversary {model!r}; have {known}") from None

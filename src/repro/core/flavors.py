@@ -38,13 +38,15 @@ from repro.cc.base import CongestionController
 from repro.core.params import TackParams
 from repro.netsim.engine import Simulator
 from repro.transport.connection import Connection, ConnectionConfig
+from repro.transport.guard import GuardConfig
 
 
 def _tack_scheme(cc_factory: Callable[[], CongestionController],
                  rich: "bool | str", timing_mode: str = "advanced",
                  holb_keepalive: bool = True):
     def build(sim: Simulator, params: Optional[TackParams], flow_id: int,
-              rcv_buffer: int, initial_rtt_s: float) -> Connection:
+              rcv_buffer: int, initial_rtt_s: float,
+              guard: Optional[GuardConfig] = None) -> Connection:
         tack_params = (params or TackParams()).copy(
             rich=rich, timing_mode=timing_mode, holb_keepalive=holb_keepalive
         )
@@ -57,6 +59,7 @@ def _tack_scheme(cc_factory: Callable[[], CongestionController],
             timing_mode=tack_params.timing_mode,
             rcv_buffer_bytes=rcv_buffer,
             flow_id=flow_id,
+            guard=guard,
         )
         return Connection(sim, cc, TackPolicy(tack_params), config)
     return build
@@ -65,7 +68,8 @@ def _tack_scheme(cc_factory: Callable[[], CongestionController],
 def _legacy_scheme(cc_factory: Callable[[], CongestionController],
                    policy_factory: Callable[[], AckPolicy]):
     def build(sim: Simulator, params: Optional[TackParams], flow_id: int,
-              rcv_buffer: int, initial_rtt_s: float) -> Connection:
+              rcv_buffer: int, initial_rtt_s: float,
+              guard: Optional[GuardConfig] = None) -> Connection:
         cc = cc_factory()
         if isinstance(cc, BBR):
             cc._initial_rtt_s = initial_rtt_s
@@ -74,6 +78,7 @@ def _legacy_scheme(cc_factory: Callable[[], CongestionController],
             use_receiver_rate=False,
             rcv_buffer_bytes=rcv_buffer,
             flow_id=flow_id,
+            guard=guard,
         )
         return Connection(sim, cc, policy_factory(), config)
     return build
@@ -109,14 +114,18 @@ def make_connection(
     flow_id: int = 0,
     rcv_buffer_bytes: int = 8 * 1024 * 1024,
     initial_rtt_s: float = 0.05,
+    guard: Optional[GuardConfig] = None,
 ) -> Connection:
     """Build a connection of the named scheme.
 
     ``initial_rtt_s`` seeds BBR before the first measurement (the real
-    stack inherits this from the handshake).
+    stack inherits this from the handshake).  ``guard`` tunes the
+    sender's feedback validator (``None`` keeps the default-enabled
+    :class:`~repro.transport.guard.GuardConfig`).
     """
     try:
         factory = SCHEMES[scheme]
     except KeyError:
         raise KeyError(f"unknown scheme {scheme!r}; have {sorted(SCHEMES)}") from None
-    return factory(sim, params, flow_id, rcv_buffer_bytes, initial_rtt_s)
+    return factory(sim, params, flow_id, rcv_buffer_bytes, initial_rtt_s,
+                   guard=guard)

@@ -45,7 +45,9 @@ __all__ = [
 
 #: Report schema stamp (independent of the telemetry schema version).
 REPORT_SCHEMA = "repro-diagnosis"
-REPORT_VERSION = 1
+#: v2: per-flow ``guard`` block + the ``misbehaving-peer`` anomaly
+#: (feedback-guard violations and the ACK-withholding watchdog).
+REPORT_VERSION = 2
 
 #: The diagnosis event vocabulary: exactly the events the live hooks
 #: observe.  Offline replay feeds *whole traces* through the engine,
@@ -56,6 +58,13 @@ REPORT_VERSION = 1
 TRANSPORT_VOCAB = frozenset({
     "open", "established", "limited", "recovery", "persist", "rto",
     "feedback", "complete", "abort", "close",
+})
+
+#: Feedback-guard events (all four are diagnosis vocabulary; the
+#: validator rate-limits ``violation`` traces itself, identically live
+#: and in the recorded trace, so offsets agree across planes).
+GUARD_VOCAB = frozenset({
+    "violation", "watchdog_probe", "escalated", "summary",
 })
 
 
@@ -132,6 +141,8 @@ class _FlowDiagnosis:
         "starve_start", "starve_episodes", "rto_pending_t", "rto_armed_s",
         "spurious_rtos", "persist_stalls", "degrade_offsets",
         "fb_seen", "max_fb_seq", "rho_est",
+        "guard_violations", "guard_total", "guard_escalated",
+        "guard_probes", "guard_offsets",
     )
 
     def __init__(self, cfg: DiagnosisConfig, flow_id: int, t_open: float,
@@ -178,6 +189,12 @@ class _FlowDiagnosis:
         self.fb_seen = 0
         self.max_fb_seq: Optional[int] = None
         self.rho_est: Optional[float] = None
+        # feedback-guard evidence
+        self.guard_violations: Dict[str, int] = {}
+        self.guard_total = 0
+        self.guard_escalated: Optional[str] = None
+        self.guard_probes = 0
+        self.guard_offsets: List[int] = []
 
     # -- timeline ----------------------------------------------------
     def _classify(self) -> str:
@@ -341,6 +358,44 @@ class _FlowDiagnosis:
             self.n_degrade_on += 1
             self.degrade_offsets.append(self.obs)
 
+    def on_guard(self, name: str, fields: Dict[str, Any]) -> None:
+        """Fold one feedback-guard event into the evidence.
+
+        ``violation`` traces are rate-limited at the source, so the
+        per-rule counts here are running maxima refreshed by the
+        ``summary`` event's authoritative totals at close.
+        """
+        if name == "violation":
+            rule = fields.get("rule")
+            count = fields.get("count")
+            if isinstance(rule, str) and isinstance(count, int):
+                if count > self.guard_violations.get(rule, 0):
+                    self.guard_violations[rule] = count
+                if len(self.guard_offsets) < 8:
+                    self.guard_offsets.append(self.obs)
+        elif name == "watchdog_probe":
+            probes = fields.get("probes")
+            if isinstance(probes, int) and probes > self.guard_probes:
+                self.guard_probes = probes
+            if len(self.guard_offsets) < 8:
+                self.guard_offsets.append(self.obs)
+        elif name == "escalated":
+            rule = fields.get("rule")
+            if isinstance(rule, str):
+                self.guard_escalated = rule
+        elif name == "summary":
+            for key, val in fields.items():
+                if not isinstance(val, int):
+                    continue
+                if key == "total":
+                    self.guard_total = max(self.guard_total, val)
+                elif key != "frames":
+                    if val > self.guard_violations.get(key, 0):
+                        self.guard_violations[key] = val
+        total = sum(self.guard_violations.values())
+        if total > self.guard_total:
+            self.guard_total = total
+
     # -- finalization ------------------------------------------------
     def _anomalies(self, t_end: float) -> List[Dict[str, Any]]:
         found: List[Dict[str, Any]] = []
@@ -374,6 +429,20 @@ class _FlowDiagnosis:
                 "max_s": max(dur for _, dur, _ in self.persist_stalls),
                 "first_s": self.persist_stalls[0][0],
                 "evidence": [off for _, _, off in self.persist_stalls[:8]],
+            })
+        hostile = {rule: n for rule, n in self.guard_violations.items()
+                   if rule != "withheld"}
+        if hostile or self.abort_reason == "misbehaving_peer":
+            # Watchdog probes alone ("withheld") are not evidence of
+            # hostility — legitimate blackouts probe once or twice —
+            # but a misbehaving_peer abort always is, whatever fired it.
+            found.append({
+                "kind": "misbehaving-peer",
+                "count": sum(hostile.values()),
+                "rules": dict(sorted(hostile.items())),
+                "escalated_rule": self.guard_escalated,
+                "watchdog_probes": self.guard_probes,
+                "evidence": self.guard_offsets[:8],
             })
         rho_truth = self.rho_truth()
         if (rho_truth is not None and self.rho_est is not None
@@ -442,6 +511,12 @@ class _FlowDiagnosis:
                 "fb_seen": self.fb_seen,
                 "max_fb_seq": self.max_fb_seq,
             },
+            "guard": {
+                "violations": dict(sorted(self.guard_violations.items())),
+                "total": self.guard_total,
+                "escalated_rule": self.guard_escalated,
+                "watchdog_probes": self.guard_probes,
+            },
             "counters": {
                 "events": self.obs,
                 "feedbacks": self.n_feedback,
@@ -483,6 +558,9 @@ class DiagnosisEngine:
                 return
         elif category == "cc":
             if name != "state":
+                return
+        elif category == "guard":
+            if name not in GUARD_VOCAB:
                 return
         elif category != "ack":
             return
@@ -533,6 +611,8 @@ class DiagnosisEngine:
         elif category == "cc":
             if name == "state":
                 flow.n_cc_states += 1
+        elif category == "guard":
+            flow.on_guard(name, fields)
         flow.reclassify(t_s)
 
     # -- extraction --------------------------------------------------

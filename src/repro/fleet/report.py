@@ -40,6 +40,7 @@ class SchemeAggregate:
         self.flows_started = 0
         self.flows_completed = 0
         self.flows_aborted = 0
+        self.flows_guard_aborted = 0
         self.flows_unfinished = 0
         self.bytes_offered = 0
         self.bytes_delivered = 0
@@ -75,6 +76,9 @@ class SchemeAggregate:
         self.flows_started += flows["started"]
         self.flows_completed += flows["completed"]
         self.flows_aborted += flows["aborted"]
+        # .get(): shard summaries predating the feedback guard carry
+        # no guard_aborted count and contribute zero.
+        self.flows_guard_aborted += flows.get("guard_aborted", 0)
         self.flows_unfinished += flows["unfinished"]
         self.bytes_offered += by["offered"]
         self.bytes_delivered += by["delivered"]
@@ -177,6 +181,7 @@ class SchemeAggregate:
                 "started": self.flows_started,
                 "completed": self.flows_completed,
                 "aborted": self.flows_aborted,
+                "guard_aborted": self.flows_guard_aborted,
                 "unfinished": self.flows_unfinished,
             },
             "bytes": {
@@ -266,6 +271,7 @@ def campaign_report(manifest_path) -> Dict[str, Any]:
             "flows_completed": agg.flows_completed,
             "flows_started": agg.flows_started,
             "flows_aborted": agg.flows_aborted,
+            "flows_guard_aborted": agg.flows_guard_aborted,
             "goodput_mbps": agg.goodput_bps() / 1e6,
             "fct_p50_s": agg.fct_quantile_s(50),
             "fct_p95_s": agg.fct_quantile_s(95),
@@ -297,13 +303,15 @@ def report_table(report: Dict[str, Any]) -> Table:
         columns=["scheme", "shards", "flows", "goodput_mbps",
                  "fct_p50_ms", "fct_p99_ms", "ack_per_data",
                  "ack_airtime_%", "ack_energy_j", "ack_airtime_share",
-                 "top_state"],
+                 "guard_aborts", "top_state"],
         note=(f"digest {report['aggregate_digest'][:16]} | "
               f"{report['completed_shards']}/{report['planned_shards']} "
               "shards | airtime % is uplink ACK DCF exchanges per "
               "measured second; ack_energy_j / ack_airtime_share come "
               "from the per-flow radio energy ledger; top_state is the "
-              "flow doctor's dominant send-limit state by time"),
+              "flow doctor's dominant send-limit state by time; "
+              "guard_aborts counts flows the feedback guard ended "
+              "with misbehaving_peer"),
     )
     for row in report["schemes"]:
         table.add_row(
@@ -318,6 +326,7 @@ def report_table(report: Dict[str, Any]) -> Table:
             ack_per_data=row["ack_per_data"],
             ack_energy_j=row["ack_energy_j"],
             ack_airtime_share=row["energy_ack_airtime_share"],
+            guard_aborts=row.get("flows_guard_aborted", 0),
             top_state=row.get("top_state"),
             **{"ack_airtime_%": row["ack_airtime_share"] * 100.0},
         )

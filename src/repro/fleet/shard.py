@@ -147,6 +147,7 @@ class _ShardRun:
         self.started = 0
         self.completed = 0
         self.aborted = 0
+        self.guard_aborted = 0
         self.unfinished = 0
         self.offered_bytes = 0
         self.delivered_bytes = 0
@@ -203,6 +204,9 @@ class _ShardRun:
                  "fct_s": round(fct_s, 9)})
         elif status == "aborted":
             self.aborted += 1
+            if (conn.aborted is not None
+                    and conn.aborted.reason == "misbehaving_peer"):
+                self.guard_aborted += 1
         else:
             self.unfinished += 1
         conn.close()
@@ -285,6 +289,7 @@ class _ShardRun:
                 "started": self.started,
                 "completed": self.completed,
                 "aborted": self.aborted,
+                "guard_aborted": self.guard_aborted,
                 "unfinished": self.unfinished,
                 "deferred_peak": len(self.deferred),
                 "peak_active": self.peak_active,

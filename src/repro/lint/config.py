@@ -107,6 +107,7 @@ DEFAULT_SIM_PACKAGES = (
     "fleet",
     "energy",
     "diagnose",
+    "adversary",
 )
 
 #: Globs carved *out* of the sim scope: host-side files living inside
@@ -126,6 +127,10 @@ DEFAULT_SIM_EXEMPT = (
     "*/repro/diagnose/__main__.py",
     "*/repro/diagnose/offline.py",
     "*/repro/diagnose/explain.py",
+    # adversary: the models and the fuzzer run inside the event loop;
+    # the corpus CLI is host tooling.
+    "*/repro/adversary/cli.py",
+    "*/repro/adversary/__main__.py",
 )
 
 

@@ -54,6 +54,13 @@ Categories (see DESIGN.md section 10 for the full event taxonomy):
     the ``ack`` category's ``degrade`` event marks TACK's graceful
     densification under heavy ACK-path loss, and ``transport`` gains
     ``abort`` when an endpoint gives up.
+``guard``
+    The sender's feedback guard (:mod:`repro.transport.guard`,
+    DESIGN.md section 17): ``violation`` (first few per rule, with
+    ``rule``/``count``/``detail``), ``watchdog_probe`` (ACK-withholding
+    last resort), ``escalated`` (tolerate budget spent; the flow aborts
+    ``misbehaving_peer``), and one ``summary`` at close carrying the
+    final per-rule counters for the violations the rate limit muted.
 """
 
 from __future__ import annotations
@@ -87,10 +94,11 @@ CAT_ACK = "ack"
 CAT_CC = "cc"
 CAT_TIMING = "timing"
 CAT_CHAOS = "chaos"
+CAT_GUARD = "guard"
 
 #: Every known category, in display order.
 CATEGORIES = (CAT_NETSIM, CAT_TRANSPORT, CAT_ACK, CAT_CC, CAT_TIMING,
-              CAT_CHAOS)
+              CAT_CHAOS, CAT_GUARD)
 
 
 class TraceEvent:

@@ -17,7 +17,9 @@ pair of netsim ports.
 """
 
 from repro.transport.connection import Connection, ConnectionConfig
-from repro.transport.feedback import AckFeedback
+from repro.transport.errors import FeedbackFormatError
+from repro.transport.feedback import AckFeedback, check_wire_form, clone_feedback
+from repro.transport.guard import FeedbackValidator, GuardConfig
 from repro.transport.receiver import TransportReceiver
 from repro.transport.sender import TransportSender
 
@@ -25,6 +27,11 @@ __all__ = [
     "AckFeedback",
     "Connection",
     "ConnectionConfig",
+    "FeedbackFormatError",
+    "FeedbackValidator",
+    "GuardConfig",
     "TransportReceiver",
     "TransportSender",
+    "check_wire_form",
+    "clone_feedback",
 ]

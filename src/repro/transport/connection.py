@@ -15,6 +15,7 @@ from repro.cc.base import CongestionController
 from repro.netsim.engine import Simulator
 from repro.netsim.packet import MSS
 from repro.transport.errors import AbortInfo, ConnectionAborted, abort_result
+from repro.transport.guard import GuardConfig
 from repro.transport.receiver import TransportReceiver
 from repro.transport.sender import TransportSender
 
@@ -36,6 +37,7 @@ class ConnectionConfig:
         max_syn_retries: int = 6,
         max_rto_retries: int = 10,
         max_persist_retries: int = 16,
+        guard: Optional[GuardConfig] = None,
     ):
         self.mss = mss
         self.rcv_buffer_bytes = rcv_buffer_bytes
@@ -54,6 +56,9 @@ class ConnectionConfig:
         self.max_syn_retries = max_syn_retries
         self.max_rto_retries = max_rto_retries
         self.max_persist_retries = max_persist_retries
+        # Feedback guard tuning; None means the default-enabled
+        # GuardConfig() (see repro.transport.guard).
+        self.guard = guard
 
 
 class Connection:
@@ -104,6 +109,7 @@ class Connection:
             max_syn_retries=cfg.max_syn_retries,
             max_rto_retries=cfg.max_rto_retries,
             max_persist_retries=cfg.max_persist_retries,
+            guard=cfg.guard,
         )
         self.receiver = TransportReceiver(
             sim,
@@ -199,6 +205,11 @@ class Connection:
             "rtt_min_s": self.sender.current_rtt_min(),
             "completed": self.completed,
             "aborted": abort_result(self.sender.aborted),
+            "guard": {
+                "violations": dict(self.sender.guard.counts),
+                "total": self.sender.guard.total,
+                "watchdog_probes": s.watchdog_probes,
+            } if self.sender.guard is not None else None,
         }
 
     def close(self) -> None:

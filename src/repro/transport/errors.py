@@ -23,6 +23,10 @@ Abort reasons (stable strings, used by telemetry and tests)::
     handshake_timeout     SYN/SYN-ACK retries exhausted
     rto_exhausted         consecutive data RTOs hit max_rto_retries
     persist_exhausted     zero-window probes went unanswered
+    misbehaving_peer      feedback validation escalated (repeated
+                          guard-rule violations or the ACK-withholding
+                          watchdog ran out of probes; see
+                          repro.transport.guard)
 """
 
 from __future__ import annotations
@@ -48,6 +52,26 @@ class AbortInfo:
         if self.detail:
             text += f" ({self.detail})"
         return text
+
+
+class FeedbackFormatError(ValueError):
+    """Malformed acknowledgment feedback (wire-decode hardening).
+
+    Raised by :func:`repro.transport.feedback.check_wire_form` when an
+    ``AckFeedback`` pulled out of ``Packet.meta`` has the wrong shape —
+    a non-int ``cum_ack``, a SACK list that is not a list of 2-tuples,
+    a NaN delay, and so on.  Mirrors the binlog's ``BinaryFormatError``:
+    a *structured* decode failure carrying the offending field, instead
+    of a bare ``TypeError``/``IndexError`` leaking from the middle of
+    ``_on_feedback``.  The sender never lets it propagate into the
+    event loop; the feedback guard counts it under the ``format`` rule
+    and drops the frame.
+    """
+
+    def __init__(self, field: str, detail: str):
+        super().__init__(f"malformed feedback field {field!r}: {detail}")
+        self.field = field
+        self.detail = detail
 
 
 class ConnectionAborted(Exception):

@@ -35,8 +35,9 @@ from repro.netsim.packet import (
     Packet,
     PacketType,
 )
-from repro.transport.errors import AbortInfo
-from repro.transport.feedback import AckFeedback
+from repro.transport.errors import AbortInfo, FeedbackFormatError
+from repro.transport.feedback import AckFeedback, check_wire_form
+from repro.transport.guard import FeedbackValidator, GuardConfig
 from repro.transport.rtt import MinRttTracker, RttEstimator
 
 
@@ -98,6 +99,8 @@ class SenderStats:
         self.rtt_samples = 0
         self.handshake_retries = 0
         self.persist_probes = 0
+        self.feedback_rejected = 0
+        self.watchdog_probes = 0
 
 
 class TransportSender:
@@ -117,6 +120,7 @@ class TransportSender:
         max_syn_retries: int = 6,
         max_rto_retries: int = 10,
         max_persist_retries: int = 16,
+        guard: Optional[GuardConfig] = None,
     ):
         self.sim = sim
         self.cc = cc
@@ -176,6 +180,19 @@ class TransportSender:
         self._consecutive_rtos = 0
         self._persist_attempts = 0
         self.stats = SenderStats()
+        # feedback guard: the peer-trust boundary (repro.transport.
+        # guard).  Enabled by default; every frame is validated against
+        # ground truth before anything below consumes it, and the
+        # ACK-withholding watchdog is the T-RACKs-style last resort.
+        self._guard_cfg = guard if guard is not None else GuardConfig()
+        self.guard: Optional[FeedbackValidator] = (
+            FeedbackValidator(self, self._guard_cfg)
+            if self._guard_cfg.enabled else None)
+        self._wd_timer = None
+        self._wd_probes = 0
+        self._wd_last_probe_s = 0.0
+        self._last_fb_s: Optional[float] = None
+        self._accepts_since_probe = 0
         # simsan: one None-check per hook site when disabled.
         self._san = sim.san
         if self._san is not None:
@@ -227,6 +244,15 @@ class TransportSender:
             self._tel.emit("transport", name, self.flow_id, **fields)
         if self._diag is not None:
             self._diag.observe("transport", name, self.flow_id, **fields)
+
+    def _obs_guard(self, name: str, **fields) -> None:
+        """One ``guard`` event, mirrored to telemetry and the live flow
+        doctor like :meth:`_obs` (rate limiting happens upstream in the
+        validator, identically for both planes)."""
+        if self._tel is not None:
+            self._tel.emit("guard", name, self.flow_id, **fields)
+        if self._diag is not None:
+            self._diag.observe("guard", name, self.flow_id, **fields)
 
     def _note_recovery(self, mode: str) -> None:
         """Track the loss-recovery mode; emits only on change."""
@@ -302,6 +328,73 @@ class TransportSender:
         if self._on_abort is not None:
             self._on_abort(self.aborted)
 
+    def _guard_abort(self) -> None:
+        """Escalation endpoint of the feedback guard: a structured
+        ``misbehaving_peer`` abort instead of a stall or a crash."""
+        if self.closed or self.aborted is not None:
+            return
+        g = self.guard
+        rule = (g.escalation_rule or "withheld") if g is not None else "withheld"
+        total = g.total if g is not None else 0
+        self._abort("misbehaving_peer", attempts=total,
+                    detail=f"feedback guard escalated on rule {rule!r}")
+
+    # ------------------------------------------------------------------
+    # ACK-withholding watchdog (T-RACKs-style last resort)
+    # ------------------------------------------------------------------
+    def _wd_threshold(self) -> float:
+        cfg = self._guard_cfg
+        # Capped: the RTO backs off during exactly the silence being
+        # measured, so an uncapped multiple outruns the silence forever.
+        return min(max(cfg.watchdog_rto_mult * self.rtt.rto(),
+                       cfg.watchdog_floor_s),
+                   cfg.watchdog_cap_s)
+
+    def _wd_arm(self) -> None:
+        if (self.guard is None or not self._guard_cfg.watchdog
+                or self.closed or self._wd_timer is not None):
+            return
+        self._wd_timer = self.sim.call_in(self._wd_threshold() / 2,
+                                          self._on_watchdog)
+
+    def _on_watchdog(self) -> None:
+        """Fires periodically once established.  A probe needs three
+        things: feedback silence past the threshold, probe spacing of
+        at least one threshold, and *accepted* sends since the last
+        probe/feedback — a dead path (sends refused at link ingress)
+        never probes and still ends in the honest ``rto_exhausted``.
+        """
+        self._wd_timer = None
+        if self.closed:
+            return
+        now = self.sim.now()
+        threshold = self._wd_threshold()
+        last_fb = self._last_fb_s if self._last_fb_s is not None else 0.0
+        if (self.in_flight > 0
+                and now - last_fb >= threshold
+                and now - self._wd_last_probe_s >= threshold
+                and self._accepts_since_probe >= self._guard_cfg.watchdog_min_sends):
+            self._wd_probes += 1
+            self.stats.watchdog_probes += 1
+            self._wd_last_probe_s = now
+            self._accepts_since_probe = 0
+            self.guard.note_withheld()
+            self._obs_guard("watchdog_probe", probes=self._wd_probes,
+                            silence_s=now - last_fb)
+            if self._wd_probes > self._guard_cfg.watchdog_probes:
+                self._guard_abort()
+                return
+            # Last-resort recovery probe: retransmit the first unacked
+            # segment (certain=False would let the governor mute it).
+            rec = self._first_unacked_record()
+            if rec is not None:
+                self.governor.on_acked(rec.seq)
+                self._mark_record_lost(rec, now, certain=True)
+                if self._has_retx():
+                    self._transmit_retx(self.retx_queue.popleft(), now)
+        self._wd_timer = self.sim.call_in(max(threshold / 2, 0.05),
+                                          self._on_watchdog)
+
     def write(self, nbytes: int) -> None:
         """Queue application data for transmission."""
         if nbytes < 0:
@@ -332,6 +425,30 @@ class TransportSender:
         elif packet.is_ack_like():
             fb = packet.meta.get("fb")
             if fb is not None:
+                # Any arriving feedback — even a frame the guard ends
+                # up rejecting — is liveness for the ACK-withholding
+                # watchdog: withholding means *silence*, mangling is
+                # the escalation counters' job.
+                self._last_fb_s = self.sim.now()
+                self._wd_probes = 0
+                self._accepts_since_probe = 0
+                if self.guard is not None:
+                    fb = self.guard.admit(fb, self.sim.now())
+                    if self.guard.escalated:
+                        self._guard_abort()
+                        return
+                    if fb is None:
+                        self.stats.feedback_rejected += 1
+                        return
+                else:
+                    # Decode hardening holds even with the guard off:
+                    # a malformed frame is dropped, never a TypeError
+                    # escaping into the event loop.
+                    try:
+                        check_wire_form(fb)
+                    except FeedbackFormatError:
+                        self.stats.feedback_rejected += 1
+                        return
                 self._on_feedback(fb, packet.kind)
 
     def _handle_syn_ack(self, packet: Packet) -> None:
@@ -352,6 +469,8 @@ class TransportSender:
             self._rto_timer = None
         self.pacer.reset(now)
         self.pacer.set_rate(self.cc.pacing_rate_bps())
+        self._last_fb_s = now
+        self._wd_arm()
         self._try_send()
 
     # ------------------------------------------------------------------
@@ -790,6 +909,10 @@ class TransportSender:
             flow_id=self.flow_id,
         )
         pkt.sent_at = now
+        if self.guard is not None and self.receiver_driven:
+            # Departure-stamp ground truth for the echo_ts rule: only
+            # timestamps recorded here may come back in a TACK.
+            self.guard.on_data_sent(now, now)
         if self._san is not None:
             self._san.on_data_sent(self, rec)
         if self.sync_rtt_min:
@@ -822,7 +945,11 @@ class TransportSender:
         self.stats.data_packets_sent += 1
         self.stats.bytes_sent += rec.length
         self.pacer.on_sent(pkt.size, now)
-        self._port.send(pkt)
+        # The link's verdict feeds the watchdog: only *accepted* sends
+        # count as "data still flowing" (a blacked-out link refuses at
+        # ingress, so a dead path never looks like ACK withholding).
+        if self._port.send(pkt) is not False:
+            self._accepts_since_probe += 1
 
     # ------------------------------------------------------------------
     # timers
@@ -937,15 +1064,22 @@ class TransportSender:
     def close(self) -> None:
         if self.closed:
             return
+        # Guard summary first (rate-limited violation counters), then
+        # the close event: the flow doctor finalizes on "close", so the
+        # summary must already be on record in both planes.
+        if self.guard is not None:
+            self.guard.emit_summary()
         # The close event is emitted before the flag flips so the flow
         # doctor finalizes the flow exactly once, at this timestamp,
         # in both the live and the replayed-trace plane.
         self._obs("close", cum_acked=self.cum_acked)
         self.closed = True
-        for timer in (self._send_timer, self._rto_timer, self._persist_timer):
+        for timer in (self._send_timer, self._rto_timer,
+                      self._persist_timer, self._wd_timer):
             if timer is not None:
                 timer.cancel()
         self._send_timer = self._rto_timer = self._persist_timer = None
+        self._wd_timer = None
         if self._en is not None:
             self._en.flow_closed(self.flow_id)
 

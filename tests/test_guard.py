@@ -1,0 +1,600 @@
+"""Unit tests for the feedback validation guard (DESIGN.md section 17).
+
+Each rule gets a direct sender-level test: a hostile frame is
+injected, the offending field must be clamped/dropped (never crash,
+never act on the lie), the violation counted under its stable rule
+name, and the tolerate budget must eventually escalate into a
+structured ``misbehaving_peer`` abort.
+"""
+
+import math
+
+import pytest
+
+from repro.cc import BBR, NewReno
+from repro.netsim.packet import MSS, Packet, PacketType
+from repro.transport.errors import FeedbackFormatError
+from repro.transport.feedback import (
+    AckFeedback,
+    check_wire_form,
+    clone_feedback,
+    make_feedback_packet,
+)
+from repro.transport.guard import AWND_MAX, GuardConfig, resolve_strict
+from repro.transport.sender import TransportSender
+
+
+class StubPort:
+    def __init__(self):
+        self.sent = []
+        self.accept = True
+
+    def send(self, packet):
+        self.sent.append(packet)
+        return self.accept
+
+    def connect(self, sink):
+        pass
+
+
+def established_sender(sim, cc=None, **kwargs):
+    sender = TransportSender(sim, cc or NewReno(), **kwargs)
+    port = StubPort()
+    sender.connect(port)
+    sender.start()
+    syn_ack = Packet(PacketType.SYN_ACK, size=64)
+    syn_ack.meta["syn_sent_at"] = 0.0
+    sim.call_in(0.01, lambda: sender.on_packet(syn_ack))
+    sim.run(until=0.02)
+    port.sent.clear()
+    return sender, port
+
+
+def tack_sender(sim, **kwargs):
+    return established_sender(sim, cc=BBR(initial_rtt_s=0.01),
+                              receiver_driven=True, use_receiver_rate=True,
+                              **kwargs)
+
+
+def feed(sender, fb, kind=PacketType.ACK):
+    sender.on_packet(make_feedback_packet(kind, fb))
+
+
+def fb_for(cum_ack, **fields):
+    return AckFeedback(cum_ack=cum_ack, awnd=fields.pop("awnd", 1 << 30),
+                       **fields)
+
+
+class TestWireFormHardening:
+    """Satellite (a): malformed frames raise a structured
+    FeedbackFormatError naming the offending field — never a bare
+    TypeError/IndexError from deep inside the sender."""
+
+    def test_accepts_legitimate_frame(self):
+        check_wire_form(fb_for(MSS, sack_blocks=[(2 * MSS, 3 * MSS)],
+                               tack_delay=0.001, fb_seq=3))
+
+    @pytest.mark.parametrize("field,value", [
+        ("cum_ack", None),
+        ("cum_ack", 1.5),
+        ("cum_ack", True),          # bool is not an int here
+        ("awnd", "big"),
+        ("sack_blocks", [(1,)]),
+        ("sack_blocks", [("a", "b")]),
+        ("unacked_blocks", 7),
+        ("pull_pkt_range", (1, 2, 3)),
+        ("tack_delay", float("nan")),
+        ("echo_departure_ts", float("inf")),
+        ("delivery_rate_bps", "fast"),
+        ("rx_loss_rate", [0.5]),
+        ("largest_pkt_seq", 3.7),
+        ("packet_delays", [(None, 0.1)]),
+        ("fb_seq", "zero"),
+        ("reason", 42),
+    ])
+    def test_rejects_malformed_field(self, field, value):
+        fb = fb_for(MSS)
+        setattr(fb, field, value)
+        with pytest.raises(FeedbackFormatError) as err:
+            check_wire_form(fb)
+        assert err.value.field == field
+
+    def test_rejects_non_feedback_object(self):
+        with pytest.raises(FeedbackFormatError):
+            check_wire_form({"cum_ack": 0})
+
+    def test_sender_drops_malformed_frame_without_crash(self, sim):
+        sender, _ = established_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        bad = fb_for(MSS)
+        bad.sack_blocks = [(-5,)]
+        feed(sender, bad)
+        assert sender.cum_acked == 0
+        assert sender.stats.feedback_rejected == 1
+        assert sender.guard.counts["format"] == 1
+
+    def test_guard_disabled_still_drops_malformed(self, sim):
+        sender, _ = established_sender(
+            sim, guard=GuardConfig(enabled=False))
+        assert sender.guard is None
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        bad = fb_for(MSS)
+        bad.cum_ack = "everything"
+        feed(sender, bad)
+        assert sender.cum_acked == 0
+        assert sender.stats.feedback_rejected == 1
+
+
+class TestCumAckRule:
+    def test_optimistic_ack_makes_no_progress(self, sim):
+        sender, _ = established_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(sender.next_seq + 10 * MSS))
+        assert sender.cum_acked == 0          # reset, not clamped forward
+        assert not sender.completed_at
+        assert sender.guard.counts["cum_ack"] == 1
+
+    def test_negative_cum_ack_rejected(self, sim):
+        sender, _ = established_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(-1))
+        assert sender.cum_acked == 0
+        assert sender.guard.counts["cum_ack"] == 1
+
+    def test_legit_progress_still_flows(self, sim):
+        sender, _ = established_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(2 * MSS))
+        assert sender.cum_acked == 2 * MSS
+        assert sender.guard.total == 0
+
+
+class TestAwndRule:
+    def test_absurd_awnd_keeps_previous(self, sim):
+        sender, _ = established_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS, awnd=1 << 20))
+        assert sender.awnd == 1 << 20
+        feed(sender, fb_for(MSS, awnd=AWND_MAX + 1))
+        assert sender.awnd == 1 << 20
+        assert sender.guard.counts["awnd"] == 1
+
+    def test_negative_awnd_not_a_zero_window(self, sim):
+        """A negative awnd must not trigger persist-mode behavior."""
+        sender, _ = established_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS, awnd=-1))
+        assert sender.awnd >= 0
+        assert sender.guard.counts["awnd"] == 1
+
+
+class TestFbSeqRules:
+    def test_replayed_old_fb_seq_dropped_from_rho(self, sim):
+        sender, _ = established_sender(sim)
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS, fb_seq=500))
+        feed(sender, fb_for(MSS, fb_seq=100))   # far below the window
+        assert sender.guard.counts["fb_seq_replay"] == 1
+
+    def test_reordered_fb_seq_tolerated(self, sim):
+        sender, _ = established_sender(sim)
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS, fb_seq=10))
+        feed(sender, fb_for(MSS, fb_seq=8))     # plain reordering
+        assert sender.guard.total == 0
+
+    def test_huge_skip_does_not_poison_high_water(self, sim):
+        sender, _ = established_sender(sim)
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS, fb_seq=10))
+        feed(sender, fb_for(MSS, fb_seq=10 + 100_000))
+        assert sender.guard.counts["fb_seq_skip"] == 1
+        # The bogus skip must not turn later legitimate fb_seq values
+        # into replays.
+        feed(sender, fb_for(MSS, fb_seq=11))
+        assert "fb_seq_replay" not in sender.guard.counts
+
+    def test_frozen_fb_seq_run_is_replay(self, sim):
+        sender, _ = established_sender(sim)
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        for _ in range(9):
+            feed(sender, fb_for(MSS, fb_seq=7))
+        assert sender.guard.counts.get("fb_seq_replay", 0) >= 1
+
+    def test_route_flip_lateness_tolerated(self, sim):
+        """Under per-packet acking a +delta route flip delays honest
+        frames by (delta x fb rate) positions — the replay window must
+        scale with the observed feedback rate."""
+        sender, _ = established_sender(sim)
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        for i in range(300):                    # ~1000 frames/s
+            sim.run(until=sim.now() + 0.001)
+            feed(sender, fb_for(MSS, fb_seq=1000 + i))
+        # 500 frames late: past the 256-frame floor, inside the
+        # rate-scaled window (~2000 at this feedback rate).
+        feed(sender, fb_for(MSS, fb_seq=1299 - 500))
+        assert "fb_seq_replay" not in sender.guard.counts
+
+    def test_network_dup_tolerated(self, sim):
+        sender, _ = established_sender(sim)
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS, fb_seq=7))
+        feed(sender, fb_for(MSS, fb_seq=7))     # one duplicate is normal
+        assert sender.guard.total == 0
+
+
+class TestRangeRules:
+    def test_sack_beyond_snd_nxt_dropped(self, sim):
+        sender, _ = established_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        nxt = sender.next_seq
+        feed(sender, fb_for(MSS, sack_blocks=[(nxt + MSS, nxt + 2 * MSS)]))
+        assert sender.guard.counts["sack_range"] == 1
+        # the bogus block must not have marked anything sacked
+        assert all(not rec.sacked for rec in sender.records.values())
+
+    def test_good_and_bad_blocks_split(self, sim):
+        sender, _ = established_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        nxt = sender.next_seq
+        feed(sender, fb_for(0, sack_blocks=[(MSS, 2 * MSS),
+                                            (nxt + MSS, nxt + 2 * MSS)]))
+        assert sender.guard.counts["sack_range"] == 1
+        rec = sender.records.get(MSS)
+        assert rec is not None and rec.sacked   # in-range block survived
+
+    def test_unacked_range_violation_counted(self, sim):
+        sender, port = tack_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        nxt = sender.next_seq
+        feed(sender, fb_for(MSS, unacked_blocks=[(nxt, nxt + MSS)]),
+             kind=PacketType.TACK)
+        assert sender.guard.counts["unacked_range"] == 1
+
+
+class TestPullRules:
+    def test_out_of_range_pull_ignored(self, sim):
+        sender, port = tack_sender(sim)
+        sender.set_total(6 * MSS)
+        sim.run(until=0.05)
+        port.sent.clear()
+        top = sender.next_pkt_seq - 1
+        feed(sender, fb_for(0, pull_pkt_range=(top, top + 1000),
+                            largest_pkt_seq=top),
+             kind=PacketType.IACK)
+        sim.run(until=0.2)
+        assert sender.guard.counts["pull_range"] == 1
+        retx = [p for p in port.sent
+                if p.kind is PacketType.DATA and p.payload_len]
+        assert sender.stats.retransmissions == 0 or not retx
+
+    def test_bogus_largest_pkt_seq_stripped(self, sim):
+        sender, _ = tack_sender(sim)
+        sender.set_total(6 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(0, largest_pkt_seq=sender.next_pkt_seq + 99),
+             kind=PacketType.TACK)
+        assert sender.guard.counts["pull_range"] == 1
+
+    def test_repulling_same_range_is_free(self, sim):
+        """A legitimate receiver re-pulls the same loss range every
+        TACK until it fills; only newly named space is charged."""
+        sender, _ = tack_sender(sim)
+        sender.set_total(6 * MSS)
+        sim.run(until=0.05)
+        top = sender.next_pkt_seq - 1
+        assert top >= 2
+        for _ in range(400):
+            feed(sender, fb_for(0, pull_pkt_range=(1, top)),
+                 kind=PacketType.IACK)
+        assert "pull_flood" not in sender.guard.counts
+
+    def test_pull_budget_floods_counted(self, sim):
+        sender, _ = tack_sender(sim)
+        sender.set_total(6 * MSS)
+        sim.run(until=0.05)
+        # Pretend a long history of sent PKT.SEQs so a whole-horizon
+        # pull is in range but far beyond the unacked horizon: hull
+        # growth blows the budget floor in one frame.
+        sender.next_pkt_seq = 100_000
+        feed(sender, fb_for(0, pull_pkt_range=(0, 99_999)),
+             kind=PacketType.IACK)
+        assert sender.guard.counts.get("pull_flood", 0) >= 1
+
+
+class TestTimingRules:
+    def test_unstamped_echo_stripped(self, sim):
+        sender, _ = tack_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        before = sender.current_rtt_min()
+        feed(sender, fb_for(MSS, echo_departure_ts=sim.now() - 1e-6,
+                            tack_delay=0.0),
+             kind=PacketType.TACK)
+        assert sender.guard.counts["echo_ts"] == 1
+        assert sender.current_rtt_min() == before
+
+    def test_real_stamp_with_inflated_delay_stripped(self, sim):
+        sender, port = tack_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        ts = next(p.sent_at for p in port.sent
+                  if p.kind is PacketType.DATA)
+        # Claimed hold delay exceeds the whole time since departure:
+        # accepting it would fake a negative path RTT.
+        feed(sender, fb_for(MSS, echo_departure_ts=ts,
+                            tack_delay=(sim.now() - ts) + 5.0),
+             kind=PacketType.TACK)
+        assert sender.guard.counts["tack_delay"] == 1
+
+    def test_honest_echo_accepted(self, sim):
+        sender, port = tack_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        ts = next(p.sent_at for p in port.sent
+                  if p.kind is PacketType.DATA)
+        feed(sender, fb_for(MSS, echo_departure_ts=ts,
+                            tack_delay=(sim.now() - ts) / 2),
+             kind=PacketType.TACK)
+        assert sender.guard.total == 0
+
+    def test_poisoned_packet_delays_filtered(self, sim):
+        sender, port = tack_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS, packet_delays=[(sim.now() - 1e-5, 0.0)]),
+             kind=PacketType.TACK)
+        assert sender.guard.counts["echo_ts"] == 1
+
+
+class TestRateRules:
+    def test_implausible_delivery_rate_dropped(self, sim):
+        sender, _ = tack_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS, delivery_rate_bps=1e15),
+             kind=PacketType.TACK)
+        assert sender.guard.counts["rate"] == 1
+
+    def test_negative_rate_dropped(self, sim):
+        sender, _ = tack_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS, delivery_rate_bps=-5.0),
+             kind=PacketType.TACK)
+        assert sender.guard.counts["rate"] == 1
+
+    def test_rx_loss_rate_clamped(self, sim):
+        sender, _ = tack_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS, rx_loss_rate=7.5), kind=PacketType.TACK)
+        assert sender.guard.counts["rate"] == 1
+        assert 0.0 <= sender.ack_loss.loss_rate <= 1.0
+
+
+class TestEscalation:
+    def test_per_rule_budget_aborts(self, sim):
+        sender, _ = established_sender(
+            sim, guard=GuardConfig(escalate_after=3, escalate_total=100,
+                                   escalate_consecutive=100))
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        for _ in range(3):
+            feed(sender, fb_for(-1))            # cum_ack violation
+            if sender.aborted is None:
+                feed(sender, fb_for(0))         # clean frame: no run builds
+        assert sender.aborted is not None
+        assert sender.aborted.reason == "misbehaving_peer"
+        assert sender.guard.escalation_rule == "cum_ack"
+
+    def test_consecutive_run_aborts_before_count_budget(self, sim):
+        """A rule firing on every frame escalates by run length even
+        when the absolute budget is far away (RTO-cadence starvation)."""
+        sender, _ = established_sender(
+            sim, guard=GuardConfig(escalate_after=10_000,
+                                   escalate_total=100_000,
+                                   escalate_consecutive=4))
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        for _ in range(4):
+            feed(sender, fb_for(-1))
+        assert sender.aborted is not None
+        assert sender.aborted.reason == "misbehaving_peer"
+
+    def test_interleaved_violations_do_not_build_a_run(self, sim):
+        sender, _ = established_sender(
+            sim, guard=GuardConfig(escalate_consecutive=3))
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        for _ in range(5):
+            feed(sender, fb_for(-1))            # cum_ack violation
+            feed(sender, fb_for(0))             # clean frame resets run
+        assert sender.aborted is None
+
+    def test_total_budget_aborts_across_rules(self, sim):
+        sender, _ = established_sender(
+            sim, guard=GuardConfig(escalate_after=100,
+                                   escalate_total=4,
+                                   escalate_consecutive=100))
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(-1))
+        feed(sender, fb_for(0, awnd=-2))
+        feed(sender, fb_for(-1))
+        feed(sender, fb_for(0, awnd=-2))
+        assert sender.aborted is not None
+        assert sender.aborted.reason == "misbehaving_peer"
+        assert sender.aborted.detail and "rule" in sender.aborted.detail
+
+    def test_strict_mode_aborts_on_first_violation(self, sim):
+        sender, _ = established_sender(sim, guard=GuardConfig(strict=True))
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(-1))
+        assert sender.aborted is not None
+        assert sender.aborted.reason == "misbehaving_peer"
+
+    def test_strict_env_resolution(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GUARD_STRICT", raising=False)
+        assert resolve_strict(None) is False
+        assert resolve_strict(True) is True
+        monkeypatch.setenv("REPRO_GUARD_STRICT", "1")
+        assert resolve_strict(None) is True
+        assert resolve_strict(False) is False
+        monkeypatch.setenv("REPRO_GUARD_STRICT", "0")
+        assert resolve_strict(None) is False
+
+
+class TestTelemetryRateLimit:
+    """Satellite (b): per-rule violation traces are bounded; the
+    summary event carries the authoritative totals."""
+
+    def test_trace_limit_bounds_events(self, sim):
+        from repro.telemetry import TraceCollector
+
+        collector = sim.attach_telemetry(TraceCollector())
+        sender, _ = established_sender(
+            sim, guard=GuardConfig(trace_limit=3, escalate_after=10_000,
+                                   escalate_total=100_000,
+                                   escalate_consecutive=10_000))
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        for _ in range(20):
+            feed(sender, fb_for(-1))
+        events = [e for e in collector.events()
+                  if e.category == "guard" and e.name == "violation"]
+        assert len(events) == 3
+        assert sender.guard.counts["cum_ack"] == 20
+
+    def test_summary_event_at_close(self, sim):
+        from repro.telemetry import TraceCollector
+
+        collector = sim.attach_telemetry(TraceCollector())
+        sender, _ = established_sender(
+            sim, guard=GuardConfig(escalate_after=10_000,
+                                   escalate_total=100_000,
+                                   escalate_consecutive=10_000))
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        for _ in range(7):
+            feed(sender, fb_for(-1))
+        sender.close()
+        summaries = [e for e in collector.events()
+                     if e.category == "guard" and e.name == "summary"]
+        assert len(summaries) == 1
+        assert summaries[0].fields["cum_ack"] == 7
+        assert summaries[0].fields["total"] == 7
+
+    def test_clean_run_emits_no_guard_events(self, sim):
+        from repro.telemetry import TraceCollector
+
+        collector = sim.attach_telemetry(TraceCollector())
+        sender, _ = established_sender(sim)
+        sender.set_total(2 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(2 * MSS))
+        sender.close()
+        assert not [e for e in collector.events() if e.category == "guard"]
+
+
+class TestWatchdog:
+    def cfg(self, **kw):
+        base = dict(watchdog_floor_s=0.2, watchdog_cap_s=0.2,
+                    watchdog_probes=2)
+        base.update(kw)
+        return GuardConfig(**base)
+
+    def test_withholding_aborts_misbehaving_peer(self, sim):
+        sender, port = established_sender(sim, guard=self.cfg())
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS))     # one feedback, then total silence
+        sim.run(until=10.0)
+        assert sender.aborted is not None
+        assert sender.aborted.reason == "misbehaving_peer"
+        assert sender.stats.watchdog_probes >= 3
+        assert sender.guard.counts["withheld"] >= 3
+
+    def test_probes_do_not_drain_escalation_budget(self, sim):
+        """Watchdog probes count under 'withheld' but never toward the
+        violation escalation totals (legit blackouts probe too)."""
+        sender, port = established_sender(
+            sim, guard=self.cfg(watchdog_probes=1000))
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS))
+        sim.run(until=3.0)
+        assert sender.stats.watchdog_probes >= 2
+        assert sender.guard.total == 0
+        assert not sender.guard.escalated
+
+    def test_dead_path_never_probes_twice(self, sim):
+        """When the link refuses sends (blackout), the probe gate
+        (accepted sends since last probe) blocks repeat probes, so the
+        honest rto_exhausted wins — not misbehaving_peer."""
+        sender, port = established_sender(sim, guard=self.cfg())
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS))
+        port.accept = False           # path goes dark at ingress
+        sim.run(until=60.0)
+        assert sender.stats.watchdog_probes <= 1
+        if sender.aborted is not None:
+            assert sender.aborted.reason != "misbehaving_peer"
+
+    def test_feedback_resets_probe_count(self, sim):
+        sender, port = established_sender(
+            sim, guard=self.cfg(watchdog_probes=2))
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS))
+        sim.run(until=0.5)            # a probe or two fire
+        feed(sender, fb_for(2 * MSS))
+        assert sender._wd_probes == 0
+        assert sender.aborted is None
+
+    def test_watchdog_disabled(self, sim):
+        sender, _ = established_sender(
+            sim, guard=self.cfg(watchdog=False))
+        sender.set_total(8 * MSS)
+        sim.run(until=0.05)
+        feed(sender, fb_for(MSS))
+        sim.run(until=10.0)
+        assert sender.stats.watchdog_probes == 0
+
+
+class TestCloneFeedback:
+    def test_clone_is_deep_enough(self):
+        fb = fb_for(MSS, sack_blocks=[(1, 2)], packet_delays=[(0.1, 0.2)])
+        cp = clone_feedback(fb)
+        cp.sack_blocks.append((3, 4))
+        cp.cum_ack = 0
+        assert fb.sack_blocks == [(1, 2)]
+        assert fb.cum_ack == MSS
+
+    def test_guard_never_mutates_receiver_frame(self, sim):
+        sender, _ = established_sender(sim)
+        sender.set_total(4 * MSS)
+        sim.run(until=0.05)
+        fb = fb_for(sender.next_seq + 10 * MSS)
+        feed(sender, fb)
+        # the receiver's object still carries the hostile value; the
+        # sender sanitized a clone
+        assert fb.cum_ack == sender.next_seq + 10 * MSS

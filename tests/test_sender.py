@@ -243,8 +243,11 @@ class TestReceiverDrivenPull:
         sender.set_unlimited()
         sim.run(until=0.1)
         now = sim.now()
+        # The echoed reference must be a departure the sender really
+        # stamped (the guard's echo_ts rule), so echo a captured one.
+        ts = port.sent[0].sent_at
         ack_for(sender, MSS, kind=PacketType.TACK,
-                echo_departure_ts=now - 0.05, tack_delay=0.02)
+                echo_departure_ts=ts, tack_delay=now - ts - 0.03)
         assert sender.rtt_min_est.last_sample == pytest.approx(0.03)
 
     def test_receiver_rate_feeds_cc(self, sim):
